@@ -1,0 +1,41 @@
+"""E1 — Figure 2(a): FTMap runtime split (7% docking / 93% minimization).
+
+Real measurement: one serial energy-evaluation iteration at paper scale
+(the unit the minimization phase repeats ~2.3M times per probe).
+Model output: the phase split at the paper's full workload.
+"""
+
+import pytest
+
+from repro.perf.profiles import ftmap_profile
+from repro.perf.tables import ComparisonRow
+
+PAPER_MINIMIZATION_FRACTION = 0.93
+PAPER_DOCKING_FRACTION = 0.07
+
+
+def test_fig2a_profile_shape(benchmark, bench_energy_model, print_comparison):
+    model = bench_energy_model
+    coords = model.molecule.coords
+
+    # Real per-iteration energy evaluation (the repeated unit of the 93%).
+    benchmark(model.evaluate, coords)
+
+    profile = ftmap_profile()
+    rows = [
+        ComparisonRow(
+            "energy minimization fraction",
+            PAPER_MINIMIZATION_FRACTION,
+            profile["energy_minimization"],
+        ),
+        ComparisonRow(
+            "rigid docking fraction",
+            PAPER_DOCKING_FRACTION,
+            profile["rigid_docking"],
+        ),
+    ]
+    print_comparison("Fig. 2(a) — FTMap phase profile", rows)
+
+    assert 0.88 <= profile["energy_minimization"] <= 0.97
+    assert 0.03 <= profile["rigid_docking"] <= 0.12
+    benchmark.extra_info["minimization_fraction"] = profile["energy_minimization"]

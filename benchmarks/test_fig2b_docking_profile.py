@@ -1,0 +1,41 @@
+"""E2 — Figure 2(b): per-rotation docking time distribution.
+
+Paper: ~93% FFT correlations, ~2.3% rotation + grid assignment, ~2.4%
+accumulation, ~2.3% scoring & filtering (Table 1's own entries give
+3600/80/180/200 of 4060 ms).
+
+Real measurement: one full FFT-correlation rotation at 48^3 scale.
+"""
+
+import pytest
+
+from repro.docking.fft import FFTCorrelationEngine
+from repro.perf.profiles import docking_profile
+from repro.perf.tables import ComparisonRow
+
+PAPER = {
+    "fft_correlations": 3600.0 / 4060.0,
+    "rotation_grid_assignment": 80.0 / 4060.0,
+    "accumulation": 180.0 / 4060.0,
+    "scoring_filtering": 200.0 / 4060.0,
+}
+
+
+def test_fig2b_docking_profile(
+    benchmark, bench_receptor_grids, bench_ligand_grids, print_comparison
+):
+    engine = FFTCorrelationEngine()
+
+    # Real measurement: the dominant step (all channels, one rotation).
+    benchmark(engine.correlate, bench_receptor_grids, bench_ligand_grids)
+
+    profile = docking_profile()
+    rows = [
+        ComparisonRow(f"{key} fraction", PAPER[key], profile[key])
+        for key in PAPER
+    ]
+    print_comparison("Fig. 2(b) — per-rotation docking profile", rows)
+
+    assert 0.85 <= profile["fft_correlations"] <= 0.95
+    for key in ("rotation_grid_assignment", "accumulation", "scoring_filtering"):
+        assert 0.01 <= profile[key] <= 0.06

@@ -1,0 +1,47 @@
+"""E3 — Figure 3: minimization profile.
+
+(a) ~99% of an iteration is energy/force evaluation;
+(b) within energy evaluation: 94.4% electrostatics, 5.38% vdW, 0.2% bonded.
+
+Real measurement: the electrostatics vs vdW split of a real evaluation at
+paper scale (~2200 atoms, ~10k pairs).
+"""
+
+import pytest
+
+from repro.perf.profiles import minimization_profile
+from repro.perf.tables import ComparisonRow
+
+PAPER_EVAL_FRACTION = 0.9898
+PAPER_ELEC = 0.944
+PAPER_VDW = 0.0538
+PAPER_BONDED = 0.002
+
+
+def test_fig3_minimization_profile(benchmark, bench_energy_model, print_comparison):
+    model = bench_energy_model
+    pair_i, pair_j = model.active_pairs()
+
+    # Real measurement: the dominant electrostatics kernel (ACE self).
+    from repro.minimize.ace import ace_self_energies
+
+    m = model.molecule
+    benchmark(
+        ace_self_energies, m.coords, m.charges, m.born_radii, m.volumes, pair_i, pair_j
+    )
+
+    profile = minimization_profile()
+    it = profile["iteration"]
+    ev = profile["energy_evaluation"]
+    rows = [
+        ComparisonRow("energy evaluation fraction", PAPER_EVAL_FRACTION, it["energy_evaluation"]),
+        ComparisonRow("electrostatics fraction", PAPER_ELEC, ev["electrostatics"]),
+        ComparisonRow("vdW fraction", PAPER_VDW, ev["vdw"]),
+        ComparisonRow("bonded fraction", PAPER_BONDED, ev["bonded"]),
+    ]
+    print_comparison("Fig. 3 — minimization profile", rows)
+
+    assert it["energy_evaluation"] > 0.95
+    assert abs(ev["electrostatics"] - PAPER_ELEC) < 0.03
+    assert abs(ev["vdw"] - PAPER_VDW) < 0.02
+    assert ev["bonded"] < 0.01

@@ -1,0 +1,46 @@
+"""E4 — Figure 4: the two direct-correlation work distributions.
+
+Paper: "Both distributions result in similar runtimes, though one or the
+other can have better performance for various non-cubic grids."
+
+Real measurement: the direct correlation both schemes execute.
+Model output: predicted times on cubic (similar) and non-cubic (divergent)
+result grids.
+"""
+
+import pytest
+
+from repro.cuda.device import Device
+from repro.docking.direct import DirectCorrelationEngine
+from repro.gpu.correlation_kernels import DistributionScheme, correlation_launch_sizes
+from repro.perf.tables import ComparisonRow
+
+
+def test_fig4_distribution_schemes(
+    benchmark, bench_receptor_grids, bench_ligand_grids, print_comparison
+):
+    engine = DirectCorrelationEngine()
+    benchmark(engine.correlate, bench_receptor_grids, bench_ligand_grids)
+
+    def model_time(shape, scheme):
+        return Device().launch(correlation_launch_sizes(shape, 22, 4, scheme))
+
+    cubic = (125, 125, 125)
+    flat = (125, 125, 4)       # few z-planes
+    skinny = (8, 8, 125)       # tiny xy tiles
+
+    rows = []
+    results = {}
+    for name, shape in (("cubic 125^3", cubic), ("flat 125x125x4", flat), ("skinny 8x8x125", skinny)):
+        t1 = model_time(shape, DistributionScheme.PENCILS)
+        t2 = model_time(shape, DistributionScheme.PLANES)
+        results[name] = (t1, t2)
+        rows.append(ComparisonRow(f"{name}: planes/pencils time ratio", None, t2 / t1))
+    print_comparison("Fig. 4 — work-distribution schemes", rows)
+
+    t1c, t2c = results["cubic 125^3"]
+    assert abs(t1c - t2c) / max(t1c, t2c) < 0.1      # similar on cubic grids
+    t1f, t2f = results["flat 125x125x4"]
+    assert t2f > 1.5 * t1f                            # planes starves on flat
+    t1s, t2s = results["skinny 8x8x125"]
+    assert t1s > 1.5 * t2s                            # pencils starves on skinny

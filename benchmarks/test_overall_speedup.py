@@ -1,0 +1,31 @@
+"""E8 — Sec. V.B/V.C: phase and end-to-end speedups.
+
+Paper: minimization 400 -> 32 min (12.5x); whole probe 435 -> 33 min (13x).
+
+Real measurement: a complete scaled-down minimization run (the unit repeated
+2000x per probe).
+"""
+
+import pytest
+
+from repro.minimize import Minimizer, MinimizerConfig
+from repro.perf.speedup import overall_speedup
+
+
+def test_overall_speedup(benchmark, bench_energy_model, print_comparison):
+    model = bench_energy_model
+
+    def run_minimization():
+        return Minimizer(model, config=MinimizerConfig(max_iterations=5)).run()
+
+    result = benchmark.pedantic(run_minimization, rounds=3, iterations=1)
+    assert result.energy <= result.initial_energy
+
+    rows, ours = overall_speedup()
+    print_comparison("Sec. V — overall speedup roll-up (per probe)", rows)
+
+    assert 10 <= ours["minimization_speedup"] <= 15    # paper 12.5x
+    assert 10 <= ours["overall_speedup"] <= 16         # paper 13x
+    assert 350 <= ours["serial_total_min"] <= 520      # paper 435 min
+    assert 25 <= ours["gpu_total_min"] <= 42           # paper 33 min
+    benchmark.extra_info["overall_speedup"] = ours["overall_speedup"]

@@ -1,0 +1,34 @@
+"""E6 — Table 1: per-rotation rigid-docking speedups.
+
+Paper (serial ms -> GPU ms, speedup): rotation+grid 80 -> 80 (1x),
+correlations 3600 -> 13.5 (267x), accumulation 180 -> 1 (180x), scoring +
+filtering 200 -> 30 (6.67x); total 4060 -> 125.5 (32.6x).
+
+Real measurement: the direct-correlation kernel the GPU path executes.
+Model output: the full Table 1 at N=128 / m=4 / 22 channels.
+"""
+
+import pytest
+
+from repro.docking.direct import DirectCorrelationEngine
+from repro.perf.speedup import PAPER_TABLE1, table1_docking_speedups
+
+
+def test_table1_docking_speedups(
+    benchmark, bench_receptor_grids, bench_ligand_grids, print_comparison
+):
+    engine = DirectCorrelationEngine()
+    benchmark(engine.correlate, bench_receptor_grids, bench_ligand_grids)
+
+    rows, ours = table1_docking_speedups()
+    print_comparison("Table 1 — rigid-docking speedups (per rotation)", rows)
+
+    assert 180 <= ours["correlation"] <= 330            # paper 267x
+    assert 70 <= ours["accumulation"] <= 260            # paper 180x
+    assert 4 <= ours["scoring_filtering"] <= 12         # paper 6.67x
+    assert 26 <= ours["total"] <= 40                    # paper 32.6x
+    assert ours["rotation_grid"] == pytest.approx(1.0)  # host step
+    # Serial/GPU absolute bands
+    assert 3200 <= ours["serial_total_ms"] <= 4900      # paper 4060 ms
+    assert 95 <= ours["gpu_total_ms"] <= 155            # paper 125.5 ms
+    benchmark.extra_info["total_speedup"] = ours["total"]

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Reproduce the paper's headline results on the virtual Tesla C1060.
+
+Prints every table and headline figure of the evaluation section:
+
+* Table 1  — per-rotation rigid-docking speedups (paper: 32.6x total),
+* Table 2  — minimization kernel speedups (26.7x / 17x / 6.7x),
+* Sec. III — rotation-batching sweep (paper: 2.7x at batch 8),
+* Sec. IV  — minimization scheme ladder (A poor, B ~3x, C 12.5x),
+* Sec. V   — overall roll-up (435 -> 33 min, 13x) and the multicore
+             comparison (11x / 6x / 12.3x).
+
+Everything is model-vs-model: serial times come from the calibrated Xeon
+model, GPU times from the C1060 cost model counting exactly the operations
+the real kernels perform.  Run with real small-scale numerics in the test
+and benchmark suites.
+
+Run:  python examples/gpu_acceleration.py
+"""
+
+from __future__ import annotations
+
+from repro.cuda import Device, TESLA_C1060
+from repro.perf import (
+    batching_sweep,
+    multicore_comparison,
+    overall_speedup,
+    render_table,
+    scheme_ladder,
+    table1_docking_speedups,
+    table2_minimization_speedups,
+)
+
+
+def main() -> None:
+    print(f"virtual device: {TESLA_C1060.name}")
+    print(
+        f"  {TESLA_C1060.num_sms} SMs x {TESLA_C1060.cores_per_sm} cores @ "
+        f"{TESLA_C1060.clock_ghz} GHz, {TESLA_C1060.global_bandwidth_gbs} GB/s, "
+        f"{TESLA_C1060.shared_mem_per_sm // 1024} KiB shared / "
+        f"{TESLA_C1060.constant_mem // 1024} KiB constant per SM"
+    )
+    print()
+
+    rows, _ = table1_docking_speedups()
+    print(render_table("Table 1 — rigid docking speedups (per rotation)", rows))
+    print()
+
+    rows, _ = table2_minimization_speedups()
+    print(render_table("Table 2 — energy minimization kernel speedups", rows))
+    print()
+
+    rows, _ = batching_sweep()
+    print(render_table("Sec. III.A — multi-rotation batching", rows))
+    print()
+
+    rows, _ = scheme_ladder()
+    print(render_table("Sec. IV — minimization scheme ladder", rows))
+    print()
+
+    rows, _ = overall_speedup()
+    print(render_table("Sec. V — overall speedup (per probe)", rows))
+    print()
+
+    rows, _ = multicore_comparison()
+    print(render_table("Sec. V.A — multicore comparison", rows))
+    print()
+
+    # A peek at the device timeline for one docking rotation batch.
+    from repro.gpu.pipeline import GpuFTMapPipeline
+
+    dev = Device()
+    pipe = GpuFTMapPipeline(dev)
+    pipe.docking_times()
+    print("device timeline (one docking batch at N=128):")
+    for line in dev.timeline():
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

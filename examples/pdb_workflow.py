@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Working from PDB files: write, read, dock.
+
+FTMap's production server consumes PDB structures.  This example round-trips
+a structure through the minimal PDB reader/writer and runs docking on the
+re-imported molecule, demonstrating the file-based workflow a user with real
+structures would follow (point ``read_pdb`` at your own file).
+
+Run:  python examples/pdb_workflow.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    PiperConfig,
+    PiperDocker,
+    build_probe,
+    read_pdb,
+    synthetic_protein,
+    write_pdb,
+)
+from repro.util.runlog import RunLogger
+
+
+def main() -> None:
+    log = RunLogger()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        pdb_path = Path(tmp) / "receptor.pdb"
+
+        log.section("export a structure to PDB")
+        protein = synthetic_protein(n_residues=80, seed=11)
+        write_pdb(protein, pdb_path)
+        size_kb = pdb_path.stat().st_size / 1024
+        log.step(f"wrote {protein.n_atoms} atoms to {pdb_path.name} ({size_kb:.1f} KiB)")
+        log.done()
+
+        log.section("re-import and verify")
+        imported = read_pdb(pdb_path)
+        drift = float(np.abs(imported.coords - protein.coords).max())
+        log.step(
+            f"read back {imported.n_atoms} atoms; max coordinate drift "
+            f"{drift:.4f} A (PDB columns are 0.001 A)"
+        )
+        assert imported.n_atoms == protein.n_atoms
+        log.done()
+
+        log.section("dock against the imported structure")
+        probe = build_probe("acetonitrile")
+        config = PiperConfig(
+            num_rotations=8, receptor_grid=48, probe_grid=4, grid_spacing=1.25
+        )
+        docker = PiperDocker(imported, probe, config)
+        poses = docker.run()
+        log.step(f"best pose energy {poses[0].score:.2f} at {poses[0].translation}")
+        log.done()
+
+
+if __name__ == "__main__":
+    main()

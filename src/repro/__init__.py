@@ -1,0 +1,98 @@
+"""repro: reproduction of "Fast Binding Site Mapping using GPUs and CUDA"
+(Sukhwani & Herbordt, IPDPS Workshops 2010).
+
+The package rebuilds the full FTMap system the paper accelerates —
+
+* PIPER rigid docking (FFT + direct multi-channel grid correlation, scoring,
+  region-exclusion filtering): :mod:`repro.docking`, :mod:`repro.grids`,
+* CHARMM/ACE energy minimization (Eqs. 3-10, neighbor/pairs lists, analytic
+  gradients, steepest-descent driver): :mod:`repro.minimize`,
+* the binding-site mapping application (probe library, clustering,
+  consensus hotspots): :mod:`repro.mapping`, :mod:`repro.structure`,
+
+— plus the paper's contribution, the GPU port, on a *virtual CUDA device*
+(Tesla C1060 execution/cost model): :mod:`repro.cuda`, :mod:`repro.gpu`,
+with the serial/multicore reference models and the table/figure
+reproduction harness in :mod:`repro.perf`.
+
+Quickstart::
+
+    from repro import synthetic_protein, FTMapConfig, run_ftmap, mapping_report
+
+    protein = synthetic_protein()
+    result = run_ftmap(protein, FTMapConfig(probe_names=("ethanol", "benzene")))
+    print(mapping_report(result))
+"""
+
+from repro.structure import (
+    Molecule,
+    ForceField,
+    default_forcefield,
+    build_probe,
+    probe_library,
+    FTMAP_PROBE_NAMES,
+    synthetic_protein,
+    synthetic_complex,
+    read_pdb,
+    write_pdb,
+)
+from repro.docking import (
+    PiperConfig,
+    PiperDocker,
+    DockedPose,
+    FFTCorrelationEngine,
+    DirectCorrelationEngine,
+    filter_top_poses,
+)
+from repro.minimize import (
+    EnergyModel,
+    EnergyReport,
+    Minimizer,
+    MinimizerConfig,
+    MinimizationResult,
+)
+from repro.mapping import (
+    FTMapConfig,
+    FTMapResult,
+    run_ftmap,
+    mapping_report,
+    consensus_sites,
+    cluster_poses,
+)
+from repro.cuda import Device, DeviceSpec, TESLA_C1060
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Molecule",
+    "ForceField",
+    "default_forcefield",
+    "build_probe",
+    "probe_library",
+    "FTMAP_PROBE_NAMES",
+    "synthetic_protein",
+    "synthetic_complex",
+    "read_pdb",
+    "write_pdb",
+    "PiperConfig",
+    "PiperDocker",
+    "DockedPose",
+    "FFTCorrelationEngine",
+    "DirectCorrelationEngine",
+    "filter_top_poses",
+    "EnergyModel",
+    "EnergyReport",
+    "Minimizer",
+    "MinimizerConfig",
+    "MinimizationResult",
+    "FTMapConfig",
+    "FTMapResult",
+    "run_ftmap",
+    "mapping_report",
+    "consensus_sites",
+    "cluster_poses",
+    "Device",
+    "DeviceSpec",
+    "TESLA_C1060",
+    "__version__",
+]

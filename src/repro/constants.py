@@ -1,0 +1,112 @@
+"""Physical and algorithmic constants shared across the reproduction.
+
+Values mirror those used by FTMap / PIPER / CHARMM as described in the paper
+(Sukhwani & Herbordt 2010) and its references: the ACE continuum
+electrostatics model (Schaefer & Karplus 1996), the generalized Born
+pairwise interaction (Still et al. 1990), and the smoothed Lennard-Jones
+6-12 variant of Eq. (8).
+"""
+
+from __future__ import annotations
+
+# --- Electrostatics -------------------------------------------------------
+
+#: Coulomb constant in kcal*mol^-1*Angstrom*e^-2, as used in Eq. (7):
+#: E_int = 332 * q_i q_j / r_ij - 166 * tau * q_i q_j / sqrt(...)
+COULOMB_332 = 332.0637
+
+#: The "166" prefactor of the generalized Born term (half of 332).
+BORN_166 = COULOMB_332 / 2.0
+
+#: Solvent (water) dielectric constant used by ACE.
+SOLVENT_DIELECTRIC = 78.5
+
+#: Solute (protein interior) dielectric constant.
+SOLUTE_DIELECTRIC = 1.0
+
+#: tau = 1/eps_in - 1/eps_out, the dielectric contrast factor of the
+#: generalized Born equation.
+TAU = 1.0 / SOLUTE_DIELECTRIC - 1.0 / SOLVENT_DIELECTRIC
+
+#: Exponent divisor in the GB smoothing function exp(-r^2 / (4 a_i a_j)).
+GB_EXPONENT_DIVISOR = 4.0
+
+# --- Van der Waals ---------------------------------------------------------
+
+#: Default non-bonded cutoff distance (Angstrom); typical CHARMM value.
+VDW_CUTOFF = 9.0
+
+#: Cutoff beyond which pairs are excluded from neighbor lists.  Slightly
+#: larger than the interaction cutoff so that lists stay valid for several
+#: minimization steps ("seldom updated" in the paper).
+NEIGHBOR_LIST_CUTOFF = 10.5
+
+# --- PIPER rigid docking ---------------------------------------------------
+
+#: Number of rotations sampled by FTMap's coarse rotation set (Sec. II.A:
+#: "performing a total of 500 rotations").
+FTMAP_NUM_ROTATIONS = 500
+
+#: Number of top-scoring translations retained per rotation (Sec. II.A).
+POSES_PER_ROTATION = 4
+
+#: Total conformations passed to minimization per probe (500 x 4).
+CONFORMATIONS_PER_PROBE = FTMAP_NUM_ROTATIONS * POSES_PER_ROTATION
+
+#: Default protein/result correlation grid edge (Sec. V.A: "a total
+#: correlation grid size of 128^3, ... typical for FTMap probes and
+#: proteins").
+DEFAULT_PROTEIN_GRID = 128
+
+#: Default probe grid edge (Sec. V.A: "probe grid size of 4^3").
+DEFAULT_PROBE_GRID = 4
+
+#: Upper bound on desolvation pairwise-potential correlation terms
+#: (Sec. II.A: "a sum of 4 to 18 pairwise potential terms").
+MAX_DESOLVATION_TERMS = 18
+MIN_DESOLVATION_TERMS = 4
+
+#: Number of shape-complementarity correlation channels (weighted sum of two
+#: components).
+SHAPE_TERMS = 2
+
+#: Number of electrostatic correlation channels.
+ELEC_TERMS = 2
+
+#: Maximum total FFT/direct correlations per rotation (2 + 2 + 18 = 22).
+MAX_CORRELATION_TERMS = SHAPE_TERMS + ELEC_TERMS + MAX_DESOLVATION_TERMS
+
+#: Default weights w2 (electrostatics) and w3 (desolvation) of Eq. (2).
+DEFAULT_ELEC_WEIGHT = 0.6
+DEFAULT_DESOLVATION_WEIGHT = 0.4
+
+#: Exclusion radius (in voxels) used by the filtering step when suppressing
+#: neighbors of an already-selected score (Fig. 5).
+FILTER_EXCLUSION_RADIUS = 3
+
+# --- FTMap workload scale --------------------------------------------------
+
+#: Number of small-molecule probes mapped by FTMap (Sec. II.B: "With 16
+#: probes to be mapped").
+FTMAP_NUM_PROBES = 16
+
+#: Typical atom count of a protein-probe complex during minimization
+#: (Sec. V.B: "the 2200 atoms in the complex").
+TYPICAL_COMPLEX_ATOMS = 2200
+
+#: Typical number of atom-atom interactions per energy term per iteration
+#: (Sec. V.B: "around 10,000 atom-atom computations for each of the energy
+#: term").
+TYPICAL_PAIR_COUNT = 10_000
+
+# --- Numerical tolerances --------------------------------------------------
+
+#: Relative tolerance when comparing FFT and direct correlation results.
+CORRELATION_RTOL = 1e-6
+
+#: Default convergence threshold on energy change for the minimizer
+#: (kcal/mol).
+MINIMIZER_TOLERANCE = 1e-4
+
+#: Default maximum minimization iterations.
+MINIMIZER_MAX_ITER = 1000

@@ -1,0 +1,33 @@
+"""Virtual CUDA device: execution model + performance accounting.
+
+The paper's results depend on GPU-architecture effects — kernel-launch
+overhead, global-memory latency and coalescing, shared/constant memory
+speed, per-SM occupancy, and host<->device transfer cost.  Lacking hardware,
+we reproduce those effects with a *virtual device*: GPU "kernels" in
+``repro.gpu`` execute their algorithms numerically in NumPy while recording
+a :class:`KernelLaunch` event (thread geometry, flop/SFU counts, bytes moved
+per memory space, coalescing quality).  The :mod:`costmodel` converts events
+into predicted wall-clock time using the NVIDIA Tesla C1060 parameters the
+paper used (240 cores @ 1.296 GHz, 102 GB/s, 16 KB shared + 64 KB constant
+per SM, Windows-XP-era launch overhead).
+
+The reproduced quantity is the *time structure* — which scheme wins, by what
+factor, where crossovers fall — not absolute milliseconds (DESIGN.md).
+"""
+
+from repro.cuda.device import DeviceSpec, Device, TESLA_C1060
+from repro.cuda.memory import MemorySpace, TransferDirection, TransferEvent, DeviceBuffer
+from repro.cuda.kernel import KernelLaunch
+from repro.cuda.costmodel import CostModel
+
+__all__ = [
+    "DeviceSpec",
+    "Device",
+    "TESLA_C1060",
+    "MemorySpace",
+    "TransferDirection",
+    "TransferEvent",
+    "DeviceBuffer",
+    "KernelLaunch",
+    "CostModel",
+]

@@ -1,0 +1,183 @@
+"""Device specification and the virtual device object.
+
+:data:`TESLA_C1060` encodes the paper's GPU (Sec. V: "NVIDIA TESLA C1060
+GPU, containing 240 processor cores @ 1.3 GHz", housed in a Windows XP
+workstation).  Architectural constants follow the GT200 datasheet; the two
+calibration constants that are not datasheet values — kernel-launch overhead
+and the per-transaction cost of uncoalesced gathers — use the well-known
+WinXP/CUDA-2.x era magnitudes and are documented inline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.cuda.kernel import KernelLaunch
+from repro.cuda.memory import DeviceBuffer, MemorySpace, TransferDirection, TransferEvent
+
+__all__ = ["DeviceSpec", "Device", "TESLA_C1060"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware parameters of a CUDA device (cost-model inputs)."""
+
+    name: str
+    num_sms: int                    # streaming multiprocessors
+    cores_per_sm: int
+    clock_ghz: float
+    global_bandwidth_gbs: float     # peak global-memory bandwidth
+    shared_mem_per_sm: int          # bytes
+    constant_mem: int               # bytes (cached per SM)
+    max_threads_per_block: int
+    warp_size: int
+    # -- calibration constants (documented era-typical magnitudes) --
+    kernel_launch_overhead_us: float   # driver launch cost (WinXP WDDM ~60us)
+    uncoalesced_access_ns: float       # per-transaction cost of random gathers
+    sfu_cycles: float                  # cycles per special-function op (exp/sqrt/div)
+    pcie_bandwidth_gbs: float          # host<->device transfer bandwidth
+    pcie_latency_us: float             # per-transfer fixed cost
+    compute_efficiency: float          # achieved fraction of peak issue rate
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def peak_gips(self) -> float:
+        """Peak simple-instruction throughput (G instructions/s)."""
+        return self.total_cores * self.clock_ghz
+
+
+#: The paper's GPU.  Launch overhead and gather cost are the calibration
+#: constants discussed in DESIGN.md; all else is the GT200 datasheet.
+TESLA_C1060 = DeviceSpec(
+    name="NVIDIA Tesla C1060",
+    num_sms=30,
+    cores_per_sm=8,
+    clock_ghz=1.296,
+    global_bandwidth_gbs=102.0,
+    shared_mem_per_sm=16 * 1024,
+    constant_mem=64 * 1024,
+    max_threads_per_block=512,
+    warp_size=32,
+    kernel_launch_overhead_us=60.0,
+    uncoalesced_access_ns=4.0,
+    sfu_cycles=16.0,
+    pcie_bandwidth_gbs=5.2,
+    pcie_latency_us=15.0,
+    compute_efficiency=0.85,
+)
+
+
+class Device:
+    """A virtual CUDA device: records launches/transfers, predicts time.
+
+    ``Device`` does not execute code — the GPU algorithm implementations in
+    ``repro.gpu`` compute their results in NumPy and *report* what the CUDA
+    kernel would have done.  The device validates resource limits (shared
+    memory, threads per block, constant memory) exactly as a real launch
+    would fail, and accumulates a timeline.
+    """
+
+    def __init__(self, spec: DeviceSpec = TESLA_C1060) -> None:
+        self.spec = spec
+        self.launches: List[KernelLaunch] = []
+        self.transfers: List[TransferEvent] = []
+        self._buffers: List[DeviceBuffer] = []
+        from repro.cuda.costmodel import CostModel
+
+        self.cost_model = CostModel(spec)
+
+    # -- resource validation ----------------------------------------------------
+
+    def validate_launch(self, launch: KernelLaunch) -> None:
+        """Raise if the launch exceeds device limits (as CUDA would)."""
+        spec = self.spec
+        if launch.threads_per_block > spec.max_threads_per_block:
+            raise ValueError(
+                f"{launch.name}: {launch.threads_per_block} threads/block exceeds "
+                f"device limit {spec.max_threads_per_block}"
+            )
+        if launch.shared_bytes_per_block > spec.shared_mem_per_sm:
+            raise ValueError(
+                f"{launch.name}: {launch.shared_bytes_per_block} B shared/block "
+                f"exceeds {spec.shared_mem_per_sm} B per SM"
+            )
+        if launch.constant_bytes > spec.constant_mem:
+            raise ValueError(
+                f"{launch.name}: {launch.constant_bytes} B exceeds "
+                f"{spec.constant_mem} B constant memory"
+            )
+
+    # -- event recording ----------------------------------------------------------
+
+    def launch(self, launch: KernelLaunch) -> float:
+        """Validate, record, and return the predicted kernel time (seconds)."""
+        self.validate_launch(launch)
+        t = self.cost_model.kernel_time(launch)
+        launch.predicted_time_s = t
+        self.launches.append(launch)
+        return t
+
+    def transfer(
+        self, n_bytes: int, direction: TransferDirection, label: str = ""
+    ) -> float:
+        """Record a host<->device copy; returns predicted time (seconds)."""
+        t = self.cost_model.transfer_time(n_bytes)
+        ev = TransferEvent(
+            n_bytes=int(n_bytes), direction=direction, label=label, predicted_time_s=t
+        )
+        self.transfers.append(ev)
+        return t
+
+    def alloc(self, n_bytes: int, space: MemorySpace, label: str = "") -> DeviceBuffer:
+        """Track an allocation (constant-memory overflow raises, as on HW)."""
+        if space is MemorySpace.CONSTANT:
+            used = sum(
+                b.n_bytes for b in self._buffers if b.space is MemorySpace.CONSTANT
+            )
+            if used + n_bytes > self.spec.constant_mem:
+                raise MemoryError(
+                    f"constant memory exhausted: {used + n_bytes} > {self.spec.constant_mem}"
+                )
+        if space is MemorySpace.SHARED and n_bytes > self.spec.shared_mem_per_sm:
+            raise MemoryError(
+                f"shared allocation {n_bytes} B exceeds {self.spec.shared_mem_per_sm} B/SM"
+            )
+        buf = DeviceBuffer(n_bytes=int(n_bytes), space=space, label=label)
+        self._buffers.append(buf)
+        return buf
+
+    def free_all(self) -> None:
+        self._buffers.clear()
+
+    # -- reporting ------------------------------------------------------------------
+
+    def total_time(self) -> float:
+        """Total predicted device time (kernels + transfers), seconds."""
+        return sum(l.predicted_time_s for l in self.launches) + sum(
+            t.predicted_time_s for t in self.transfers
+        )
+
+    def reset(self) -> None:
+        self.launches.clear()
+        self.transfers.clear()
+
+    def timeline(self) -> List[str]:
+        """Human-readable event log (used by examples and reports)."""
+        rows = []
+        for l in self.launches:
+            rows.append(
+                f"kernel {l.name:<28s} grid={l.num_blocks:<6d} "
+                f"threads/blk={l.threads_per_block:<4d} t={l.predicted_time_s * 1e3:8.3f} ms"
+            )
+        for t in self.transfers:
+            rows.append(
+                f"xfer   {t.label:<28s} {t.n_bytes / 1024:10.1f} KiB "
+                f"{t.direction.value:<4s} t={t.predicted_time_s * 1e3:8.3f} ms"
+            )
+        return rows

@@ -1,0 +1,75 @@
+"""Kernel-launch event record.
+
+A :class:`KernelLaunch` captures everything the cost model needs about one
+CUDA kernel invocation: thread geometry, instruction counts, and the bytes
+it moves through each memory path, split by access quality (coalesced
+streaming vs uncoalesced gathers — the distinction at the heart of the
+paper's pairs-list redesign).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KernelLaunch"]
+
+
+@dataclass
+class KernelLaunch:
+    """One kernel invocation and its resource usage.
+
+    Attributes
+    ----------
+    name:
+        Kernel identifier (appears in timelines and reports).
+    num_blocks, threads_per_block:
+        Launch geometry; occupancy is derived from these (a kernel running
+        on fewer blocks than SMs — e.g. the single-SM filtering kernel of
+        Fig. 6 — gets proportionally less compute and bandwidth).
+    flops:
+        Simple arithmetic instructions executed across all threads.
+    sfu_ops:
+        Special-function ops (exp, sqrt, division, pow) — multi-cycle on
+        the SFU units.
+    global_bytes_coalesced:
+        Bytes moved to/from global memory with streaming (coalesced)
+        access; charged at peak bandwidth.
+    global_uncoalesced_accesses:
+        Count of scattered/random accesses (each costs a full memory
+        transaction regardless of size — the paper's "random occurrences of
+        the second atoms" problem).
+    shared_accesses:
+        Shared-memory accesses (cheap; charged at 1 cycle each across the
+        active SMs).
+    constant_bytes:
+        Bytes of constant memory referenced (capacity-validated; access is
+        cached and charged like shared memory per the paper's observation
+        that "access time from constant memory and shared memory is
+        identical").
+    serial_fraction:
+        Fraction of the kernel's work executed by a single thread (master-
+        thread accumulation rounds); that portion runs at single-core speed.
+    """
+
+    name: str
+    num_blocks: int
+    threads_per_block: int
+    flops: float = 0.0
+    sfu_ops: float = 0.0
+    global_bytes_coalesced: float = 0.0
+    global_uncoalesced_accesses: float = 0.0
+    shared_accesses: float = 0.0
+    constant_bytes: float = 0.0
+    shared_bytes_per_block: int = 0
+    serial_fraction: float = 0.0
+    predicted_time_s: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 1 or self.threads_per_block < 1:
+            raise ValueError(f"{self.name}: launch geometry must be positive")
+        if not (0.0 <= self.serial_fraction <= 1.0):
+            raise ValueError(f"{self.name}: serial_fraction must be in [0, 1]")
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_blocks * self.threads_per_block

@@ -1,0 +1,58 @@
+"""Memory spaces and transfer events of the virtual device.
+
+The paper's design choices are memory-placement arguments:
+
+* protein grids -> **global** memory ("due to the relatively large sizes of
+  the protein grids and the limited amount of shared memory"),
+* probe grids -> **constant** memory (<= 8^3 fits; 7^3 in shared),
+* partial-energy arrays -> **shared** memory per SM,
+* exclusion flags -> **global** (N^3 bytes exceed 16 KB shared).
+
+This module defines the spaces, the buffer record used to enforce capacity
+limits, and host<->device transfer events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["MemorySpace", "TransferDirection", "TransferEvent", "DeviceBuffer"]
+
+
+class MemorySpace(Enum):
+    """Where data lives on the device."""
+
+    GLOBAL = "global"
+    SHARED = "shared"
+    CONSTANT = "constant"
+
+
+class TransferDirection(Enum):
+    """Host<->device copy direction."""
+
+    H2D = "h2d"
+    D2H = "d2h"
+
+
+@dataclass
+class DeviceBuffer:
+    """A tracked allocation in one memory space."""
+
+    n_bytes: int
+    space: MemorySpace
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_bytes < 0:
+            raise ValueError("buffer size must be non-negative")
+
+
+@dataclass
+class TransferEvent:
+    """One recorded host<->device copy."""
+
+    n_bytes: int
+    direction: TransferDirection
+    label: str = ""
+    predicted_time_s: float = 0.0

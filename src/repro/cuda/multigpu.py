@@ -1,0 +1,118 @@
+"""Multi-GPU extension model (the paper's stated future work).
+
+"In the future, we plan on extending this work to a multi-GPU
+implementation and integrating it into a production web server."
+(Sec. VI)
+
+FTMap parallelizes naturally at two granularities, both embarrassingly
+parallel across devices:
+
+* **docking**: rotations distribute across GPUs (the same coarse-grained
+  decomposition the Blue Gene production server uses across nodes),
+* **minimization**: independent conformations distribute across GPUs.
+
+The per-device work is the single-GPU pipeline; the multi-GPU model adds
+(i) one receptor-grid broadcast per device, (ii) per-batch probe-grid
+uploads on every device, and (iii) load imbalance from integer division of
+the work items.  There is no inter-GPU communication — the reduction of
+filtered poses is a host-side merge of k x rotations tiny records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cuda.device import Device, DeviceSpec, TESLA_C1060
+
+__all__ = ["MultiGpuConfig", "MultiGpuTimes", "multi_gpu_mapping_times", "scaling_curve"]
+
+
+@dataclass(frozen=True)
+class MultiGpuConfig:
+    """A homogeneous multi-GPU node."""
+
+    num_gpus: int
+    spec: DeviceSpec = TESLA_C1060
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError("need at least one GPU")
+
+
+@dataclass
+class MultiGpuTimes:
+    """Predicted per-phase wall-clock (seconds) on a multi-GPU node."""
+
+    docking_s: float
+    minimization_s: float
+    broadcast_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.docking_s + self.minimization_s + self.broadcast_s
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def multi_gpu_mapping_times(
+    config: MultiGpuConfig,
+    rotations: int = 500,
+    conformations: int = 2000,
+    **pipeline_kwargs,
+) -> MultiGpuTimes:
+    """Predict per-probe mapping time on ``config.num_gpus`` devices.
+
+    Work items round-robin across devices; wall-clock per phase is the
+    busiest device (ceil-division load imbalance).  Each device receives
+    the receptor grids once (22 channels x 128^3 floats ~ 184 MB).
+    """
+    from repro.gpu.pipeline import GpuFTMapPipeline, ITERATIONS_PER_CONFORMATION
+
+    g = config.num_gpus
+    pipe = GpuFTMapPipeline(Device(config.spec), **pipeline_kwargs)
+
+    per_rotation = pipe.docking_times().total_per_rotation_s
+    per_iteration = pipe.minimization_times().total_per_iteration_s
+
+    rot_per_gpu = _ceil_div(rotations, g)
+    conf_per_gpu = _ceil_div(conformations, g)
+
+    # Receptor broadcast: channels x N^3 floats to every device (PCIe
+    # transfers serialize through the host in this era's systems).
+    rec_bytes = pipe.channels * pipe.n**3 * 4
+    broadcast = g * pipe.device.cost_model.transfer_time(rec_bytes)
+
+    return MultiGpuTimes(
+        docking_s=rot_per_gpu * per_rotation,
+        minimization_s=conf_per_gpu
+        * ITERATIONS_PER_CONFORMATION
+        * per_iteration,
+        broadcast_s=broadcast,
+    )
+
+
+def scaling_curve(
+    max_gpus: int = 8,
+    rotations: int = 500,
+    conformations: int = 2000,
+    **pipeline_kwargs,
+) -> Dict[int, float]:
+    """Speedup over one GPU as a function of device count.
+
+    Near-linear until ceil-division imbalance and the serialized receptor
+    broadcast flatten it — the scaling a production multi-GPU FTMap server
+    would see before any algorithmic changes.
+    """
+    base = multi_gpu_mapping_times(
+        MultiGpuConfig(1), rotations, conformations, **pipeline_kwargs
+    ).total_s
+    out: Dict[int, float] = {}
+    for g in range(1, max_gpus + 1):
+        t = multi_gpu_mapping_times(
+            MultiGpuConfig(g), rotations, conformations, **pipeline_kwargs
+        ).total_s
+        out[g] = base / t
+    return out

@@ -1,0 +1,63 @@
+"""Correlation engine interface and shared helpers.
+
+The pose score of Eq. (1) is, per channel ``p``:
+
+    corr_p(a, b, c) = sum_{i,j,k} R_p(i, j, k) * L_p(i + a, j + b, k + c)
+
+with the ligand grid (edge ``m``) much smaller than the receptor grid (edge
+``n``).  A translation ``(a, b, c)`` is *valid* when the ligand grid lies
+fully inside the receptor grid, i.e. ``0 <= a, b, c <= n - m``.  Engines
+return the full weighted score grid over valid translations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.grids.energyfunctions import EnergyGrids
+
+__all__ = ["CorrelationEngine", "correlate_channels", "valid_translations"]
+
+
+def valid_translations(n: int, m: int) -> int:
+    """Edge of the valid-translation cube: ``n - m + 1``."""
+    if m > n:
+        raise ValueError(f"ligand grid ({m}) larger than receptor grid ({n})")
+    return n - m + 1
+
+
+class CorrelationEngine(ABC):
+    """Computes weighted multi-channel correlation score grids.
+
+    Subclasses implement :meth:`correlate`, mapping a receptor
+    :class:`EnergyGrids` and a ligand :class:`EnergyGrids` (same channel
+    count) to a (T, T, T) float array of pose energies over valid
+    translations, where ``T = n - m + 1``.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def correlate(self, receptor: EnergyGrids, ligand: EnergyGrids) -> np.ndarray:
+        """Weighted pose-energy grid over valid translations."""
+
+    def _check(self, receptor: EnergyGrids, ligand: EnergyGrids) -> None:
+        if receptor.n_channels != ligand.n_channels:
+            raise ValueError(
+                f"channel mismatch: receptor {receptor.n_channels} vs "
+                f"ligand {ligand.n_channels}"
+            )
+        if ligand.spec.n > receptor.spec.n:
+            raise ValueError("ligand grid larger than receptor grid")
+
+
+def correlate_channels(
+    receptor: EnergyGrids,
+    ligand: EnergyGrids,
+    engine: "CorrelationEngine",
+) -> np.ndarray:
+    """Convenience wrapper: validate then delegate to ``engine``."""
+    engine._check(receptor, ligand)
+    return engine.correlate(receptor, ligand)

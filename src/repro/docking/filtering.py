@@ -1,0 +1,80 @@
+"""Top-pose filtering with region exclusion (Fig. 5).
+
+"Filtering is performed by selecting the best score and then excluding its
+neighbors while selecting the next best score.  Such exclusion is done to
+avoid selecting multiple best scores from the same region."  (Sec. III.B)
+
+This module provides the serial reference implementation; the GPU version
+(``repro.gpu.scoring_kernel``) reproduces the single-multiprocessor
+distribution of Fig. 6 and must agree with this one exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.constants import FILTER_EXCLUSION_RADIUS
+
+__all__ = ["FilteredPose", "filter_top_poses", "exclusion_mask_size"]
+
+
+@dataclass(frozen=True)
+class FilteredPose:
+    """One retained translation: voxel index and its pose energy."""
+
+    translation: Tuple[int, int, int]
+    score: float
+
+
+def filter_top_poses(
+    score_grid: np.ndarray,
+    k: int,
+    exclusion_radius: int = FILTER_EXCLUSION_RADIUS,
+) -> List[FilteredPose]:
+    """Select the ``k`` best (lowest-energy) poses with region exclusion.
+
+    After each selection, every voxel within Chebyshev distance
+    ``exclusion_radius`` of the selected voxel is excluded from later
+    selections — the cube marked "for exclusion" in Fig. 5.  The exclusion
+    state is the length-T^3 flag array the paper stores in GPU global memory
+    ("an array of length N^3 ... for constant time lookup").
+
+    Returns fewer than ``k`` poses only if exclusion exhausts the grid.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    grid = np.asarray(score_grid, dtype=float)
+    if grid.ndim != 3:
+        raise ValueError(f"expected a 3-D score grid, got shape {grid.shape}")
+    t = grid.shape
+    excluded = np.zeros(t, dtype=bool)
+    poses: List[FilteredPose] = []
+    work = grid.copy()
+
+    for _ in range(k):
+        work[excluded] = np.inf
+        flat_idx = int(np.argmin(work))
+        best = float(work.reshape(-1)[flat_idx])
+        if not np.isfinite(best):
+            break  # everything excluded
+        a, b, c = np.unravel_index(flat_idx, t)
+        poses.append(FilteredPose(translation=(int(a), int(b), int(c)), score=best))
+        r = exclusion_radius
+        excluded[
+            max(0, a - r) : a + r + 1,
+            max(0, b - r) : b + r + 1,
+            max(0, c - r) : c + r + 1,
+        ] = True
+    return poses
+
+
+def exclusion_mask_size(grid_edge: int) -> int:
+    """Bytes of the exclusion flag array for an edge-``grid_edge`` result grid.
+
+    One byte per cell; for N = 128 this is 2 MiB — too large for the 16 KB
+    shared memory, which is why the paper keeps it in global memory.
+    """
+    return grid_edge**3

@@ -1,0 +1,192 @@
+"""PIPER driver: the exhaustive rotation loop of FTMap's rigid-docking phase.
+
+Per rotation (Sec. II.A / Fig. 2b):
+
+1. rotate the probe and re-grid it on the host (*rotation and grid
+   assignment* — stays on the host in the paper's GPU port too),
+2. correlate all channels against the receptor grids (*FFT correlations* /
+   direct correlation on the GPU),
+3. combine weighted channel scores (*accumulation*),
+4. filter the 4 best, region-separated translations (*scoring and
+   filtering*).
+
+FTMap runs 500 rotations and retains 4 poses each -> 2000 conformations
+for the minimization phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import (
+    DEFAULT_PROBE_GRID,
+    DEFAULT_PROTEIN_GRID,
+    FILTER_EXCLUSION_RADIUS,
+    FTMAP_NUM_ROTATIONS,
+    MIN_DESOLVATION_TERMS,
+    POSES_PER_ROTATION,
+)
+from repro.docking.correlation import CorrelationEngine
+from repro.docking.direct import DirectCorrelationEngine
+from repro.docking.fft import FFTCorrelationEngine
+from repro.docking.filtering import filter_top_poses
+from repro.geometry.sampling import rotation_set
+from repro.geometry.transforms import RigidTransform, centered
+from repro.grids.energyfunctions import protein_grids
+from repro.grids.gridding import GridSpec
+from repro.grids.rotation import ligand_grid_spec, rotate_and_grid_ligand
+from repro.structure.molecule import Molecule
+
+__all__ = ["PiperConfig", "DockedPose", "PiperDocker"]
+
+
+@dataclass(frozen=True)
+class PiperConfig:
+    """Configuration of one PIPER run.
+
+    Defaults follow the paper: 500 rotations, 4 poses/rotation, 128^3
+    receptor grid, 4^3 probe grid, 4 desolvation terms (the minimum of the
+    4..18 range), direct correlation engine.
+    """
+
+    num_rotations: int = FTMAP_NUM_ROTATIONS
+    poses_per_rotation: int = POSES_PER_ROTATION
+    receptor_grid: int = DEFAULT_PROTEIN_GRID
+    probe_grid: int = DEFAULT_PROBE_GRID
+    grid_spacing: float = 1.0
+    n_desolvation_terms: int = MIN_DESOLVATION_TERMS
+    exclusion_radius: int = FILTER_EXCLUSION_RADIUS
+    engine: str = "direct"  # "direct" | "fft"
+    rotation_scheme: str = "super-fibonacci"
+    desolvation_seed: int = 2010
+
+    def __post_init__(self) -> None:
+        if self.num_rotations < 1:
+            raise ValueError("need at least one rotation")
+        if self.poses_per_rotation < 1:
+            raise ValueError("need at least one pose per rotation")
+        if self.engine not in ("direct", "fft"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+
+
+@dataclass(frozen=True)
+class DockedPose:
+    """One retained pose: rotation + voxel translation + world transform."""
+
+    rotation_index: int
+    rotation: np.ndarray
+    translation: tuple            # voxel offsets (a, b, c)
+    score: float
+    transform: RigidTransform     # maps centered probe coords to world space
+
+    def __lt__(self, other: "DockedPose") -> bool:
+        return self.score < other.score
+
+
+class PiperDocker:
+    """Rigid-docking driver: grids the receptor once, loops over rotations.
+
+    Parameters
+    ----------
+    receptor:
+        Protein molecule.
+    probe:
+        Small-molecule probe; must fit the configured probe grid.
+    config:
+        :class:`PiperConfig`.
+    engine:
+        Optional explicit :class:`CorrelationEngine` (overrides
+        ``config.engine``).
+    """
+
+    def __init__(
+        self,
+        receptor: Molecule,
+        probe: Molecule,
+        config: PiperConfig | None = None,
+        engine: Optional[CorrelationEngine] = None,
+    ) -> None:
+        self.receptor = receptor
+        self.probe = probe
+        self.config = config or PiperConfig()
+        cfg = self.config
+
+        self.receptor_spec = GridSpec.centered_on(
+            receptor, cfg.receptor_grid, cfg.grid_spacing
+        )
+        self.probe_spec = ligand_grid_spec(probe, cfg.probe_grid, cfg.grid_spacing)
+        self.receptor_grids = protein_grids(
+            receptor,
+            self.receptor_spec,
+            n_desolvation_terms=cfg.n_desolvation_terms,
+            desolvation_seed=cfg.desolvation_seed,
+        )
+        if engine is not None:
+            self.engine: CorrelationEngine = engine
+        elif cfg.engine == "fft":
+            self.engine = FFTCorrelationEngine()
+        else:
+            self.engine = DirectCorrelationEngine()
+        self.rotations = rotation_set(cfg.num_rotations, cfg.rotation_scheme)
+
+    # -- single rotation ------------------------------------------------------
+
+    def score_rotation(self, rotation_index: int) -> np.ndarray:
+        """Weighted pose-energy grid for one rotation (steps 1-3)."""
+        cfg = self.config
+        lig = rotate_and_grid_ligand(
+            self.probe,
+            self.rotations[rotation_index],
+            self.probe_spec,
+            n_desolvation_terms=cfg.n_desolvation_terms,
+            desolvation_seed=cfg.desolvation_seed,
+        )
+        return self.engine.correlate(self.receptor_grids, lig)
+
+    def poses_for_rotation(self, rotation_index: int) -> List[DockedPose]:
+        """Top poses for one rotation (steps 1-4)."""
+        cfg = self.config
+        scores = self.score_rotation(rotation_index)
+        filtered = filter_top_poses(
+            scores, cfg.poses_per_rotation, cfg.exclusion_radius
+        )
+        return [self._to_docked(rotation_index, f) for f in filtered]
+
+    def _to_docked(self, rotation_index: int, f) -> DockedPose:
+        # World transform: probe voxel d maps to receptor voxel a + d, so a
+        # centered, rotated probe atom x lands at
+        #   X = x + (receptor_origin + a * h - probe_origin).
+        h = self.config.grid_spacing
+        a = np.asarray(f.translation, dtype=float)
+        t = (
+            np.asarray(self.receptor_spec.origin)
+            + a * h
+            - np.asarray(self.probe_spec.origin)
+        )
+        return DockedPose(
+            rotation_index=rotation_index,
+            rotation=self.rotations[rotation_index],
+            translation=f.translation,
+            score=f.score,
+            transform=RigidTransform(self.rotations[rotation_index], t),
+        )
+
+    # -- full run -----------------------------------------------------------------
+
+    def run(self, rotation_indices: Sequence[int] | None = None) -> List[DockedPose]:
+        """Dock over all (or selected) rotations; poses sorted by energy."""
+        indices = (
+            range(len(self.rotations)) if rotation_indices is None else rotation_indices
+        )
+        poses: List[DockedPose] = []
+        for ri in indices:
+            poses.extend(self.poses_for_rotation(ri))
+        poses.sort()
+        return poses
+
+    def docked_probe_coords(self, pose: DockedPose) -> np.ndarray:
+        """World-space probe coordinates for a docked pose."""
+        return pose.transform.apply(centered(self.probe.coords))

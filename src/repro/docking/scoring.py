@@ -1,0 +1,70 @@
+"""Pose scoring: weighted combination of channel correlations (Eq. 2).
+
+``E = E_shape + w2 * E_elec + w3 * E_desol``.  The channel weights live on
+the receptor :class:`EnergyGrids` (clash penalty, contact reward, w2, w3 and
+desolvation eigenvalue signs); this module combines per-channel correlation
+grids and exposes the decomposition used by the profiling figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["combine_channel_scores", "score_decomposition"]
+
+
+def combine_channel_scores(
+    channel_corrs: np.ndarray, weights: Sequence[float]
+) -> np.ndarray:
+    """Weighted sum of per-channel correlation grids.
+
+    Parameters
+    ----------
+    channel_corrs:
+        (C, T, T, T) unweighted correlation grids.
+    weights:
+        C per-channel weights (receptor weights x ligand weights).
+
+    Returns
+    -------
+    (T, T, T) pose-energy grid (lower = better).
+    """
+    corrs = np.asarray(channel_corrs, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    if corrs.ndim != 4:
+        raise ValueError(f"expected (C, T, T, T), got {corrs.shape}")
+    if w.shape != (corrs.shape[0],):
+        raise ValueError(
+            f"got {w.shape[0] if w.ndim else 0} weights for {corrs.shape[0]} channels"
+        )
+    return np.einsum("c,cijk->ijk", w, corrs)
+
+
+def score_decomposition(
+    channel_corrs: np.ndarray,
+    weights: Sequence[float],
+    labels: Sequence[str],
+    translation: tuple,
+) -> Dict[str, float]:
+    """Per-channel-group energy contributions at one translation.
+
+    Groups channels by prefix (shape_*, elec_*, desolvation_*) and reports
+    the weighted contribution of each group plus the total — the terms of
+    Eq. (2) for a single pose.
+    """
+    corrs = np.asarray(channel_corrs, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    a, b, c = translation
+    groups: Dict[str, float] = {"shape": 0.0, "elec": 0.0, "desolvation": 0.0}
+    for ci, label in enumerate(labels):
+        val = float(w[ci] * corrs[ci, a, b, c])
+        if label.startswith("shape"):
+            groups["shape"] += val
+        elif label.startswith("elec"):
+            groups["elec"] += val
+        else:
+            groups["desolvation"] += val
+    groups["total"] = groups["shape"] + groups["elec"] + groups["desolvation"]
+    return groups

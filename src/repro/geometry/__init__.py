@@ -1,0 +1,50 @@
+"""3-D geometry substrate: rotations, rigid transforms, SO(3) sampling.
+
+PIPER's exhaustive search rotates the probe grid through a precomputed set of
+rotations (FTMap uses 500 at coarse granularity, Sec. II.A).  This package
+provides the rotation algebra (quaternions and matrices), deterministic
+quasi-uniform SO(3) sampling used to build that rotation set, and rigid-body
+transforms applied to atom coordinates.
+"""
+
+from repro.geometry.rotations import (
+    Quaternion,
+    quaternion_to_matrix,
+    matrix_to_quaternion,
+    random_rotation_matrix,
+    rotation_matrix_axis_angle,
+    rotation_matrix_euler,
+    is_rotation_matrix,
+    rotation_angle_between,
+)
+from repro.geometry.sampling import (
+    super_fibonacci_rotations,
+    uniform_euler_rotations,
+    rotation_set,
+)
+from repro.geometry.transforms import (
+    RigidTransform,
+    apply_rotation,
+    center_of_coordinates,
+    centered,
+    bounding_radius,
+)
+
+__all__ = [
+    "Quaternion",
+    "quaternion_to_matrix",
+    "matrix_to_quaternion",
+    "random_rotation_matrix",
+    "rotation_matrix_axis_angle",
+    "rotation_matrix_euler",
+    "is_rotation_matrix",
+    "rotation_angle_between",
+    "super_fibonacci_rotations",
+    "uniform_euler_rotations",
+    "rotation_set",
+    "RigidTransform",
+    "apply_rotation",
+    "center_of_coordinates",
+    "centered",
+    "bounding_radius",
+]

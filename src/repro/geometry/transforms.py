@@ -1,0 +1,87 @@
+"""Rigid-body transforms applied to atom coordinate arrays.
+
+A docking *pose* is a rotation plus an integer grid translation (alpha, beta,
+gamma in Eq. (1)).  :class:`RigidTransform` composes the two in Angstrom
+space so minimization can start from the docked placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.rotations import is_rotation_matrix
+
+__all__ = [
+    "RigidTransform",
+    "apply_rotation",
+    "center_of_coordinates",
+    "centered",
+    "bounding_radius",
+]
+
+
+def apply_rotation(coords: np.ndarray, R: np.ndarray) -> np.ndarray:
+    """Rotate an (N, 3) coordinate array about the origin by matrix ``R``."""
+    return np.asarray(coords, dtype=float) @ np.asarray(R, dtype=float).T
+
+
+def center_of_coordinates(coords: np.ndarray) -> np.ndarray:
+    """Geometric center (not mass-weighted) of an (N, 3) array."""
+    coords = np.asarray(coords, dtype=float)
+    if coords.ndim != 2 or coords.shape[1] != 3:
+        raise ValueError(f"expected (N, 3) coordinates, got {coords.shape}")
+    return coords.mean(axis=0)
+
+
+def centered(coords: np.ndarray) -> np.ndarray:
+    """Coordinates translated so their geometric center is the origin."""
+    coords = np.asarray(coords, dtype=float)
+    return coords - center_of_coordinates(coords)
+
+
+def bounding_radius(coords: np.ndarray) -> float:
+    """Radius of the smallest origin-centered sphere containing the centered
+    coordinates; used to size probe grids."""
+    coords = np.asarray(coords, dtype=float)
+    if len(coords) == 0:
+        return 0.0
+    c = centered(coords)
+    return float(np.sqrt((c**2).sum(axis=1).max()))
+
+
+@dataclass(frozen=True)
+class RigidTransform:
+    """Rotation followed by translation: ``x -> x @ R.T + t``."""
+
+    rotation: np.ndarray = field(default_factory=lambda: np.eye(3))
+    translation: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+    def __post_init__(self) -> None:
+        R = np.asarray(self.rotation, dtype=float)
+        t = np.asarray(self.translation, dtype=float)
+        if not is_rotation_matrix(R, atol=1e-6):
+            raise ValueError("rotation is not a proper rotation matrix")
+        if t.shape != (3,):
+            raise ValueError(f"translation must have shape (3,), got {t.shape}")
+        object.__setattr__(self, "rotation", R)
+        object.__setattr__(self, "translation", t)
+
+    @classmethod
+    def identity(cls) -> "RigidTransform":
+        return cls()
+
+    def apply(self, coords: np.ndarray) -> np.ndarray:
+        """Transform an (N, 3) or (3,) coordinate array."""
+        return apply_rotation(coords, self.rotation) + self.translation
+
+    def compose(self, other: "RigidTransform") -> "RigidTransform":
+        """Return the transform equivalent to applying ``other`` then ``self``."""
+        R = self.rotation @ other.rotation
+        t = apply_rotation(other.translation, self.rotation) + self.translation
+        return RigidTransform(R, t)
+
+    def inverse(self) -> "RigidTransform":
+        R_inv = self.rotation.T
+        return RigidTransform(R_inv, -apply_rotation(self.translation, R_inv))

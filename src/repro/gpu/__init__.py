@@ -1,0 +1,53 @@
+"""GPU implementations of FTMap's algorithms on the virtual CUDA device.
+
+Each module pairs a *numeric execution* (NumPy, bit-identical in structure
+to the serial reference — tested against it) with *performance accounting*
+(a :class:`~repro.cuda.kernel.KernelLaunch` describing what the CUDA kernel
+does on the Tesla C1060).  Modules:
+
+* :mod:`correlation_kernels` — direct correlation with the two
+  work-distribution schemes of Fig. 4,
+* :mod:`batching` — multi-rotation batching in constant memory (Sec. III.A);
+  the paper's "8 rotations per pass" emerges from the 64 KB capacity limit,
+* :mod:`scoring_kernel` — single-multiprocessor scoring + filtering
+  (Figs. 5-6),
+* :mod:`assignment` — the static work-assignment table of Fig. 11,
+* :mod:`minimize_kernels` — the three minimization mappings of Sec. IV:
+  (A) neighbor-list per-SM mapping (Fig. 8), (B) flat pairs-list with host
+  accumulation (Fig. 9), (C) split pairs-lists + assignment tables
+  (Figs. 10-11),
+* :mod:`pipeline` — the assembled GPU FTMap (docking + minimization).
+"""
+
+from repro.gpu.correlation_kernels import (
+    DistributionScheme,
+    gpu_direct_correlation,
+    correlation_launch,
+)
+from repro.gpu.batching import max_batch_rotations, gpu_batched_correlation
+from repro.gpu.scoring_kernel import gpu_score_and_filter
+from repro.gpu.assignment import AssignmentTable, build_assignment_table
+from repro.gpu.minimize_kernels import (
+    GpuMinimizationScheme,
+    GpuMinimizationEngine,
+)
+from repro.gpu.pipeline import GpuFTMapPipeline, DockingPhaseTimes, MinimizationPhaseTimes
+from repro.gpu.docking_pipeline import GpuPiperDocker, GpuDockingRun
+
+__all__ = [
+    "DistributionScheme",
+    "gpu_direct_correlation",
+    "correlation_launch",
+    "max_batch_rotations",
+    "gpu_batched_correlation",
+    "gpu_score_and_filter",
+    "AssignmentTable",
+    "build_assignment_table",
+    "GpuMinimizationScheme",
+    "GpuMinimizationEngine",
+    "GpuFTMapPipeline",
+    "GpuPiperDocker",
+    "GpuDockingRun",
+    "DockingPhaseTimes",
+    "MinimizationPhaseTimes",
+]

@@ -1,0 +1,165 @@
+"""The static work-assignment table of Fig. 11.
+
+"The static mapping scheme groups together all the pairs in a list having
+the same first atom and maps the entire group onto the threads in the same
+thread block.  More than one group of pairs can be mapped onto a particular
+thread block, provided there are enough threads ... If the current thread
+block does not have enough threads left ... it is mapped onto the next
+available thread block.  Unused spaces on the thread blocks are claimed by
+other smaller pair-groups."
+
+The table has one row per thread: (pair id, atom1, atom2, master flag,
+pairs-in-group).  Master threads later execute the accumulation round,
+summing their group's contiguous shared-memory slice.
+
+The table is generated on the host and transferred once; it is only rebuilt
+when the neighbor list updates ("this happens only a few times per 1000
+minimization iterations; thus the transfer time is negligible").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.gpu.minimize_common import DEFAULT_BLOCK_THREADS
+from repro.minimize.pairslist import DirectionalPairsList, group_boundaries
+
+__all__ = ["AssignmentTable", "build_assignment_table", "execute_grouped_accumulation"]
+
+
+@dataclass
+class AssignmentTable:
+    """Fig. 11 structure in structure-of-arrays form.
+
+    Row ``t`` describes thread ``t``: which pair it processes and whether it
+    is its group's master.  ``block_of_row`` records the thread block each
+    row landed in (bin-packing result); rows within one group are guaranteed
+    to share a block and be contiguous.
+    """
+
+    pair_id: np.ndarray       # (R,) index into the source pairs-list
+    atom1: np.ndarray         # (R,)
+    atom2: np.ndarray         # (R,)
+    master: np.ndarray        # (R,) bool: first thread of its group
+    group_size: np.ndarray    # (R,) pairs in this thread's group
+    block_of_row: np.ndarray  # (R,) thread-block id
+    threads_per_block: int
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.pair_id)
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.block_of_row.max()) + 1 if self.n_rows else 0
+
+    def nbytes(self) -> int:
+        """Size of the table in GPU global memory (5 fields x 4 B)."""
+        return self.n_rows * 5 * 4
+
+    def validate(self) -> None:
+        """Check the Fig. 11 invariants (used by property tests)."""
+        if self.n_rows == 0:
+            return
+        masters = np.nonzero(self.master)[0]
+        if len(masters) == 0 or masters[0] != int(np.nonzero(self.master)[0][0]):
+            raise AssertionError("first row of each group must be a master")
+        for m in masters:
+            size = int(self.group_size[m])
+            rows = slice(m, m + size)
+            if not np.all(self.atom1[rows] == self.atom1[m]):
+                raise AssertionError("group rows must share their first atom")
+            if not np.all(self.block_of_row[rows] == self.block_of_row[m]):
+                raise AssertionError("group split across thread blocks")
+            if np.any(self.master[m + 1 : m + size]):
+                raise AssertionError("non-leading row flagged master")
+
+
+def build_assignment_table(
+    pairs: DirectionalPairsList,
+    threads_per_block: int = DEFAULT_BLOCK_THREADS,
+) -> AssignmentTable:
+    """Bin-pack pair-groups into thread blocks (first-fit-decreasing).
+
+    Groups larger than a block are split into block-sized chunks, each chunk
+    with its own master (the accumulation then needs one extra global add
+    per extra chunk — counted by the caller).  Remaining groups are packed
+    largest-first, and smaller groups claim leftover thread slots.
+    """
+    starts, sizes = group_boundaries(pairs.first)
+    order = np.argsort(-sizes, kind="stable")  # largest groups first
+
+    # Chunk oversized groups.
+    chunks: List[Tuple[int, int]] = []  # (start_row_in_pairs, size)
+    for g in order:
+        s, size = int(starts[g]), int(sizes[g])
+        while size > threads_per_block:
+            chunks.append((s, threads_per_block))
+            s += threads_per_block
+            size -= threads_per_block
+        if size:
+            chunks.append((s, size))
+
+    # First-fit packing into blocks.
+    block_free: List[int] = []
+    placement: List[Tuple[int, int, int]] = []  # (block, start, size)
+    for s, size in chunks:
+        placed = False
+        for b, free in enumerate(block_free):
+            if free >= size:
+                placement.append((b, s, size))
+                block_free[b] = free - size
+                placed = True
+                break
+        if not placed:
+            block_free.append(threads_per_block - size)
+            placement.append((len(block_free) - 1, s, size))
+
+    # Emit rows block by block so groups are contiguous within their block.
+    placement.sort(key=lambda p: (p[0], p[1]))
+    rows_pair: List[int] = []
+    rows_master: List[bool] = []
+    rows_gsize: List[int] = []
+    rows_block: List[int] = []
+    for b, s, size in placement:
+        for k in range(size):
+            rows_pair.append(s + k)
+            rows_master.append(k == 0)
+            rows_gsize.append(size)
+            rows_block.append(b)
+
+    pid = np.array(rows_pair, dtype=np.intp)
+    return AssignmentTable(
+        pair_id=pid,
+        atom1=pairs.first[pid],
+        atom2=pairs.second[pid],
+        master=np.array(rows_master, dtype=bool),
+        group_size=np.array(rows_gsize, dtype=np.intp),
+        block_of_row=np.array(rows_block, dtype=np.intp),
+        threads_per_block=threads_per_block,
+    )
+
+
+def execute_grouped_accumulation(
+    table: AssignmentTable, pair_energies: np.ndarray, n_atoms: int
+) -> np.ndarray:
+    """Numerically execute the Fig. 11 accumulation round.
+
+    Each thread "stores" its pair's energy at its row index (the shared-
+    memory slot == local thread id); each master sums its group's contiguous
+    slice and adds it to its atom's global-memory total.  Must equal the
+    flat pairs-list accumulation exactly — the correctness invariant the
+    whole scheme rests on (property-tested).
+    """
+    out = np.zeros(n_atoms)
+    if table.n_rows == 0:
+        return out
+    shared = pair_energies[table.pair_id]  # each thread's computed energy
+    masters = np.nonzero(table.master)[0]
+    for m in masters:
+        size = int(table.group_size[m])
+        out[int(table.atom1[m])] += float(shared[m : m + size].sum())
+    return out

@@ -1,0 +1,161 @@
+"""Direct-correlation GPU kernels with the Fig. 4 work distributions.
+
+The result grid (one correlation score per translation) is distributed over
+a 2-D array of thread blocks, each with a 3-D array of threads:
+
+* **Scheme 1** ("pencils"): each block owns an (bx, by) tile of the result
+  plane and iterates over *all* z-planes.  Block count = tiles in the xy
+  plane.
+* **Scheme 2** ("planes"): blocks own whole 2-D planes; each block computes
+  a larger share of its plane but only for its assigned planes.  Block
+  count = number of z-planes.
+
+"Both distributions result in similar runtimes, though one or the other can
+have better performance for various non-cubic grids" — for cubic grids both
+schemes launch enough blocks to fill 30 SMs; a flat grid (few z-planes)
+starves scheme 2, a skinny grid (small xy extent) starves scheme 1.  The
+cost model reproduces this through occupancy.
+
+Numerics delegate to the serial-reference
+:class:`~repro.docking.direct.DirectCorrelationEngine` (tested equal); the
+kernel-launch record carries the C1060 operation counts.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.cuda.device import Device
+from repro.cuda.kernel import KernelLaunch
+from repro.docking.correlation import valid_translations
+from repro.docking.direct import DirectCorrelationEngine
+from repro.grids.energyfunctions import EnergyGrids
+
+__all__ = [
+    "DistributionScheme",
+    "correlation_launch",
+    "gpu_direct_correlation",
+    "WARP_WINDOW_REUSE",
+]
+
+#: Effective reuse of a fetched protein voxel within a half-warp: adjacent
+#: threads correlate overlapping m^3 windows, so a coalesced 64 B transaction
+#: serves ~4 threads' reads on average (GT200 half-warp coalescing over the
+#: contiguous x-runs of the window).  Calibration constant; see DESIGN.md.
+WARP_WINDOW_REUSE = 4.0
+
+#: Default thread-block tiling (threads per block = bx * by * bz).
+BLOCK_TILE = (8, 8, 4)
+
+
+class DistributionScheme(enum.Enum):
+    """The two Fig. 4 work distributions."""
+
+    PENCILS = "scheme1-pencils"   # block tiles the xy plane, loops all z
+    PLANES = "scheme2-planes"     # block owns whole z-planes
+
+
+def _result_shape(receptor: EnergyGrids, ligand: EnergyGrids) -> Tuple[int, int, int]:
+    t = valid_translations(receptor.spec.n, ligand.spec.n)
+    return (t, t, t)
+
+
+def _block_geometry(
+    scheme: DistributionScheme, result_shape: Tuple[int, int, int]
+) -> Tuple[int, int]:
+    """(num_blocks, threads_per_block) for a result grid under a scheme."""
+    tx, ty, tz = result_shape
+    bx, by, bz = BLOCK_TILE
+    if scheme is DistributionScheme.PENCILS:
+        num_blocks = math.ceil(tx / bx) * math.ceil(ty / by)
+        threads = bx * by * bz
+    else:  # PLANES: one block per (group of) z-planes
+        num_blocks = tz
+        threads = bx * by * bz
+    return max(1, num_blocks), threads
+
+
+def correlation_launch_sizes(
+    result_shape: Tuple[int, int, int],
+    n_channels: int,
+    probe_edge: int,
+    scheme: DistributionScheme = DistributionScheme.PENCILS,
+    batch: int = 1,
+    name: str | None = None,
+) -> KernelLaunch:
+    """Launch record for a direct-correlation pass, from problem sizes.
+
+    Operation counts (per batch of ``batch`` rotations):
+
+    * MAC instructions: T^3 x C x m^3 per rotation (the CUDA kernel iterates
+      the dense probe grid held in constant memory),
+    * global traffic: every MAC reads one protein voxel (4 B); the fetch is
+      amortized over the ``batch`` rotations resident in constant memory and
+      over :data:`WARP_WINDOW_REUSE` threads of a half-warp,
+    * result stores: T^3 x 4 B per rotation (weighted sum accumulated in
+      registers, one float out),
+    * constant bytes: the batched probe grids.
+    """
+    t3 = result_shape[0] * result_shape[1] * result_shape[2]
+    c = n_channels
+    m3 = probe_edge**3
+    num_blocks, threads = _block_geometry(scheme, result_shape)
+
+    macs = float(t3) * c * m3 * batch
+    fetch_bytes = float(t3) * c * m3 * 4.0 / WARP_WINDOW_REUSE  # shared by batch
+    store_bytes = float(t3) * 4.0 * batch
+    return KernelLaunch(
+        name=name or f"direct_corr[{scheme.value},B={batch}]",
+        num_blocks=num_blocks,
+        threads_per_block=threads,
+        flops=macs,                      # MAD = one issued instruction
+        global_bytes_coalesced=fetch_bytes + store_bytes,
+        constant_bytes=c * m3 * 4 * batch,
+    )
+
+
+def correlation_launch(
+    receptor: EnergyGrids,
+    ligand: EnergyGrids,
+    scheme: DistributionScheme = DistributionScheme.PENCILS,
+    batch: int = 1,
+    result_shape: Tuple[int, int, int] | None = None,
+    name: str | None = None,
+) -> KernelLaunch:
+    """Launch record for a direct-correlation pass over concrete grids."""
+    shape = result_shape or _result_shape(receptor, ligand)
+    return correlation_launch_sizes(
+        shape, receptor.n_channels, ligand.spec.n, scheme, batch, name
+    )
+
+
+@dataclass
+class GpuCorrelationResult:
+    """Numeric scores plus the predicted kernel time."""
+
+    scores: np.ndarray
+    launch: KernelLaunch
+    predicted_time_s: float
+
+
+def gpu_direct_correlation(
+    device: Device,
+    receptor: EnergyGrids,
+    ligand: EnergyGrids,
+    scheme: DistributionScheme = DistributionScheme.PENCILS,
+) -> GpuCorrelationResult:
+    """Run one rotation's direct correlation "on the GPU".
+
+    Numerics are exact (delegated to the serial-reference engine); the
+    device records the launch and predicts its time.
+    """
+    engine = DirectCorrelationEngine(skip_zero_voxels=False)
+    scores = engine.correlate(receptor, ligand)
+    launch = correlation_launch(receptor, ligand, scheme, batch=1)
+    t = device.launch(launch)
+    return GpuCorrelationResult(scores=scores, launch=launch, predicted_time_s=t)

@@ -1,0 +1,51 @@
+"""Shared constants and op-count profiles for the GPU minimization kernels.
+
+Per-pair instruction budgets for the three energy kernels of Sec. IV
+(counted from the formulas of Eqs. 5-8: arithmetic as 1-cycle ops, exp/
+sqrt/div/pow as SFU ops).  These feed the cost model; the numeric results
+come from the vectorized reference implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DEFAULT_BLOCK_THREADS",
+    "KernelOpProfile",
+    "SELF_ENERGY_OPS",
+    "PAIRWISE_VDW_OPS",
+    "FORCE_UPDATE_OPS",
+]
+
+#: Threads per block used by the minimization kernels.
+DEFAULT_BLOCK_THREADS = 256
+
+
+@dataclass(frozen=True)
+class KernelOpProfile:
+    """Instruction/traffic budget for one pair (or atom) of kernel work."""
+
+    flops: float          # simple ALU ops
+    sfu_ops: float        # exp/sqrt/div/pow
+    table_bytes: float    # assignment-table row read (coalesced)
+    gathers: float        # uncoalesced global reads (random second atoms)
+    shared_accesses: float
+
+
+#: Kernel (a): self energies + gradients (Eq. 6 both directions of a pair:
+#: distance, Gaussian, volume tail, and their r-derivatives).
+SELF_ENERGY_OPS = KernelOpProfile(
+    flops=48.0, sfu_ops=4.0, table_bytes=20.0, gathers=1.0, shared_accesses=3.0
+)
+
+#: Kernel (b): GB pairwise (Eq. 7) + vdW (Eq. 8) + gradients.
+PAIRWISE_VDW_OPS = KernelOpProfile(
+    flops=64.0, sfu_ops=5.0, table_bytes=20.0, gathers=1.0, shared_accesses=3.0
+)
+
+#: Kernel (c): force updates — gather per-pair gradient contributions into
+#: per-atom force vectors (3 components).
+FORCE_UPDATE_OPS = KernelOpProfile(
+    flops=9.0, sfu_ops=0.0, table_bytes=8.0, gathers=0.5, shared_accesses=3.0
+)

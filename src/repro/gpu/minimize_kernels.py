@@ -1,0 +1,361 @@
+"""GPU energy-minimization kernels: the three mappings of Sec. IV.
+
+* **Scheme A — neighbor-list mapping (Fig. 8).**  One "first" atom per
+  multiprocessor per round; two shared-memory energy arrays (first-atom
+  partials + a full-length second-atom array) per SM; after each round the
+  second-atom arrays are copied to global memory and merged.  A global sync
+  (= kernel relaunch) separates rounds, so the per-iteration cost is
+  dominated by ceil(n_firsts / 30) launches — "poor performance and is not
+  preferred".
+
+* **Scheme B — flat pairs-list (Fig. 9).**  Pairs distribute evenly over
+  threads; each thread writes the pair's two partial energies to global
+  memory.  Accumulation is serial ("actually faster on the host"), so both
+  energy arrays cross PCIe every iteration and the host gathers them —
+  "a speedup of around 3x over the original serial code".
+
+* **Scheme C — split pairs-lists + assignment tables (Figs. 10-11).**  The
+  forward/reverse lists group pairs by first atom; the static assignment
+  table packs groups into thread blocks; partial energies accumulate in
+  shared memory by per-group master threads.  Each energy kernel runs twice
+  (forward then reverse: "we repeat this process with the assignment table
+  corresponding to the reverse pairs-list").  This is the production scheme
+  behind Table 2.
+
+Numeric execution routes the per-pair energies through each scheme's actual
+accumulation structure and is tested equal to the serial reference.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cuda.device import Device
+from repro.cuda.kernel import KernelLaunch
+from repro.cuda.memory import TransferDirection
+from repro.gpu.assignment import AssignmentTable, build_assignment_table, execute_grouped_accumulation
+from repro.gpu.minimize_common import (
+    DEFAULT_BLOCK_THREADS,
+    FORCE_UPDATE_OPS,
+    PAIRWISE_VDW_OPS,
+    SELF_ENERGY_OPS,
+    KernelOpProfile,
+)
+from repro.minimize.ace import ace_self_energies, born_radii_from_self_energies, gb_pairwise_energy
+from repro.minimize.energy import EnergyModel
+from repro.minimize.pairslist import PairsList, SplitPairsLists, split_pairs
+from repro.minimize.vdw import vdw_energy
+
+__all__ = ["GpuMinimizationScheme", "GpuMinimizationEngine", "IterationTiming"]
+
+#: Host-side serial cost of one random-access gather-add (scheme B host
+#: accumulation), seconds.  Era-typical cache-miss-bound accumulate.
+HOST_GATHER_ADD_S = 25e-9
+
+#: Host-side per-iteration cost of the steps left on the host in all
+#: schemes: bonded terms, the optimization move, and coordinate updates
+#: (Sec. IV: "Two computations - the optimization move and the atom-
+#: coordinate updates, are left on the host").  Seconds.
+HOST_MOVE_S = 0.25e-3
+
+
+class GpuMinimizationScheme(enum.Enum):
+    NEIGHBOR_LIST = "A-neighbor-list"      # Fig. 8
+    FLAT_PAIRS = "B-flat-pairs"            # Fig. 9
+    SPLIT_ASSIGNMENT = "C-split-assignment"  # Figs. 10-11
+
+
+@dataclass
+class IterationTiming:
+    """Predicted per-iteration time decomposition (seconds)."""
+
+    kernels: Dict[str, float] = field(default_factory=dict)
+    transfers_s: float = 0.0
+    host_s: float = 0.0
+
+    @property
+    def kernel_total_s(self) -> float:
+        return sum(self.kernels.values())
+
+    @property
+    def total_s(self) -> float:
+        return self.kernel_total_s + self.transfers_s + self.host_s
+
+
+class GpuMinimizationEngine:
+    """One minimization scheme bound to a complex's pair structure.
+
+    Parameters
+    ----------
+    device:
+        Virtual CUDA device (records launches/transfers).
+    model:
+        Serial-reference :class:`EnergyModel` providing the molecule, the
+        neighbor list, and ground-truth numerics.
+    scheme:
+        Which of the three Sec. IV mappings to simulate.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        model: EnergyModel,
+        scheme: GpuMinimizationScheme = GpuMinimizationScheme.SPLIT_ASSIGNMENT,
+    ) -> None:
+        self.device = device
+        self.model = model
+        self.scheme = scheme
+        mol = model.molecule
+        self.n_atoms = mol.n_atoms
+        pair_i, pair_j = model.active_pairs()
+        self.pair_i = pair_i
+        self.pair_j = pair_j
+        self.n_pairs = len(pair_i)
+
+        # Scheme-specific one-time setup + upload.
+        self.split: Optional[SplitPairsLists] = None
+        self.table_fwd: Optional[AssignmentTable] = None
+        self.table_rev: Optional[AssignmentTable] = None
+        if scheme is GpuMinimizationScheme.SPLIT_ASSIGNMENT:
+            self._build_tables()
+            upload = self.table_fwd.nbytes() + self.table_rev.nbytes()
+            device.transfer(upload, TransferDirection.H2D, label="assignment tables")
+        elif scheme is GpuMinimizationScheme.FLAT_PAIRS:
+            upload = self.n_pairs * 2 * 4  # atom index columns
+            device.transfer(upload, TransferDirection.H2D, label="flat pairs-list")
+        else:
+            upload = (self.n_atoms + 1 + self.n_pairs) * 4  # CSR neighbor list
+            device.transfer(upload, TransferDirection.H2D, label="neighbor list")
+        self.table_rebuilds = 0
+
+    # ------------------------------------------------------------------ setup
+
+    def _build_tables(self) -> None:
+        from repro.minimize.neighborlist import NeighborList
+
+        nlist = NeighborList(
+            n_atoms=self.n_atoms,
+            offsets=_csr_offsets(self.pair_i, self.n_atoms),
+            indices=self.pair_j,
+            cutoff=self.model.list_cutoff,
+        )
+        self.split = split_pairs(nlist)
+        self.table_fwd = build_assignment_table(self.split.forward)
+        self.table_rev = build_assignment_table(self.split.reverse)
+        self.table_fwd.validate()
+        self.table_rev.validate()
+
+    def refresh_after_list_update(self) -> None:
+        """Regenerate and re-upload tables after a neighbor-list rebuild.
+
+        "There is no further data transfer per iteration, unless the
+        neighbor list is updated, in which case we regenerate the assignment
+        tables and transfer them to the GPU."
+        """
+        self.pair_i, self.pair_j = self.model.active_pairs()
+        self.n_pairs = len(self.pair_i)
+        if self.scheme is GpuMinimizationScheme.SPLIT_ASSIGNMENT:
+            self._build_tables()
+            upload = self.table_fwd.nbytes() + self.table_rev.nbytes()
+            self.device.transfer(upload, TransferDirection.H2D, label="assignment tables (rebuild)")
+        self.table_rebuilds += 1
+
+    # ------------------------------------------------------- numeric execution
+
+    def per_atom_nonbonded(self, coords: np.ndarray) -> np.ndarray:
+        """Per-atom non-bonded energies via this scheme's accumulation path.
+
+        Must equal ``EnergyModel.evaluate(coords).per_atom_nonbonded`` —
+        the restructuring changes *where* partial energies accumulate, never
+        *what* they sum to.
+        """
+        m = self.model.molecule
+        i, j = self.pair_i, self.pair_j
+        self_res = ace_self_energies(
+            coords, m.charges, m.born_radii, m.volumes, i, j, per_pair=True
+        )
+        alphas = born_radii_from_self_energies(
+            self_res.self_energies, m.charges, m.born_radii
+        )
+        _, _, _, gb_pair = gb_pairwise_energy(
+            coords, m.charges, alphas, i, j, per_pair=True
+        )
+        _, _, _, vdw_pair = vdw_energy(
+            coords, m.eps, m.rm, i, j, self.model.nonbonded_cutoff, per_pair=True
+        )
+        born_const = (m.charges**2) / (
+            2.0 * _solvent_dielectric() * m.born_radii
+        )
+
+        e_fwd = self_res.pair_terms_forward + 0.5 * gb_pair + 0.5 * vdw_pair
+        e_rev = self_res.pair_terms_reverse + 0.5 * gb_pair + 0.5 * vdw_pair
+
+        if self.scheme is GpuMinimizationScheme.SPLIT_ASSIGNMENT:
+            # Forward list is pair-order; reverse list is a permutation of it.
+            out = born_const.copy()
+            out += execute_grouped_accumulation(self.table_fwd, e_fwd, self.n_atoms)
+            # Reverse table's pair ids index the reverse list, whose k-th row
+            # is the permuted original pair; map energies accordingly.
+            perm = np.lexsort((i, j))
+            out += execute_grouped_accumulation(self.table_rev, e_rev[perm], self.n_atoms)
+            return out
+        if self.scheme is GpuMinimizationScheme.FLAT_PAIRS:
+            plist = PairsList(atom1=i, atom2=j, energy1=e_fwd, energy2=e_rev)
+            return born_const + plist.accumulate_serial(self.n_atoms)
+        # Scheme A: per-first-atom rounds; first-atom partials accumulate in
+        # the first array, second-atom partials in the (merged) second array.
+        out = born_const.copy()
+        np.add.at(out, i, e_fwd)
+        np.add.at(out, j, e_rev)
+        return out
+
+    # ------------------------------------------------------------- timing
+
+    def iteration_timing(self) -> IterationTiming:
+        """Record one iteration's launches/transfers; return the breakdown."""
+        if self.scheme is GpuMinimizationScheme.SPLIT_ASSIGNMENT:
+            return self._iteration_scheme_c()
+        if self.scheme is GpuMinimizationScheme.FLAT_PAIRS:
+            return self._iteration_scheme_b()
+        return self._iteration_scheme_a()
+
+    # -- scheme C ------------------------------------------------------------
+
+    def _energy_kernel_launch(
+        self, name: str, profile: KernelOpProfile, rows: int
+    ) -> KernelLaunch:
+        blocks = max(1, -(-rows // DEFAULT_BLOCK_THREADS))
+        return KernelLaunch(
+            name=name,
+            num_blocks=blocks,
+            threads_per_block=DEFAULT_BLOCK_THREADS,
+            flops=rows * profile.flops,
+            sfu_ops=rows * profile.sfu_ops,
+            global_bytes_coalesced=rows * (profile.table_bytes + 12.0)
+            + self.n_atoms * 4.0,
+            global_uncoalesced_accesses=rows * profile.gathers,
+            shared_accesses=rows * profile.shared_accesses,
+            shared_bytes_per_block=DEFAULT_BLOCK_THREADS * 4,
+        )
+
+    def _iteration_scheme_c(self) -> IterationTiming:
+        timing = IterationTiming(host_s=HOST_MOVE_S)
+        p = self.n_pairs
+        for direction in ("fwd", "rev"):
+            t = self.device.launch(
+                self._energy_kernel_launch(f"self_energy[{direction}]", SELF_ENERGY_OPS, p)
+            )
+            timing.kernels[f"self_energy[{direction}]"] = t
+        for direction in ("fwd", "rev"):
+            t = self.device.launch(
+                self._energy_kernel_launch(
+                    f"pairwise_vdw[{direction}]", PAIRWISE_VDW_OPS, p
+                )
+            )
+            timing.kernels[f"pairwise_vdw[{direction}]"] = t
+        for direction in ("fwd", "rev"):
+            t = self.device.launch(
+                self._energy_kernel_launch(
+                    f"force_update[{direction}]", FORCE_UPDATE_OPS, p
+                )
+            )
+            timing.kernels[f"force_update[{direction}]"] = t
+        return timing
+
+    # -- scheme B --------------------------------------------------------------
+
+    def _iteration_scheme_b(self) -> IterationTiming:
+        timing = IterationTiming(host_s=HOST_MOVE_S)
+        p = self.n_pairs
+        for name, profile in (
+            ("self_energy[flat]", SELF_ENERGY_OPS),
+            ("pairwise_vdw[flat]", PAIRWISE_VDW_OPS),
+            ("force_update[flat]", FORCE_UPDATE_OPS),
+        ):
+            # Flat list: both atoms' partials computed by the same thread;
+            # atom2 reads are gathers, both energy columns stream out.
+            blocks = max(1, -(-p // DEFAULT_BLOCK_THREADS))
+            launch = KernelLaunch(
+                name=name,
+                num_blocks=blocks,
+                threads_per_block=DEFAULT_BLOCK_THREADS,
+                flops=p * profile.flops * 1.6,     # both directions in one pass
+                sfu_ops=p * profile.sfu_ops * 1.6,
+                global_bytes_coalesced=p * (profile.table_bytes + 12.0 + 8.0),
+                global_uncoalesced_accesses=p * profile.gathers,
+            )
+            timing.kernels[name] = self.device.launch(launch)
+            # Two energy (or 6 force-component) arrays cross PCIe ...
+            d2h_bytes = p * 2 * 4 if "force" not in name else p * 6 * 4
+            timing.transfers_s += self.device.transfer(
+                d2h_bytes, TransferDirection.D2H, label=f"{name} partials"
+            )
+            # ... and the host accumulates them serially.
+            entries = p * 2 if "force" not in name else p * 6
+            timing.host_s += entries * HOST_GATHER_ADD_S
+        return timing
+
+    # -- scheme A ---------------------------------------------------------------
+
+    def _iteration_scheme_a(self) -> IterationTiming:
+        timing = IterationTiming(host_s=HOST_MOVE_S)
+        n_firsts = int(len(np.unique(self.pair_i)))
+        sms = self.device.spec.num_sms
+        rounds = max(1, -(-n_firsts // sms))
+        seconds_per_round = self.n_pairs / max(rounds, 1)
+        for name, profile in (
+            ("self_energy[nlist]", SELF_ENERGY_OPS),
+            ("pairwise_vdw[nlist]", PAIRWISE_VDW_OPS),
+            ("force_update[nlist]", FORCE_UPDATE_OPS),
+        ):
+            term_total = 0.0
+            for _ in range(rounds):
+                # One first atom per SM; a full-length second-atom energy
+                # array per SM is flushed to global memory and merged each
+                # round ("transferring multiple large second atom arrays
+                # from shared to global memory incurs high data transfer
+                # cost per iteration").
+                flush_bytes = sms * self.n_atoms * 4.0
+                launch = KernelLaunch(
+                    name=f"{name}/round",
+                    num_blocks=sms,
+                    threads_per_block=DEFAULT_BLOCK_THREADS,
+                    flops=seconds_per_round * profile.flops,
+                    sfu_ops=seconds_per_round * profile.sfu_ops,
+                    global_bytes_coalesced=flush_bytes * 2.0,  # flush + merge read
+                    global_uncoalesced_accesses=seconds_per_round * profile.gathers,
+                    shared_accesses=seconds_per_round * profile.shared_accesses,
+                    shared_bytes_per_block=min(
+                        self.n_atoms * 4, self.device.spec.shared_mem_per_sm
+                    ),
+                )
+                term_total += self.device.launch(launch)
+            timing.kernels[name] = term_total
+        return timing
+
+    # -- Table 2 helper ---------------------------------------------------------
+
+    def kernel_time_summary(self) -> Dict[str, float]:
+        """Per-kernel-family time of one iteration (for Table 2), seconds."""
+        timing = self.iteration_timing()
+        out: Dict[str, float] = {"self_energy": 0.0, "pairwise_vdw": 0.0, "force_update": 0.0}
+        for name, t in timing.kernels.items():
+            for fam in out:
+                if name.startswith(fam):
+                    out[fam] += t
+        return out
+
+
+def _csr_offsets(sorted_first: np.ndarray, n_atoms: int) -> np.ndarray:
+    counts = np.bincount(sorted_first, minlength=n_atoms)
+    return np.concatenate([[0], np.cumsum(counts)]).astype(np.intp)
+
+
+def _solvent_dielectric() -> float:
+    from repro.constants import SOLVENT_DIELECTRIC
+
+    return SOLVENT_DIELECTRIC

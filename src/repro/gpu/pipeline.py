@@ -1,0 +1,263 @@
+"""The assembled GPU FTMap pipeline: timing roll-ups for both phases.
+
+Mirrors the structure of the paper's results section: per-rotation docking
+breakdown (Table 1 rows), per-iteration minimization kernels (Table 2 rows),
+and the whole-probe roll-up (Sec. V.C: 435 min -> 33 min).
+
+Two modes:
+
+* **model mode** (used by all benchmarks) — times computed from problem
+  sizes via kernel-launch records, no numerics; runs at N = 128 instantly.
+* **numeric mode** — the same kernels executed for real on small grids via
+  :mod:`repro.gpu.batching` / :mod:`repro.gpu.scoring_kernel`, used by
+  integration tests to pin the model to the actual algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.constants import (
+    CONFORMATIONS_PER_PROBE,
+    DEFAULT_PROBE_GRID,
+    DEFAULT_PROTEIN_GRID,
+    FTMAP_NUM_ROTATIONS,
+    MAX_CORRELATION_TERMS,
+    MAX_DESOLVATION_TERMS,
+    POSES_PER_ROTATION,
+    TYPICAL_COMPLEX_ATOMS,
+    TYPICAL_PAIR_COUNT,
+)
+from repro.cuda.device import Device
+from repro.cuda.kernel import KernelLaunch
+from repro.cuda.memory import TransferDirection
+from repro.gpu.batching import max_batch_rotations
+from repro.gpu.correlation_kernels import DistributionScheme, correlation_launch_sizes
+from repro.gpu.minimize_common import (
+    DEFAULT_BLOCK_THREADS,
+    FORCE_UPDATE_OPS,
+    PAIRWISE_VDW_OPS,
+    SELF_ENERGY_OPS,
+)
+from repro.gpu.minimize_kernels import HOST_MOVE_S
+from repro.gpu.scoring_kernel import scoring_filter_launch
+from repro.perf.cpumodel import CpuModel
+
+__all__ = ["DockingPhaseTimes", "MinimizationPhaseTimes", "GpuFTMapPipeline"]
+
+#: Paper workload: iterations per minimized conformation.  Derived from
+#: Sec. V.B: 2000 conformations in ~400 serial minutes at ~10.4 ms/iteration
+#: -> ~1150 iterations each.
+ITERATIONS_PER_CONFORMATION = 1150
+
+
+@dataclass
+class DockingPhaseTimes:
+    """Per-rotation docking breakdown (seconds), Table 1 structure."""
+
+    rotation_grid_s: float
+    correlation_s: float
+    accumulation_s: float
+    scoring_filtering_s: float
+    upload_s: float = 0.0
+
+    @property
+    def total_per_rotation_s(self) -> float:
+        return (
+            self.rotation_grid_s
+            + self.correlation_s
+            + self.accumulation_s
+            + self.scoring_filtering_s
+            + self.upload_s
+        )
+
+    def phase_total_s(self, rotations: int) -> float:
+        return self.total_per_rotation_s * rotations
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "rotation_grid": self.rotation_grid_s,
+            "correlation": self.correlation_s,
+            "accumulation": self.accumulation_s,
+            "scoring_filtering": self.scoring_filtering_s,
+            "upload": self.upload_s,
+        }
+
+
+@dataclass
+class MinimizationPhaseTimes:
+    """Per-iteration minimization breakdown (seconds), Table 2 structure."""
+
+    self_energies_s: float
+    pairwise_vdw_s: float
+    force_updates_s: float
+    host_s: float
+
+    @property
+    def total_per_iteration_s(self) -> float:
+        return (
+            self.self_energies_s + self.pairwise_vdw_s + self.force_updates_s + self.host_s
+        )
+
+    def phase_total_s(self, conformations: int, iterations: int) -> float:
+        return self.total_per_iteration_s * conformations * iterations
+
+
+class GpuFTMapPipeline:
+    """Model-mode GPU FTMap: predicts phase times from problem sizes.
+
+    Parameters mirror the paper's workload defaults (N = 128, m = 4, 22
+    correlation channels, 500 rotations, 4 poses/rotation, 2000
+    conformations of ~1150 iterations over ~10k pairs / 2200 atoms).
+    """
+
+    def __init__(
+        self,
+        device: Device | None = None,
+        receptor_grid: int = DEFAULT_PROTEIN_GRID,
+        probe_grid: int = DEFAULT_PROBE_GRID,
+        channels: int = MAX_CORRELATION_TERMS,
+        desolvation_terms: int = MAX_DESOLVATION_TERMS,
+        rotations: int = FTMAP_NUM_ROTATIONS,
+        poses_per_rotation: int = POSES_PER_ROTATION,
+        pairs: int = TYPICAL_PAIR_COUNT,
+        atoms: int = TYPICAL_COMPLEX_ATOMS,
+        conformations: int = CONFORMATIONS_PER_PROBE,
+        iterations: int = ITERATIONS_PER_CONFORMATION,
+    ) -> None:
+        self.device = device or Device()
+        self.cpu = CpuModel()
+        self.n = receptor_grid
+        self.m = probe_grid
+        self.channels = channels
+        self.desolvation_terms = desolvation_terms
+        self.rotations = rotations
+        self.k = poses_per_rotation
+        self.pairs = pairs
+        self.atoms = atoms
+        self.conformations = conformations
+        self.iterations = iterations
+
+    # -- docking ---------------------------------------------------------------
+
+    @property
+    def result_edge(self) -> int:
+        return self.n - self.m + 1
+
+    def docking_times(
+        self,
+        batch: int | None = None,
+        scheme: DistributionScheme = DistributionScheme.PENCILS,
+    ) -> DockingPhaseTimes:
+        """Per-rotation GPU docking breakdown at a given rotation batch size.
+
+        ``batch=None`` uses the constant-memory-limited maximum (8 for the
+        paper's 4^3 x 22-channel probes).
+        """
+        t = self.result_edge
+        shape = (t, t, t)
+        if batch is None:
+            batch = max(1, max_batch_rotations(self.m, self.channels, self.device.spec))
+
+        corr = correlation_launch_sizes(shape, self.channels, self.m, scheme, batch)
+        t_corr = self.device.launch(corr) / batch
+
+        upload_bytes = batch * self.m**3 * self.channels * 4
+        t_upload = (
+            self.device.transfer(upload_bytes, TransferDirection.H2D, "probe grids")
+            / batch
+        )
+
+        t3 = t**3
+        accum = KernelLaunch(
+            name="accumulate_desolvation",
+            num_blocks=max(1, t3 // 256),
+            threads_per_block=256,
+            flops=float(t3) * self.desolvation_terms,
+            global_bytes_coalesced=float(t3) * (self.desolvation_terms + 1) * 4.0,
+        )
+        t_accum = self.device.launch(accum)
+
+        filt = scoring_filter_launch(t3, 3, self.k, exclusion_radius=3)
+        t_filter = self.device.launch(filt)
+        t_filter += self.device.transfer(self.k * 16, TransferDirection.D2H, "poses")
+
+        return DockingPhaseTimes(
+            rotation_grid_s=self.cpu.rotation_grid_s(),   # stays on the host
+            correlation_s=t_corr,
+            accumulation_s=t_accum,
+            scoring_filtering_s=t_filter,
+            upload_s=t_upload,
+        )
+
+    def serial_docking_times(self, engine: str = "fft") -> DockingPhaseTimes:
+        """Matching serial breakdown from the CPU model."""
+        corr = (
+            self.cpu.fft_correlation_s(self.n, self.channels)
+            if engine == "fft"
+            else self.cpu.direct_correlation_s(self.n, self.m, self.channels)
+        )
+        return DockingPhaseTimes(
+            rotation_grid_s=self.cpu.rotation_grid_s(),
+            correlation_s=corr,
+            accumulation_s=self.cpu.accumulation_s(self.n, self.m, self.desolvation_terms),
+            scoring_filtering_s=self.cpu.scoring_filtering_s(self.n, self.m, self.k),
+        )
+
+    # -- minimization -------------------------------------------------------------
+
+    def minimization_times(self) -> MinimizationPhaseTimes:
+        """Per-iteration GPU kernel times (scheme C), Table 2 structure."""
+        p = self.pairs
+
+        def launch_pair(name, profile):
+            total = 0.0
+            for direction in ("fwd", "rev"):
+                blocks = max(1, -(-p // DEFAULT_BLOCK_THREADS))
+                total += self.device.launch(
+                    KernelLaunch(
+                        name=f"{name}[{direction}]",
+                        num_blocks=blocks,
+                        threads_per_block=DEFAULT_BLOCK_THREADS,
+                        flops=p * profile.flops,
+                        sfu_ops=p * profile.sfu_ops,
+                        global_bytes_coalesced=p * (profile.table_bytes + 12.0)
+                        + self.atoms * 4.0,
+                        global_uncoalesced_accesses=p * profile.gathers,
+                        shared_accesses=p * profile.shared_accesses,
+                        shared_bytes_per_block=DEFAULT_BLOCK_THREADS * 4,
+                    )
+                )
+            return total
+
+        return MinimizationPhaseTimes(
+            self_energies_s=launch_pair("self_energy", SELF_ENERGY_OPS),
+            pairwise_vdw_s=launch_pair("pairwise_vdw", PAIRWISE_VDW_OPS),
+            force_updates_s=launch_pair("force_update", FORCE_UPDATE_OPS),
+            host_s=HOST_MOVE_S + self.cpu.spec.bonded_ms * 1e-3,
+        )
+
+    def serial_minimization_times(self) -> MinimizationPhaseTimes:
+        return MinimizationPhaseTimes(
+            self_energies_s=self.cpu.self_energies_s(self.pairs),
+            pairwise_vdw_s=self.cpu.pairwise_s(self.pairs) + self.cpu.vdw_s(self.pairs),
+            force_updates_s=self.cpu.force_updates_s(self.atoms),
+            host_s=(self.cpu.spec.host_move_ms + self.cpu.spec.bonded_ms) * 1e-3,
+        )
+
+    # -- whole-probe roll-up ----------------------------------------------------------
+
+    def probe_mapping_time_s(self, gpu: bool = True) -> Dict[str, float]:
+        """Docking + minimization totals for mapping one probe (seconds)."""
+        if gpu:
+            dock = self.docking_times().phase_total_s(self.rotations)
+            mini = self.minimization_times().phase_total_s(
+                self.conformations, self.iterations
+            )
+        else:
+            dock = self.serial_docking_times().phase_total_s(self.rotations)
+            mini = self.serial_minimization_times().phase_total_s(
+                self.conformations, self.iterations
+            )
+        return {"docking": dock, "minimization": mini, "total": dock + mini}

@@ -1,0 +1,111 @@
+"""Scoring and filtering on the GPU (Figs. 5-6, Sec. III.B).
+
+The kernel distributes the T^3 result-grid points over the M threads of a
+*single* thread block (one multiprocessor): each thread computes weighted
+scores for its T^3/M subset, keeps its local best in shared memory, and a
+master thread (thread 0) gathers the per-thread bests, selects the global
+best, and flags the exclusion neighborhood in a global-memory byte array.
+This repeats k times (k = poses per rotation).
+
+"Though this is a heavy under-utilization of the available GPU computation
+power, it simplifies the process of assembling these scores ... distribution
+across multiple multiprocessors would incur large communication overhead."
+The cost model charges the whole kernel at 1/30 occupancy, which is exactly
+why this step's speedup (Table 1: 6.67x) is modest next to correlation's
+267x.
+
+Numerics delegate to the serial reference ``filter_top_poses`` (tested
+equal); on-GPU filtering also means only k poses cross PCIe instead of the
+whole T^3 grid — quantified by :func:`d2h_savings_bytes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.constants import FILTER_EXCLUSION_RADIUS
+from repro.cuda.device import Device
+from repro.cuda.kernel import KernelLaunch
+from repro.cuda.memory import TransferDirection
+from repro.docking.filtering import FilteredPose, filter_top_poses
+
+__all__ = ["gpu_score_and_filter", "GpuFilterResult", "scoring_filter_launch", "d2h_savings_bytes"]
+
+#: Threads in the single scoring/filtering block.
+FILTER_BLOCK_THREADS = 512
+
+
+def scoring_filter_launch(
+    result_points: int,
+    n_score_terms: int,
+    k: int,
+    exclusion_radius: int,
+    name: str = "score_and_filter",
+) -> KernelLaunch:
+    """Launch record for the single-SM scoring + filtering kernel.
+
+    Traffic per selection pass: read the score grid (4 B/point) plus the
+    exclusion byte array (1 B/point); the scoring pass additionally reads
+    the ``n_score_terms`` component grids once.  Master-thread gathers are
+    modeled through ``serial_fraction`` (k gathers of M partial results).
+    """
+    t3 = float(result_points)
+    scoring_reads = t3 * n_score_terms * 4.0 + t3 * 4.0  # components + store
+    filter_reads = k * (t3 * 4.0 + t3 * 1.0)             # score + exclusion flags
+    exclusion_writes = k * float((2 * exclusion_radius + 1) ** 3)
+    compute = t3 * (2.0 * n_score_terms) + k * t3 * 2.0  # weighted sum + compare
+    master_ops = k * FILTER_BLOCK_THREADS * 2.0
+    serial_fraction = master_ops / max(compute + master_ops, 1.0)
+    return KernelLaunch(
+        name=name,
+        num_blocks=1,                      # the whole point: one SM
+        threads_per_block=FILTER_BLOCK_THREADS,
+        flops=compute + master_ops,
+        global_bytes_coalesced=scoring_reads + filter_reads + exclusion_writes,
+        shared_accesses=k * FILTER_BLOCK_THREADS * 2.0,
+        shared_bytes_per_block=FILTER_BLOCK_THREADS * 8,
+        serial_fraction=serial_fraction,
+    )
+
+
+@dataclass
+class GpuFilterResult:
+    """Filtered poses plus timing and transfer bookkeeping."""
+
+    poses: List[FilteredPose]
+    predicted_kernel_time_s: float
+    predicted_d2h_time_s: float
+    d2h_bytes_saved: int
+
+
+def d2h_savings_bytes(result_points: int, k: int) -> int:
+    """Bytes *not* transferred thanks to on-GPU filtering.
+
+    Without it the full T^3 float grid crosses PCIe; with it, k poses of
+    (3 ints + 1 float) = 16 B each do.
+    """
+    return int(result_points) * 4 - k * 16
+
+
+def gpu_score_and_filter(
+    device: Device,
+    score_grid: np.ndarray,
+    k: int,
+    n_score_terms: int = 3,
+    exclusion_radius: int = FILTER_EXCLUSION_RADIUS,
+) -> GpuFilterResult:
+    """Score + filter one rotation's result grid on the virtual GPU."""
+    poses = filter_top_poses(score_grid, k, exclusion_radius)
+    t3 = int(np.prod(score_grid.shape))
+    launch = scoring_filter_launch(t3, n_score_terms, k, exclusion_radius)
+    t_kernel = device.launch(launch)
+    t_d2h = device.transfer(k * 16, TransferDirection.D2H, label="filtered poses")
+    return GpuFilterResult(
+        poses=poses,
+        predicted_kernel_time_s=t_kernel,
+        predicted_d2h_time_s=t_d2h,
+        d2h_bytes_saved=d2h_savings_bytes(t3, k),
+    )

@@ -1,0 +1,31 @@
+"""Grid substrate for PIPER rigid docking.
+
+PIPER "maps the surface and other properties of the two interacting proteins
+onto 3D grids" (Sec. II.A).  This package voxelizes molecules into
+multi-channel grids — 2 shape-complementarity channels, 2 electrostatic
+channels, and 4..18 desolvation pairwise-potential channels, up to 22 total —
+and supports re-gridding the rotated ligand for every rotation of the
+exhaustive search.
+"""
+
+from repro.grids.gridding import GridSpec, voxelize_molecule, surface_layer_mask
+from repro.grids.energyfunctions import (
+    EnergyGrids,
+    CHANNELS,
+    protein_grids,
+    ligand_grids,
+    num_channels,
+)
+from repro.grids.rotation import rotate_and_grid_ligand
+
+__all__ = [
+    "GridSpec",
+    "voxelize_molecule",
+    "surface_layer_mask",
+    "EnergyGrids",
+    "CHANNELS",
+    "protein_grids",
+    "ligand_grids",
+    "num_channels",
+    "rotate_and_grid_ligand",
+]

@@ -1,0 +1,205 @@
+"""Voxelization of molecules onto regular 3-D grids.
+
+Grid conventions: a :class:`GridSpec` has an edge length ``n`` (voxels per
+axis), voxel ``spacing`` in Angstrom, and a world-space ``origin`` (the
+center of voxel (0,0,0)).  A molecule voxelizes by nearest-voxel (or
+trilinear) deposition of per-atom weights.  The correlation algebra in
+``repro.docking`` is agnostic to what the channels mean; this module provides
+the shared geometric plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.structure.molecule import Molecule
+
+__all__ = ["GridSpec", "voxelize_molecule", "surface_layer_mask"]
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Geometry of a cubic voxel grid.
+
+    Parameters
+    ----------
+    n:
+        Voxels per axis (grid is n x n x n).  The paper uses 128 for the
+        protein/result grid and <= 4 for probe grids.
+    spacing:
+        Voxel edge in Angstrom (PIPER convention ~0.8-1.2 A; default 1.0).
+    origin:
+        World coordinates of the center of voxel (0, 0, 0).
+    """
+
+    n: int
+    spacing: float = 1.0
+    origin: tuple = (0.0, 0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("grid edge must be >= 1")
+        if self.spacing <= 0:
+            raise ValueError("spacing must be positive")
+        object.__setattr__(self, "origin", tuple(float(v) for v in self.origin))
+        if len(self.origin) != 3:
+            raise ValueError("origin must have 3 components")
+
+    @property
+    def shape(self) -> tuple:
+        return (self.n, self.n, self.n)
+
+    @property
+    def extent(self) -> float:
+        """Physical edge length in Angstrom."""
+        return self.n * self.spacing
+
+    @classmethod
+    def centered_on(cls, molecule: Molecule, n: int, spacing: float = 1.0) -> "GridSpec":
+        """Grid of edge ``n`` centered on the molecule's geometric center."""
+        c = molecule.center()
+        half = (n - 1) * spacing / 2.0
+        return cls(n=n, spacing=spacing, origin=(c[0] - half, c[1] - half, c[2] - half))
+
+    def world_to_voxel(self, coords: np.ndarray) -> np.ndarray:
+        """Continuous voxel coordinates of world-space points."""
+        return (np.asarray(coords, dtype=float) - np.asarray(self.origin)) / self.spacing
+
+    def voxel_to_world(self, ijk: np.ndarray) -> np.ndarray:
+        """World coordinates of (possibly fractional) voxel indices."""
+        return np.asarray(ijk, dtype=float) * self.spacing + np.asarray(self.origin)
+
+    def contains(self, coords: np.ndarray) -> np.ndarray:
+        """Boolean mask of points whose nearest voxel lies inside the grid."""
+        v = np.rint(self.world_to_voxel(coords))
+        return np.all((v >= 0) & (v <= self.n - 1), axis=-1)
+
+
+def voxelize_molecule(
+    molecule: Molecule,
+    spec: GridSpec,
+    weights: np.ndarray | None = None,
+    mode: str = "nearest",
+) -> np.ndarray:
+    """Deposit per-atom ``weights`` onto a grid.
+
+    Parameters
+    ----------
+    molecule:
+        Source of coordinates.
+    spec:
+        Target grid geometry.
+    weights:
+        Per-atom scalar weights; defaults to 1 per atom (occupancy).
+    mode:
+        ``"nearest"`` snaps each atom to its closest voxel;
+        ``"trilinear"`` splats each weight over the 8 surrounding voxels.
+
+    Atoms falling outside the grid are silently dropped (PIPER clamps its
+    grids around the molecules, so this only trims pathological inputs).
+    """
+    coords = molecule.coords
+    if weights is None:
+        weights = np.ones(len(coords))
+    weights = np.asarray(weights, dtype=float)
+    if weights.shape != (len(coords),):
+        raise ValueError(f"weights must be ({len(coords)},), got {weights.shape}")
+
+    grid = np.zeros(spec.shape, dtype=float)
+    v = spec.world_to_voxel(coords)
+
+    if mode == "nearest":
+        idx = np.rint(v).astype(np.intp)
+        inside = np.all((idx >= 0) & (idx <= spec.n - 1), axis=1)
+        idx = idx[inside]
+        np.add.at(grid, (idx[:, 0], idx[:, 1], idx[:, 2]), weights[inside])
+        return grid
+
+    if mode == "trilinear":
+        base = np.floor(v).astype(np.intp)
+        frac = v - base
+        for dx in (0, 1):
+            for dy in (0, 1):
+                for dz in (0, 1):
+                    w = (
+                        (frac[:, 0] if dx else 1 - frac[:, 0])
+                        * (frac[:, 1] if dy else 1 - frac[:, 1])
+                        * (frac[:, 2] if dz else 1 - frac[:, 2])
+                    )
+                    ijk = base + np.array([dx, dy, dz])
+                    inside = np.all((ijk >= 0) & (ijk <= spec.n - 1), axis=1)
+                    sel = ijk[inside]
+                    np.add.at(
+                        grid,
+                        (sel[:, 0], sel[:, 1], sel[:, 2]),
+                        weights[inside] * w[inside],
+                    )
+        return grid
+
+    raise ValueError(f"unknown deposition mode {mode!r}")
+
+
+def voxelize_spheres(
+    molecule: Molecule,
+    spec: GridSpec,
+    radii: np.ndarray | None = None,
+) -> np.ndarray:
+    """Boolean occupancy grid with atoms as vdW spheres (PIPER-style).
+
+    A voxel is occupied when its center lies within ``radii[a]`` of atom
+    ``a``'s center.  Defaults to the molecule's LJ ``rm`` half-radii, which
+    fills the protein interior — essential for the shape channels: with
+    point deposits the interior would be riddled with phantom cavities.
+    """
+    coords = molecule.coords
+    if radii is None:
+        radii = molecule.rm
+    radii = np.asarray(radii, dtype=float)
+    if radii.shape != (len(coords),):
+        raise ValueError(f"radii must be ({len(coords)},), got {radii.shape}")
+
+    grid = np.zeros(spec.shape, dtype=bool)
+    v = spec.world_to_voxel(coords)
+    max_r_vox = int(np.ceil(radii.max() / spec.spacing)) if len(coords) else 0
+    # Precompute the offset stencil once for the largest radius; filter per
+    # atom by true distance.
+    rng_off = np.arange(-max_r_vox, max_r_vox + 1)
+    offsets = np.array(
+        [(i, j, k) for i in rng_off for j in rng_off for k in rng_off]
+    )
+    if len(coords) == 0:
+        return grid
+    base = np.rint(v).astype(np.intp)
+    for a in range(len(coords)):
+        cand = base[a] + offsets
+        world = spec.voxel_to_world(cand)
+        d = np.linalg.norm(world - coords[a], axis=1)
+        sel = cand[d <= radii[a]]
+        inside = np.all((sel >= 0) & (sel <= spec.n - 1), axis=1)
+        sel = sel[inside]
+        grid[sel[:, 0], sel[:, 1], sel[:, 2]] = True
+    return grid
+
+
+def surface_layer_mask(occupancy: np.ndarray) -> np.ndarray:
+    """Boolean mask of surface voxels: occupied voxels adjacent to empty space.
+
+    PIPER's shape channels distinguish the protein *core* (clash penalty)
+    from a thin *surface* layer (attractive contact reward).  A voxel is
+    surface if it is occupied and at least one of its 6 face neighbors is
+    empty.
+    """
+    occ = occupancy > 0
+    padded = np.pad(occ, 1, mode="constant", constant_values=False)
+    core = padded[1:-1, 1:-1, 1:-1]
+    has_empty_neighbor = (
+        ~padded[:-2, 1:-1, 1:-1]
+        | ~padded[2:, 1:-1, 1:-1]
+        | ~padded[1:-1, :-2, 1:-1]
+        | ~padded[1:-1, 2:, 1:-1]
+        | ~padded[1:-1, 1:-1, :-2]
+        | ~padded[1:-1, 1:-1, 2:]
+    )
+    return core & has_empty_neighbor

@@ -1,0 +1,89 @@
+"""Greedy energy-ordered clustering of minimized probe poses.
+
+FTMap clusters the minimized conformations of each probe and keeps the
+lowest-energy clusters (Brenke et al. 2009 use a 4 Angstrom RMSD-like
+criterion with energy-ordered greedy seeding; we cluster probe centers the
+same way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["Cluster", "cluster_poses"]
+
+
+@dataclass
+class Cluster:
+    """One cluster of poses (probe center positions + energies)."""
+
+    center: np.ndarray            # representative (lowest-energy) position
+    member_indices: List[int]     # indices into the input pose list
+    energies: List[float]
+
+    @property
+    def size(self) -> int:
+        return len(self.member_indices)
+
+    @property
+    def best_energy(self) -> float:
+        return min(self.energies)
+
+    @property
+    def mean_position(self) -> np.ndarray:
+        return self.center  # representative, per FTMap convention
+
+
+def cluster_poses(
+    positions: np.ndarray,
+    energies: Sequence[float],
+    radius: float = 4.0,
+    max_clusters: int | None = None,
+) -> List[Cluster]:
+    """Greedy clustering: lowest-energy unassigned pose seeds each cluster.
+
+    Parameters
+    ----------
+    positions:
+        (P, 3) probe-center positions of minimized poses.
+    energies:
+        P pose energies (lower = better).
+    radius:
+        Membership radius in Angstrom (FTMap uses ~4 A).
+    max_clusters:
+        Optional cap; clustering stops once reached.
+
+    Returns clusters ordered by seed energy (best first).  Every pose
+    belongs to exactly one cluster.
+    """
+    positions = np.asarray(positions, dtype=float)
+    energies = np.asarray(energies, dtype=float)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValueError(f"positions must be (P, 3), got {positions.shape}")
+    if len(energies) != len(positions):
+        raise ValueError("positions/energies length mismatch")
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+
+    order = np.argsort(energies, kind="stable")
+    unassigned = np.ones(len(positions), dtype=bool)
+    clusters: List[Cluster] = []
+    for seed in order:
+        if not unassigned[seed]:
+            continue
+        if max_clusters is not None and len(clusters) >= max_clusters:
+            break
+        d = np.linalg.norm(positions - positions[seed], axis=1)
+        members = np.nonzero(unassigned & (d <= radius))[0]
+        unassigned[members] = False
+        clusters.append(
+            Cluster(
+                center=positions[seed].copy(),
+                member_indices=[int(i) for i in members],
+                energies=[float(energies[i]) for i in members],
+            )
+        )
+    return clusters

@@ -1,0 +1,88 @@
+"""Cross-probe consensus sites — the "hotspots" of the paper's title.
+
+After each probe's minimized poses are clustered, FTMap overlays the
+per-probe cluster representatives and finds *consensus sites*: regions
+where clusters of many **different** probes coincide.  The strongest
+consensus site is the predicted druggable hotspot (Landon et al. 2007).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.mapping.clustering import Cluster
+
+__all__ = ["ConsensusSite", "consensus_sites"]
+
+
+@dataclass
+class ConsensusSite:
+    """A consensus cluster of per-probe cluster representatives."""
+
+    center: np.ndarray
+    probe_names: List[str]          # distinct probes contributing
+    member_clusters: List[Tuple[str, int]]  # (probe, cluster index) pairs
+    best_energy: float
+
+    @property
+    def probe_count(self) -> int:
+        """Distinct probe types at this site — FTMap's ranking key."""
+        return len(set(self.probe_names))
+
+
+def consensus_sites(
+    probe_clusters: Dict[str, Sequence[Cluster]],
+    radius: float = 6.0,
+    top_clusters_per_probe: int = 6,
+) -> List[ConsensusSite]:
+    """Overlay per-probe clusters and group them into consensus sites.
+
+    Parameters
+    ----------
+    probe_clusters:
+        Mapping probe name -> that probe's clusters (energy-ordered, as
+        returned by :func:`repro.mapping.clustering.cluster_poses`).
+    radius:
+        Consensus radius in Angstrom (cluster representatives within this
+        distance belong to the same site).
+    top_clusters_per_probe:
+        Only each probe's best few clusters participate (FTMap keeps ~6).
+
+    Returns sites sorted by (descending probe count, ascending best energy).
+    """
+    entries: List[Tuple[str, int, np.ndarray, float]] = []
+    for probe, clusters in probe_clusters.items():
+        for ci, c in enumerate(list(clusters)[:top_clusters_per_probe]):
+            entries.append((probe, ci, np.asarray(c.center, dtype=float), c.best_energy))
+    if not entries:
+        return []
+
+    # Greedy grouping seeded by the most-populated neighborhoods: for
+    # stability, seed by lowest energy (as with pose clustering).
+    entries.sort(key=lambda e: e[3])
+    used = [False] * len(entries)
+    sites: List[ConsensusSite] = []
+    for si, (probe, ci, pos, energy) in enumerate(entries):
+        if used[si]:
+            continue
+        members = [si]
+        used[si] = True
+        for sj in range(len(entries)):
+            if used[sj]:
+                continue
+            if np.linalg.norm(entries[sj][2] - pos) <= radius:
+                members.append(sj)
+                used[sj] = True
+        sites.append(
+            ConsensusSite(
+                center=np.mean([entries[k][2] for k in members], axis=0),
+                probe_names=[entries[k][0] for k in members],
+                member_clusters=[(entries[k][0], entries[k][1]) for k in members],
+                best_energy=min(entries[k][3] for k in members),
+            )
+        )
+    sites.sort(key=lambda s: (-s.probe_count, s.best_energy))
+    return sites

@@ -1,0 +1,94 @@
+"""Pocket/hotspot geometry utilities: burial maps and pocket detection.
+
+Used to *validate* mapping runs: FTMap's consensus sites should coincide
+with concave surface regions.  The burial map is the same quantity the
+docking shape-halo channel uses, exposed here at analysis granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.grids.energyfunctions import HALO_THICKNESS, _burial_density
+from repro.grids.gridding import GridSpec, voxelize_spheres
+from repro.structure.molecule import Molecule
+
+__all__ = ["BurialMap", "burial_map", "top_pockets", "site_concavity"]
+
+
+@dataclass
+class BurialMap:
+    """Burial density over a grid around one molecule."""
+
+    spec: GridSpec
+    occupied: np.ndarray   # bool (n, n, n)
+    burial: np.ndarray     # float (n, n, n); zero on occupied voxels
+
+    def value_at(self, point: np.ndarray, window: int = 2) -> float:
+        """Max burial within a ``window``-voxel box of a world-space point.
+
+        Points outside the grid have zero burial by definition.
+        """
+        vf = np.rint(self.spec.world_to_voxel(np.asarray(point)))
+        if np.any(vf < 0) or np.any(vf > self.spec.n - 1):
+            return 0.0
+        v = vf.astype(int)
+        region = self.burial[
+            max(0, v[0] - window) : v[0] + window + 1,
+            max(0, v[1] - window) : v[1] + window + 1,
+            max(0, v[2] - window) : v[2] + window + 1,
+        ]
+        return float(region.max()) if region.size else 0.0
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile of positive burial values (surface statistics)."""
+        positive = self.burial[self.burial > 1e-9]
+        if positive.size == 0:
+            return 0.0
+        return float(np.percentile(positive, q))
+
+
+def burial_map(
+    molecule: Molecule,
+    grid_edge: int = 48,
+    spacing: float = 1.25,
+    radius: int = HALO_THICKNESS,
+) -> BurialMap:
+    """Compute the burial map of a molecule (vdW-sphere occupancy)."""
+    spec = GridSpec.centered_on(molecule, grid_edge, spacing)
+    occupied = voxelize_spheres(molecule, spec)
+    burial = _burial_density(occupied, radius) * (~occupied)
+    return BurialMap(spec=spec, occupied=occupied, burial=burial)
+
+
+def top_pockets(
+    bmap: BurialMap, k: int = 3, exclusion_radius_voxels: int = 4
+) -> List[np.ndarray]:
+    """World-space centers of the ``k`` deepest distinct pockets.
+
+    Greedy selection of burial maxima with region exclusion (same pattern
+    as pose filtering) — a geometry-only baseline to compare FTMap's
+    probe-consensus sites against.
+    """
+    work = bmap.burial.copy()
+    out: List[np.ndarray] = []
+    for _ in range(k):
+        idx = np.unravel_index(int(np.argmax(work)), work.shape)
+        if work[idx] <= 0:
+            break
+        out.append(bmap.spec.voxel_to_world(np.asarray(idx, dtype=float)))
+        r = exclusion_radius_voxels
+        work[
+            max(0, idx[0] - r) : idx[0] + r + 1,
+            max(0, idx[1] - r) : idx[1] + r + 1,
+            max(0, idx[2] - r) : idx[2] + r + 1,
+        ] = 0.0
+    return out
+
+
+def site_concavity(bmap: BurialMap, center: np.ndarray, percentile: float = 60.0) -> bool:
+    """True when a site sits in an above-``percentile`` burial region."""
+    return bmap.value_at(center) >= bmap.percentile(percentile)

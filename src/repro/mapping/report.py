@@ -1,0 +1,34 @@
+"""Human-readable mapping reports."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.mapping.ftmap import FTMapResult
+
+__all__ = ["mapping_report"]
+
+
+def mapping_report(result: FTMapResult, max_sites: int = 5) -> str:
+    """Render an FTMap run as text: per-probe stats + ranked hotspots."""
+    lines: List[str] = ["FTMap binding-site mapping report", "=" * 34, ""]
+    lines.append(f"{'probe':<20s} {'poses':>6s} {'minimized':>10s} {'clusters':>9s} {'best E':>10s}")
+    for name, pr in sorted(result.probe_results.items()):
+        best = f"{pr.minimized_energies.min():.2f}" if len(pr.minimized_energies) else "--"
+        lines.append(
+            f"{name:<20s} {len(pr.docked_poses):>6d} {len(pr.minimized):>10d} "
+            f"{len(pr.clusters):>9d} {best:>10s}"
+        )
+    lines.append("")
+    lines.append(f"consensus sites (top {max_sites}):")
+    if not result.sites:
+        lines.append("  none found")
+    for rank, site in enumerate(result.sites[:max_sites], start=1):
+        c = np.asarray(site.center)
+        lines.append(
+            f"  #{rank}: {site.probe_count} distinct probes at "
+            f"({c[0]:.1f}, {c[1]:.1f}, {c[2]:.1f}) A, best E = {site.best_energy:.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""CHARMM-potential energy minimization (FTMap phase 2).
+
+Implements Eq. (3): ``E_total = E_vdw + E_elec + E_bond + E_angle +
+E_torsion + E_improper`` with the ACE continuum electrostatics model
+(Eqs. 4-7), the smoothed Lennard-Jones 6-12 variant (Eqs. 8-10), analytic
+gradients, neighbor-list / pairs-list data structures (Figs. 7, 9, 10), and
+an iterative minimizer with the paper's "seldom updated" neighbor-list
+policy.
+"""
+
+from repro.minimize.neighborlist import NeighborList, build_neighbor_list, bonded_exclusions
+from repro.minimize.pairslist import PairsList, SplitPairsLists, split_pairs
+from repro.minimize.ace import (
+    ace_self_energies,
+    born_radii_from_self_energies,
+    gb_pairwise_energy,
+)
+from repro.minimize.vdw import vdw_energy, vdw_pair_parameters
+from repro.minimize.bonded import bond_energy, angle_energy, dihedral_energy, improper_energy
+from repro.minimize.energy import EnergyModel, EnergyReport
+from repro.minimize.minimizer import MinimizationResult, Minimizer, MinimizerConfig
+
+__all__ = [
+    "NeighborList",
+    "build_neighbor_list",
+    "bonded_exclusions",
+    "PairsList",
+    "SplitPairsLists",
+    "split_pairs",
+    "ace_self_energies",
+    "born_radii_from_self_energies",
+    "gb_pairwise_energy",
+    "vdw_energy",
+    "vdw_pair_parameters",
+    "bond_energy",
+    "angle_energy",
+    "dihedral_energy",
+    "improper_energy",
+    "EnergyModel",
+    "EnergyReport",
+    "MinimizationResult",
+    "Minimizer",
+    "MinimizerConfig",
+]

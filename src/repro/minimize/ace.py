@@ -1,0 +1,268 @@
+"""Analytic Continuum Electrostatics (ACE): Eqs. (4)-(7) of the paper.
+
+The electrostatic energy decomposes (Eq. 4) into per-atom self energies and
+pairwise interaction energies:
+
+* **Self energy** (Eq. 5): Born self-energy in solvent plus effective
+  pairwise contributions from all other solute atoms,
+
+      E_i^self = q_i^2 / (2 eps_s R_i) + sum_{k != i} E_ik^self
+
+* **Pairwise self term** (Eq. 6, Schaefer & Karplus 1996):
+
+      E_ik^self = omega_ik q_i^2 exp(-r_ik^2 / sigma_ik^2)
+                + tau q_i^2 Vtilde_k / (8 pi) * (r_ik^3 / (r_ik^4 + mu_ik^4))^4
+
+* **Pairwise interaction** (Eq. 7, generalized Born):
+
+      E_ij^int = 332 q_i q_j / r_ij
+               - 166 tau q_i q_j / sqrt(r^2 + a_i a_j exp(-r^2 / (4 a_i a_j)))
+
+Born radii ``a_i`` "depend on the self-energy of the atom"; we use the
+standard inversion ``a_i = 166 tau q_i^2 / E_i^self`` clamped to a physical
+range (see :func:`born_radii_from_self_energies`).
+
+Pair parameters: ``sigma_ik`` and ``mu_ik`` are arithmetic means of per-atom
+ACE radii, and ``omega_ik`` is chosen so the Gaussian height scales with the
+neighbor's volume — physically plausible stand-ins for the fitted CHARMM/ACE
+tables (documented substitution; DESIGN.md).
+
+Gradients: all terms are differentiated analytically with Born radii held
+fixed during a force evaluation (radii are refreshed once per iteration,
+like the neighbor lists) — the standard frozen-alpha approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.constants import BORN_166, COULOMB_332, SOLVENT_DIELECTRIC, TAU
+
+__all__ = [
+    "AceSelfResult",
+    "ace_self_energies",
+    "born_radii_from_self_energies",
+    "gb_pairwise_energy",
+]
+
+#: Clamp range for effective Born radii (Angstrom).
+BORN_RADIUS_MIN = 0.8
+BORN_RADIUS_MAX = 16.0
+
+#: Height scale of the ACE self-energy Gaussian (kcal/mol per charge^2 per A^3).
+OMEGA_SCALE = 0.08
+
+
+@dataclass
+class AceSelfResult:
+    """Per-atom self energies and the gradient of their sum.
+
+    When requested (``per_pair=True``), ``pair_terms_forward`` holds the
+    directional contributions E_ik^self credited to the pair's *first* atom
+    and ``pair_terms_reverse`` those credited to the *second* atom — the
+    quantities the split pairs-lists of Fig. 10 route separately.
+    """
+
+    self_energies: np.ndarray   # (N,)
+    gradient: np.ndarray        # (N, 3) d(sum_i E_i^self)/dx
+    pair_terms_forward: np.ndarray | None = None   # (P,) e_ij
+    pair_terms_reverse: np.ndarray | None = None   # (P,) e_ji
+
+
+def _pair_params(
+    born_i: np.ndarray, born_k: np.ndarray, vol_k: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(omega_ik, sigma_ik, mu_ik) for pair arrays.
+
+    sigma and mu are arithmetic-mean radii; omega scales with the neighbor
+    volume so bulky neighbors desolvate more, normalized by sigma^3 to keep
+    the Gaussian integral volume-like.
+    """
+    sigma = born_i + born_k
+    mu = 0.5 * (born_i + born_k)
+    omega = OMEGA_SCALE * TAU * vol_k / (sigma**3)
+    return omega, sigma, mu
+
+
+def ace_self_energies(
+    coords: np.ndarray,
+    charges: np.ndarray,
+    born_params: np.ndarray,
+    volumes: np.ndarray,
+    pair_i: np.ndarray,
+    pair_j: np.ndarray,
+    per_pair: bool = False,
+) -> AceSelfResult:
+    """Evaluate Eq. (5)/(6) over a half pairs-list.
+
+    Parameters
+    ----------
+    coords, charges:
+        (N, 3) positions and (N,) charges.
+    born_params:
+        (N,) per-type ACE radii ``R_i`` (the force-field Born radius
+        parameter, *not* the effective GB radius).
+    volumes:
+        (N,) ACE solute volumes ``Vtilde``.
+    pair_i, pair_j:
+        Half list of interacting pairs (each unordered pair once).  Both
+        directions of Eq. (6) are evaluated: atom i gains a term using
+        ``Vtilde_j`` and atom j gains a term using ``Vtilde_i``.
+
+    Returns
+    -------
+    :class:`AceSelfResult` with per-atom self energies (including the
+    constant Born term ``q^2 / (2 eps_s R)``) and the analytic gradient of
+    the *total* self energy.
+    """
+    coords = np.asarray(coords, dtype=float)
+    n = len(coords)
+    energies = (charges**2) / (2.0 * SOLVENT_DIELECTRIC * born_params)
+    gradient = np.zeros((n, 3))
+    if len(pair_i) == 0:
+        empty = np.zeros(0) if per_pair else None
+        return AceSelfResult(energies, gradient, empty, empty)
+
+    d = coords[pair_i] - coords[pair_j]
+    r2 = (d * d).sum(axis=1)
+    r = np.sqrt(r2)
+
+    qi2 = charges[pair_i] ** 2
+    qj2 = charges[pair_j] ** 2
+
+    # Direction i<-j uses V_j; direction j<-i uses V_i.  The pair geometry
+    # (r, sigma, mu) is symmetric under our parameter choice.
+    omega_ij, sigma, mu = _pair_params(
+        born_params[pair_i], born_params[pair_j], volumes[pair_j]
+    )
+    omega_ji, _, _ = _pair_params(
+        born_params[pair_j], born_params[pair_i], volumes[pair_i]
+    )
+
+    sig2 = sigma**2
+    gauss = np.exp(-r2 / sig2)
+
+    r3 = r2 * r
+    r4 = r2 * r2
+    mu4 = mu**4
+    denom = r4 + mu4
+    frac = r3 / denom                     # f = r^3/(r^4 + mu^4)
+    frac4 = frac**4
+
+    tail_i = TAU * qi2 * volumes[pair_j] / (8.0 * np.pi)
+    tail_j = TAU * qj2 * volumes[pair_i] / (8.0 * np.pi)
+
+    e_ij = omega_ij * qi2 * gauss + tail_i * frac4
+    e_ji = omega_ji * qj2 * gauss + tail_j * frac4
+
+    np.add.at(energies, pair_i, e_ij)
+    np.add.at(energies, pair_j, e_ji)
+
+    # Gradient wrt r of each term (then chain rule through d/r).
+    # d(gauss)/dr = -2 r / sigma^2 * gauss
+    dgauss_dr = -2.0 * r / sig2 * gauss
+    # d(f^4)/dr = 4 f^3 * df/dr;  df/dr = (3 r^2 (r^4+mu^4) - r^3 4r^3)/denom^2
+    dfrac_dr = (3.0 * r2 * denom - 4.0 * r3 * r3) / (denom**2)
+    dfrac4_dr = 4.0 * (frac**3) * dfrac_dr
+
+    de_dr = (
+        omega_ij * qi2 * dgauss_dr
+        + tail_i * dfrac4_dr
+        + omega_ji * qj2 * dgauss_dr
+        + tail_j * dfrac4_dr
+    )
+    r_safe = np.where(r > 0, r, 1.0)
+    g = (de_dr / r_safe)[:, None] * d  # dE/dx_i; dE/dx_j = -g
+    np.add.at(gradient, pair_i, g)
+    np.subtract.at(gradient, pair_j, g)
+    if per_pair:
+        return AceSelfResult(energies, gradient, e_ij, e_ji)
+    return AceSelfResult(energies, gradient)
+
+
+def born_radii_from_self_energies(
+    self_energies: np.ndarray,
+    charges: np.ndarray,
+    fallback: np.ndarray,
+) -> np.ndarray:
+    """Effective GB radii from self energies (Eq. 7's alpha_i).
+
+    Standard GB inversion ``a_i = 166 * tau * q_i^2 / E_i^self``: an atom
+    whose self energy is large (well solvated) gets a small radius.  Atoms
+    with negligible charge (or non-positive self energy, which cannot occur
+    with our positive-definite Eq. 6 parameters but is guarded anyway) fall
+    back to their force-field Born radius.  Results are clamped to
+    [0.8, 16] Angstrom.
+    """
+    q2 = np.asarray(charges, dtype=float) ** 2
+    e = np.asarray(self_energies, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        alpha = BORN_166 * TAU * q2 / e
+    bad = ~np.isfinite(alpha) | (alpha <= 0) | (q2 < 1e-12)
+    alpha = np.where(bad, fallback, alpha)
+    return np.clip(alpha, BORN_RADIUS_MIN, BORN_RADIUS_MAX)
+
+
+def gb_pairwise_energy(
+    coords: np.ndarray,
+    charges: np.ndarray,
+    alphas: np.ndarray,
+    pair_i: np.ndarray,
+    pair_j: np.ndarray,
+    per_pair: bool = False,
+):
+    """Generalized Born pairwise interaction (Eq. 7) with analytic gradient.
+
+    Evaluates, for each half-list pair,
+
+        E = 332 q_i q_j / r - 166 tau q_i q_j / f_GB(r, a_i, a_j)
+        f_GB = sqrt(r^2 + a_i a_j exp(-r^2 / (4 a_i a_j)))
+
+    Returns ``(total_energy, per_atom_energy, gradient)`` where per-atom
+    energy splits each pair term equally between its two atoms (the paper's
+    energy arrays hold per-atom accumulations).  With ``per_pair=True`` a
+    fourth element (the per-pair energies) is appended, used by the GPU
+    kernel simulations.
+    """
+    coords = np.asarray(coords, dtype=float)
+    n = len(coords)
+    per_atom = np.zeros(n)
+    gradient = np.zeros((n, 3))
+    if len(pair_i) == 0:
+        result = (0.0, per_atom, gradient)
+        return result + (np.zeros(0),) if per_pair else result
+
+    d = coords[pair_i] - coords[pair_j]
+    r2 = (d * d).sum(axis=1)
+    r = np.sqrt(r2)
+    qq = charges[pair_i] * charges[pair_j]
+    aa = alphas[pair_i] * alphas[pair_j]
+
+    expo = np.exp(-r2 / (4.0 * aa))
+    f2 = r2 + aa * expo
+    f = np.sqrt(f2)
+
+    r_safe = np.where(r > 0, r, 1.0)
+    e_coul = COULOMB_332 * qq / r_safe
+    e_gb = -BORN_166 * TAU * qq / f
+    e_pair = e_coul + e_gb
+    total = float(e_pair.sum())
+
+    np.add.at(per_atom, pair_i, 0.5 * e_pair)
+    np.add.at(per_atom, pair_j, 0.5 * e_pair)
+
+    # dE/dr: coulomb term -332 qq / r^2;
+    # GB term: +166 tau qq / f^2 * df/dr, df/dr = (2r + aa * expo * (-2r/(4aa)))/(2f)
+    #        = r (1 - expo/4) / f
+    df_dr = r * (1.0 - 0.25 * expo) / f
+    de_dr = -COULOMB_332 * qq / (r_safe**2) + BORN_166 * TAU * qq / f2 * df_dr
+    g = (de_dr / r_safe)[:, None] * d
+    np.add.at(gradient, pair_i, g)
+    np.subtract.at(gradient, pair_j, g)
+
+    if per_pair:
+        return total, per_atom, gradient, e_pair
+    return total, per_atom, gradient

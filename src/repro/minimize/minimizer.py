@@ -1,0 +1,215 @@
+"""Iterative energy minimizer (FTMap phase 2 driver).
+
+"Energy minimization is an iterative process ... computing the potential
+energy of the complex at a point, updating the forces acting on the atoms,
+and adjusting the atom-coordinates according to the total forces acting on
+them ... repeated for many iterations until the energy of the system
+converges to within a threshold."  (Sec. II.B)
+
+We implement steepest descent with a backtracking line search (guaranteed
+monotone energy decrease), a movable-atom mask (FTMap frees the probe and
+nearby side chains while the protein core stays rigid), and the paper's
+neighbor-list refresh policy (lists checked, and rebuilt only when stale —
+"a few times per 1000 minimization iterations").
+
+The per-iteration task breakdown matches Sec. IV: (i) self energies,
+(ii) pairwise interactions, (iii) van der Waals, (iv) gradients, (v) force
+updates — all inside ``EnergyModel.evaluate`` — and (vi) the optimization
+move and coordinate update, which stays "on the host" here too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.constants import MINIMIZER_MAX_ITER, MINIMIZER_TOLERANCE
+from repro.minimize.energy import EnergyModel, EnergyReport
+
+__all__ = ["MinimizerConfig", "MinimizationResult", "Minimizer"]
+
+
+@dataclass(frozen=True)
+class MinimizerConfig:
+    """Minimization hyper-parameters.
+
+    ``initial_step`` is in Angstrom per unit normalized force; backtracking
+    halves the step until the energy decreases (up to ``max_backtracks``),
+    and a successful step grows the next trial step by ``growth``.
+
+    ``method`` selects steepest descent (``"sd"``, the paper's simple
+    per-iteration move) or Polak-Ribiere conjugate gradient (``"cg"``, the
+    classic CHARMM refinement minimizer); CG typically reaches the same
+    energy in fewer iterations, at identical per-iteration kernel cost —
+    which is why the GPU mapping is agnostic to the choice.
+    """
+
+    max_iterations: int = MINIMIZER_MAX_ITER
+    tolerance: float = MINIMIZER_TOLERANCE
+    initial_step: float = 0.05
+    max_backtracks: int = 12
+    growth: float = 1.2
+    max_step: float = 0.5
+    check_neighbor_list_every: int = 25
+    method: str = "sd"
+    cg_restart_every: int = 20
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.tolerance <= 0 or self.initial_step <= 0:
+            raise ValueError("tolerance and initial_step must be positive")
+        if self.method not in ("sd", "cg"):
+            raise ValueError(f"unknown method {self.method!r}")
+        if self.cg_restart_every < 1:
+            raise ValueError("cg_restart_every must be >= 1")
+
+
+@dataclass
+class MinimizationResult:
+    """Outcome of one minimization run."""
+
+    coords: np.ndarray
+    energy: float
+    initial_energy: float
+    iterations: int
+    converged: bool
+    energy_trajectory: List[float] = field(default_factory=list)
+    list_rebuilds: int = 0
+    final_report: Optional[EnergyReport] = None
+
+    @property
+    def energy_drop(self) -> float:
+        return self.initial_energy - self.energy
+
+
+class Minimizer:
+    """Steepest-descent minimizer over an :class:`EnergyModel`.
+
+    Parameters
+    ----------
+    model:
+        Energy model for the complex.
+    movable:
+        Optional boolean mask of atoms free to move; frozen atoms keep their
+        coordinates and feel no position updates (their force contributions
+        to movable atoms are still exact).  Default: all movable.
+    config:
+        :class:`MinimizerConfig`.
+    """
+
+    def __init__(
+        self,
+        model: EnergyModel,
+        movable: np.ndarray | None = None,
+        config: MinimizerConfig | None = None,
+    ) -> None:
+        self.model = model
+        n = model.molecule.n_atoms
+        if movable is None:
+            # Inherit the model's movable mask (the pair filter and the
+            # position updates must agree on who moves).
+            movable = model.movable if model.movable is not None else np.ones(n, dtype=bool)
+        movable = np.asarray(movable, dtype=bool)
+        if movable.shape != (n,):
+            raise ValueError(f"movable mask must be ({n},)")
+        self.movable = movable
+        self.config = config or MinimizerConfig()
+
+    def run(
+        self,
+        coords: np.ndarray | None = None,
+        callback: Optional[Callable[[int, EnergyReport], None]] = None,
+    ) -> MinimizationResult:
+        """Minimize from ``coords`` (default: the molecule's own coordinates).
+
+        ``callback(iteration, report)`` fires after each accepted step,
+        which the performance harness uses to meter per-iteration work.
+        """
+        cfg = self.config
+        x = np.array(
+            self.model.molecule.coords if coords is None else coords, dtype=float
+        )
+        rebuilds_before = self.model.list_rebuilds
+        report = self.model.evaluate(x)
+        energy = report.total
+        initial_energy = energy
+        trajectory = [energy]
+        step = cfg.initial_step
+        converged = False
+        iterations = 0
+        prev_forces: Optional[np.ndarray] = None
+        prev_direction: Optional[np.ndarray] = None
+
+        for it in range(1, cfg.max_iterations + 1):
+            iterations = it
+            forces = report.forces.copy()
+            forces[~self.movable] = 0.0
+            fmax = float(np.abs(forces).max())
+            if fmax == 0.0:
+                converged = True
+                break
+
+            if cfg.method == "cg" and prev_forces is not None and (
+                it % cfg.cg_restart_every != 0
+            ):
+                # Polak-Ribiere beta, clipped at 0 (automatic restart).
+                num = float(((forces - prev_forces) * forces).sum())
+                den = float((prev_forces * prev_forces).sum())
+                beta = max(0.0, num / den) if den > 0 else 0.0
+                raw = forces + beta * prev_direction
+                # Fall back to steepest descent if CG points uphill.
+                if float((raw * forces).sum()) <= 0:
+                    raw = forces
+            else:
+                raw = forces
+            prev_forces = forces
+            prev_direction = raw
+            dmax = float(np.abs(raw).max())
+            direction = raw / dmax  # normalized descent direction
+
+            # Backtracking line search: shrink until energy decreases.
+            accepted = False
+            trial_step = min(step, cfg.max_step)
+            for _ in range(cfg.max_backtracks):
+                x_trial = x + trial_step * direction
+                e_trial = self.model.energy_only(x_trial)
+                if e_trial < energy:
+                    accepted = True
+                    break
+                trial_step *= 0.5
+            if not accepted:
+                converged = True  # no downhill step representable
+                break
+
+            x = x_trial
+            prev_energy = energy
+            energy = e_trial
+            step = min(trial_step * cfg.growth, cfg.max_step)
+
+            if it % cfg.check_neighbor_list_every == 0:
+                self.model.maybe_refresh(x)
+
+            report = self.model.evaluate(x)
+            # Keep the line-search energy authoritative; evaluate() may
+            # differ slightly after a list refresh.
+            energy = report.total
+            trajectory.append(energy)
+            if callback is not None:
+                callback(it, report)
+            if abs(prev_energy - energy) < cfg.tolerance:
+                converged = True
+                break
+
+        return MinimizationResult(
+            coords=x,
+            energy=energy,
+            initial_energy=initial_energy,
+            iterations=iterations,
+            converged=converged,
+            energy_trajectory=trajectory,
+            list_rebuilds=self.model.list_rebuilds - rebuilds_before,
+            final_report=report,
+        )

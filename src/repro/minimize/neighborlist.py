@@ -1,0 +1,174 @@
+"""Neighbor lists: the serial FTMap data structure of Fig. 7.
+
+"Each atom (the 'first' atom) has an associated list of neighbors (the
+'second' atoms) that contribute to its energy."  Each interacting pair is
+stored exactly once, under the lower-indexed atom; processing a pair updates
+the energies of *both* atoms.  Lists are built with a cutoff slightly larger
+than the interaction cutoff so they remain valid for many iterations
+("though energy minimization, like MD, uses neighbor-lists, they are seldom
+updated", Sec. II.B).
+
+Storage is CSR-style (offsets + flat second-atom indices), which is both the
+natural serial layout and the input from which the GPU pairs-lists of
+Figs. 9-10 are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Set, Tuple
+
+import numpy as np
+
+from repro.constants import NEIGHBOR_LIST_CUTOFF
+from repro.structure.molecule import BondedTopology
+
+__all__ = ["NeighborList", "build_neighbor_list", "bonded_exclusions"]
+
+
+@dataclass
+class NeighborList:
+    """CSR neighbor list: atom ``i``'s seconds are
+    ``indices[offsets[i]:offsets[i+1]]``; every stored second ``j`` satisfies
+    ``j > i`` (half list)."""
+
+    n_atoms: int
+    offsets: np.ndarray   # (n_atoms + 1,) intp
+    indices: np.ndarray   # (n_pairs,) intp
+    cutoff: float
+
+    def __post_init__(self) -> None:
+        self.offsets = np.asarray(self.offsets, dtype=np.intp)
+        self.indices = np.asarray(self.indices, dtype=np.intp)
+        if self.offsets.shape != (self.n_atoms + 1,):
+            raise ValueError("offsets must have length n_atoms + 1")
+        if self.offsets[0] != 0 or self.offsets[-1] != len(self.indices):
+            raise ValueError("offsets must start at 0 and end at len(indices)")
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.indices)
+
+    def seconds_of(self, i: int) -> np.ndarray:
+        """Second atoms of first atom ``i``."""
+        return self.indices[self.offsets[i] : self.offsets[i + 1]]
+
+    def counts(self) -> np.ndarray:
+        """Number of seconds per first atom — the widely varying group sizes
+        ("ranging from a few to a few hundred", Sec. IV.A)."""
+        return np.diff(self.offsets)
+
+    def pair_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat (first, second) index arrays, one entry per stored pair."""
+        firsts = np.repeat(np.arange(self.n_atoms, dtype=np.intp), self.counts())
+        return firsts, self.indices.copy()
+
+    def max_distance_ok(self, coords: np.ndarray) -> bool:
+        """Check every listed pair is still within the list cutoff."""
+        i, j = self.pair_arrays()
+        if len(i) == 0:
+            return True
+        d = np.linalg.norm(coords[i] - coords[j], axis=1)
+        return bool(np.all(d <= self.cutoff * 1.2))
+
+
+def bonded_exclusions(topology: BondedTopology) -> FrozenSet[Tuple[int, int]]:
+    """Pairs excluded from non-bonded lists: 1-2 (bonded) and 1-3 (angle ends).
+
+    Standard CHARMM exclusion policy; keeps bonded terms from being double
+    counted by the non-bonded potentials.
+    """
+    excl: Set[Tuple[int, int]] = set()
+    for i, j in topology.bonds:
+        excl.add((min(i, j), max(i, j)))
+    for i, _, k in topology.angles:
+        excl.add((min(i, k), max(i, k)))
+    return frozenset(excl)
+
+
+def build_neighbor_list(
+    coords: np.ndarray,
+    cutoff: float = NEIGHBOR_LIST_CUTOFF,
+    exclusions: FrozenSet[Tuple[int, int]] = frozenset(),
+) -> NeighborList:
+    """Build a half neighbor list with a spatial cell grid (O(N) expected).
+
+    Parameters
+    ----------
+    coords:
+        (N, 3) positions.
+    cutoff:
+        List cutoff distance (Angstrom).
+    exclusions:
+        Pairs (i < j) to omit (bonded exclusions).
+    """
+    coords = np.asarray(coords, dtype=float)
+    n = len(coords)
+    if n == 0:
+        return NeighborList(0, np.zeros(1, dtype=np.intp), np.empty(0, dtype=np.intp), cutoff)
+
+    # Cell binning: cells of edge = cutoff; compare each cell with its 27
+    # neighborhood.  For the paper's local-refinement geometry this is
+    # ~uniform occupancy.
+    mins = coords.min(axis=0)
+    cell_idx = np.floor((coords - mins) / cutoff).astype(np.int64)
+    dims = cell_idx.max(axis=0) + 1
+    flat = (cell_idx[:, 0] * dims[1] + cell_idx[:, 1]) * dims[2] + cell_idx[:, 2]
+    order = np.argsort(flat, kind="stable")
+    sorted_flat = flat[order]
+    # cell -> slice of `order`
+    unique_cells, starts = np.unique(sorted_flat, return_index=True)
+    cell_to_slice = {
+        int(c): (int(s), int(e))
+        for c, s, e in zip(
+            unique_cells, starts, np.append(starts[1:], len(order))
+        )
+    }
+
+    cutoff_sq = cutoff * cutoff
+    pair_i: list = []
+    pair_j: list = []
+    neighbor_offsets = [
+        (dx * dims[1] + dy) * dims[2] + dz
+        for dx in (-1, 0, 1)
+        for dy in (-1, 0, 1)
+        for dz in (-1, 0, 1)
+    ]
+    for c in unique_cells:
+        s, e = cell_to_slice[int(c)]
+        members = order[s:e]
+        # Gather candidate atoms from the 27-cell neighborhood.
+        cand_list = []
+        for off in neighbor_offsets:
+            nb = int(c) + off
+            sl = cell_to_slice.get(nb)
+            if sl is not None:
+                cand_list.append(order[sl[0] : sl[1]])
+        cands = np.concatenate(cand_list)
+        # Vectorized distance check members x candidates.
+        diff = coords[members][:, None, :] - coords[cands][None, :, :]
+        d2 = (diff * diff).sum(axis=2)
+        mi, cj = np.nonzero(d2 <= cutoff_sq)
+        a = members[mi]
+        b = cands[cj]
+        keep = a < b  # half list
+        pair_i.append(a[keep])
+        pair_j.append(b[keep])
+
+    i_arr = np.concatenate(pair_i) if pair_i else np.empty(0, dtype=np.intp)
+    j_arr = np.concatenate(pair_j) if pair_j else np.empty(0, dtype=np.intp)
+
+    if exclusions:
+        excl_keys = {a * n + b for a, b in exclusions}
+        keys = i_arr * n + j_arr
+        mask = np.fromiter(
+            (int(k) not in excl_keys for k in keys), dtype=bool, count=len(keys)
+        )
+        i_arr, j_arr = i_arr[mask], j_arr[mask]
+
+    # Sort by first atom to get CSR layout (stable keeps j order deterministic).
+    order2 = np.lexsort((j_arr, i_arr))
+    i_arr, j_arr = i_arr[order2], j_arr[order2]
+    counts = np.bincount(i_arr, minlength=n)
+    offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.intp)
+    return NeighborList(n, offsets, j_arr.astype(np.intp), cutoff)

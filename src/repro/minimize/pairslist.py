@@ -1,0 +1,156 @@
+"""Pairs-list data structures: Figs. 9 and 10 of the paper.
+
+The GPU restructuring replaces the neighbor-list with:
+
+* :class:`PairsList` (Fig. 9) — a flat list of atom pairs, each carrying
+  slots for the partial energies of *both* atoms; pairs are independent and
+  distribute evenly over threads, but accumulation into per-atom energies
+  remains serial because second atoms occur in random order.
+* :class:`SplitPairsLists` (Fig. 10) — two lists.  The **forward** list is
+  the original neighbor-list flattened (grouped by first atom); the
+  **reverse** list is the neighbor-list transposed (each original second
+  atom becomes a first atom).  While processing a list only the energy of
+  the pair's first atom is computed, which makes all writes for one atom
+  land in one contiguous group — the property that enables shared-memory
+  accumulation via the assignment table (Fig. 11, in
+  ``repro.gpu.assignment``).
+
+The same structures also drive the *vectorized CPU* energy path: a flat
+pairs-list is exactly the gather/scatter layout NumPy needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.minimize.neighborlist import NeighborList
+
+__all__ = ["PairsList", "SplitPairsLists", "split_pairs", "group_boundaries"]
+
+
+@dataclass
+class PairsList:
+    """Flat atom-pairs list (Fig. 9).
+
+    ``atom1``/``atom2`` are (P,) index arrays; ``energy1``/``energy2`` are
+    the per-pair partial-energy slots the GPU threads write ("fields to
+    store the partial energies of the two atoms involved in the pair").
+    """
+
+    atom1: np.ndarray
+    atom2: np.ndarray
+    energy1: np.ndarray
+    energy2: np.ndarray
+
+    @classmethod
+    def from_neighbor_list(cls, nlist: NeighborList) -> "PairsList":
+        i, j = nlist.pair_arrays()
+        p = len(i)
+        return cls(
+            atom1=i,
+            atom2=j,
+            energy1=np.zeros(p),
+            energy2=np.zeros(p),
+        )
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.atom1)
+
+    def accumulate_serial(self, n_atoms: int) -> np.ndarray:
+        """Serial accumulation of partial energies into per-atom totals.
+
+        This is the step the paper found "is actually faster on the host"
+        for the flat list: a single serial walk over both energy columns.
+        """
+        out = np.zeros(n_atoms)
+        # NumPy's unbuffered add.at is the vectorized equivalent of the
+        # host-side serial accumulation loop.
+        np.add.at(out, self.atom1, self.energy1)
+        np.add.at(out, self.atom2, self.energy2)
+        return out
+
+
+@dataclass
+class DirectionalPairsList:
+    """One direction of the split pairs-list (Fig. 10).
+
+    Pairs are grouped by ``first`` (contiguous runs); only the first atom's
+    energy is computed while processing this list, so there is a single
+    energy column.
+    """
+
+    first: np.ndarray    # (P,) group-sorted first-atom indices
+    second: np.ndarray   # (P,) partner indices
+    energy: np.ndarray   # (P,) partial energy of `first` for this pair
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.first)
+
+    def group_sizes(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(unique first atoms, pairs per group) in storage order."""
+        if self.n_pairs == 0:
+            return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp)
+        change = np.nonzero(np.diff(self.first))[0] + 1
+        starts = np.concatenate([[0], change])
+        ends = np.concatenate([change, [self.n_pairs]])
+        return self.first[starts], (ends - starts).astype(np.intp)
+
+    def accumulate_grouped(self, n_atoms: int) -> np.ndarray:
+        """Per-atom totals via grouped (shared-memory-style) accumulation.
+
+        Because pairs are grouped by first atom, each atom's partials are a
+        contiguous slice — the master thread of each group sums a contiguous
+        run, which is what makes the GPU version fast.  Here we use
+        ``np.add.reduceat`` over the group boundaries.
+        """
+        out = np.zeros(n_atoms)
+        if self.n_pairs == 0:
+            return out
+        atoms, sizes = self.group_sizes()
+        starts = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        sums = np.add.reduceat(self.energy, starts)
+        out[atoms] = sums
+        return out
+
+
+@dataclass
+class SplitPairsLists:
+    """Forward + reverse directional pairs-lists (Fig. 10)."""
+
+    forward: DirectionalPairsList
+    reverse: DirectionalPairsList
+
+    def total_pairs(self) -> int:
+        return self.forward.n_pairs + self.reverse.n_pairs
+
+
+def split_pairs(nlist: NeighborList) -> SplitPairsLists:
+    """Build the forward and reverse pairs-lists from a neighbor list.
+
+    The forward list is the neighbor list itself (already grouped by first
+    atom).  The reverse list treats "each second atom of the original
+    neighbor list as a first atom for the reverse neighbor list": transpose
+    the pair set and re-sort grouped by the (new) first atom.
+    """
+    i, j = nlist.pair_arrays()
+    fwd = DirectionalPairsList(first=i.copy(), second=j.copy(), energy=np.zeros(len(i)))
+    order = np.lexsort((i, j))
+    rev = DirectionalPairsList(
+        first=j[order].copy(), second=i[order].copy(), energy=np.zeros(len(i))
+    )
+    return SplitPairsLists(forward=fwd, reverse=rev)
+
+
+def group_boundaries(first: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Start indices and sizes of contiguous equal-``first`` runs."""
+    if len(first) == 0:
+        return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp)
+    change = np.nonzero(np.diff(first))[0] + 1
+    starts = np.concatenate([[0], change]).astype(np.intp)
+    sizes = np.diff(np.concatenate([starts, [len(first)]])).astype(np.intp)
+    return starts, sizes

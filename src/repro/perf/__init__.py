@@ -1,0 +1,40 @@
+"""Performance models and paper-figure/table reproduction harness.
+
+* :mod:`cpumodel` — serial (and multicore) cost model of the original
+  FTMap/PIPER C code on the 3 GHz Xeon Harpertown, with calibration
+  constants taken from the paper's own serial measurements (Tables 1-2),
+* :mod:`profiles` — the profile decompositions of Figs. 2-3,
+* :mod:`speedup` — Tables 1-2, the batching/scheme ablations, and the
+  overall 13x roll-up of Sec. V,
+* :mod:`tables` — paper-vs-measured rendering used by benchmarks and
+  EXPERIMENTS.md.
+"""
+
+from repro.perf.cpumodel import CpuSpec, XEON_HARPERTOWN, CpuModel
+from repro.perf.profiles import ftmap_profile, docking_profile, minimization_profile
+from repro.perf.speedup import (
+    table1_docking_speedups,
+    table2_minimization_speedups,
+    overall_speedup,
+    multicore_comparison,
+    batching_sweep,
+    scheme_ladder,
+)
+from repro.perf.tables import ComparisonRow, render_table
+
+__all__ = [
+    "CpuSpec",
+    "XEON_HARPERTOWN",
+    "CpuModel",
+    "ftmap_profile",
+    "docking_profile",
+    "minimization_profile",
+    "table1_docking_speedups",
+    "table2_minimization_speedups",
+    "overall_speedup",
+    "multicore_comparison",
+    "batching_sweep",
+    "scheme_ladder",
+    "ComparisonRow",
+    "render_table",
+]

@@ -1,0 +1,106 @@
+"""Profile decompositions: Figures 2 and 3 of the paper.
+
+* Fig. 2(a): FTMap splits ~7% rigid docking / ~93% energy minimization.
+* Fig. 2(b): within a docking rotation, ~93% FFT correlations, ~2.3%
+  rotation+grid assignment, ~2.4% accumulation, ~2.3% scoring & filtering.
+* Fig. 3(a): within minimization, ~99% is energy evaluation.
+* Fig. 3(b): within energy evaluation, 94.4% electrostatics / 5.38% vdW /
+  0.2% bonded.
+
+All fractions here are *derived* from the serial cost model — the same
+model that feeds the speedup tables — so the reproduction is internally
+consistent: if the model reproduces Table 1's serial column, it must also
+reproduce these pie charts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.constants import (
+    CONFORMATIONS_PER_PROBE,
+    DEFAULT_PROBE_GRID,
+    DEFAULT_PROTEIN_GRID,
+    FTMAP_NUM_ROTATIONS,
+    MAX_CORRELATION_TERMS,
+    MAX_DESOLVATION_TERMS,
+    POSES_PER_ROTATION,
+    TYPICAL_COMPLEX_ATOMS,
+    TYPICAL_PAIR_COUNT,
+)
+from repro.perf.cpumodel import CpuModel
+
+__all__ = ["ftmap_profile", "docking_profile", "minimization_profile"]
+
+#: Iterations per conformation (see repro.gpu.pipeline).
+_ITERATIONS = 1150
+
+
+def _normalize(parts: Dict[str, float]) -> Dict[str, float]:
+    total = sum(parts.values())
+    return {k: v / total for k, v in parts.items()}
+
+
+def docking_profile(
+    cpu: CpuModel | None = None,
+    n: int = DEFAULT_PROTEIN_GRID,
+    m: int = DEFAULT_PROBE_GRID,
+    channels: int = MAX_CORRELATION_TERMS,
+    desolvation_terms: int = MAX_DESOLVATION_TERMS,
+    k: int = POSES_PER_ROTATION,
+) -> Dict[str, float]:
+    """Fig. 2(b): fraction of one serial docking rotation per step."""
+    cpu = cpu or CpuModel()
+    parts = {
+        "fft_correlations": cpu.fft_correlation_s(n, channels),
+        "rotation_grid_assignment": cpu.rotation_grid_s(),
+        "accumulation": cpu.accumulation_s(n, m, desolvation_terms),
+        "scoring_filtering": cpu.scoring_filtering_s(n, m, k),
+    }
+    return _normalize(parts)
+
+
+def minimization_profile(
+    cpu: CpuModel | None = None,
+    pairs: int = TYPICAL_PAIR_COUNT,
+    atoms: int = TYPICAL_COMPLEX_ATOMS,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 3: (a) energy evaluation vs rest; (b) elec / vdw / bonded split.
+
+    Returns ``{"iteration": {...}, "energy_evaluation": {...}}``.
+    """
+    cpu = cpu or CpuModel()
+    elec = cpu.self_energies_s(pairs) + cpu.pairwise_s(pairs)
+    vdw = cpu.vdw_s(pairs)
+    bonded = cpu.spec.bonded_ms * 1e-3
+    # Fig. 3(a) counts "evaluating these energy terms and the forces" as the
+    # energy-evaluation share; "rest" is the optimization move + coordinate
+    # updates.
+    energy_eval = elec + vdw + bonded + cpu.force_updates_s(atoms)
+    rest = cpu.spec.host_move_ms * 1e-3
+    return {
+        "iteration": _normalize({"energy_evaluation": energy_eval, "rest": rest}),
+        "energy_evaluation": _normalize(
+            {"electrostatics": elec, "vdw": vdw, "bonded": bonded}
+        ),
+    }
+
+
+def ftmap_profile(
+    cpu: CpuModel | None = None,
+    rotations: int = FTMAP_NUM_ROTATIONS,
+    conformations: int = CONFORMATIONS_PER_PROBE,
+    iterations: int = _ITERATIONS,
+    n: int = DEFAULT_PROTEIN_GRID,
+    m: int = DEFAULT_PROBE_GRID,
+    channels: int = MAX_CORRELATION_TERMS,
+    desolvation_terms: int = MAX_DESOLVATION_TERMS,
+    k: int = POSES_PER_ROTATION,
+    pairs: int = TYPICAL_PAIR_COUNT,
+    atoms: int = TYPICAL_COMPLEX_ATOMS,
+) -> Dict[str, float]:
+    """Fig. 2(a): rigid docking vs energy minimization share of a probe."""
+    cpu = cpu or CpuModel()
+    docking = cpu.docking_phase_s(rotations, n, m, channels, desolvation_terms, k)
+    minimization = cpu.minimization_phase_s(conformations, iterations, pairs, atoms)
+    return _normalize({"rigid_docking": docking, "energy_minimization": minimization})

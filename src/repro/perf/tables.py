@@ -1,0 +1,54 @@
+"""Paper-vs-measured table rendering.
+
+Benchmarks print these tables; EXPERIMENTS.md archives them.  Each row
+carries the paper's reported value and ours, plus the ratio, so shape
+agreement is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+__all__ = ["ComparisonRow", "render_table", "format_time"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One line of a paper-vs-measured comparison."""
+
+    label: str
+    paper: Optional[float]
+    ours: float
+    unit: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.paper is None or self.paper == 0:
+            return None
+        return self.ours / self.paper
+
+
+def format_time(seconds: float) -> str:
+    """Human-scale time formatting (us/ms/s/min)."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"
+
+
+def render_table(title: str, rows: Iterable[ComparisonRow]) -> str:
+    """ASCII table: label | paper | ours | ours/paper."""
+    lines: List[str] = [title, "-" * len(title)]
+    header = f"{'step':<34s} {'paper':>12s} {'ours':>12s} {'ours/paper':>11s}"
+    lines.append(header)
+    lines.append("=" * len(header))
+    for r in rows:
+        paper = f"{r.paper:.4g}{r.unit}" if r.paper is not None else "n/a"
+        ours = f"{r.ours:.4g}{r.unit}"
+        ratio = f"{r.ratio:.2f}" if r.ratio is not None else "--"
+        lines.append(f"{r.label:<34s} {paper:>12s} {ours:>12s} {ratio:>11s}")
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Molecular structure substrate.
+
+FTMap consumes protein and probe structures with CHARMM-style atom typing:
+partial charges, Lennard-Jones parameters (eps, rm), ACE Born radii and
+solute volumes, and bonded topology.  The paper uses real PDB structures and
+the CHARMM parameter files; we substitute an embedded CHARMM-like parameter
+table, a deterministic synthetic protein builder at the paper's scale
+(~2000 protein atoms, ~2200-atom complexes), and the standard 16-probe FTMap
+library built from idealized geometries.  A minimal PDB reader/writer is
+provided for users with real structure files.
+"""
+
+from repro.structure.forcefield import AtomType, ForceField, default_forcefield
+from repro.structure.molecule import Molecule, BondedTopology
+from repro.structure.probes import FTMAP_PROBE_NAMES, build_probe, probe_library
+from repro.structure.builder import synthetic_protein, synthetic_complex
+from repro.structure.pdbio import read_pdb, write_pdb
+
+__all__ = [
+    "AtomType",
+    "ForceField",
+    "default_forcefield",
+    "Molecule",
+    "BondedTopology",
+    "FTMAP_PROBE_NAMES",
+    "build_probe",
+    "probe_library",
+    "synthetic_protein",
+    "synthetic_complex",
+    "read_pdb",
+    "write_pdb",
+]

@@ -1,0 +1,290 @@
+"""Synthetic protein generator.
+
+The paper maps real proteins (~2000 atoms; protein-probe complexes of ~2200
+atoms, Sec. V.B).  Lacking its PDB inputs, we generate deterministic
+synthetic proteins: residues laid out along a self-avoiding serpentine
+(boustrophedon) path through a compact box, each residue contributing a
+4-atom backbone unit plus a cycled side-chain variant, CHARMM-typed, with
+full bonded topology and a carved-out surface pocket so docking has a
+well-defined "hotspot" to find.
+
+The serpentine layout guarantees no steric clashes (nearest non-bonded
+approach > 2 Angstrom) while keeping the molecule globular.  Bonded
+equilibrium values (r0, theta0, psi0) are calibrated to the generated
+geometry (``meta['calibrate_bonded_equilibrium']``), so minimization starts
+near the bonded minimum and the interesting motion is non-bonded driven —
+matching the paper's setting where minimization refines an already-plausible
+docked structure with small motions.
+
+The generator preserves everything the algorithms consume — atom counts,
+spatial extent, charge distribution, bonded-term counts and neighbor-list
+occupancy — which is what determines the compute structure (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.structure.forcefield import ForceField, default_forcefield
+from repro.structure.molecule import BondedTopology, Molecule
+from repro.structure.probes import build_probe
+
+__all__ = ["synthetic_protein", "synthetic_complex", "pocket_center", "pocket_movable_mask"]
+
+# Backbone repeating unit (N, CA, C, O): local frame has the chain running
+# along +x, carbonyl O in the xy plane, side chain along +/-z.
+_RESIDUE_TEMPLATE: List[Tuple[str, Tuple[float, float, float]]] = [
+    ("N", (0.0, 0.0, 0.0)),
+    ("CT", (1.46, 0.4, 0.0)),       # C-alpha
+    ("C", (2.55, 1.1, 0.0)),
+    ("O", (2.40, 2.33, 0.0)),
+]
+
+# Side-chain variants (attached to CA, extending along +z; a mirrored
+# partner extends -z), cycled deterministically.  All variants reach a
+# uniform tip height |z| in [2.3, 2.9] so adjacent layers interdigitate
+# without either colliding or leaving open channels.
+_SIDECHAINS: List[List[Tuple[str, Tuple[float, float, float]]]] = [
+    [("CT", (1.46, -0.4, 1.35)), ("CT3", (1.46, 0.2, 2.65))],    # aliphatic
+    [("CT", (1.46, -0.4, 1.35)), ("OH1", (1.46, 0.1, 2.65))],    # serine-like
+    [("CT", (1.46, -0.4, 1.35)), ("CT3", (2.66, -0.9, 2.35)),
+     ("CT3", (0.26, -0.9, 2.35))],                               # valine-like
+    [("CT", (1.46, -0.4, 1.35)), ("C", (1.46, 0.1, 2.50)),
+     ("OC", (2.46, 0.7, 2.85)), ("OC", (0.46, -0.1, 2.90))],     # aspartate-like
+    [("CT", (1.46, -0.4, 1.35)), ("NH3", (1.46, 0.1, 2.70))],    # amine-like
+    [("CT", (1.46, -0.4, 1.35)), ("S", (1.46, 0.2, 2.80))],      # cysteine-like
+    [("CA", (1.46, -0.4, 1.40)), ("CA", (2.50, 0.0, 2.30)),
+     ("CA", (0.40, -0.7, 2.30))],                                # phenyl-lite
+    [("CT", (1.46, -0.4, 1.35)), ("O", (1.46, 0.15, 2.60))],     # carbonyl-like
+]
+
+#: Residue-to-residue step along a row (Angstrom); ~C-alpha virtual spacing.
+_STEP_X = 3.8
+#: Row spacing (Angstrom); a spacer atom at y ~ 3.6 seals the gap.
+_ROW_Y = 6.0
+#: Layer spacing (Angstrom); +/-z side-chain tips at ~2.3-2.9 interdigitate.
+_LAYER_Z = 7.0
+
+
+def _serpentine_dims(n_residues: int) -> Tuple[int, int, int]:
+    """(cols, rows, layers) of a near-cubic physical box holding n residues."""
+    k = (n_residues * _STEP_X * _ROW_Y * _LAYER_Z) ** (1.0 / 3.0)
+    cols = max(2, int(np.ceil(k / _STEP_X)))
+    rows = max(1, int(np.ceil(k / _ROW_Y)))
+    layers = max(1, int(np.ceil(n_residues / (cols * rows))))
+    return cols, rows, layers
+
+
+def _residue_origin(i: int, cols: int, rows: int) -> Tuple[np.ndarray, int]:
+    """Origin of residue ``i`` on the serpentine path and its z-parity.
+
+    Rows alternate direction (boustrophedon) so consecutive residues remain
+    adjacent even at row turns.
+    """
+    layer, rem = divmod(i, cols * rows)
+    row, col = divmod(rem, cols)
+    if row % 2 == 1:
+        col = cols - 1 - col  # reverse direction on odd rows
+    if layer % 2 == 1:
+        row = rows - 1 - row  # reverse row order on odd layers
+    origin = np.array([col * _STEP_X, row * _ROW_Y, layer * _LAYER_Z])
+    z_parity = 1 if (col + row) % 2 == 0 else -1
+    return origin, z_parity
+
+
+def synthetic_protein(
+    n_residues: int = 208,
+    seed: int = 7,
+    forcefield: ForceField | None = None,
+    pocket_radius: float = 7.5,
+) -> Molecule:
+    """Generate a deterministic synthetic protein.
+
+    Parameters
+    ----------
+    n_residues:
+        Backbone length.  The default (208 residues, 4 backbone atoms, a spacer, and two
+        cycled side chains each) yields ~2000 atoms, the paper's protein
+        scale.
+    seed:
+        Controls coordinate jitter and the side-chain assignment phase so
+        distinct seeds give distinct proteins.
+    pocket_radius:
+        Radius (Angstrom) of a near-surface spherical region emptied of
+        side-chain atoms to create a concave binding pocket.
+
+    Returns
+    -------
+    Molecule with full bonded topology (bonds, angles, backbone dihedrals,
+    carbonyl impropers), geometry-calibrated bonded equilibria, and the
+    pocket carved out.
+    """
+    if n_residues < 2:
+        raise ValueError("need at least 2 residues")
+    ff = forcefield or default_forcefield()
+    rng = np.random.default_rng(seed)
+    cols, rows, _ = _serpentine_dims(n_residues)
+
+    coords: List[np.ndarray] = []
+    types: List[str] = []
+    bonds: List[Tuple[int, int]] = []
+    angles: List[Tuple[int, int, int]] = []
+    dihedrals: List[Tuple[int, int, int, int]] = []
+    impropers: List[Tuple[int, int, int, int]] = []
+    sidechain_atoms: List[int] = []
+
+    prev_ca_index = -1
+    prev_c_index = -1
+    for res in range(n_residues):
+        origin, _ = _residue_origin(res, cols, rows)
+        jitter = rng.normal(scale=0.08, size=3)
+        base = len(coords)
+        for t, local in _RESIDUE_TEMPLATE:
+            coords.append(origin + np.asarray(local) + jitter)
+            types.append(t)
+        n_i, ca_i, c_i, o_i = base, base + 1, base + 2, base + 3
+        bonds += [(n_i, ca_i), (ca_i, c_i), (c_i, o_i)]
+        angles += [(n_i, ca_i, c_i), (ca_i, c_i, o_i)]
+        impropers.append((c_i, ca_i, o_i, n_i))
+        # Carbonyl O is a leaf atom: carving it cannot break the chain.
+        sidechain_atoms.append(o_i)
+        if prev_c_index >= 0:
+            bonds.append((prev_c_index, n_i))
+            angles.append((prev_c_index, n_i, ca_i))
+            dihedrals.append((prev_ca_index, prev_c_index, n_i, ca_i))
+        prev_ca_index, prev_c_index = ca_i, c_i
+
+        # A spacer pseudo-side-chain fills the inter-row gap so the packed
+        # interior has no open channels a probe could thread (real proteins
+        # are densely packed; only the carved pocket should admit probes).
+        spacer_idx = len(coords)
+        coords.append(origin + np.array([1.46, 3.6, 0.0]) + jitter)
+        types.append("CT3")
+        sidechain_atoms.append(spacer_idx)
+        bonds.append((ca_i, spacer_idx))
+
+        # Side chains extend both +z and -z to fill the inter-layer space.
+        for direction, phase in ((1.0, 0), (-1.0, 3)):
+            sc = _SIDECHAINS[(res + seed + phase) % len(_SIDECHAINS)]
+            prev_idx = ca_i
+            for k, (t, local) in enumerate(sc):
+                idx = len(coords)
+                local_arr = np.asarray(local) * np.array([1.0, 1.0, direction])
+                coords.append(origin + local_arr + jitter)
+                types.append(t)
+                sidechain_atoms.append(idx)
+                bonds.append((prev_idx, idx))
+                if k == 0:
+                    angles.append((n_i, ca_i, idx))
+                # Carboxylate/gem-dimethyl branches hang off the same parent.
+                if t not in ("OC", "CT3") or k == 0:
+                    prev_idx = idx
+
+    xyz = np.array(coords, dtype=float)
+    xyz -= xyz.mean(axis=0)
+
+    # Carve a pocket: remove side-chain atoms inside a sphere centered on
+    # the +x face (just inside the surface, so roughly half the sphere
+    # intersects the body and leaves a concave dent).  Backbone atoms are
+    # kept so the chain stays connected.
+    x_face = float(xyz[:, 0].max())
+    pocket = np.array([x_face - 0.45 * pocket_radius, 0.0, 0.0])
+    dist_to_pocket = np.linalg.norm(xyz - pocket, axis=1)
+    sidechain_mask = np.zeros(len(xyz), dtype=bool)
+    sidechain_mask[sidechain_atoms] = True
+    keep = (dist_to_pocket > pocket_radius) | ~sidechain_mask
+
+    old_to_new = -np.ones(len(xyz), dtype=np.intp)
+    old_to_new[keep] = np.arange(int(keep.sum()))
+
+    def _remap(terms: List[Tuple[int, ...]], width: int) -> np.ndarray:
+        kept = [tuple(old_to_new[list(t)]) for t in terms if all(keep[i] for i in t)]
+        if not kept:
+            return np.empty((0, width), dtype=np.intp)
+        return np.array(kept, dtype=np.intp)
+
+    mol = Molecule(
+        coords=xyz[keep],
+        type_names=[t for t, k in zip(types, keep) if k],
+        forcefield=ff,
+        topology=BondedTopology(
+            bonds=_remap(bonds, 2),
+            angles=_remap(angles, 3),
+            dihedrals=_remap(dihedrals, 4),
+            impropers=_remap(impropers, 4),
+        ),
+        name=f"synthetic_protein_{n_residues}r_seed{seed}",
+    )
+    mol.meta["calibrate_bonded_equilibrium"] = True
+    mol.meta["pocket_center"] = pocket.tolist()
+    return mol
+
+
+def pocket_center(protein: Molecule) -> np.ndarray:
+    """Center of the carved pocket of a synthetic protein.
+
+    Uses the position recorded at build time when available; otherwise the
+    geometric construction (70% of the bounding radius along +x from the
+    centroid).
+    """
+    stored = protein.meta.get("pocket_center")
+    if stored is not None:
+        return protein.center() + np.asarray(stored, dtype=float)
+    c = protein.coords - protein.center()
+    return protein.center() + np.array([float(c[:, 0].max()), 0.0, 0.0])
+
+
+def pocket_movable_mask(
+    complex_mol: Molecule,
+    n_probe_atoms: int,
+    flexible_radius: float = 8.2,
+) -> np.ndarray:
+    """Movable-atom mask for minimization: probe + nearby protein atoms.
+
+    FTMap "models the flexibility in the side chains of the probes by
+    allowing them to move freely" while the protein core stays rigid; in
+    practice the probe and pocket-lining atoms move.  The probe is assumed
+    to be the final ``n_probe_atoms`` of the complex (the
+    :func:`synthetic_complex` / docking-pipeline convention).  Protein atoms
+    within ``flexible_radius`` Angstrom of any probe atom are also freed.
+    """
+    n = complex_mol.n_atoms
+    if not (0 < n_probe_atoms <= n):
+        raise ValueError("n_probe_atoms out of range")
+    mask = np.zeros(n, dtype=bool)
+    mask[n - n_probe_atoms :] = True
+    probe_xyz = complex_mol.coords[n - n_probe_atoms :]
+    protein_xyz = complex_mol.coords[: n - n_probe_atoms]
+    # Distance of each protein atom to its nearest probe atom.
+    d = np.linalg.norm(protein_xyz[:, None, :] - probe_xyz[None, :, :], axis=2)
+    near = d.min(axis=1) <= flexible_radius
+    mask[: n - n_probe_atoms] = near
+    return mask
+
+
+def synthetic_complex(
+    probe_name: str = "ethanol",
+    n_residues: int = 229,
+    seed: int = 7,
+    forcefield: ForceField | None = None,
+    separation: float = 1.5,
+) -> Molecule:
+    """Protein-probe complex at the paper's minimization scale (~2200 atoms,
+    Sec. V.B: "the 2200 atoms in the complex").
+
+    The probe is placed inside the carved pocket, offset by ``separation``
+    Angstrom from the pocket center so minimization has somewhere to go.
+    The returned molecule's ``meta['n_probe_atoms']`` records the probe size
+    for movable-mask construction.
+    """
+    ff = forcefield or default_forcefield()
+    protein = synthetic_protein(n_residues=n_residues, seed=seed, forcefield=ff)
+    probe = build_probe(probe_name, forcefield=ff)
+    target = pocket_center(protein) + np.array([separation, 0.0, 0.0])
+    probe_moved = probe.with_coords(probe.coords - probe.center() + target)
+    merged = protein.merged_with(probe_moved, name=f"{protein.name}+{probe_name}")
+    merged.meta["n_probe_atoms"] = probe.n_atoms
+    merged.meta["calibrate_bonded_equilibrium"] = True
+    return merged

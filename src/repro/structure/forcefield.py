@@ -1,0 +1,189 @@
+"""CHARMM-like force-field parameter tables.
+
+The paper's minimization evaluates the CHARMM potential (Brooks et al. 1983)
+with ACE continuum electrostatics (Schaefer & Karplus 1996).  Per atom type we
+carry:
+
+* partial charge ``q`` (elementary charges),
+* Lennard-Jones well depth ``eps`` (kcal/mol) and minimum-energy radius
+  ``rm`` (Angstrom) combined by Eqs. (9)-(10),
+* ACE Born radius (Angstrom) and solute volume ``V~`` (Angstrom^3) used by
+  the self-energy Gaussian of Eq. (6),
+* atomic mass (amu) for coordinate updates.
+
+Values are physically plausible CHARMM-magnitude parameters; absolute
+accuracy is not required to reproduce the paper's computational structure
+(see DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+__all__ = ["AtomType", "ForceField", "default_forcefield", "DEFAULT_ATOM_TYPES"]
+
+
+@dataclass(frozen=True)
+class AtomType:
+    """Non-bonded and ACE parameters for one CHARMM-style atom type."""
+
+    name: str
+    element: str
+    charge: float          # default partial charge, e
+    eps: float             # LJ well depth, kcal/mol (positive magnitude)
+    rm: float              # LJ r_min/2-style radius parameter, Angstrom
+    born_radius: float     # ACE Born radius, Angstrom
+    volume: float          # ACE solute volume V~, Angstrom^3
+    mass: float            # amu
+
+    def __post_init__(self) -> None:
+        if self.eps < 0:
+            raise ValueError(f"eps must be non-negative for {self.name}")
+        if self.rm <= 0 or self.born_radius <= 0 or self.volume <= 0:
+            raise ValueError(f"radii/volume must be positive for {self.name}")
+
+
+# A compact CHARMM-like type set sufficient for proteins plus the small
+# organic probes (carbon, nitrogen, oxygen, sulfur, hydrogen flavors).
+DEFAULT_ATOM_TYPES: Dict[str, AtomType] = {
+    t.name: t
+    for t in [
+        # name        elem  charge   eps     rm     born   vol    mass
+        AtomType("C",    "C", 0.51, 0.110, 2.000, 1.90, 14.7, 12.011),   # carbonyl C
+        AtomType("CA",   "C", 0.07, 0.070, 1.992, 1.90, 8.3, 12.011),    # aromatic C
+        AtomType("CT",   "C", -0.18, 0.080, 2.060, 2.00, 22.5, 12.011),  # aliphatic C
+        AtomType("CT3",  "C", -0.27, 0.078, 2.040, 2.00, 30.0, 12.011),  # methyl C
+        AtomType("N",    "N", -0.47, 0.200, 1.850, 1.70, 4.4, 14.007),   # amide N
+        AtomType("NH1",  "N", -0.47, 0.200, 1.850, 1.70, 4.4, 14.007),
+        AtomType("NH3",  "N", -0.30, 0.200, 1.850, 1.70, 11.2, 14.007),  # ammonium N
+        AtomType("O",    "O", -0.51, 0.120, 1.700, 1.60, 10.8, 15.999),  # carbonyl O
+        AtomType("OH1",  "O", -0.66, 0.152, 1.770, 1.60, 21.6, 15.999),  # hydroxyl O
+        AtomType("OC",   "O", -0.76, 0.120, 1.700, 1.60, 10.8, 15.999),  # carboxylate O
+        AtomType("S",    "S", -0.09, 0.450, 2.000, 1.95, 36.0, 32.06),   # thioether S
+        AtomType("H",    "H", 0.31, 0.046, 0.225, 1.20, 1.0, 1.008),     # polar H
+        AtomType("HA",   "H", 0.09, 0.022, 1.320, 1.20, 1.0, 1.008),     # nonpolar H
+        AtomType("HC",   "H", 0.33, 0.046, 0.225, 1.20, 1.0, 1.008),     # charged-group H
+    ]
+}
+
+
+@dataclass(frozen=True)
+class BondParam:
+    """Harmonic bond parameters: E = kb * (r - r0)^2."""
+
+    kb: float  # kcal/mol/A^2
+    r0: float  # Angstrom
+
+
+@dataclass(frozen=True)
+class AngleParam:
+    """Harmonic angle parameters: E = ka * (theta - theta0)^2."""
+
+    ka: float      # kcal/mol/rad^2
+    theta0: float  # radians
+
+
+@dataclass(frozen=True)
+class DihedralParam:
+    """Cosine dihedral: E = kd * (1 + cos(n*phi - delta))."""
+
+    kd: float
+    n: int
+    delta: float
+
+
+class ForceField:
+    """Lookup table resolving atom-type names to parameters.
+
+    Parameters
+    ----------
+    atom_types:
+        Mapping of type name to :class:`AtomType`.
+    bond_params, angle_params, dihedral_params:
+        Optional overrides for the bonded terms; defaults are generic
+        CHARMM-magnitude constants applied to every bond/angle/dihedral,
+        keyed by frozensets of the participating element symbols.
+    """
+
+    def __init__(
+        self,
+        atom_types: Mapping[str, AtomType] | None = None,
+        default_bond: BondParam = BondParam(kb=300.0, r0=1.5),
+        default_angle: AngleParam = AngleParam(ka=50.0, theta0=1.911),  # ~109.5 deg
+        default_dihedral: DihedralParam = DihedralParam(kd=0.2, n=3, delta=0.0),
+        default_improper: AngleParam = AngleParam(ka=40.0, theta0=0.0),
+    ) -> None:
+        self._types: Dict[str, AtomType] = dict(atom_types or DEFAULT_ATOM_TYPES)
+        self.default_bond = default_bond
+        self.default_angle = default_angle
+        self.default_dihedral = default_dihedral
+        self.default_improper = default_improper
+
+    # -- atom types ---------------------------------------------------------
+
+    def atom_type(self, name: str) -> AtomType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown atom type {name!r}; known: {sorted(self._types)}"
+            ) from None
+
+    def has_type(self, name: str) -> bool:
+        return name in self._types
+
+    def type_names(self) -> Iterable[str]:
+        return self._types.keys()
+
+    def add_type(self, atom_type: AtomType) -> None:
+        """Register an additional atom type (used by tests and extensions)."""
+        self._types[atom_type.name] = atom_type
+
+    # -- bonded parameters ---------------------------------------------------
+
+    def bond_param(self, type_i: str, type_j: str) -> BondParam:
+        """Harmonic bond constants for a bonded type pair.
+
+        Element-aware equilibrium lengths keep synthetic structures at
+        realistic geometry (C-H shorter than C-C, etc.).
+        """
+        ei = self.atom_type(type_i).element
+        ej = self.atom_type(type_j).element
+        pair = frozenset((ei, ej))
+        r0_table = {
+            frozenset(("C",)): 1.53,
+            frozenset(("C", "N")): 1.47,
+            frozenset(("C", "O")): 1.33,
+            frozenset(("C", "S")): 1.81,
+            frozenset(("C", "H")): 1.09,
+            frozenset(("N", "H")): 1.01,
+            frozenset(("O", "H")): 0.96,
+            frozenset(("S", "H")): 1.34,
+        }
+        r0 = r0_table.get(pair, self.default_bond.r0)
+        return BondParam(kb=self.default_bond.kb, r0=r0)
+
+    def angle_param(self, type_i: str, type_j: str, type_k: str) -> AngleParam:
+        return self.default_angle
+
+    def dihedral_param(
+        self, type_i: str, type_j: str, type_k: str, type_l: str
+    ) -> DihedralParam:
+        return self.default_dihedral
+
+    def improper_param(
+        self, type_i: str, type_j: str, type_k: str, type_l: str
+    ) -> AngleParam:
+        return self.default_improper
+
+
+_DEFAULT_FF: ForceField | None = None
+
+
+def default_forcefield() -> ForceField:
+    """Shared default :class:`ForceField` instance (lazily constructed)."""
+    global _DEFAULT_FF
+    if _DEFAULT_FF is None:
+        _DEFAULT_FF = ForceField()
+    return _DEFAULT_FF

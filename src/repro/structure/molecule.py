@@ -1,0 +1,219 @@
+"""Molecule container: coordinates, per-atom parameters, bonded topology.
+
+This is the common currency between the gridding code (which voxelizes
+molecules for PIPER) and the minimization code (which evaluates the CHARMM
+potential over the complex).  Arrays are structure-of-arrays NumPy buffers so
+energy kernels can vectorize without per-atom Python objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.transforms import center_of_coordinates
+from repro.structure.forcefield import ForceField, default_forcefield
+
+__all__ = ["BondedTopology", "Molecule"]
+
+
+@dataclass
+class BondedTopology:
+    """Bonded term index lists.
+
+    ``bonds`` is (B, 2), ``angles`` (A, 3), ``dihedrals`` (D, 4) and
+    ``impropers`` (I, 4) arrays of atom indices.  Empty lists are stored as
+    (0, k) int arrays so downstream code can vectorize unconditionally.
+    """
+
+    bonds: np.ndarray = field(default_factory=lambda: np.empty((0, 2), dtype=np.intp))
+    angles: np.ndarray = field(default_factory=lambda: np.empty((0, 3), dtype=np.intp))
+    dihedrals: np.ndarray = field(default_factory=lambda: np.empty((0, 4), dtype=np.intp))
+    impropers: np.ndarray = field(default_factory=lambda: np.empty((0, 4), dtype=np.intp))
+
+    def __post_init__(self) -> None:
+        self.bonds = _as_index_array(self.bonds, 2, "bonds")
+        self.angles = _as_index_array(self.angles, 3, "angles")
+        self.dihedrals = _as_index_array(self.dihedrals, 4, "dihedrals")
+        self.impropers = _as_index_array(self.impropers, 4, "impropers")
+
+    def validate(self, n_atoms: int) -> None:
+        """Raise if any index is out of range or a term repeats an atom."""
+        for name, arr in (
+            ("bonds", self.bonds),
+            ("angles", self.angles),
+            ("dihedrals", self.dihedrals),
+            ("impropers", self.impropers),
+        ):
+            if arr.size == 0:
+                continue
+            if arr.min() < 0 or arr.max() >= n_atoms:
+                raise ValueError(f"{name} index out of range [0, {n_atoms})")
+            # every term must reference distinct atoms
+            sorted_rows = np.sort(arr, axis=1)
+            if np.any(sorted_rows[:, :-1] == sorted_rows[:, 1:]):
+                raise ValueError(f"{name} contains a term with repeated atoms")
+
+    def shifted(self, offset: int) -> "BondedTopology":
+        """Topology with every atom index shifted by ``offset`` (for merges)."""
+        return BondedTopology(
+            bonds=self.bonds + offset if self.bonds.size else self.bonds.copy(),
+            angles=self.angles + offset if self.angles.size else self.angles.copy(),
+            dihedrals=self.dihedrals + offset if self.dihedrals.size else self.dihedrals.copy(),
+            impropers=self.impropers + offset if self.impropers.size else self.impropers.copy(),
+        )
+
+    @staticmethod
+    def merge(a: "BondedTopology", b: "BondedTopology", offset: int) -> "BondedTopology":
+        """Concatenate two topologies, shifting ``b``'s indices by ``offset``."""
+        bs = b.shifted(offset)
+        return BondedTopology(
+            bonds=np.concatenate([a.bonds, bs.bonds]),
+            angles=np.concatenate([a.angles, bs.angles]),
+            dihedrals=np.concatenate([a.dihedrals, bs.dihedrals]),
+            impropers=np.concatenate([a.impropers, bs.impropers]),
+        )
+
+
+def _as_index_array(arr, width: int, name: str) -> np.ndarray:
+    out = np.asarray(arr, dtype=np.intp)
+    if out.size == 0:
+        return out.reshape(0, width)
+    if out.ndim != 2 or out.shape[1] != width:
+        raise ValueError(f"{name} must have shape (*, {width}), got {out.shape}")
+    return out
+
+
+class Molecule:
+    """A molecule (or complex) in structure-of-arrays form.
+
+    Parameters
+    ----------
+    coords:
+        (N, 3) float array of positions in Angstrom.
+    type_names:
+        Sequence of N force-field atom-type names.
+    forcefield:
+        Parameter table used to resolve per-atom charges/LJ/ACE values;
+        defaults to :func:`repro.structure.forcefield.default_forcefield`.
+    charges:
+        Optional per-atom charge override; defaults to the type charges.
+    topology:
+        Bonded topology; defaults to no bonded terms (rigid-docking use).
+    name:
+        Human-readable label.
+    """
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        type_names: Sequence[str],
+        forcefield: ForceField | None = None,
+        charges: np.ndarray | None = None,
+        topology: BondedTopology | None = None,
+        name: str = "molecule",
+    ) -> None:
+        coords = np.ascontiguousarray(coords, dtype=float)
+        if coords.ndim != 2 or coords.shape[1] != 3:
+            raise ValueError(f"coords must be (N, 3), got {coords.shape}")
+        n = coords.shape[0]
+        if len(type_names) != n:
+            raise ValueError(f"{len(type_names)} type names for {n} atoms")
+        ff = forcefield or default_forcefield()
+        types = [ff.atom_type(t) for t in type_names]
+
+        self.name = name
+        self.forcefield = ff
+        self.coords = coords
+        self.type_names: List[str] = list(type_names)
+        self.elements: List[str] = [t.element for t in types]
+        if charges is None:
+            self.charges = np.array([t.charge for t in types], dtype=float)
+        else:
+            self.charges = np.ascontiguousarray(charges, dtype=float)
+            if self.charges.shape != (n,):
+                raise ValueError(f"charges must be ({n},), got {self.charges.shape}")
+        self.eps = np.array([t.eps for t in types], dtype=float)
+        self.rm = np.array([t.rm for t in types], dtype=float)
+        self.born_radii = np.array([t.born_radius for t in types], dtype=float)
+        self.volumes = np.array([t.volume for t in types], dtype=float)
+        self.masses = np.array([t.mass for t in types], dtype=float)
+        self.topology = topology or BondedTopology()
+        self.topology.validate(n)
+        #: Free-form metadata (e.g. ``calibrate_bonded_equilibrium``,
+        #: ``n_probe_atoms``); propagated through copies and merges.
+        self.meta: dict = {}
+
+    # -- basic protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.coords.shape[0]
+
+    @property
+    def n_atoms(self) -> int:
+        return self.coords.shape[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Molecule({self.name!r}, n_atoms={self.n_atoms})"
+
+    # -- geometry --------------------------------------------------------------
+
+    def center(self) -> np.ndarray:
+        """Geometric center of the molecule."""
+        return center_of_coordinates(self.coords)
+
+    def total_charge(self) -> float:
+        return float(self.charges.sum())
+
+    def radius_of_gyration(self) -> float:
+        c = self.coords - self.center()
+        return float(np.sqrt((c**2).sum(axis=1).mean()))
+
+    def with_coords(self, coords: np.ndarray) -> "Molecule":
+        """Copy of this molecule with replaced coordinates (same topology)."""
+        out = Molecule(
+            coords=coords,
+            type_names=self.type_names,
+            forcefield=self.forcefield,
+            charges=self.charges.copy(),
+            topology=self.topology,
+            name=self.name,
+        )
+        out.meta = dict(self.meta)
+        return out
+
+    def transformed(self, transform) -> "Molecule":
+        """Copy with coordinates mapped through a RigidTransform-like object."""
+        return self.with_coords(transform.apply(self.coords))
+
+    # -- composition -------------------------------------------------------------
+
+    def merged_with(self, other: "Molecule", name: str | None = None) -> "Molecule":
+        """Concatenate two molecules into one complex.
+
+        The receptor-ligand complex evaluated by minimization is just the
+        union of the two atom sets with both topologies preserved.
+        """
+        if self.forcefield is not other.forcefield:
+            # Parameters resolve identically only if the tables agree.
+            for t in other.type_names:
+                if not self.forcefield.has_type(t):
+                    raise ValueError(
+                        f"cannot merge: receptor force field lacks type {t!r}"
+                    )
+        coords = np.concatenate([self.coords, other.coords])
+        type_names = self.type_names + other.type_names
+        charges = np.concatenate([self.charges, other.charges])
+        topo = BondedTopology.merge(self.topology, other.topology, offset=self.n_atoms)
+        out = Molecule(
+            coords=coords,
+            type_names=type_names,
+            forcefield=self.forcefield,
+            charges=charges,
+            topology=topo,
+            name=name or f"{self.name}+{other.name}",
+        )
+        out.meta = {**self.meta, **other.meta}
+        return out

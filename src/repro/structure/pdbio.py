@@ -1,0 +1,150 @@
+"""Minimal PDB reader/writer.
+
+FTMap's production pipeline reads protein structures from the PDB.  This
+module supports the fixed-column ATOM/HETATM records needed to round-trip
+coordinates and element symbols, with a heuristic mapping from PDB atom
+names to our CHARMM-like type set.  It is intentionally small: enough for a
+user with a real structure file to run the pipeline, not a full PDB parser.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, TextIO, Union
+
+import numpy as np
+
+from repro.structure.forcefield import ForceField, default_forcefield
+from repro.structure.molecule import Molecule
+
+__all__ = ["read_pdb", "write_pdb", "guess_type_name"]
+
+# Map element (and name prefix hints) to a default CHARMM-like type.
+_ELEMENT_DEFAULT_TYPE = {
+    "C": "CT",
+    "N": "NH1",
+    "O": "O",
+    "S": "S",
+    "H": "HA",
+}
+
+
+def guess_type_name(atom_name: str, element: str) -> str:
+    """Heuristic PDB-atom-name to force-field-type mapping.
+
+    Recognizes backbone names (N, CA, C, O) and falls back to per-element
+    defaults.  Unknown elements raise ``ValueError`` so silent mistyping
+    cannot corrupt energies.
+    """
+    name = atom_name.strip().upper()
+    element = element.strip().upper()
+    if name == "CA":
+        return "CT"
+    if name == "C":
+        return "C"
+    if name == "N":
+        return "NH1"
+    if name == "O" or name == "OXT":
+        return "O"
+    if name.startswith("OH") or name.startswith("OG") or name.startswith("OS"):
+        return "OH1"
+    if name.startswith("NZ") or name.startswith("NH"):
+        return "NH3"
+    try:
+        return _ELEMENT_DEFAULT_TYPE[element]
+    except KeyError:
+        raise ValueError(
+            f"cannot type atom {atom_name!r} with element {element!r}"
+        ) from None
+
+
+def _parse_element(line: str, atom_name: str) -> str:
+    elem = line[76:78].strip() if len(line) >= 78 else ""
+    if elem:
+        return elem.upper()
+    # Fall back to the first alphabetic character of the atom name.
+    for ch in atom_name.strip():
+        if ch.isalpha():
+            return ch.upper()
+    raise ValueError(f"cannot infer element from PDB line: {line!r}")
+
+
+def read_pdb(
+    source: Union[str, Path, TextIO],
+    forcefield: ForceField | None = None,
+    name: str | None = None,
+) -> Molecule:
+    """Read ATOM/HETATM records from a PDB file or file-like object.
+
+    Only coordinates and typing are extracted; bonded topology is left empty
+    (rigid docking does not need it, and CONECT records are unreliable).
+    """
+    ff = forcefield or default_forcefield()
+    close = False
+    if isinstance(source, (str, Path)):
+        fh: TextIO = open(source, "r", encoding="utf-8")
+        close = True
+        label = Path(source).stem
+    else:
+        fh = source
+        label = "pdb_molecule"
+
+    coords: List[List[float]] = []
+    types: List[str] = []
+    try:
+        for line in fh:
+            record = line[:6].strip()
+            if record not in ("ATOM", "HETATM"):
+                continue
+            atom_name = line[12:16]
+            x = float(line[30:38])
+            y = float(line[38:46])
+            z = float(line[46:54])
+            element = _parse_element(line, atom_name)
+            if element == "H":
+                # United-atom convention: hydrogens folded into heavy atoms.
+                continue
+            coords.append([x, y, z])
+            types.append(guess_type_name(atom_name, element))
+    finally:
+        if close:
+            fh.close()
+
+    if not coords:
+        raise ValueError("no ATOM/HETATM records found")
+    return Molecule(
+        coords=np.array(coords, dtype=float),
+        type_names=types,
+        forcefield=ff,
+        name=name or label,
+    )
+
+
+def write_pdb(molecule: Molecule, target: Union[str, Path, TextIO]) -> None:
+    """Write a molecule as minimal ATOM records (one chain, one residue)."""
+    close = False
+    if isinstance(target, (str, Path)):
+        fh: TextIO = open(target, "w", encoding="utf-8")
+        close = True
+    else:
+        fh = target
+    try:
+        for i, (xyz, elem) in enumerate(zip(molecule.coords, molecule.elements), start=1):
+            name_field = f"{elem:<3s}"[:4]
+            fh.write(
+                f"ATOM  {i:5d}  {name_field:<3s} MOL A   1    "
+                f"{xyz[0]:8.3f}{xyz[1]:8.3f}{xyz[2]:8.3f}"
+                f"{1.00:6.2f}{0.00:6.2f}          {elem:>2s}\n"
+            )
+        fh.write("END\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def pdb_roundtrip_string(molecule: Molecule) -> str:
+    """Serialize a molecule to a PDB-format string (testing convenience)."""
+    buf = io.StringIO()
+    write_pdb(molecule, buf)
+    return buf.getvalue()

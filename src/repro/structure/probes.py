@@ -1,0 +1,267 @@
+"""The 16 FTMap small-molecule probe library.
+
+FTMap maps a protein with 16 standard organic solvent probes (Brenke et al.
+2009): ethanol, isopropanol, isobutanol, acetone, acetaldehyde, dimethyl
+ether, cyclohexane, ethane, acetonitrile, urea, methylamine, phenol,
+benzaldehyde, benzene, acetamide and N,N-dimethylformamide.  We build each
+from idealized internal coordinates (tetrahedral carbons, standard bond
+lengths) with CHARMM-like typing.  Probes are tiny — heavy-atom counts 2-8 —
+which is exactly why the paper's 4^3 probe grids fit in GPU constant memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.structure.forcefield import ForceField, default_forcefield
+from repro.structure.molecule import BondedTopology, Molecule
+
+__all__ = ["FTMAP_PROBE_NAMES", "build_probe", "probe_library"]
+
+#: Names of the 16 standard FTMap probes.
+FTMAP_PROBE_NAMES: Tuple[str, ...] = (
+    "ethanol",
+    "isopropanol",
+    "isobutanol",
+    "acetone",
+    "acetaldehyde",
+    "dimethylether",
+    "cyclohexane",
+    "ethane",
+    "acetonitrile",
+    "urea",
+    "methylamine",
+    "phenol",
+    "benzaldehyde",
+    "benzene",
+    "acetamide",
+    "dimethylformamide",
+)
+
+# Idealized heavy-atom geometries: list of (type_name, xyz).  Hydrogens are
+# modeled implicitly via united-atom-style types (CT3 methyl carbons etc.),
+# matching the scale of FTMap's probe grids.  Bonds connect consecutive
+# entries per the ``bonds`` index list.
+_Spec = Tuple[List[Tuple[str, Tuple[float, float, float]]], List[Tuple[int, int]]]
+
+_T = 1.53  # C-C bond
+_CN = 1.47
+_CO = 1.43
+_C_DOUBLE_O = 1.22
+
+
+def _chain(n: int, step: float = _T) -> List[Tuple[float, float, float]]:
+    """Zig-zag carbon chain coordinates in the xy plane."""
+    coords = []
+    angle = np.deg2rad(111.0) / 2.0
+    for i in range(n):
+        x = i * step * np.cos(angle)
+        y = (i % 2) * step * np.sin(angle)
+        coords.append((float(x), float(y), 0.0))
+    return coords
+
+
+def _ring(n: int, bond: float = 1.40) -> List[Tuple[float, float, float]]:
+    """Planar regular ring (benzene-like) coordinates."""
+    r = bond / (2.0 * np.sin(np.pi / n))
+    return [
+        (float(r * np.cos(2 * np.pi * k / n)), float(r * np.sin(2 * np.pi * k / n)), 0.0)
+        for k in range(n)
+    ]
+
+
+def _probe_specs() -> Dict[str, _Spec]:
+    c2 = _chain(2)
+    c3 = _chain(3)
+    ring6 = _ring(6)
+    specs: Dict[str, _Spec] = {}
+
+    specs["ethane"] = (
+        [("CT3", c2[0]), ("CT3", c2[1])],
+        [(0, 1)],
+    )
+    specs["ethanol"] = (
+        [("CT3", c3[0]), ("CT", c3[1]), ("OH1", c3[2])],
+        [(0, 1), (1, 2)],
+    )
+    specs["methylamine"] = (
+        [("CT3", c2[0]), ("NH3", c2[1])],
+        [(0, 1)],
+    )
+    specs["dimethylether"] = (
+        [("CT3", c3[0]), ("OH1", c3[1]), ("CT3", c3[2])],
+        [(0, 1), (1, 2)],
+    )
+    specs["acetonitrile"] = (
+        [("CT3", (0.0, 0.0, 0.0)), ("C", (1.46, 0.0, 0.0)), ("N", (2.62, 0.0, 0.0))],
+        [(0, 1), (1, 2)],
+    )
+    specs["acetaldehyde"] = (
+        [
+            ("CT3", (0.0, 0.0, 0.0)),
+            ("C", (1.50, 0.0, 0.0)),
+            ("O", (2.10, 1.05, 0.0)),
+        ],
+        [(0, 1), (1, 2)],
+    )
+    specs["acetone"] = (
+        [
+            ("CT3", (-1.29, -0.79, 0.0)),
+            ("C", (0.0, 0.0, 0.0)),
+            ("O", (0.0, 1.22, 0.0)),
+            ("CT3", (1.29, -0.79, 0.0)),
+        ],
+        [(0, 1), (1, 2), (1, 3)],
+    )
+    specs["isopropanol"] = (
+        [
+            ("CT3", (-1.26, -0.86, 0.0)),
+            ("CT", (0.0, 0.0, 0.0)),
+            ("CT3", (1.26, -0.86, 0.0)),
+            ("OH1", (0.0, 0.95, 1.05)),
+        ],
+        [(0, 1), (1, 2), (1, 3)],
+    )
+    specs["isobutanol"] = (
+        [
+            ("CT3", (-1.26, -0.86, 0.0)),
+            ("CT", (0.0, 0.0, 0.0)),
+            ("CT3", (1.26, -0.86, 0.0)),
+            ("CT", (0.0, 0.90, 1.20)),
+            ("OH1", (1.10, 1.75, 1.30)),
+        ],
+        [(0, 1), (1, 2), (1, 3), (3, 4)],
+    )
+    specs["urea"] = (
+        [
+            ("NH1", (-1.16, -0.65, 0.0)),
+            ("C", (0.0, 0.0, 0.0)),
+            ("O", (0.0, 1.22, 0.0)),
+            ("NH1", (1.16, -0.65, 0.0)),
+        ],
+        [(0, 1), (1, 2), (1, 3)],
+    )
+    specs["acetamide"] = (
+        [
+            ("CT3", (-1.30, -0.77, 0.0)),
+            ("C", (0.0, 0.0, 0.0)),
+            ("O", (0.0, 1.22, 0.0)),
+            ("NH1", (1.18, -0.64, 0.0)),
+        ],
+        [(0, 1), (1, 2), (1, 3)],
+    )
+    specs["dimethylformamide"] = (
+        [
+            ("C", (0.0, 0.0, 0.0)),
+            ("O", (0.0, 1.22, 0.0)),
+            ("N", (1.18, -0.67, 0.0)),
+            ("CT3", (2.45, 0.02, 0.0)),
+            ("CT3", (1.22, -2.13, 0.0)),
+        ],
+        [(0, 1), (0, 2), (2, 3), (2, 4)],
+    )
+    specs["benzene"] = (
+        [("CA", xyz) for xyz in ring6],
+        [(k, (k + 1) % 6) for k in range(6)],
+    )
+    specs["phenol"] = (
+        [("CA", xyz) for xyz in ring6] + [("OH1", (2.76, 0.0, 0.0))],
+        [(k, (k + 1) % 6) for k in range(6)] + [(0, 6)],
+    )
+    specs["benzaldehyde"] = (
+        [("CA", xyz) for xyz in ring6]
+        + [("C", (2.88, 0.0, 0.0)), ("O", (3.52, 1.04, 0.0))],
+        [(k, (k + 1) % 6) for k in range(6)] + [(0, 6), (6, 7)],
+    )
+    # Chair cyclohexane: alternate +-z puckering around a hexagon.
+    chair = []
+    r = 1.53 / (2.0 * np.sin(np.pi / 6))
+    for k in range(6):
+        chair.append(
+            (
+                float(r * np.cos(2 * np.pi * k / 6)),
+                float(r * np.sin(2 * np.pi * k / 6)),
+                0.25 if k % 2 == 0 else -0.25,
+            )
+        )
+    specs["cyclohexane"] = (
+        [("CT", xyz) for xyz in chair],
+        [(k, (k + 1) % 6) for k in range(6)],
+    )
+    return specs
+
+
+_SPECS: Dict[str, _Spec] | None = None
+
+
+def _specs() -> Dict[str, _Spec]:
+    global _SPECS
+    if _SPECS is None:
+        _SPECS = _probe_specs()
+    return _SPECS
+
+
+def _neutralize(charges: np.ndarray) -> np.ndarray:
+    """Shift charges uniformly so the probe is net-neutral.
+
+    Probe molecules are neutral solvents; using raw type charges would leave
+    small net charges that skew the GB pairwise term.
+    """
+    if len(charges) == 0:
+        return charges
+    return charges - charges.mean()
+
+
+def build_probe(name: str, forcefield: ForceField | None = None) -> Molecule:
+    """Build one of the 16 FTMap probes by name.
+
+    Raises ``KeyError`` for unknown names; see :data:`FTMAP_PROBE_NAMES`.
+    """
+    specs = _specs()
+    if name not in specs:
+        raise KeyError(f"unknown probe {name!r}; known: {sorted(specs)}")
+    atoms, bonds = specs[name]
+    ff = forcefield or default_forcefield()
+    coords = np.array([xyz for _, xyz in atoms], dtype=float)
+    type_names = [t for t, _ in atoms]
+    raw_charges = np.array([ff.atom_type(t).charge for t in type_names])
+    angles = _infer_angles(bonds, len(atoms))
+    mol = Molecule(
+        coords=coords - coords.mean(axis=0),
+        type_names=type_names,
+        forcefield=ff,
+        charges=_neutralize(raw_charges),
+        topology=BondedTopology(
+            bonds=np.array(bonds, dtype=np.intp).reshape(-1, 2),
+            angles=angles,
+        ),
+        name=name,
+    )
+    # Idealized geometries are the intended equilibrium (benzene is 120 deg,
+    # not the generic 109.5): calibrate bonded minima to the built geometry.
+    mol.meta["calibrate_bonded_equilibrium"] = True
+    return mol
+
+
+def _infer_angles(bonds: Sequence[Tuple[int, int]], n_atoms: int) -> np.ndarray:
+    """Derive angle triples (i, j, k) from the bond list: i-j and j-k bonded."""
+    adj: Dict[int, List[int]] = {i: [] for i in range(n_atoms)}
+    for i, j in bonds:
+        adj[i].append(j)
+        adj[j].append(i)
+    triples = []
+    for j in range(n_atoms):
+        nbrs = sorted(adj[j])
+        for a_idx in range(len(nbrs)):
+            for b_idx in range(a_idx + 1, len(nbrs)):
+                triples.append((nbrs[a_idx], j, nbrs[b_idx]))
+    if not triples:
+        return np.empty((0, 3), dtype=np.intp)
+    return np.array(triples, dtype=np.intp)
+
+
+def probe_library(forcefield: ForceField | None = None) -> Dict[str, Molecule]:
+    """Build the full 16-probe library keyed by probe name."""
+    return {name: build_probe(name, forcefield) for name in FTMAP_PROBE_NAMES}

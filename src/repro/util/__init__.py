@@ -1,0 +1,18 @@
+"""Utilities: multiprocessing fan-out, validation helpers, run logging."""
+
+from repro.util.parallel import parallel_map, multicore_dock_rotations
+from repro.util.validation import (
+    require_positive,
+    require_shape,
+    require_in_range,
+)
+from repro.util.runlog import RunLogger
+
+__all__ = [
+    "parallel_map",
+    "multicore_dock_rotations",
+    "require_positive",
+    "require_shape",
+    "require_in_range",
+    "RunLogger",
+]

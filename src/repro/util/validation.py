@@ -1,0 +1,33 @@
+"""Small input-validation helpers shared across the package."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["require_positive", "require_shape", "require_in_range"]
+
+
+def require_positive(value: float, name: str) -> float:
+    """Return ``value`` if strictly positive, else raise ``ValueError``."""
+    if not (value > 0):
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def require_shape(arr: np.ndarray, shape: Tuple[int, ...], name: str) -> np.ndarray:
+    """Return ``arr`` if its shape matches (``-1`` wildcards allowed)."""
+    arr = np.asarray(arr)
+    if len(arr.shape) != len(shape) or any(
+        s != -1 and a != s for a, s in zip(arr.shape, shape)
+    ):
+        raise ValueError(f"{name} must have shape {shape}, got {arr.shape}")
+    return arr
+
+
+def require_in_range(value: float, lo: float, hi: float, name: str) -> float:
+    """Return ``value`` if in [lo, hi], else raise ``ValueError``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value

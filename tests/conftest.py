@@ -1,0 +1,67 @@
+"""Shared fixtures: small-but-real workloads reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.docking import PiperConfig, PiperDocker
+from repro.grids.energyfunctions import ligand_grids, protein_grids
+from repro.grids.gridding import GridSpec
+from repro.grids.rotation import ligand_grid_spec
+from repro.minimize import EnergyModel
+from repro.structure import build_probe, synthetic_complex, synthetic_protein
+from repro.structure.builder import pocket_movable_mask
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20100419)  # IPDPS 2010 :-)
+
+
+@pytest.fixture(scope="session")
+def small_protein():
+    """~350-atom protein: big enough for realistic grids, fast to build."""
+    return synthetic_protein(n_residues=60, seed=3)
+
+
+@pytest.fixture(scope="session")
+def ethanol():
+    return build_probe("ethanol")
+
+
+@pytest.fixture(scope="session")
+def benzene():
+    return build_probe("benzene")
+
+
+@pytest.fixture(scope="session")
+def small_complex():
+    """~750-atom complex with a pocket-bound probe."""
+    return synthetic_complex(probe_name="ethanol", n_residues=120, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_model(small_complex):
+    mask = pocket_movable_mask(small_complex, small_complex.meta["n_probe_atoms"])
+    return EnergyModel(small_complex, movable=mask)
+
+
+@pytest.fixture(scope="session")
+def receptor_grids_32(small_protein):
+    spec = GridSpec.centered_on(small_protein, n=32, spacing=1.25)
+    return protein_grids(small_protein, spec, n_desolvation_terms=4)
+
+
+@pytest.fixture(scope="session")
+def ethanol_grids_4(ethanol):
+    spec = ligand_grid_spec(ethanol, n=4, spacing=1.25)
+    return ligand_grids(ethanol, spec, n_desolvation_terms=4)
+
+
+@pytest.fixture(scope="session")
+def small_docker(small_protein, ethanol):
+    cfg = PiperConfig(
+        num_rotations=6, receptor_grid=32, probe_grid=4, grid_spacing=1.25
+    )
+    return PiperDocker(small_protein, ethanol, cfg)

@@ -1,0 +1,110 @@
+"""Tests for the analytic GPU cost model."""
+
+import pytest
+
+from repro.cuda.costmodel import CostModel
+from repro.cuda.device import TESLA_C1060
+from repro.cuda.kernel import KernelLaunch
+
+
+@pytest.fixture()
+def model():
+    return CostModel(TESLA_C1060)
+
+
+def launch(**kw):
+    base = dict(name="k", num_blocks=30, threads_per_block=256)
+    base.update(kw)
+    return KernelLaunch(**base)
+
+
+class TestOccupancy:
+    def test_full(self, model):
+        assert model.occupancy(launch(num_blocks=30)) == 1.0
+        assert model.occupancy(launch(num_blocks=300)) == 1.0
+
+    def test_single_sm(self, model):
+        assert model.occupancy(launch(num_blocks=1)) == pytest.approx(1 / 30)
+
+
+class TestComponents:
+    def test_launch_overhead_floor(self, model):
+        t = model.kernel_time(launch())
+        assert t >= TESLA_C1060.kernel_launch_overhead_us * 1e-6
+
+    def test_compute_scales_with_flops(self, model):
+        t1 = model.compute_time(launch(flops=1e9))
+        t2 = model.compute_time(launch(flops=2e9))
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_sfu_slower_than_alu(self, model):
+        t_alu = model.compute_time(launch(flops=1e8))
+        t_sfu = model.compute_time(launch(sfu_ops=1e8))
+        assert t_sfu == pytest.approx(TESLA_C1060.sfu_cycles * t_alu)
+
+    def test_single_sm_compute_penalty(self, model):
+        t_full = model.compute_time(launch(flops=1e9, num_blocks=30))
+        t_one = model.compute_time(launch(flops=1e9, num_blocks=1))
+        assert t_one == pytest.approx(30 * t_full)
+
+    def test_coalesced_at_peak_bandwidth(self, model):
+        gb = TESLA_C1060.global_bandwidth_gbs
+        t = model.coalesced_time(launch(global_bytes_coalesced=gb * 1e9))
+        assert t == pytest.approx(1.0)
+
+    def test_gather_cost_per_access(self, model):
+        t = model.gather_time(launch(global_uncoalesced_accesses=1e6))
+        assert t == pytest.approx(1e6 * TESLA_C1060.uncoalesced_access_ns * 1e-9)
+
+    def test_gathers_dominate_equal_bytes(self, model):
+        """The pairs-list redesign argument: scattered accesses cost far
+        more than the same data volume streamed."""
+        n_accesses = 1e6
+        t_gather = model.gather_time(launch(global_uncoalesced_accesses=n_accesses))
+        t_stream = model.coalesced_time(launch(global_bytes_coalesced=n_accesses * 4))
+        assert t_gather > 50 * t_stream
+
+    def test_shared_time(self, model):
+        t = model.shared_time(launch(shared_accesses=1e6, num_blocks=30))
+        assert t == pytest.approx(1e6 / (30 * 1.296e9))
+
+    def test_serial_fraction_slows_kernel(self, model):
+        fast = model.kernel_time(launch(flops=1e8, serial_fraction=0.0))
+        slow = model.kernel_time(launch(flops=1e8, serial_fraction=0.5))
+        assert slow > fast
+
+    def test_transfer_latency_floor(self, model):
+        assert model.transfer_time(0) == pytest.approx(
+            TESLA_C1060.pcie_latency_us * 1e-6
+        )
+
+    def test_transfer_bandwidth(self, model):
+        one_gb = model.transfer_time(int(TESLA_C1060.pcie_bandwidth_gbs * 1e9))
+        assert one_gb == pytest.approx(1.0, rel=0.01)
+
+
+class TestMonotonicity:
+    def test_time_decreases_with_blocks(self, model):
+        """More blocks -> better occupancy -> never slower (fixed work)."""
+        times = [
+            model.kernel_time(launch(flops=1e9, num_blocks=b)) for b in (1, 5, 15, 30, 60)
+        ]
+        assert all(t2 <= t1 + 1e-12 for t1, t2 in zip(times, times[1:]))
+
+    def test_additivity(self, model):
+        l = launch(
+            flops=1e8,
+            sfu_ops=1e6,
+            global_bytes_coalesced=1e7,
+            global_uncoalesced_accesses=1e5,
+            shared_accesses=1e6,
+        )
+        total = model.kernel_time(l)
+        parts = (
+            TESLA_C1060.kernel_launch_overhead_us * 1e-6
+            + model.compute_time(l)
+            + model.coalesced_time(l)
+            + model.gather_time(l)
+            + model.shared_time(l)
+        )
+        assert total == pytest.approx(parts)

@@ -1,0 +1,118 @@
+"""Tests for the virtual CUDA device and resource limits."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.device import TESLA_C1060, Device, DeviceSpec
+from repro.cuda.kernel import KernelLaunch
+from repro.cuda.memory import DeviceBuffer, MemorySpace, TransferDirection
+
+
+class TestDeviceSpec:
+    def test_c1060_datasheet(self):
+        """Sec. V: '240 processor cores @ 1.3 GHz'."""
+        assert TESLA_C1060.total_cores == 240
+        assert TESLA_C1060.clock_ghz == pytest.approx(1.296)
+        assert TESLA_C1060.num_sms == 30
+        assert TESLA_C1060.shared_mem_per_sm == 16 * 1024
+        assert TESLA_C1060.constant_mem == 64 * 1024
+
+    def test_peak_gips(self):
+        assert TESLA_C1060.peak_gips == pytest.approx(240 * 1.296)
+
+
+class TestKernelLaunch:
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            KernelLaunch(name="x", num_blocks=0, threads_per_block=32)
+        with pytest.raises(ValueError):
+            KernelLaunch(name="x", num_blocks=1, threads_per_block=0)
+
+    def test_serial_fraction_range(self):
+        with pytest.raises(ValueError):
+            KernelLaunch(name="x", num_blocks=1, threads_per_block=1, serial_fraction=1.5)
+
+    def test_total_threads(self):
+        k = KernelLaunch(name="x", num_blocks=4, threads_per_block=64)
+        assert k.total_threads == 256
+
+
+class TestDeviceLimits:
+    def test_too_many_threads_rejected(self):
+        dev = Device()
+        bad = KernelLaunch(name="x", num_blocks=1, threads_per_block=1024)
+        with pytest.raises(ValueError, match="threads/block"):
+            dev.launch(bad)
+
+    def test_shared_memory_limit(self):
+        dev = Device()
+        bad = KernelLaunch(
+            name="x", num_blocks=1, threads_per_block=32, shared_bytes_per_block=64 * 1024
+        )
+        with pytest.raises(ValueError, match="shared"):
+            dev.launch(bad)
+
+    def test_constant_memory_limit(self):
+        dev = Device()
+        bad = KernelLaunch(
+            name="x", num_blocks=1, threads_per_block=32, constant_bytes=100 * 1024
+        )
+        with pytest.raises(ValueError, match="constant"):
+            dev.launch(bad)
+
+    def test_constant_alloc_tracking(self):
+        dev = Device()
+        dev.alloc(40 * 1024, MemorySpace.CONSTANT)
+        with pytest.raises(MemoryError, match="constant memory exhausted"):
+            dev.alloc(30 * 1024, MemorySpace.CONSTANT)
+
+    def test_shared_alloc_limit(self):
+        dev = Device()
+        with pytest.raises(MemoryError):
+            dev.alloc(17 * 1024, MemorySpace.SHARED)
+
+    def test_free_all(self):
+        dev = Device()
+        dev.alloc(40 * 1024, MemorySpace.CONSTANT)
+        dev.free_all()
+        dev.alloc(60 * 1024, MemorySpace.CONSTANT)  # fits again
+
+    def test_negative_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceBuffer(n_bytes=-1, space=MemorySpace.GLOBAL)
+
+
+class TestDeviceAccounting:
+    def test_launch_records_and_times(self):
+        dev = Device()
+        k = KernelLaunch(name="k", num_blocks=30, threads_per_block=256, flops=1e9)
+        t = dev.launch(k)
+        assert t > 0
+        assert dev.launches == [k]
+        assert k.predicted_time_s == t
+
+    def test_transfer_recorded(self):
+        dev = Device()
+        t = dev.transfer(1024, TransferDirection.H2D, "x")
+        assert t > 0
+        assert len(dev.transfers) == 1
+
+    def test_total_time_sums(self):
+        dev = Device()
+        t1 = dev.launch(KernelLaunch(name="a", num_blocks=1, threads_per_block=1, flops=1e6))
+        t2 = dev.transfer(1 << 20, TransferDirection.D2H)
+        assert dev.total_time() == pytest.approx(t1 + t2)
+
+    def test_reset(self):
+        dev = Device()
+        dev.launch(KernelLaunch(name="a", num_blocks=1, threads_per_block=1))
+        dev.reset()
+        assert dev.total_time() == 0.0
+
+    def test_timeline_human_readable(self):
+        dev = Device()
+        dev.launch(KernelLaunch(name="corr", num_blocks=2, threads_per_block=8))
+        dev.transfer(2048, TransferDirection.H2D, "grids")
+        lines = dev.timeline()
+        assert any("corr" in l for l in lines)
+        assert any("grids" in l for l in lines)

@@ -1,0 +1,85 @@
+"""Tests for region-exclusion top-pose filtering (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.docking.filtering import exclusion_mask_size, filter_top_poses
+
+
+class TestFilterTopPoses:
+    def test_selects_global_minimum_first(self, rng):
+        grid = rng.normal(size=(10, 10, 10))
+        poses = filter_top_poses(grid, k=1, exclusion_radius=2)
+        best = np.unravel_index(np.argmin(grid), grid.shape)
+        assert poses[0].translation == tuple(int(v) for v in best)
+        assert poses[0].score == pytest.approx(grid.min())
+
+    def test_scores_sorted(self, rng):
+        grid = rng.normal(size=(12, 12, 12))
+        poses = filter_top_poses(grid, k=4)
+        scores = [p.score for p in poses]
+        assert scores == sorted(scores)
+
+    def test_exclusion_separation(self, rng):
+        grid = rng.normal(size=(14, 14, 14))
+        r = 3
+        poses = filter_top_poses(grid, k=5, exclusion_radius=r)
+        for a in range(len(poses)):
+            for b in range(a + 1, len(poses)):
+                cheb = max(
+                    abs(x - y) for x, y in zip(poses[a].translation, poses[b].translation)
+                )
+                assert cheb > r
+
+    def test_exclusion_radius_zero_allows_adjacent(self):
+        grid = np.full((4, 4, 4), 10.0)
+        grid[0, 0, 0] = -2.0
+        grid[0, 0, 1] = -1.0
+        poses = filter_top_poses(grid, k=2, exclusion_radius=0)
+        assert poses[1].translation == (0, 0, 1)
+
+    def test_exhaustion_returns_fewer(self):
+        grid = np.zeros((3, 3, 3))
+        poses = filter_top_poses(grid, k=10, exclusion_radius=3)
+        assert len(poses) == 1  # one selection excludes everything
+
+    def test_k_zero(self, rng):
+        assert filter_top_poses(rng.normal(size=(4, 4, 4)), k=0) == []
+
+    def test_negative_k_rejected(self, rng):
+        with pytest.raises(ValueError):
+            filter_top_poses(rng.normal(size=(4, 4, 4)), k=-1)
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(ValueError):
+            filter_top_poses(np.zeros((4, 4)), k=1)
+
+    def test_input_not_modified(self, rng):
+        grid = rng.normal(size=(6, 6, 6))
+        copy = grid.copy()
+        filter_top_poses(grid, k=3)
+        assert np.array_equal(grid, copy)
+
+    def test_boundary_selection(self):
+        """Minimum at a corner: exclusion window must clamp, not wrap."""
+        grid = np.full((5, 5, 5), 1.0)
+        grid[0, 0, 0] = -5.0
+        grid[4, 4, 4] = -4.0
+        poses = filter_top_poses(grid, k=2, exclusion_radius=2)
+        assert poses[0].translation == (0, 0, 0)
+        assert poses[1].translation == (4, 4, 4)
+
+    def test_paper_defaults_give_four(self, rng):
+        """FTMap keeps 4 poses per rotation from a 125^3-ish grid."""
+        grid = rng.normal(size=(32, 32, 32))
+        poses = filter_top_poses(grid, k=4)
+        assert len(poses) == 4
+
+
+class TestExclusionMaskSize:
+    def test_exceeds_shared_memory_at_n128(self):
+        """'Since N = 128 is typical, this array does not fit in the GPU
+        shared memory' — 2 MiB vs 16 KiB."""
+        from repro.cuda.device import TESLA_C1060
+
+        assert exclusion_mask_size(128) > TESLA_C1060.shared_mem_per_sm

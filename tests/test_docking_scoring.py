@@ -1,0 +1,55 @@
+"""Tests for weighted channel scoring (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.docking.scoring import combine_channel_scores, score_decomposition
+
+
+class TestCombine:
+    def test_weighted_sum(self, rng):
+        corrs = rng.normal(size=(3, 4, 4, 4))
+        w = np.array([1.0, -2.0, 0.5])
+        out = combine_channel_scores(corrs, w)
+        manual = w[0] * corrs[0] + w[1] * corrs[1] + w[2] * corrs[2]
+        assert np.allclose(out, manual)
+
+    def test_shape_checked(self, rng):
+        with pytest.raises(ValueError):
+            combine_channel_scores(rng.normal(size=(4, 4, 4)), [1.0])
+
+    def test_weight_count_checked(self, rng):
+        with pytest.raises(ValueError):
+            combine_channel_scores(rng.normal(size=(2, 4, 4, 4)), [1.0])
+
+    def test_zero_weights_zero_output(self, rng):
+        corrs = rng.normal(size=(2, 3, 3, 3))
+        assert np.allclose(combine_channel_scores(corrs, [0.0, 0.0]), 0.0)
+
+
+class TestDecomposition:
+    def test_groups_sum_to_total(self, rng):
+        labels = ["shape_core", "shape_halo", "elec_coulomb", "desolvation_0"]
+        corrs = rng.normal(size=(4, 5, 5, 5))
+        w = rng.normal(size=4)
+        d = score_decomposition(corrs, w, labels, (1, 2, 3))
+        assert d["total"] == pytest.approx(d["shape"] + d["elec"] + d["desolvation"])
+
+    def test_matches_combined_grid(self, rng):
+        labels = ["shape_core", "elec_coulomb", "desolvation_0"]
+        corrs = rng.normal(size=(3, 4, 4, 4))
+        w = rng.normal(size=3)
+        combined = combine_channel_scores(corrs, w)
+        d = score_decomposition(corrs, w, labels, (0, 1, 2))
+        assert d["total"] == pytest.approx(combined[0, 1, 2])
+
+    def test_eq2_weights_scale_groups(self, rng):
+        """Doubling w2 doubles the electrostatic group only."""
+        labels = ["shape_core", "elec_coulomb", "desolvation_0"]
+        corrs = rng.normal(size=(3, 4, 4, 4))
+        w1 = np.array([1.0, 0.6, 0.4])
+        w2 = np.array([1.0, 1.2, 0.4])
+        d1 = score_decomposition(corrs, w1, labels, (2, 2, 2))
+        d2 = score_decomposition(corrs, w2, labels, (2, 2, 2))
+        assert d2["elec"] == pytest.approx(2 * d1["elec"])
+        assert d2["shape"] == pytest.approx(d1["shape"])

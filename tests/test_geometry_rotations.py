@@ -1,0 +1,123 @@
+"""Unit tests for quaternion / rotation-matrix algebra."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rotations import (
+    Quaternion,
+    is_rotation_matrix,
+    matrix_to_quaternion,
+    quaternion_to_matrix,
+    random_rotation_matrix,
+    rotation_angle_between,
+    rotation_matrix_axis_angle,
+    rotation_matrix_euler,
+)
+
+
+class TestQuaternion:
+    def test_identity_rotates_nothing(self):
+        q = Quaternion.identity()
+        v = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(q.rotate(v), v)
+
+    def test_construction_normalizes(self):
+        q = Quaternion(2.0, 0.0, 0.0, 0.0)
+        assert q.w == pytest.approx(1.0)
+
+    def test_zero_quaternion_rejected(self):
+        with pytest.raises(ValueError):
+            Quaternion(0.0, 0.0, 0.0, 0.0)
+
+    def test_axis_angle_90deg_z(self):
+        q = Quaternion.from_axis_angle(np.array([0, 0, 1]), np.pi / 2)
+        out = q.rotate(np.array([1.0, 0.0, 0.0]))
+        assert np.allclose(out, [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_zero_axis_rejected(self):
+        with pytest.raises(ValueError):
+            Quaternion.from_axis_angle(np.zeros(3), 1.0)
+
+    def test_conjugate_inverts_rotation(self):
+        q = Quaternion.from_axis_angle(np.array([1, 2, 3]), 0.7)
+        v = np.array([0.3, -1.2, 2.0])
+        assert np.allclose(q.conjugate().rotate(q.rotate(v)), v, atol=1e-12)
+
+    def test_hamilton_product_composes(self):
+        qa = Quaternion.from_axis_angle(np.array([0, 0, 1]), 0.5)
+        qb = Quaternion.from_axis_angle(np.array([0, 1, 0]), 0.8)
+        v = np.array([1.0, -0.5, 0.25])
+        composed = (qa * qb).rotate(v)
+        sequential = qa.rotate(qb.rotate(v))
+        assert np.allclose(composed, sequential, atol=1e-12)
+
+    def test_angle_to_self_is_zero(self):
+        q = Quaternion.from_axis_angle(np.array([1, 1, 0]), 1.1)
+        assert q.angle_to(q) == pytest.approx(0.0, abs=1e-7)
+
+    def test_angle_to_antipodal_is_zero(self):
+        # q and -q are the same rotation.
+        q = Quaternion.from_axis_angle(np.array([1, 0, 0]), 0.9)
+        neg = Quaternion(-q.w, -q.x, -q.y, -q.z)
+        assert q.angle_to(neg) == pytest.approx(0.0, abs=1e-7)
+
+
+class TestMatrixConversions:
+    def test_round_trip_many(self, rng):
+        for _ in range(50):
+            R = random_rotation_matrix(rng)
+            q = matrix_to_quaternion(R)
+            assert np.allclose(quaternion_to_matrix(q), R, atol=1e-10)
+
+    def test_round_trip_near_trace_branches(self):
+        # Exercise all four Shepperd branches via 180-degree rotations.
+        for axis in ([1, 0, 0], [0, 1, 0], [0, 0, 1], [1, 1, 1]):
+            R = rotation_matrix_axis_angle(np.array(axis, dtype=float), np.pi)
+            q = matrix_to_quaternion(R)
+            assert np.allclose(quaternion_to_matrix(q), R, atol=1e-9)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            matrix_to_quaternion(np.eye(4))
+
+
+class TestRotationMatrices:
+    def test_random_matrices_are_rotations(self, rng):
+        for _ in range(25):
+            assert is_rotation_matrix(random_rotation_matrix(rng))
+
+    def test_euler_identity(self):
+        assert np.allclose(rotation_matrix_euler(0, 0, 0), np.eye(3))
+
+    def test_euler_composition_order(self):
+        # Rz(a) Ry(b) Rz(g) with b=g=0 is a pure z-rotation.
+        a = 0.6
+        R = rotation_matrix_euler(a, 0.0, 0.0)
+        expected = rotation_matrix_axis_angle(np.array([0, 0, 1]), a)
+        assert np.allclose(R, expected, atol=1e-12)
+
+    def test_is_rotation_rejects_reflection(self):
+        F = np.diag([1.0, 1.0, -1.0])
+        assert not is_rotation_matrix(F)
+
+    def test_is_rotation_rejects_non_orthogonal(self):
+        assert not is_rotation_matrix(np.eye(3) * 2.0)
+
+    def test_is_rotation_rejects_wrong_shape(self):
+        assert not is_rotation_matrix(np.eye(2))
+
+    def test_angle_between_self_zero(self, rng):
+        R = random_rotation_matrix(rng)
+        assert rotation_angle_between(R, R) == pytest.approx(0.0, abs=1e-7)
+
+    def test_angle_between_known(self):
+        R1 = np.eye(3)
+        R2 = rotation_matrix_axis_angle(np.array([0, 0, 1]), 0.75)
+        assert rotation_angle_between(R1, R2) == pytest.approx(0.75, abs=1e-10)
+
+    def test_axis_angle_matches_quaternion_path(self, rng):
+        axis = rng.normal(size=3)
+        angle = 1.234
+        R = rotation_matrix_axis_angle(axis, angle)
+        q = Quaternion.from_axis_angle(axis, angle)
+        assert np.allclose(R, quaternion_to_matrix(q), atol=1e-12)

@@ -1,0 +1,82 @@
+"""Tests for SO(3) rotation-set sampling."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rotations import is_rotation_matrix, rotation_angle_between
+from repro.geometry.sampling import (
+    rotation_set,
+    super_fibonacci_rotations,
+    uniform_euler_rotations,
+)
+
+
+class TestSuperFibonacci:
+    def test_counts(self):
+        for n in (1, 7, 64, 500):
+            assert super_fibonacci_rotations(n).shape == (n, 3, 3)
+
+    def test_all_valid_rotations(self):
+        for R in super_fibonacci_rotations(100):
+            assert is_rotation_matrix(R, atol=1e-8)
+
+    def test_deterministic(self):
+        a = super_fibonacci_rotations(32)
+        b = super_fibonacci_rotations(32)
+        assert np.array_equal(a, b)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            super_fibonacci_rotations(0)
+
+    def test_spread_is_quasi_uniform(self):
+        """Nearest-neighbor geodesic distances should be tightly clustered
+        (low-discrepancy), unlike i.i.d. random sampling."""
+        mats = super_fibonacci_rotations(200)
+        nn = []
+        for i in range(0, 200, 10):
+            dists = [
+                rotation_angle_between(mats[i], mats[j]) for j in range(200) if j != i
+            ]
+            nn.append(min(dists))
+        nn = np.array(nn)
+        assert nn.min() > 0.05          # no near-duplicates
+        assert nn.max() / nn.min() < 4  # tight spread
+
+    def test_500_covers_so3(self):
+        """FTMap's 500-rotation set: any random orientation should be within
+        a coarse angular step of some sample."""
+        rng = np.random.default_rng(5)
+        mats = super_fibonacci_rotations(500)
+        from repro.geometry.rotations import random_rotation_matrix
+
+        for _ in range(10):
+            target = random_rotation_matrix(rng)
+            best = min(rotation_angle_between(target, m) for m in mats)
+            assert best < np.deg2rad(40)  # coarse-granularity coverage
+
+
+class TestEulerGrid:
+    def test_counts(self):
+        assert uniform_euler_rotations(4, 3, 2).shape == (24, 3, 3)
+
+    def test_all_valid(self):
+        for R in uniform_euler_rotations(3, 3, 3):
+            assert is_rotation_matrix(R, atol=1e-9)
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(ValueError):
+            uniform_euler_rotations(0, 3, 3)
+
+
+class TestRotationSet:
+    def test_default_scheme(self):
+        assert rotation_set(50).shape == (50, 3, 3)
+
+    def test_euler_scheme(self):
+        mats = rotation_set(27, scheme="euler")
+        assert len(mats) == 27
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            rotation_set(10, scheme="nope")

@@ -1,0 +1,80 @@
+"""Tests for rigid transforms and coordinate helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rotations import random_rotation_matrix
+from repro.geometry.transforms import (
+    RigidTransform,
+    apply_rotation,
+    bounding_radius,
+    center_of_coordinates,
+    centered,
+)
+
+
+class TestHelpers:
+    def test_center(self):
+        c = center_of_coordinates(np.array([[0.0, 0, 0], [2.0, 0, 0]]))
+        assert np.allclose(c, [1.0, 0, 0])
+
+    def test_center_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            center_of_coordinates(np.zeros((3, 2)))
+
+    def test_centered_has_zero_mean(self, rng):
+        x = rng.normal(size=(20, 3)) + 5.0
+        assert np.allclose(centered(x).mean(axis=0), 0.0, atol=1e-12)
+
+    def test_bounding_radius(self):
+        x = np.array([[1.0, 0, 0], [-1.0, 0, 0]])
+        assert bounding_radius(x) == pytest.approx(1.0)
+
+    def test_bounding_radius_empty(self):
+        assert bounding_radius(np.empty((0, 3))) == 0.0
+
+    def test_apply_rotation_preserves_norms(self, rng):
+        R = random_rotation_matrix(rng)
+        x = rng.normal(size=(10, 3))
+        out = apply_rotation(x, R)
+        assert np.allclose(
+            np.linalg.norm(out, axis=1), np.linalg.norm(x, axis=1), atol=1e-10
+        )
+
+
+class TestRigidTransform:
+    def test_identity(self):
+        t = RigidTransform.identity()
+        x = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(t.apply(x), x)
+
+    def test_rejects_non_rotation(self):
+        with pytest.raises(ValueError):
+            RigidTransform(np.diag([1.0, 1.0, -1.0]), np.zeros(3))
+
+    def test_rejects_bad_translation(self):
+        with pytest.raises(ValueError):
+            RigidTransform(np.eye(3), np.zeros(2))
+
+    def test_apply_rotate_then_translate(self, rng):
+        R = random_rotation_matrix(rng)
+        t = rng.normal(size=3)
+        tr = RigidTransform(R, t)
+        x = rng.normal(size=(5, 3))
+        assert np.allclose(tr.apply(x), x @ R.T + t, atol=1e-12)
+
+    def test_compose(self, rng):
+        a = RigidTransform(random_rotation_matrix(rng), rng.normal(size=3))
+        b = RigidTransform(random_rotation_matrix(rng), rng.normal(size=3))
+        x = rng.normal(size=(7, 3))
+        assert np.allclose(a.compose(b).apply(x), a.apply(b.apply(x)), atol=1e-10)
+
+    def test_inverse_round_trip(self, rng):
+        tr = RigidTransform(random_rotation_matrix(rng), rng.normal(size=3))
+        x = rng.normal(size=(6, 3))
+        assert np.allclose(tr.inverse().apply(tr.apply(x)), x, atol=1e-10)
+
+    def test_inverse_of_identity(self):
+        inv = RigidTransform.identity().inverse()
+        assert np.allclose(inv.rotation, np.eye(3))
+        assert np.allclose(inv.translation, 0.0)

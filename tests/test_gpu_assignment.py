@@ -1,0 +1,106 @@
+"""Tests for the Fig. 11 assignment table."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.assignment import (
+    build_assignment_table,
+    execute_grouped_accumulation,
+)
+from repro.minimize.neighborlist import build_neighbor_list
+from repro.minimize.pairslist import split_pairs
+
+
+@pytest.fixture()
+def forward_list(rng):
+    coords = rng.uniform(0, 10, size=(60, 3))
+    nlist = build_neighbor_list(coords, cutoff=4.5)
+    return split_pairs(nlist).forward, nlist
+
+
+class TestBuildTable:
+    def test_row_per_pair(self, forward_list):
+        fwd, nlist = forward_list
+        table = build_assignment_table(fwd, threads_per_block=64)
+        assert table.n_rows == fwd.n_pairs
+
+    def test_invariants(self, forward_list):
+        fwd, _ = forward_list
+        table = build_assignment_table(fwd, threads_per_block=64)
+        table.validate()
+
+    def test_each_pair_appears_once(self, forward_list):
+        fwd, _ = forward_list
+        table = build_assignment_table(fwd, threads_per_block=64)
+        assert sorted(table.pair_id.tolist()) == list(range(fwd.n_pairs))
+
+    def test_groups_not_split_across_blocks(self, forward_list):
+        """'Having all the pairs of a group on the same thread block allows
+        us to perform accumulation in the shared memory.'"""
+        fwd, _ = forward_list
+        table = build_assignment_table(fwd, threads_per_block=64)
+        masters = np.nonzero(table.master)[0]
+        for m in masters:
+            size = int(table.group_size[m])
+            assert len(set(table.block_of_row[m : m + size].tolist())) == 1
+
+    def test_oversized_group_chunked(self):
+        """A group larger than a block splits into chunks, each with its
+        own master."""
+        from repro.minimize.pairslist import DirectionalPairsList
+
+        p = 100
+        dl = DirectionalPairsList(
+            first=np.zeros(p, dtype=np.intp),
+            second=np.arange(1, p + 1, dtype=np.intp),
+            energy=np.zeros(p),
+        )
+        table = build_assignment_table(dl, threads_per_block=32)
+        assert table.master.sum() >= 4  # 100 pairs / 32 threads -> 4 chunks
+
+    def test_small_groups_fill_gaps(self):
+        """Bin packing: total blocks is near the lower bound, i.e. leftover
+        thread slots get claimed by smaller groups."""
+        from repro.minimize.pairslist import DirectionalPairsList
+
+        sizes = [40, 30, 24, 20, 8, 6]  # first-fit-decreasing packs into 2 x 64
+        first = np.concatenate(
+            [np.full(s, k, dtype=np.intp) for k, s in enumerate(sizes)]
+        )
+        dl = DirectionalPairsList(
+            first=first,
+            second=np.arange(len(first), dtype=np.intp) + 100,
+            energy=np.zeros(len(first)),
+        )
+        table = build_assignment_table(dl, threads_per_block=64)
+        assert table.n_blocks == 2
+
+    def test_nbytes(self, forward_list):
+        fwd, _ = forward_list
+        table = build_assignment_table(fwd, threads_per_block=64)
+        assert table.nbytes() == table.n_rows * 20
+
+
+class TestExecution:
+    def test_equals_flat_accumulation(self, forward_list, rng):
+        """The load-bearing invariant: grouped shared-memory accumulation
+        equals the straightforward scatter-add."""
+        fwd, nlist = forward_list
+        table = build_assignment_table(fwd, threads_per_block=64)
+        energies = rng.normal(size=fwd.n_pairs)
+        got = execute_grouped_accumulation(table, energies, nlist.n_atoms)
+        ref = np.zeros(nlist.n_atoms)
+        np.add.at(ref, fwd.first, energies)
+        assert np.allclose(got, ref)
+
+    def test_empty_table(self):
+        from repro.minimize.pairslist import DirectionalPairsList
+
+        dl = DirectionalPairsList(
+            first=np.empty(0, dtype=np.intp),
+            second=np.empty(0, dtype=np.intp),
+            energy=np.empty(0),
+        )
+        table = build_assignment_table(dl)
+        out = execute_grouped_accumulation(table, np.empty(0), 5)
+        assert np.allclose(out, 0.0)

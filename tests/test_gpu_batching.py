@@ -1,0 +1,87 @@
+"""Tests for constant-memory rotation batching (Sec. III.A)."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.device import TESLA_C1060, Device
+from repro.docking.direct import DirectCorrelationEngine
+from repro.geometry.rotations import rotation_matrix_axis_angle
+from repro.gpu.batching import gpu_batched_correlation, max_batch_rotations
+from repro.grids.rotation import ligand_grid_spec, rotate_and_grid_ligand
+
+
+class TestMaxBatch:
+    def test_paper_configuration_gives_eight(self):
+        """4^3 probe x 22 channels x 4 B = 5.5 KiB/rotation -> 8 rotations
+        fit 64 KiB constant memory (power-of-two batch).  This is exactly
+        the paper's 'we can perform 8 rotations in each pass'."""
+        assert max_batch_rotations(4, 22) == 8
+
+    def test_seven_cube_fits_few(self):
+        """7^3 grids: 30 KiB/rotation -> batch of 2."""
+        assert max_batch_rotations(7, 22) == 2
+
+    def test_eight_cube_boundary(self):
+        """Sec. III.A: 'up to 8^3 in constant memory' — one full-channel
+        rotation of an 8^3 grid still fits (45 KiB); larger grids do not."""
+        assert max_batch_rotations(8, 22) == 1
+        assert max_batch_rotations(12, 22) == 0
+
+    def test_power_of_two(self):
+        for m, c in ((4, 22), (4, 8), (5, 10), (3, 22)):
+            b = max_batch_rotations(m, c)
+            if b:
+                assert b & (b - 1) == 0  # power of two
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_batch_rotations(0, 4)
+        with pytest.raises(ValueError):
+            max_batch_rotations(4, 0)
+
+
+class TestBatchedCorrelation:
+    @pytest.fixture()
+    def rotations(self, ethanol):
+        spec = ligand_grid_spec(ethanol, n=4, spacing=1.25)
+        mats = [
+            rotation_matrix_axis_angle(np.array([0.0, 0, 1]), a)
+            for a in (0.0, 0.7, 1.4, 2.1)
+        ]
+        return [
+            rotate_and_grid_ligand(ethanol, R, spec, n_desolvation_terms=4)
+            for R in mats
+        ]
+
+    def test_matches_per_rotation_reference(self, receptor_grids_32, rotations):
+        dev = Device()
+        result = gpu_batched_correlation(dev, receptor_grids_32, rotations)
+        eng = DirectCorrelationEngine()
+        for scores, lg in zip(result.scores, rotations):
+            assert np.allclose(scores, eng.correlate(receptor_grids_32, lg), atol=1e-6)
+
+    def test_per_rotation_time_drops_with_batch(self, receptor_grids_32, rotations):
+        t1 = gpu_batched_correlation(
+            Device(), receptor_grids_32, rotations[:1]
+        ).per_rotation_time_s
+        t4 = gpu_batched_correlation(
+            Device(), receptor_grids_32, rotations
+        ).per_rotation_time_s
+        assert t4 < t1
+
+    def test_empty_batch_rejected(self, receptor_grids_32):
+        with pytest.raises(ValueError):
+            gpu_batched_correlation(Device(), receptor_grids_32, [])
+
+    def test_oversized_batch_rejected(self, receptor_grids_32, rotations):
+        limit = max_batch_rotations(4, rotations[0].n_channels, TESLA_C1060)
+        too_many = rotations * (limit // len(rotations) + 2)
+        with pytest.raises(MemoryError):
+            gpu_batched_correlation(Device(), receptor_grids_32, too_many)
+
+    def test_upload_recorded(self, receptor_grids_32, rotations):
+        dev = Device()
+        gpu_batched_correlation(dev, receptor_grids_32, rotations)
+        assert len(dev.transfers) == 1
+        expected = len(rotations) * 4**3 * rotations[0].n_channels * 4
+        assert dev.transfers[0].n_bytes == expected

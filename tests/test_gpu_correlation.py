@@ -1,0 +1,96 @@
+"""Tests for the GPU direct-correlation kernels (Fig. 4 schemes)."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.device import Device
+from repro.docking.direct import DirectCorrelationEngine
+from repro.gpu.correlation_kernels import (
+    DistributionScheme,
+    correlation_launch_sizes,
+    gpu_direct_correlation,
+)
+
+
+class TestNumerics:
+    def test_matches_serial_reference(self, receptor_grids_32, ethanol_grids_4):
+        dev = Device()
+        result = gpu_direct_correlation(dev, receptor_grids_32, ethanol_grids_4)
+        ref = DirectCorrelationEngine().correlate(receptor_grids_32, ethanol_grids_4)
+        assert np.allclose(result.scores, ref, atol=1e-6)
+
+    def test_records_launch(self, receptor_grids_32, ethanol_grids_4):
+        dev = Device()
+        result = gpu_direct_correlation(dev, receptor_grids_32, ethanol_grids_4)
+        assert len(dev.launches) == 1
+        assert result.predicted_time_s > 0
+
+    def test_schemes_same_numerics(self, receptor_grids_32, ethanol_grids_4):
+        a = gpu_direct_correlation(
+            Device(), receptor_grids_32, ethanol_grids_4, DistributionScheme.PENCILS
+        )
+        b = gpu_direct_correlation(
+            Device(), receptor_grids_32, ethanol_grids_4, DistributionScheme.PLANES
+        )
+        assert np.allclose(a.scores, b.scores)
+
+
+class TestSchemeGeometry:
+    def test_cubic_similar_times(self):
+        """Fig. 4: 'Both distributions result in similar runtimes' on the
+        paper's cubic 125^3 result grid."""
+        dev = Device()
+        t1 = dev.launch(
+            correlation_launch_sizes((125, 125, 125), 22, 4, DistributionScheme.PENCILS)
+        )
+        t2 = dev.launch(
+            correlation_launch_sizes((125, 125, 125), 22, 4, DistributionScheme.PLANES)
+        )
+        assert abs(t1 - t2) / max(t1, t2) < 0.1
+
+    def test_flat_grid_starves_planes(self):
+        """A result grid with few z-planes under-occupies scheme 2 (one
+        block per plane) but not scheme 1."""
+        dev = Device()
+        shape = (125, 125, 4)
+        t_pencils = dev.launch(
+            correlation_launch_sizes(shape, 22, 4, DistributionScheme.PENCILS)
+        )
+        t_planes = dev.launch(
+            correlation_launch_sizes(shape, 22, 4, DistributionScheme.PLANES)
+        )
+        assert t_planes > t_pencils * 1.5
+
+    def test_skinny_grid_starves_pencils(self):
+        """A skinny grid (tiny xy extent, long z) under-occupies scheme 1."""
+        dev = Device()
+        shape = (8, 8, 125)
+        t_pencils = dev.launch(
+            correlation_launch_sizes(shape, 22, 4, DistributionScheme.PENCILS)
+        )
+        t_planes = dev.launch(
+            correlation_launch_sizes(shape, 22, 4, DistributionScheme.PLANES)
+        )
+        assert t_pencils > t_planes * 1.5
+
+    def test_flops_scale_with_batch(self):
+        l1 = correlation_launch_sizes((50, 50, 50), 8, 4, batch=1)
+        l8 = correlation_launch_sizes((50, 50, 50), 8, 4, batch=8)
+        assert l8.flops == pytest.approx(8 * l1.flops)
+
+    def test_fetch_traffic_shared_across_batch(self):
+        """The batched kernel reads each protein voxel once for all B
+        rotations: coalesced fetch bytes are ~independent of B (only the
+        per-rotation stores grow)."""
+        l1 = correlation_launch_sizes((50, 50, 50), 8, 4, batch=1)
+        l8 = correlation_launch_sizes((50, 50, 50), 8, 4, batch=8)
+        t3 = 50**3
+        stores1 = t3 * 4
+        stores8 = t3 * 4 * 8
+        fetch1 = l1.global_bytes_coalesced - stores1
+        fetch8 = l8.global_bytes_coalesced - stores8
+        assert fetch8 == pytest.approx(fetch1)
+
+    def test_constant_bytes_scale_with_batch(self):
+        l4 = correlation_launch_sizes((50, 50, 50), 22, 4, batch=4)
+        assert l4.constant_bytes == 22 * 64 * 4 * 4

@@ -1,0 +1,104 @@
+"""Tests for the three GPU minimization schemes (Sec. IV)."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.device import Device
+from repro.gpu.minimize_kernels import (
+    GpuMinimizationEngine,
+    GpuMinimizationScheme,
+)
+
+
+@pytest.fixture(params=list(GpuMinimizationScheme))
+def engine(request, small_model):
+    return GpuMinimizationEngine(Device(), small_model, request.param)
+
+
+class TestNumericEquivalence:
+    def test_per_atom_matches_reference(self, engine, small_model):
+        """Every scheme must compute exactly the serial per-atom energies —
+        the restructuring changes accumulation topology, not results."""
+        coords = small_model.molecule.coords
+        ref = small_model.evaluate(coords).per_atom_nonbonded
+        got = engine.per_atom_nonbonded(coords)
+        scale = np.abs(ref).max()
+        assert np.abs(got - ref).max() / scale < 1e-10
+
+    def test_perturbed_coordinates(self, engine, small_model, rng):
+        coords = small_model.molecule.coords + rng.normal(scale=0.01, size=(small_model.molecule.n_atoms, 3))
+        ref = small_model.evaluate(coords).per_atom_nonbonded
+        got = engine.per_atom_nonbonded(coords)
+        assert np.allclose(got, ref, rtol=1e-9, atol=1e-9)
+
+
+class TestSchemeTiming:
+    def test_scheme_c_fastest(self, small_model):
+        """Scheme C always wins; A vs B ordering depends on scale (A's
+        per-round launches scale with atom count, B's host accumulation
+        with pair count) — at paper scale A is worst, which
+        test_perf_speedup covers."""
+        times = {}
+        for scheme in GpuMinimizationScheme:
+            eng = GpuMinimizationEngine(Device(), small_model, scheme)
+            times[scheme] = eng.iteration_timing().total_s
+        c = times[GpuMinimizationScheme.SPLIT_ASSIGNMENT]
+        assert c < times[GpuMinimizationScheme.FLAT_PAIRS]
+        assert c < times[GpuMinimizationScheme.NEIGHBOR_LIST]
+
+    def test_scheme_b_transfers_every_iteration(self, small_model):
+        """Scheme B ships both energy arrays to the host per iteration."""
+        dev = Device()
+        eng = GpuMinimizationEngine(dev, small_model, GpuMinimizationScheme.FLAT_PAIRS)
+        before = len(dev.transfers)
+        eng.iteration_timing()
+        d2h = [t for t in dev.transfers[before:] if t.direction.value == "d2h"]
+        assert len(d2h) == 3  # one per energy/force kernel
+
+    def test_scheme_c_no_per_iteration_transfers(self, small_model):
+        """'There is no further data transfer per iteration, unless the
+        neighbor list is updated.'"""
+        dev = Device()
+        eng = GpuMinimizationEngine(dev, small_model, GpuMinimizationScheme.SPLIT_ASSIGNMENT)
+        before = len(dev.transfers)
+        eng.iteration_timing()
+        assert len(dev.transfers) == before
+
+    def test_scheme_c_six_launches(self, small_model):
+        """Three kernels x forward+reverse passes."""
+        dev = Device()
+        eng = GpuMinimizationEngine(dev, small_model, GpuMinimizationScheme.SPLIT_ASSIGNMENT)
+        before = len(dev.launches)
+        eng.iteration_timing()
+        assert len(dev.launches) - before == 6
+
+    def test_scheme_a_many_launches(self, small_model):
+        """Scheme A relaunches per 30-atom round: far more than 6."""
+        dev = Device()
+        eng = GpuMinimizationEngine(dev, small_model, GpuMinimizationScheme.NEIGHBOR_LIST)
+        before = len(dev.launches)
+        eng.iteration_timing()
+        assert len(dev.launches) - before > 20
+
+    def test_kernel_time_summary_families(self, small_model):
+        eng = GpuMinimizationEngine(
+            Device(), small_model, GpuMinimizationScheme.SPLIT_ASSIGNMENT
+        )
+        summary = eng.kernel_time_summary()
+        assert set(summary) == {"self_energy", "pairwise_vdw", "force_update"}
+        assert all(v > 0 for v in summary.values())
+
+
+class TestTableRebuild:
+    def test_refresh_reuploads_tables(self, small_model):
+        dev = Device()
+        eng = GpuMinimizationEngine(dev, small_model, GpuMinimizationScheme.SPLIT_ASSIGNMENT)
+        before = len(dev.transfers)
+        eng.refresh_after_list_update()
+        assert len(dev.transfers) == before + 1
+        assert eng.table_rebuilds == 1
+
+    def test_setup_uploads_once(self, small_model):
+        dev = Device()
+        GpuMinimizationEngine(dev, small_model, GpuMinimizationScheme.SPLIT_ASSIGNMENT)
+        assert len(dev.transfers) == 1

@@ -1,0 +1,86 @@
+"""Tests for the assembled GPU FTMap pipeline (model mode)."""
+
+import pytest
+
+from repro.cuda.device import Device
+from repro.gpu.pipeline import GpuFTMapPipeline
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return GpuFTMapPipeline(Device())
+
+
+class TestDockingTimes:
+    def test_breakdown_positive(self, pipe):
+        d = pipe.docking_times()
+        for v in d.as_dict().values():
+            assert v >= 0
+        assert d.total_per_rotation_s > 0
+
+    def test_rotation_grid_unaccelerated(self, pipe):
+        """Table 1 row 1: rotation + grid assignment stays on the host at
+        the same 80 ms on both sides (speedup 1x)."""
+        g = pipe.docking_times()
+        s = pipe.serial_docking_times()
+        assert g.rotation_grid_s == pytest.approx(s.rotation_grid_s)
+
+    def test_paper_gpu_total_within_band(self, pipe):
+        """Table 1 total: 125.5 ms/rotation on the C1060; ours must land in
+        the same band (+-25%)."""
+        total_ms = pipe.docking_times().total_per_rotation_s * 1e3
+        assert 95 <= total_ms <= 155
+
+    def test_paper_serial_total_within_band(self, pipe):
+        """Table 1 total: 4060 ms serial."""
+        total_ms = pipe.serial_docking_times().total_per_rotation_s * 1e3
+        assert 3200 <= total_ms <= 4900
+
+    def test_correlation_dominates_serial(self, pipe):
+        """Fig. 2(b): FFT correlations ~93% of serial rotation time."""
+        s = pipe.serial_docking_times()
+        frac = s.correlation_s / s.total_per_rotation_s
+        assert 0.85 <= frac <= 0.96
+
+    def test_batch_one_slower(self, pipe):
+        t1 = GpuFTMapPipeline(Device()).docking_times(batch=1)
+        t8 = GpuFTMapPipeline(Device()).docking_times(batch=8)
+        assert t1.correlation_s > 2 * t8.correlation_s
+
+
+class TestMinimizationTimes:
+    def test_paper_kernel_bands(self, pipe):
+        """Table 2 GPU column: 0.23 / 0.19 / 0.14 ms (+-35%)."""
+        m = GpuFTMapPipeline(Device()).minimization_times()
+        assert 0.15e-3 <= m.self_energies_s <= 0.31e-3
+        assert 0.12e-3 <= m.pairwise_vdw_s <= 0.26e-3
+        assert 0.09e-3 <= m.force_updates_s <= 0.19e-3
+
+    def test_serial_matches_table2_inputs(self, pipe):
+        s = pipe.serial_minimization_times()
+        assert s.self_energies_s == pytest.approx(6.15e-3, rel=1e-6)
+        assert s.pairwise_vdw_s == pytest.approx(3.25e-3, rel=1e-6)
+        assert s.force_updates_s == pytest.approx(0.95e-3, rel=1e-3)
+
+
+class TestRollup:
+    def test_overall_speedup_near_13x(self, pipe):
+        """Sec. V.C: 13x overall (435 -> 33 min).  Band: 10-16x."""
+        ser = pipe.probe_mapping_time_s(gpu=False)
+        gpu = pipe.probe_mapping_time_s(gpu=True)
+        speedup = ser["total"] / gpu["total"]
+        assert 10 <= speedup <= 16
+
+    def test_minimization_dominates_serial(self, pipe):
+        """Fig. 2(a): minimization ~93% of serial FTMap."""
+        ser = pipe.probe_mapping_time_s(gpu=False)
+        frac = ser["minimization"] / ser["total"]
+        assert 0.88 <= frac <= 0.97
+
+    def test_serial_total_near_435_min(self, pipe):
+        ser = pipe.probe_mapping_time_s(gpu=False)
+        assert 350 <= ser["total"] / 60 <= 520
+
+    def test_gpu_total_near_33_min(self, pipe):
+        gpu = pipe.probe_mapping_time_s(gpu=True)
+        assert 25 <= gpu["total"] / 60 <= 42

@@ -1,0 +1,69 @@
+"""Tests for the single-SM scoring/filtering kernel (Figs. 5-6)."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.device import Device
+from repro.docking.filtering import filter_top_poses
+from repro.gpu.scoring_kernel import (
+    d2h_savings_bytes,
+    gpu_score_and_filter,
+    scoring_filter_launch,
+)
+
+
+class TestNumerics:
+    def test_matches_serial_reference(self, rng):
+        grid = rng.normal(size=(20, 20, 20))
+        result = gpu_score_and_filter(Device(), grid, k=4)
+        ref = filter_top_poses(grid, k=4)
+        assert [(p.translation, p.score) for p in result.poses] == [
+            (p.translation, p.score) for p in ref
+        ]
+
+    def test_transfer_is_tiny(self, rng):
+        grid = rng.normal(size=(16, 16, 16))
+        dev = Device()
+        gpu_score_and_filter(dev, grid, k=4)
+        assert dev.transfers[-1].n_bytes == 4 * 16
+
+
+class TestLaunchModel:
+    def test_single_block(self):
+        launch = scoring_filter_launch(125**3, 3, 4, 3)
+        assert launch.num_blocks == 1  # the whole point (Fig. 6)
+
+    def test_underutilization_penalty(self):
+        """The same work on 30 blocks would be much faster — quantifying
+        'heavy under-utilization of the available GPU computation power'."""
+        dev = Device()
+        single = scoring_filter_launch(125**3, 3, 4, 3)
+        t_single = dev.launch(single)
+        import dataclasses
+
+        multi = dataclasses.replace(single, num_blocks=30)
+        t_multi = dev.launch(multi)
+        assert t_single > 5 * t_multi
+
+    def test_master_serial_fraction_positive(self):
+        launch = scoring_filter_launch(32**3, 3, 4, 3)
+        assert 0 < launch.serial_fraction < 0.5
+
+    def test_exclusion_traffic_scales_with_k(self):
+        l2 = scoring_filter_launch(64**3, 3, 2, 3)
+        l8 = scoring_filter_launch(64**3, 3, 8, 3)
+        assert l8.global_bytes_coalesced > l2.global_bytes_coalesced
+
+
+class TestD2HSavings:
+    def test_paper_scale(self):
+        """On-GPU filtering saves ~8 MB per rotation at N=128: the full
+        125^3 float grid vs 4 poses x 16 B."""
+        saved = d2h_savings_bytes(125**3, 4)
+        assert saved == 125**3 * 4 - 64
+        assert saved > 7.5e6
+
+    def test_reported_by_result(self, rng):
+        grid = rng.normal(size=(10, 10, 10))
+        res = gpu_score_and_filter(Device(), grid, k=2)
+        assert res.d2h_bytes_saved == d2h_savings_bytes(1000, 2)

@@ -1,0 +1,116 @@
+"""Tests for grid geometry and voxelization."""
+
+import numpy as np
+import pytest
+
+from repro.grids.gridding import GridSpec, surface_layer_mask, voxelize_molecule
+from repro.structure.molecule import Molecule
+
+
+def point_molecule(coords):
+    return Molecule(np.asarray(coords, dtype=float), ["CT"] * len(coords))
+
+
+class TestGridSpec:
+    def test_shape_extent(self):
+        g = GridSpec(n=8, spacing=0.5)
+        assert g.shape == (8, 8, 8)
+        assert g.extent == pytest.approx(4.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            GridSpec(n=0)
+        with pytest.raises(ValueError):
+            GridSpec(n=4, spacing=0.0)
+        with pytest.raises(ValueError):
+            GridSpec(n=4, origin=(0.0, 0.0))
+
+    def test_world_voxel_round_trip(self):
+        g = GridSpec(n=16, spacing=0.8, origin=(1.0, -2.0, 3.0))
+        pts = np.array([[1.0, -2.0, 3.0], [2.6, 0.4, 5.4]])
+        assert np.allclose(g.voxel_to_world(g.world_to_voxel(pts)), pts)
+
+    def test_centered_on(self):
+        m = point_molecule([[5.0, 5.0, 5.0]])
+        g = GridSpec.centered_on(m, n=9, spacing=1.0)
+        # Molecule center maps to the central voxel (4, 4, 4).
+        assert np.allclose(g.world_to_voxel(m.center()), [4, 4, 4])
+
+    def test_contains(self):
+        g = GridSpec(n=4, spacing=1.0)
+        pts = np.array([[0.0, 0, 0], [3.0, 3, 3], [4.2, 0, 0], [-0.4, 0, 0]])
+        assert g.contains(pts).tolist() == [True, True, False, True]
+
+
+class TestVoxelize:
+    def test_nearest_deposits_unit_weight(self):
+        m = point_molecule([[1.0, 1.0, 1.0]])
+        g = GridSpec(n=4, spacing=1.0)
+        grid = voxelize_molecule(m, g)
+        assert grid.sum() == pytest.approx(1.0)
+        assert grid[1, 1, 1] == pytest.approx(1.0)
+
+    def test_custom_weights(self):
+        m = point_molecule([[0.0, 0, 0], [1.0, 0, 0]])
+        g = GridSpec(n=4, spacing=1.0)
+        grid = voxelize_molecule(m, g, weights=np.array([2.0, -1.0]))
+        assert grid[0, 0, 0] == pytest.approx(2.0)
+        assert grid[1, 0, 0] == pytest.approx(-1.0)
+
+    def test_weights_shape_checked(self):
+        m = point_molecule([[0.0, 0, 0]])
+        g = GridSpec(n=4)
+        with pytest.raises(ValueError):
+            voxelize_molecule(m, g, weights=np.ones(3))
+
+    def test_outside_atoms_dropped(self):
+        m = point_molecule([[100.0, 0, 0]])
+        g = GridSpec(n=4)
+        assert voxelize_molecule(m, g).sum() == 0.0
+
+    def test_trilinear_conserves_mass(self):
+        m = point_molecule([[1.3, 1.7, 0.2]])
+        g = GridSpec(n=6, spacing=1.0)
+        grid = voxelize_molecule(m, g, mode="trilinear")
+        assert grid.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_trilinear_on_lattice_matches_nearest(self):
+        m = point_molecule([[2.0, 3.0, 1.0]])
+        g = GridSpec(n=6)
+        a = voxelize_molecule(m, g, mode="nearest")
+        b = voxelize_molecule(m, g, mode="trilinear")
+        assert np.allclose(a, b)
+
+    def test_unknown_mode(self):
+        m = point_molecule([[0.0, 0, 0]])
+        with pytest.raises(ValueError):
+            voxelize_molecule(m, GridSpec(n=4), mode="cubic")
+
+    def test_accumulates_coincident_atoms(self):
+        m = point_molecule([[1.0, 1, 1], [1.2, 1, 1]])
+        g = GridSpec(n=4)
+        assert voxelize_molecule(m, g)[1, 1, 1] == pytest.approx(2.0)
+
+
+class TestSurfaceLayer:
+    def test_solid_cube_surface(self):
+        occ = np.zeros((5, 5, 5))
+        occ[1:4, 1:4, 1:4] = 1.0
+        surf = surface_layer_mask(occ)
+        assert surf[1, 1, 1]            # corner of the cube is surface
+        assert not surf[2, 2, 2]        # center is core
+        assert surf.sum() == 26         # 3^3 - 1 interior voxel
+
+    def test_single_voxel_is_surface(self):
+        occ = np.zeros((3, 3, 3))
+        occ[1, 1, 1] = 1.0
+        assert surface_layer_mask(occ)[1, 1, 1]
+
+    def test_empty_grid(self):
+        assert surface_layer_mask(np.zeros((4, 4, 4))).sum() == 0
+
+    def test_grid_boundary_counts_as_empty(self):
+        occ = np.ones((3, 3, 3))
+        surf = surface_layer_mask(occ)
+        assert surf[0, 0, 0]
+        assert not surf[1, 1, 1]

@@ -1,0 +1,117 @@
+"""Tests for pose clustering and consensus-site detection."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.clustering import cluster_poses
+from repro.mapping.consensus import consensus_sites
+
+
+class TestClusterPoses:
+    def test_two_well_separated_blobs(self, rng):
+        a = rng.normal(scale=0.5, size=(20, 3))
+        b = rng.normal(scale=0.5, size=(15, 3)) + np.array([20.0, 0, 0])
+        positions = np.vstack([a, b])
+        energies = rng.normal(size=35)
+        clusters = cluster_poses(positions, energies, radius=4.0)
+        assert len(clusters) == 2
+        assert {c.size for c in clusters} == {20, 15}
+
+    def test_every_pose_assigned_once(self, rng):
+        positions = rng.uniform(0, 30, size=(50, 3))
+        energies = rng.normal(size=50)
+        clusters = cluster_poses(positions, energies, radius=5.0)
+        all_members = [i for c in clusters for i in c.member_indices]
+        assert sorted(all_members) == list(range(50))
+
+    def test_seed_is_lowest_energy(self, rng):
+        positions = rng.normal(scale=1.0, size=(10, 3))
+        energies = rng.normal(size=10)
+        clusters = cluster_poses(positions, energies, radius=50.0)
+        assert len(clusters) == 1
+        assert np.allclose(clusters[0].center, positions[np.argmin(energies)])
+
+    def test_clusters_energy_ordered(self, rng):
+        positions = np.vstack(
+            [rng.normal(size=(5, 3)) + off for off in ([0, 0, 0], [30, 0, 0], [0, 30, 0])]
+        )
+        energies = rng.normal(size=15)
+        clusters = cluster_poses(positions, energies, radius=4.0)
+        bests = [c.best_energy for c in clusters]
+        assert bests == sorted(bests)
+
+    def test_max_clusters_cap(self, rng):
+        positions = rng.uniform(0, 100, size=(40, 3))
+        energies = rng.normal(size=40)
+        clusters = cluster_poses(positions, energies, radius=1.0, max_clusters=3)
+        assert len(clusters) == 3
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            cluster_poses(np.zeros((3, 2)), [1, 2, 3])
+        with pytest.raises(ValueError):
+            cluster_poses(np.zeros((3, 3)), [1, 2])
+        with pytest.raises(ValueError):
+            cluster_poses(np.zeros((3, 3)), [1, 2, 3], radius=0.0)
+
+    def test_empty(self):
+        assert cluster_poses(np.empty((0, 3)), []) == []
+
+
+class TestConsensusSites:
+    @staticmethod
+    def fake_clusters(center, energy):
+        from repro.mapping.clustering import Cluster
+
+        return Cluster(
+            center=np.asarray(center, dtype=float),
+            member_indices=[0],
+            energies=[energy],
+        )
+
+    def test_overlapping_probes_form_one_site(self):
+        probe_clusters = {
+            "ethanol": [self.fake_clusters([0, 0, 0], -5.0)],
+            "benzene": [self.fake_clusters([2, 0, 0], -4.0)],
+            "urea": [self.fake_clusters([0, 2, 0], -3.0)],
+        }
+        sites = consensus_sites(probe_clusters, radius=6.0)
+        assert len(sites) == 1
+        assert sites[0].probe_count == 3
+
+    def test_ranking_by_probe_count(self):
+        probe_clusters = {
+            "ethanol": [
+                self.fake_clusters([0, 0, 0], -5.0),
+                self.fake_clusters([50, 0, 0], -8.0),
+            ],
+            "benzene": [self.fake_clusters([1, 0, 0], -4.0)],
+        }
+        sites = consensus_sites(probe_clusters, radius=6.0)
+        # Site at origin has 2 distinct probes; the -8 site has only 1 but a
+        # better energy.  Probe count wins (FTMap's rule).
+        assert sites[0].probe_count == 2
+        assert sites[1].best_energy == pytest.approx(-8.0)
+
+    def test_top_clusters_per_probe_cap(self):
+        probe_clusters = {
+            "ethanol": [
+                self.fake_clusters([k * 30, 0, 0], -10.0 + k) for k in range(10)
+            ]
+        }
+        sites = consensus_sites(probe_clusters, radius=4.0, top_clusters_per_probe=3)
+        assert len(sites) == 3
+
+    def test_empty(self):
+        assert consensus_sites({}) == []
+
+    def test_same_probe_twice_counts_once(self):
+        probe_clusters = {
+            "ethanol": [
+                self.fake_clusters([0, 0, 0], -5.0),
+                self.fake_clusters([1, 0, 0], -4.5),
+            ]
+        }
+        sites = consensus_sites(probe_clusters, radius=6.0)
+        assert sites[0].probe_count == 1
+        assert len(sites[0].member_clusters) == 2

@@ -1,0 +1,77 @@
+"""Integration tests for the end-to-end FTMap driver (scaled down)."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.ftmap import FTMapConfig, run_ftmap
+from repro.mapping.report import mapping_report
+from repro.structure import synthetic_protein
+from repro.structure.builder import pocket_center
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return FTMapConfig(
+        probe_names=("ethanol", "acetone"),
+        num_rotations=4,
+        receptor_grid=32,
+        grid_spacing=1.25,
+        minimize_top=3,
+        minimizer_iterations=15,
+    )
+
+
+@pytest.fixture(scope="module")
+def protein():
+    return synthetic_protein(n_residues=60, seed=3)
+
+
+@pytest.fixture(scope="module")
+def result(protein, tiny_config):
+    return run_ftmap(protein, tiny_config)
+
+
+class TestRunFTMap:
+    def test_all_probes_processed(self, result):
+        assert set(result.probe_results) == {"ethanol", "acetone"}
+
+    def test_pose_counts(self, result, tiny_config):
+        for pr in result.probe_results.values():
+            assert len(pr.docked_poses) == tiny_config.num_rotations * 4
+            assert len(pr.minimized) == tiny_config.minimize_top
+
+    def test_minimization_lowered_energy(self, result):
+        for pr in result.probe_results.values():
+            for res in pr.minimized:
+                assert res.energy <= res.initial_energy
+
+    def test_clusters_formed(self, result):
+        for pr in result.probe_results.values():
+            assert len(pr.clusters) >= 1
+
+    def test_consensus_sites_found(self, result):
+        assert len(result.sites) >= 1
+        assert result.top_site is not None
+
+    def test_top_site_probe_count_ranked(self, result):
+        counts = [s.probe_count for s in result.sites]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_minimized_centers_near_protein(self, result, protein):
+        """Refined probe centers must stay on/near the protein surface."""
+        bound = np.abs(protein.coords - protein.center()).max() + 10
+        for pr in result.probe_results.values():
+            d = np.linalg.norm(pr.minimized_centers - protein.center(), axis=1)
+            assert np.all(d < bound)
+
+    def test_report_renders(self, result):
+        text = mapping_report(result)
+        assert "consensus sites" in text
+        assert "ethanol" in text
+        assert "acetone" in text
+
+    def test_report_handles_empty(self):
+        from repro.mapping.ftmap import FTMapResult
+
+        text = mapping_report(FTMapResult(probe_results={}, sites=[]))
+        assert "none found" in text

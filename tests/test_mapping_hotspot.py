@@ -1,0 +1,77 @@
+"""Tests for burial maps and pocket detection."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.hotspot import burial_map, site_concavity, top_pockets
+from repro.structure import synthetic_protein
+from repro.structure.builder import pocket_center
+
+
+@pytest.fixture(scope="module")
+def protein():
+    return synthetic_protein(n_residues=120, seed=3)
+
+
+@pytest.fixture(scope="module")
+def bmap(protein):
+    return burial_map(protein)
+
+
+class TestBurialMap:
+    def test_zero_on_occupied(self, bmap):
+        assert np.all(bmap.burial[bmap.occupied] == 0.0)
+
+    def test_positive_somewhere(self, bmap):
+        assert (bmap.burial > 0).sum() > 100
+
+    def test_value_at_pocket_above_median(self, bmap, protein):
+        """The carved pocket must register as a concavity."""
+        pc = pocket_center(protein)
+        assert bmap.value_at(pc) >= bmap.percentile(50)
+
+    def test_value_at_far_point_is_zero(self, bmap, protein):
+        far = protein.center() + np.array([500.0, 0, 0])
+        assert bmap.value_at(far) == 0.0
+
+    def test_percentile_ordering(self, bmap):
+        assert bmap.percentile(90) >= bmap.percentile(50) >= bmap.percentile(10)
+
+
+class TestTopPockets:
+    def test_count_and_ordering(self, bmap):
+        pockets = top_pockets(bmap, k=3)
+        assert len(pockets) == 3
+        vals = [bmap.value_at(p, window=1) for p in pockets]
+        assert vals[0] >= vals[1] >= vals[2]
+
+    def test_pockets_distinct(self, bmap):
+        pockets = top_pockets(bmap, k=3, exclusion_radius_voxels=4)
+        for i in range(len(pockets)):
+            for j in range(i + 1, len(pockets)):
+                assert np.linalg.norm(pockets[i] - pockets[j]) > 2.0
+
+    def test_pockets_are_concave(self, bmap):
+        for p in top_pockets(bmap, k=3):
+            assert site_concavity(bmap, p, percentile=60.0)
+
+    def test_empty_map(self):
+        from repro.mapping.hotspot import BurialMap
+        from repro.grids.gridding import GridSpec
+
+        empty = BurialMap(
+            spec=GridSpec(n=8),
+            occupied=np.zeros((8, 8, 8), dtype=bool),
+            burial=np.zeros((8, 8, 8)),
+        )
+        assert top_pockets(empty, k=2) == []
+        assert empty.percentile(90) == 0.0
+
+
+class TestSiteConcavity:
+    def test_pocket_is_concave(self, bmap, protein):
+        assert site_concavity(bmap, pocket_center(protein), percentile=40.0)
+
+    def test_solvent_is_not(self, bmap, protein):
+        far = protein.center() + np.array([500.0, 0, 0])
+        assert not site_concavity(bmap, far)

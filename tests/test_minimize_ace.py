@@ -1,0 +1,166 @@
+"""Tests for ACE electrostatics (Eqs. 4-7)."""
+
+import numpy as np
+import pytest
+
+from repro.minimize.ace import (
+    BORN_RADIUS_MAX,
+    BORN_RADIUS_MIN,
+    ace_self_energies,
+    born_radii_from_self_energies,
+    gb_pairwise_energy,
+)
+
+
+@pytest.fixture()
+def system(rng):
+    n = 30
+    coords = rng.uniform(0, 8, size=(n, 3))
+    charges = rng.normal(scale=0.4, size=n)
+    born = rng.uniform(1.2, 2.2, size=n)
+    volumes = rng.uniform(5, 30, size=n)
+    # all pairs (i < j)
+    idx = np.triu_indices(n, k=1)
+    return coords, charges, born, volumes, idx[0], idx[1]
+
+
+class TestSelfEnergies:
+    def test_born_term_only_when_no_pairs(self, system):
+        coords, q, born, vol, _, _ = system
+        res = ace_self_energies(coords, q, born, vol, np.empty(0, int), np.empty(0, int))
+        from repro.constants import SOLVENT_DIELECTRIC
+
+        expected = q**2 / (2 * SOLVENT_DIELECTRIC * born)
+        assert np.allclose(res.self_energies, expected)
+        assert np.allclose(res.gradient, 0.0)
+
+    def test_positive_definite(self, system):
+        """Eq. 6 terms are positive (Gaussian + volume tail), so self
+        energies exceed the Born floor."""
+        coords, q, born, vol, i, j = system
+        res = ace_self_energies(coords, q, born, vol, i, j)
+        from repro.constants import SOLVENT_DIELECTRIC
+
+        floor = q**2 / (2 * SOLVENT_DIELECTRIC * born)
+        assert np.all(res.self_energies >= floor - 1e-12)
+
+    def test_gradient_matches_finite_difference(self, system):
+        coords, q, born, vol, i, j = system
+        res = ace_self_energies(coords, q, born, vol, i, j)
+        h = 1e-6
+        rng = np.random.default_rng(1)
+        for a in rng.choice(len(coords), 4, replace=False):
+            for d in range(3):
+                cp, cm = coords.copy(), coords.copy()
+                cp[a, d] += h
+                cm[a, d] -= h
+                ep = ace_self_energies(cp, q, born, vol, i, j).self_energies.sum()
+                em = ace_self_energies(cm, q, born, vol, i, j).self_energies.sum()
+                fd = (ep - em) / (2 * h)
+                assert res.gradient[a, d] == pytest.approx(fd, rel=1e-4, abs=1e-8)
+
+    def test_per_pair_terms_sum_to_totals(self, system):
+        coords, q, born, vol, i, j = system
+        res = ace_self_energies(coords, q, born, vol, i, j, per_pair=True)
+        from repro.constants import SOLVENT_DIELECTRIC
+
+        rebuilt = q**2 / (2 * SOLVENT_DIELECTRIC * born)
+        np.add.at(rebuilt, i, res.pair_terms_forward)
+        np.add.at(rebuilt, j, res.pair_terms_reverse)
+        assert np.allclose(rebuilt, res.self_energies)
+
+    def test_distance_decay(self):
+        """A far neighbor must contribute less self energy than a near one."""
+        q = np.array([0.5, 0.5])
+        born = np.array([1.8, 1.8])
+        vol = np.array([15.0, 15.0])
+        i, j = np.array([0]), np.array([1])
+        near = ace_self_energies(
+            np.array([[0.0, 0, 0], [3.0, 0, 0]]), q, born, vol, i, j
+        ).self_energies[0]
+        far = ace_self_energies(
+            np.array([[0.0, 0, 0], [8.0, 0, 0]]), q, born, vol, i, j
+        ).self_energies[0]
+        assert near > far
+
+
+class TestBornRadii:
+    def test_clamped_range(self, system):
+        coords, q, born, vol, i, j = system
+        se = ace_self_energies(coords, q, born, vol, i, j).self_energies
+        alphas = born_radii_from_self_energies(se, q, born)
+        assert np.all(alphas >= BORN_RADIUS_MIN)
+        assert np.all(alphas <= BORN_RADIUS_MAX)
+
+    def test_zero_charge_falls_back(self):
+        alphas = born_radii_from_self_energies(
+            np.array([0.0]), np.array([0.0]), np.array([2.0])
+        )
+        assert alphas[0] == pytest.approx(2.0)
+
+    def test_higher_self_energy_smaller_radius(self):
+        q = np.array([0.5, 0.5])
+        fb = np.array([2.0, 2.0])
+        alphas = born_radii_from_self_energies(np.array([5.0, 15.0]), q, fb)
+        assert BORN_RADIUS_MIN < alphas[1] < alphas[0] < BORN_RADIUS_MAX
+
+
+class TestGBPairwise:
+    def test_total_equals_per_atom_sum(self, system):
+        coords, q, born, vol, i, j = system
+        alphas = np.full(len(q), 2.0)
+        total, per_atom, _ = gb_pairwise_energy(coords, q, alphas, i, j)
+        assert total == pytest.approx(per_atom.sum())
+
+    def test_per_pair_sums_to_total(self, system):
+        coords, q, born, vol, i, j = system
+        alphas = np.full(len(q), 2.0)
+        total, _, _, per_pair = gb_pairwise_energy(coords, q, alphas, i, j, per_pair=True)
+        assert total == pytest.approx(per_pair.sum())
+
+    def test_gradient_matches_finite_difference(self, system):
+        coords, q, born, vol, i, j = system
+        alphas = np.full(len(q), 2.0)
+        _, _, grad = gb_pairwise_energy(coords, q, alphas, i, j)
+        h = 1e-6
+        rng = np.random.default_rng(2)
+        for a in rng.choice(len(coords), 4, replace=False):
+            for d in range(3):
+                cp, cm = coords.copy(), coords.copy()
+                cp[a, d] += h
+                cm[a, d] -= h
+                ep = gb_pairwise_energy(cp, q, alphas, i, j)[0]
+                em = gb_pairwise_energy(cm, q, alphas, i, j)[0]
+                fd = (ep - em) / (2 * h)
+                assert grad[a, d] == pytest.approx(fd, rel=1e-4, abs=1e-7)
+
+    def test_opposite_charges_attract(self):
+        """GB screening reduces but does not flip Coulomb attraction at
+        short range (eps_in = 1)."""
+        coords = np.array([[0.0, 0, 0], [3.0, 0, 0]])
+        q = np.array([0.5, -0.5])
+        alphas = np.array([2.0, 2.0])
+        total, _, grad = gb_pairwise_energy(coords, q, alphas, np.array([0]), np.array([1]))
+        assert total < 0.0
+        # Attraction: moving atom 0 toward atom 1 (+x) lowers the energy,
+        # so the energy gradient along +x is negative.
+        assert grad[0, 0] < 0.0
+
+    def test_empty_pairs(self):
+        total, per_atom, grad = gb_pairwise_energy(
+            np.zeros((3, 3)), np.zeros(3), np.ones(3), np.empty(0, int), np.empty(0, int)
+        )
+        assert total == 0.0
+        assert np.allclose(per_atom, 0.0)
+
+    def test_screening_weaker_than_vacuum(self):
+        """|GB screened| < |bare Coulomb| for any finite Born radii."""
+        from repro.constants import COULOMB_332
+
+        coords = np.array([[0.0, 0, 0], [4.0, 0, 0]])
+        q = np.array([0.4, 0.3])
+        total, _, _ = gb_pairwise_energy(
+            coords, q, np.array([2.0, 2.0]), np.array([0]), np.array([1])
+        )
+        bare = COULOMB_332 * q[0] * q[1] / 4.0
+        assert 0 < total < bare

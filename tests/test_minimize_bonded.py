@@ -1,0 +1,157 @@
+"""Tests for bonded energy terms (bond / angle / dihedral / improper)."""
+
+import numpy as np
+import pytest
+
+from repro.minimize.bonded import (
+    angle_energy,
+    bond_energy,
+    dihedral_energy,
+    improper_energy,
+)
+
+
+class TestBond:
+    def test_zero_at_equilibrium(self):
+        coords = np.array([[0.0, 0, 0], [1.5, 0, 0]])
+        e, g = bond_energy(coords, np.array([[0, 1]]), np.array([300.0]), np.array([1.5]))
+        assert e == pytest.approx(0.0)
+        assert np.allclose(g, 0.0)
+
+    def test_harmonic_value(self):
+        coords = np.array([[0.0, 0, 0], [2.0, 0, 0]])
+        e, _ = bond_energy(coords, np.array([[0, 1]]), np.array([100.0]), np.array([1.5]))
+        assert e == pytest.approx(100.0 * 0.25)
+
+    def test_gradient_fd(self, rng):
+        coords = rng.uniform(0, 4, size=(4, 3))
+        bonds = np.array([[0, 1], [1, 2], [2, 3]])
+        kb = np.array([300.0, 250.0, 200.0])
+        r0 = np.array([1.5, 1.4, 1.6])
+        _, g = bond_energy(coords, bonds, kb, r0)
+        h = 1e-6
+        for a in range(4):
+            for d in range(3):
+                cp, cm = coords.copy(), coords.copy()
+                cp[a, d] += h
+                cm[a, d] -= h
+                fd = (bond_energy(cp, bonds, kb, r0)[0] - bond_energy(cm, bonds, kb, r0)[0]) / (2 * h)
+                assert g[a, d] == pytest.approx(fd, rel=1e-5, abs=1e-7)
+
+    def test_empty(self):
+        e, g = bond_energy(np.zeros((2, 3)), np.empty((0, 2), int), np.empty(0), np.empty(0))
+        assert e == 0.0
+
+
+class TestAngle:
+    def test_zero_at_equilibrium(self):
+        theta0 = np.deg2rad(90.0)
+        coords = np.array([[1.0, 0, 0], [0.0, 0, 0], [0.0, 1.0, 0]])
+        e, g = angle_energy(coords, np.array([[0, 1, 2]]), np.array([50.0]), np.array([theta0]))
+        assert e == pytest.approx(0.0, abs=1e-12)
+        assert np.allclose(g, 0.0, atol=1e-9)
+
+    def test_harmonic_value(self):
+        coords = np.array([[1.0, 0, 0], [0.0, 0, 0], [0.0, 1.0, 0]])  # 90 deg
+        theta0 = np.deg2rad(109.5)
+        e, _ = angle_energy(coords, np.array([[0, 1, 2]]), np.array([50.0]), np.array([theta0]))
+        expected = 50.0 * (np.pi / 2 - theta0) ** 2
+        assert e == pytest.approx(expected)
+
+    def test_gradient_fd(self, rng):
+        coords = rng.uniform(0, 3, size=(5, 3))
+        angles = np.array([[0, 1, 2], [2, 3, 4]])
+        ka = np.array([50.0, 40.0])
+        th0 = np.array([1.9, 2.0])
+        _, g = angle_energy(coords, angles, ka, th0)
+        h = 1e-6
+        for a in range(5):
+            for d in range(3):
+                cp, cm = coords.copy(), coords.copy()
+                cp[a, d] += h
+                cm[a, d] -= h
+                fd = (angle_energy(cp, angles, ka, th0)[0] - angle_energy(cm, angles, ka, th0)[0]) / (2 * h)
+                assert g[a, d] == pytest.approx(fd, rel=1e-4, abs=1e-6)
+
+
+class TestDihedral:
+    @staticmethod
+    def butane_like(phi):
+        """Four atoms with dihedral angle phi about the z-axis bond."""
+        return np.array(
+            [
+                [1.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0],
+                [0.0, 0.0, 1.5],
+                [np.cos(phi), np.sin(phi), 1.5],
+            ]
+        )
+
+    def test_angle_measured_correctly(self):
+        from repro.minimize.bonded import _dihedral_angle_and_grads
+
+        for phi in (0.3, 1.2, -2.0, np.pi / 2):
+            coords = self.butane_like(phi)
+            got, _ = _dihedral_angle_and_grads(coords, np.array([[0, 1, 2, 3]]))
+            assert got[0] == pytest.approx(phi, abs=1e-10)
+
+    def test_cosine_energy(self):
+        phi = 0.8
+        coords = self.butane_like(phi)
+        kd, n, delta = np.array([0.2]), np.array([3.0]), np.array([0.0])
+        e, _ = dihedral_energy(coords, np.array([[0, 1, 2, 3]]), kd, n, delta)
+        assert e == pytest.approx(0.2 * (1 + np.cos(3 * phi)))
+
+    def test_gradient_fd(self, rng):
+        coords = rng.uniform(0, 3, size=(6, 3))
+        quads = np.array([[0, 1, 2, 3], [2, 3, 4, 5]])
+        kd = np.array([0.2, 0.3])
+        n = np.array([3.0, 2.0])
+        delta = np.array([0.0, 0.5])
+        _, g = dihedral_energy(coords, quads, kd, n, delta)
+        h = 1e-6
+        for a in range(6):
+            for d in range(3):
+                cp, cm = coords.copy(), coords.copy()
+                cp[a, d] += h
+                cm[a, d] -= h
+                fd = (
+                    dihedral_energy(cp, quads, kd, n, delta)[0]
+                    - dihedral_energy(cm, quads, kd, n, delta)[0]
+                ) / (2 * h)
+                assert g[a, d] == pytest.approx(fd, rel=1e-4, abs=1e-6)
+
+
+class TestImproper:
+    def test_zero_at_equilibrium(self):
+        coords = TestDihedral.butane_like(0.6)
+        e, g = improper_energy(
+            coords, np.array([[0, 1, 2, 3]]), np.array([40.0]), np.array([0.6])
+        )
+        assert e == pytest.approx(0.0, abs=1e-12)
+
+    def test_periodic_wrap(self):
+        """psi - psi0 wraps into (-pi, pi]: near-opposite angles are close."""
+        coords = TestDihedral.butane_like(np.pi - 0.05)
+        e, _ = improper_energy(
+            coords, np.array([[0, 1, 2, 3]]), np.array([40.0]), np.array([-np.pi + 0.05])
+        )
+        assert e == pytest.approx(40.0 * 0.1**2, rel=1e-6)
+
+    def test_gradient_fd(self, rng):
+        coords = rng.uniform(0, 3, size=(4, 3))
+        quads = np.array([[0, 1, 2, 3]])
+        ki = np.array([40.0])
+        psi0 = np.array([0.1])
+        _, g = improper_energy(coords, quads, ki, psi0)
+        h = 1e-6
+        for a in range(4):
+            for d in range(3):
+                cp, cm = coords.copy(), coords.copy()
+                cp[a, d] += h
+                cm[a, d] -= h
+                fd = (
+                    improper_energy(cp, quads, ki, psi0)[0]
+                    - improper_energy(cm, quads, ki, psi0)[0]
+                ) / (2 * h)
+                assert g[a, d] == pytest.approx(fd, rel=1e-4, abs=1e-6)

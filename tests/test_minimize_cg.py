@@ -1,0 +1,65 @@
+"""Tests for the conjugate-gradient minimizer option."""
+
+import numpy as np
+import pytest
+
+from repro.minimize import EnergyModel, Minimizer, MinimizerConfig
+from repro.structure import synthetic_complex
+from repro.structure.builder import pocket_movable_mask
+
+
+@pytest.fixture(scope="module")
+def model():
+    mol = synthetic_complex(probe_name="ethanol", n_residues=120, seed=3)
+    mask = pocket_movable_mask(mol, mol.meta["n_probe_atoms"])
+    return EnergyModel(mol, movable=mask)
+
+
+class TestConfig:
+    def test_method_validated(self):
+        with pytest.raises(ValueError):
+            MinimizerConfig(method="lbfgs")
+        with pytest.raises(ValueError):
+            MinimizerConfig(method="cg", cg_restart_every=0)
+
+
+class TestConjugateGradient:
+    def test_monotone_decrease(self, model):
+        res = Minimizer(
+            model, config=MinimizerConfig(max_iterations=40, method="cg")
+        ).run()
+        traj = res.energy_trajectory
+        assert all(b <= a + 1e-9 for a, b in zip(traj, traj[1:]))
+        assert res.energy < res.initial_energy
+
+    def test_cg_at_least_as_good_per_iteration_budget(self, model):
+        """With a fixed (small) iteration budget, CG should reach an energy
+        no worse than ~SD's (allowing small slack: both use the same line
+        search)."""
+        budget = 30
+        sd = Minimizer(
+            model, config=MinimizerConfig(max_iterations=budget, method="sd")
+        ).run()
+        cg = Minimizer(
+            model, config=MinimizerConfig(max_iterations=budget, method="cg")
+        ).run()
+        drop_sd = sd.energy_drop
+        drop_cg = cg.energy_drop
+        assert drop_cg >= 0.8 * drop_sd
+
+    def test_frozen_atoms_still_frozen(self, model):
+        mini = Minimizer(model, config=MinimizerConfig(max_iterations=10, method="cg"))
+        res = mini.run()
+        frozen = ~mini.movable
+        assert np.allclose(res.coords[frozen], model.molecule.coords[frozen])
+
+    def test_restart_interval_respected(self, model):
+        """A restart interval of 1 degenerates CG to steepest descent."""
+        sd = Minimizer(
+            model, config=MinimizerConfig(max_iterations=15, method="sd")
+        ).run()
+        cg1 = Minimizer(
+            model,
+            config=MinimizerConfig(max_iterations=15, method="cg", cg_restart_every=1),
+        ).run()
+        assert cg1.energy == pytest.approx(sd.energy, rel=1e-9)

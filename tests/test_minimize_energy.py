@@ -1,0 +1,102 @@
+"""Tests for the assembled energy model (Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.minimize import EnergyModel
+from repro.structure import synthetic_complex
+from repro.structure.builder import pocket_movable_mask
+
+
+class TestEnergyModel:
+    def test_components_sum_to_total(self, small_model):
+        rep = small_model.evaluate()
+        assert rep.total == pytest.approx(sum(rep.components.values()))
+
+    def test_nonbonded_bonded_partition(self, small_model):
+        rep = small_model.evaluate()
+        assert rep.total == pytest.approx(rep.nonbonded + rep.bonded)
+
+    def test_calibrated_bonded_near_zero_at_build_geometry(self, small_model):
+        """Synthetic structures are their own bonded minimum, so bond/angle/
+        improper energies at the build geometry are ~0 (jitter-free terms)."""
+        rep = small_model.evaluate()
+        assert abs(rep.components["bond"]) < 1e-9
+        assert abs(rep.components["angle"]) < 1e-9
+        assert abs(rep.components["improper"]) < 1e-9
+
+    def test_electrostatics_dominates_vdw_paper_shape(self, small_model):
+        """Fig. 3(b): electrostatics >> vdw in evaluation cost; in energy
+        magnitude the elec terms are also the larger contributors at
+        equilibrium-ish geometry."""
+        rep = small_model.evaluate()
+        elec = abs(rep.components["elec_self"]) + abs(rep.components["elec_pairwise"])
+        assert elec > 0
+
+    def test_per_atom_sums_to_nonbonded(self, small_model):
+        rep = small_model.evaluate()
+        assert rep.per_atom_nonbonded.sum() == pytest.approx(rep.nonbonded, rel=1e-9)
+
+    def test_forces_shape_and_finiteness(self, small_model):
+        rep = small_model.evaluate()
+        n = small_model.molecule.n_atoms
+        assert rep.forces.shape == (n, 3)
+        assert np.all(np.isfinite(rep.forces))
+
+    def test_frozen_alpha_gradient_consistency(self, small_model, rng):
+        """Forces match finite differences of the full energy to a few
+        percent: the residual is the documented frozen-alpha approximation
+        (Born radii held fixed during a force evaluation; their dependence
+        on coordinates re-enters only through the next evaluation).  The
+        per-term gradients are exact — see the FD tests in
+        test_minimize_ace/vdw/bonded."""
+        x = small_model.molecule.coords.copy()
+        rep = small_model.evaluate(x)
+        g = -rep.forces
+        h = 1e-5
+        movable_idx = np.nonzero(small_model.movable)[0]
+        errs = []
+        for a in rng.choice(movable_idx, 3, replace=False):
+            for d in range(3):
+                xp, xm = x.copy(), x.copy()
+                xp[a, d] += h
+                xm[a, d] -= h
+                fd = (small_model.energy_only(xp) - small_model.energy_only(xm)) / (2 * h)
+                denom = max(1.0, abs(fd))
+                errs.append(abs(fd - g[a, d]) / denom)
+        assert max(errs) < 3e-2
+
+    def test_movable_filter_reduces_pairs(self, small_complex):
+        full = EnergyModel(small_complex)
+        mask = pocket_movable_mask(small_complex, small_complex.meta["n_probe_atoms"])
+        filtered = EnergyModel(small_complex, movable=mask)
+        assert filtered.n_active_pairs < full.neighbor_list().n_pairs
+
+    def test_movable_filter_keeps_movable_pairs(self, small_model):
+        i, j = small_model.active_pairs()
+        mv = small_model.movable
+        assert np.all(mv[i] | mv[j])
+
+    def test_bad_movable_shape(self, small_complex):
+        with pytest.raises(ValueError):
+            EnergyModel(small_complex, movable=np.ones(3, dtype=bool))
+
+    def test_refresh_on_drift(self, small_complex):
+        model = EnergyModel(small_complex)
+        x = small_complex.coords.copy()
+        assert not model.maybe_refresh(x)          # fresh list is valid
+        rebuilds0 = model.list_rebuilds
+        x[-1] += 50.0                              # blow one atom far away
+        assert model.maybe_refresh(x)
+        assert model.list_rebuilds == rebuilds0 + 1
+
+    def test_energy_only_matches_evaluate(self, small_model):
+        x = small_model.molecule.coords
+        assert small_model.energy_only(x) == pytest.approx(
+            small_model.evaluate(x).total
+        )
+
+    def test_born_radii_reported(self, small_model):
+        rep = small_model.evaluate()
+        assert rep.born_radii.shape == (small_model.molecule.n_atoms,)
+        assert np.all(rep.born_radii > 0)

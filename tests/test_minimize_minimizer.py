@@ -1,0 +1,100 @@
+"""Tests for the steepest-descent minimizer."""
+
+import numpy as np
+import pytest
+
+from repro.minimize import EnergyModel, Minimizer, MinimizerConfig
+from repro.structure import synthetic_complex
+from repro.structure.builder import pocket_movable_mask
+
+
+@pytest.fixture(scope="module")
+def run_result(small_model_module):
+    mini = Minimizer(small_model_module, config=MinimizerConfig(max_iterations=40))
+    return mini.run()
+
+
+@pytest.fixture(scope="module")
+def small_model_module():
+    mol = synthetic_complex(probe_name="ethanol", n_residues=120, seed=3)
+    mask = pocket_movable_mask(mol, mol.meta["n_probe_atoms"])
+    return EnergyModel(mol, movable=mask)
+
+
+class TestMinimizerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MinimizerConfig(max_iterations=0)
+        with pytest.raises(ValueError):
+            MinimizerConfig(tolerance=0.0)
+        with pytest.raises(ValueError):
+            MinimizerConfig(initial_step=-1.0)
+
+
+class TestMinimizer:
+    def test_energy_decreases(self, run_result):
+        assert run_result.energy < run_result.initial_energy
+        assert run_result.energy_drop > 0
+
+    def test_trajectory_monotone(self, run_result):
+        traj = run_result.energy_trajectory
+        assert all(b <= a + 1e-9 for a, b in zip(traj, traj[1:]))
+
+    def test_frozen_atoms_do_not_move(self, small_model_module):
+        model = small_model_module
+        mini = Minimizer(model, config=MinimizerConfig(max_iterations=10))
+        res = mini.run()
+        frozen = ~mini.movable
+        assert np.allclose(
+            res.coords[frozen], model.molecule.coords[frozen]
+        )
+
+    def test_movable_defaults_from_model(self, small_model_module):
+        mini = Minimizer(small_model_module)
+        assert np.array_equal(mini.movable, small_model_module.movable)
+
+    def test_bad_mask_shape(self, small_model_module):
+        with pytest.raises(ValueError):
+            Minimizer(small_model_module, movable=np.ones(2, dtype=bool))
+
+    def test_callback_invoked(self, small_model_module):
+        calls = []
+        mini = Minimizer(small_model_module, config=MinimizerConfig(max_iterations=5))
+        mini.run(callback=lambda it, rep: calls.append(it))
+        assert calls == list(range(1, len(calls) + 1))
+        assert len(calls) >= 1
+
+    def test_convergence_flag_on_tight_tolerance(self, small_model_module):
+        mini = Minimizer(
+            small_model_module,
+            config=MinimizerConfig(max_iterations=500, tolerance=1.0),
+        )
+        res = mini.run()
+        assert res.converged
+        assert res.iterations < 500
+
+    def test_custom_start_coordinates(self, small_model_module):
+        x0 = small_model_module.molecule.coords.copy()
+        x0[-1] += 0.3  # perturb one probe atom
+        mini = Minimizer(small_model_module, config=MinimizerConfig(max_iterations=10))
+        res = mini.run(coords=x0)
+        assert res.initial_energy == pytest.approx(
+            small_model_module.energy_only(x0)
+        )
+
+    def test_final_report_consistent(self, run_result):
+        assert run_result.final_report is not None
+        assert run_result.final_report.total == pytest.approx(run_result.energy)
+
+    def test_already_minimal_converges_fast(self):
+        """A two-atom system placed at its energy minimum converges almost
+        immediately."""
+        from repro.structure.molecule import Molecule
+
+        mol = Molecule(
+            np.array([[0.0, 0, 0], [30.0, 0, 0]]), ["CT3", "CT3"]
+        )  # far apart: zero force
+        model = EnergyModel(mol)
+        res = Minimizer(model, config=MinimizerConfig(max_iterations=50)).run()
+        assert res.converged
+        assert res.iterations <= 2

@@ -1,0 +1,93 @@
+"""Tests for neighbor-list construction (Fig. 7 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.minimize.neighborlist import (
+    NeighborList,
+    bonded_exclusions,
+    build_neighbor_list,
+)
+from repro.structure.molecule import BondedTopology
+
+
+def brute_force_pairs(coords, cutoff):
+    n = len(coords)
+    out = set()
+    for i in range(n):
+        for j in range(i + 1, n):
+            if np.linalg.norm(coords[i] - coords[j]) <= cutoff:
+                out.add((i, j))
+    return out
+
+
+class TestBuildNeighborList:
+    def test_matches_brute_force(self, rng):
+        coords = rng.uniform(0, 15, size=(80, 3))
+        nl = build_neighbor_list(coords, cutoff=4.0)
+        got = set(zip(*[a.tolist() for a in nl.pair_arrays()]))
+        assert got == brute_force_pairs(coords, 4.0)
+
+    def test_half_list_property(self, rng):
+        coords = rng.uniform(0, 10, size=(40, 3))
+        nl = build_neighbor_list(coords, cutoff=3.5)
+        i, j = nl.pair_arrays()
+        assert np.all(i < j)
+
+    def test_exclusions_respected(self, rng):
+        coords = rng.uniform(0, 5, size=(10, 3))
+        all_pairs = brute_force_pairs(coords, 6.0)
+        excl = frozenset(list(all_pairs)[:3])
+        nl = build_neighbor_list(coords, cutoff=6.0, exclusions=excl)
+        got = set(zip(*[a.tolist() for a in nl.pair_arrays()]))
+        assert got == all_pairs - excl
+
+    def test_empty(self):
+        nl = build_neighbor_list(np.empty((0, 3)))
+        assert nl.n_pairs == 0
+
+    def test_single_atom(self):
+        nl = build_neighbor_list(np.zeros((1, 3)))
+        assert nl.n_pairs == 0
+
+    def test_counts_and_seconds(self, rng):
+        coords = rng.uniform(0, 8, size=(30, 3))
+        nl = build_neighbor_list(coords, cutoff=5.0)
+        assert nl.counts().sum() == nl.n_pairs
+        for i in range(30):
+            assert np.all(nl.seconds_of(i) > i)
+
+    def test_validity_check(self, rng):
+        coords = rng.uniform(0, 10, size=(20, 3))
+        nl = build_neighbor_list(coords, cutoff=4.0)
+        assert nl.max_distance_ok(coords)
+        if nl.n_pairs:
+            moved = coords.copy()
+            i0, j0 = nl.pair_arrays()[0][0], nl.pair_arrays()[1][0]
+            moved[j0] += 100.0
+            assert not nl.max_distance_ok(moved)
+
+    def test_invalid_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            NeighborList(2, np.array([0, 1]), np.array([1]), 4.0)
+        with pytest.raises(ValueError):
+            NeighborList(2, np.array([1, 1, 1]), np.array([1]), 4.0)
+
+
+class TestBondedExclusions:
+    def test_bonds_and_angles(self):
+        topo = BondedTopology(
+            bonds=np.array([[0, 1], [1, 2]]), angles=np.array([[0, 1, 2]])
+        )
+        excl = bonded_exclusions(topo)
+        assert (0, 1) in excl
+        assert (1, 2) in excl
+        assert (0, 2) in excl  # 1-3 exclusion
+        assert len(excl) == 3
+
+    def test_ordering_normalized(self):
+        topo = BondedTopology(bonds=np.array([[5, 2]]))
+        assert (2, 5) in bonded_exclusions(topo)
+
+    def test_empty(self):
+        assert bonded_exclusions(BondedTopology()) == frozenset()

@@ -1,0 +1,104 @@
+"""Tests for pairs-list data structures (Figs. 9-10)."""
+
+import numpy as np
+import pytest
+
+from repro.minimize.neighborlist import build_neighbor_list
+from repro.minimize.pairslist import PairsList, group_boundaries, split_pairs
+
+
+@pytest.fixture()
+def nlist(rng):
+    coords = rng.uniform(0, 12, size=(50, 3))
+    return build_neighbor_list(coords, cutoff=5.0)
+
+
+class TestPairsList:
+    def test_from_neighbor_list(self, nlist):
+        pl = PairsList.from_neighbor_list(nlist)
+        assert pl.n_pairs == nlist.n_pairs
+        assert np.all(pl.atom1 < pl.atom2)
+
+    def test_accumulate_serial(self, nlist, rng):
+        pl = PairsList.from_neighbor_list(nlist)
+        pl.energy1 = rng.normal(size=pl.n_pairs)
+        pl.energy2 = rng.normal(size=pl.n_pairs)
+        out = pl.accumulate_serial(nlist.n_atoms)
+        ref = np.zeros(nlist.n_atoms)
+        for k in range(pl.n_pairs):
+            ref[pl.atom1[k]] += pl.energy1[k]
+            ref[pl.atom2[k]] += pl.energy2[k]
+        assert np.allclose(out, ref)
+
+    def test_accumulate_conserves_total(self, nlist, rng):
+        pl = PairsList.from_neighbor_list(nlist)
+        pl.energy1 = rng.normal(size=pl.n_pairs)
+        pl.energy2 = rng.normal(size=pl.n_pairs)
+        out = pl.accumulate_serial(nlist.n_atoms)
+        assert out.sum() == pytest.approx(pl.energy1.sum() + pl.energy2.sum())
+
+
+class TestSplitPairs:
+    def test_pair_counts(self, nlist):
+        split = split_pairs(nlist)
+        assert split.forward.n_pairs == nlist.n_pairs
+        assert split.reverse.n_pairs == nlist.n_pairs
+        assert split.total_pairs() == 2 * nlist.n_pairs
+
+    def test_forward_grouped_by_first(self, nlist):
+        split = split_pairs(nlist)
+        f = split.forward.first
+        assert np.all(np.diff(f) >= 0)  # sorted = grouped
+
+    def test_reverse_grouped_by_first(self, nlist):
+        split = split_pairs(nlist)
+        r = split.reverse.first
+        assert np.all(np.diff(r) >= 0)
+
+    def test_reverse_is_transpose(self, nlist):
+        split = split_pairs(nlist)
+        fwd = set(zip(split.forward.first.tolist(), split.forward.second.tolist()))
+        rev = set(zip(split.reverse.second.tolist(), split.reverse.first.tolist()))
+        assert fwd == rev
+
+    def test_grouped_accumulation_equals_flat(self, nlist, rng):
+        """The central Fig. 10 invariant: processing forward (first-atom
+        energies) plus reverse (second-atom energies) equals the flat
+        two-column accumulation."""
+        split = split_pairs(nlist)
+        e_fwd = rng.normal(size=nlist.n_pairs)
+        e_rev = rng.normal(size=nlist.n_pairs)
+
+        split.forward.energy = e_fwd
+        i, j = nlist.pair_arrays()
+        perm = np.lexsort((i, j))
+        split.reverse.energy = e_rev[perm]
+
+        grouped = split.forward.accumulate_grouped(nlist.n_atoms)
+        grouped += split.reverse.accumulate_grouped(nlist.n_atoms)
+
+        pl = PairsList(atom1=i, atom2=j, energy1=e_fwd, energy2=e_rev)
+        flat = pl.accumulate_serial(nlist.n_atoms)
+        assert np.allclose(grouped, flat)
+
+    def test_group_sizes_sum(self, nlist):
+        split = split_pairs(nlist)
+        _, sizes = split.forward.group_sizes()
+        assert sizes.sum() == nlist.n_pairs
+
+
+class TestGroupBoundaries:
+    def test_basic(self):
+        first = np.array([0, 0, 0, 2, 2, 5])
+        starts, sizes = group_boundaries(first)
+        assert starts.tolist() == [0, 3, 5]
+        assert sizes.tolist() == [3, 2, 1]
+
+    def test_empty(self):
+        starts, sizes = group_boundaries(np.empty(0, dtype=np.intp))
+        assert len(starts) == 0 and len(sizes) == 0
+
+    def test_single_group(self):
+        starts, sizes = group_boundaries(np.array([7, 7, 7]))
+        assert starts.tolist() == [0]
+        assert sizes.tolist() == [3]

@@ -1,0 +1,121 @@
+"""Tests for the smoothed Lennard-Jones variant (Eqs. 8-10)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import VDW_CUTOFF
+from repro.minimize.vdw import vdw_energy, vdw_pair_parameters
+
+
+def pair_system(r):
+    coords = np.array([[0.0, 0.0, 0.0], [r, 0.0, 0.0]])
+    eps = np.array([0.1, 0.1])
+    rm = np.array([1.9, 1.9])
+    return coords, eps, rm, np.array([0]), np.array([1])
+
+
+def energy_at(r, cutoff=VDW_CUTOFF):
+    coords, eps, rm, i, j = pair_system(r)
+    return vdw_energy(coords, eps, rm, i, j, cutoff)[0]
+
+
+class TestPairParameters:
+    def test_combination_rules(self):
+        eps = np.array([0.04, 0.16])
+        rm = np.array([1.5, 2.5])
+        e, r = vdw_pair_parameters(eps, rm, np.array([0]), np.array([1]))
+        assert e[0] == pytest.approx(0.08)   # geometric mean (Eq. 9)
+        assert r[0] == pytest.approx(4.0)    # sum of half-radii (Eq. 10)
+
+
+class TestVdwEnergy:
+    def test_minimum_near_rm(self):
+        """The well minimum sits near r = rm_ik (tail shifts it slightly)."""
+        rm_pair = 3.8
+        rs = np.linspace(3.0, 5.0, 200)
+        energies = [energy_at(r) for r in rs]
+        r_min = rs[int(np.argmin(energies))]
+        assert abs(r_min - rm_pair) < 0.15
+
+    def test_repulsive_at_short_range(self):
+        assert energy_at(1.5) > 0
+
+    def test_attractive_in_well(self):
+        assert energy_at(3.8) < 0
+
+    def test_zero_at_and_beyond_cutoff(self):
+        assert energy_at(VDW_CUTOFF) == 0.0
+        assert energy_at(VDW_CUTOFF + 2.0) == 0.0
+
+    def test_c1_continuity_at_cutoff(self):
+        """Energy and derivative both -> 0 approaching the cutoff: the tail
+        coefficients were solved exactly for this."""
+        h = 1e-4
+        e_in = energy_at(VDW_CUTOFF - h)
+        assert abs(e_in) < 1e-6                      # C0
+        slope = (energy_at(VDW_CUTOFF - h) - energy_at(VDW_CUTOFF - 2 * h)) / h
+        assert abs(slope) < 1e-3                     # C1
+
+    def test_gradient_matches_finite_difference(self, rng):
+        n = 20
+        # Lattice + jitter keeps minimum separations ~1.5 A so the r^-12
+        # wall doesn't amplify finite-difference noise.
+        base = np.array(
+            [[i, j, k] for i in range(3) for j in range(3) for k in range(3)],
+            dtype=float,
+        )[:n] * 2.5
+        coords = base + rng.uniform(-0.3, 0.3, size=(n, 3))
+        eps = rng.uniform(0.02, 0.3, size=n)
+        rm = rng.uniform(1.5, 2.2, size=n)
+        idx = np.triu_indices(n, k=1)
+        _, _, grad = vdw_energy(coords, eps, rm, idx[0], idx[1])
+        h = 1e-6
+        for a in rng.choice(n, 4, replace=False):
+            for d in range(3):
+                cp, cm = coords.copy(), coords.copy()
+                cp[a, d] += h
+                cm[a, d] -= h
+                fd = (
+                    vdw_energy(cp, eps, rm, idx[0], idx[1])[0]
+                    - vdw_energy(cm, eps, rm, idx[0], idx[1])[0]
+                ) / (2 * h)
+                assert grad[a, d] == pytest.approx(fd, rel=1e-4, abs=1e-7)
+
+    def test_per_atom_split(self, rng):
+        n = 10
+        coords = rng.uniform(0, 6, size=(n, 3))
+        eps = np.full(n, 0.1)
+        rm = np.full(n, 1.9)
+        idx = np.triu_indices(n, k=1)
+        total, per_atom, _ = vdw_energy(coords, eps, rm, idx[0], idx[1])
+        assert total == pytest.approx(per_atom.sum())
+
+    def test_per_pair_option(self, rng):
+        n = 8
+        coords = rng.uniform(0, 6, size=(n, 3))
+        eps = np.full(n, 0.1)
+        rm = np.full(n, 1.9)
+        idx = np.triu_indices(n, k=1)
+        total, _, _, per_pair = vdw_energy(coords, eps, rm, idx[0], idx[1], per_pair=True)
+        assert total == pytest.approx(per_pair.sum())
+
+    def test_overlapping_atoms_finite(self):
+        """Near-zero separation is guarded (no inf/nan)."""
+        coords = np.array([[0.0, 0, 0], [1e-9, 0, 0]])
+        eps = np.array([0.1, 0.1])
+        rm = np.array([1.9, 1.9])
+        total, _, grad = vdw_energy(coords, eps, rm, np.array([0]), np.array([1]))
+        assert np.isfinite(total)
+        assert np.all(np.isfinite(grad))
+
+    def test_empty_pairs(self):
+        total, per_atom, grad = vdw_energy(
+            np.zeros((2, 3)), np.ones(2), np.ones(2), np.empty(0, int), np.empty(0, int)
+        )
+        assert total == 0.0
+
+    def test_deeper_well_with_larger_eps(self):
+        coords, eps, rm, i, j = pair_system(3.8)
+        e1 = vdw_energy(coords, eps, rm, i, j)[0]
+        e2 = vdw_energy(coords, eps * 4, rm, i, j)[0]
+        assert e2 == pytest.approx(4 * e1)

@@ -1,0 +1,100 @@
+"""Tests for the CPU cost model and profile decompositions."""
+
+import numpy as np
+import pytest
+
+from repro.perf.cpumodel import XEON_HARPERTOWN, CpuModel
+from repro.perf.profiles import docking_profile, ftmap_profile, minimization_profile
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return CpuModel()
+
+
+class TestCpuModelDocking:
+    def test_fft_correlation_near_table1(self, cpu):
+        """Table 1: 3600 ms for 22 correlations at N=128 (+-15%)."""
+        t = cpu.fft_correlation_s(128, 22)
+        assert 3.0 <= t <= 4.2
+
+    def test_accumulation_near_table1(self, cpu):
+        """Table 1: 180 ms (+-20%)."""
+        t = cpu.accumulation_s(128, 4, 18)
+        assert 0.14 <= t <= 0.22
+
+    def test_scoring_near_table1(self, cpu):
+        """Table 1: 200 ms (+-20%)."""
+        t = cpu.scoring_filtering_s(128, 4, 4)
+        assert 0.16 <= t <= 0.24
+
+    def test_rotation_total_near_4060ms(self, cpu):
+        t = cpu.docking_rotation_s(128, 4, 22, 18, 4, engine="fft")
+        assert 3.4 <= t <= 4.7
+
+    def test_direct_beats_fft_for_small_probes(self, cpu):
+        """Sec. V.A: 'for small ligand sizes, direct correlation is faster
+        than FFT' — true at m=4, false at large m."""
+        fft = cpu.fft_correlation_s(128, 22)
+        assert cpu.direct_correlation_s(128, 4, 22) < fft
+        assert cpu.direct_correlation_s(128, 16, 22) > fft
+
+    def test_fft_scales_n3logn(self, cpu):
+        t64 = cpu.fft_correlation_s(64, 22)
+        t128 = cpu.fft_correlation_s(128, 22)
+        ratio = t128 / t64
+        expected = (128**3 * np.log2(128.0**3)) / (64**3 * np.log2(64.0**3))
+        assert ratio == pytest.approx(expected, rel=0.05)
+
+    def test_multicore_scales(self, cpu):
+        serial = cpu.docking_phase_s(100, 64, 4, 8, 4, 4)
+        quad = cpu.docking_phase_s(100, 64, 4, 8, 4, 4, cores=4)
+        assert serial / quad == pytest.approx(
+            4 * XEON_HARPERTOWN.parallel_efficiency, rel=1e-9
+        )
+
+
+class TestCpuModelMinimization:
+    def test_table2_serial_inputs(self, cpu):
+        assert cpu.self_energies_s(10_000) == pytest.approx(6.15e-3)
+        assert cpu.pairwise_s(10_000) == pytest.approx(2.75e-3)
+        assert cpu.vdw_s(10_000) == pytest.approx(0.5e-3)
+        assert cpu.force_updates_s(2200) == pytest.approx(0.95e-3, rel=1e-3)
+
+    def test_iteration_few_milliseconds(self, cpu):
+        """Sec. IV.B: 'the computation per iteration is very small, only a
+        few milliseconds on a serial computer'."""
+        t = cpu.minimization_iteration_s(10_000, 2200)
+        assert 5e-3 <= t <= 15e-3
+
+    def test_phase_near_400_minutes(self, cpu):
+        """Sec. V.B: ~400 min for 2000 conformations."""
+        t = cpu.minimization_phase_s(2000, 1150, 10_000, 2200)
+        assert 330 <= t / 60 <= 470
+
+
+class TestProfiles:
+    def test_fig2a_shape(self):
+        p = ftmap_profile()
+        assert p["energy_minimization"] == pytest.approx(0.93, abs=0.04)
+        assert p["rigid_docking"] == pytest.approx(0.07, abs=0.04)
+        assert sum(p.values()) == pytest.approx(1.0)
+
+    def test_fig2b_shape(self):
+        """Fig. 2(b) reports 93% FFT correlation but Table 1's own numbers
+        give 3600/4060 = 88.7%; we band around the table-consistent value."""
+        p = docking_profile()
+        assert 0.85 <= p["fft_correlations"] <= 0.95
+        for key in ("rotation_grid_assignment", "accumulation", "scoring_filtering"):
+            assert 0.01 <= p[key] <= 0.06
+
+    def test_fig3a_shape(self):
+        """Fig. 3(a): ~99% of an iteration is energy/force evaluation."""
+        p = minimization_profile()["iteration"]
+        assert p["energy_evaluation"] > 0.95
+
+    def test_fig3b_shape(self):
+        p = minimization_profile()["energy_evaluation"]
+        assert p["electrostatics"] == pytest.approx(0.944, abs=0.03)
+        assert p["vdw"] == pytest.approx(0.0538, abs=0.02)
+        assert p["bonded"] == pytest.approx(0.002, abs=0.01)

@@ -1,0 +1,145 @@
+"""Tests for the speedup-table harness — paper-shape assertions.
+
+These are the acceptance tests of the reproduction: each paper number must
+be matched within a stated band (we reproduce shape, not milliseconds).
+"""
+
+import pytest
+
+from repro.perf.speedup import (
+    batching_sweep,
+    multicore_comparison,
+    overall_speedup,
+    scheme_ladder,
+    table1_docking_speedups,
+    table2_minimization_speedups,
+)
+from repro.perf.tables import ComparisonRow, format_time, render_table
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1_docking_speedups()
+
+    def test_correlation_speedup_band(self, result):
+        _, ours = result
+        assert 180 <= ours["correlation"] <= 330  # paper: 267x
+
+    def test_accumulation_speedup_band(self, result):
+        _, ours = result
+        assert 70 <= ours["accumulation"] <= 260  # paper: 180x
+
+    def test_scoring_speedup_band(self, result):
+        _, ours = result
+        assert 4 <= ours["scoring_filtering"] <= 12  # paper: 6.67x
+
+    def test_total_speedup_band(self, result):
+        _, ours = result
+        assert 26 <= ours["total"] <= 40  # paper: 32.6x
+
+    def test_ordering_preserved(self, result):
+        """Correlation >> accumulation >> scoring >> rotation: the paper's
+        ranking of which step accelerates best."""
+        _, ours = result
+        assert ours["correlation"] > ours["scoring_filtering"]
+        assert ours["accumulation"] > ours["scoring_filtering"]
+        assert ours["scoring_filtering"] > ours["rotation_grid"]
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2_minimization_speedups()
+
+    def test_self_energy_band(self, result):
+        _, ours = result
+        assert 18 <= ours["self_energies"] <= 37  # paper: 26.7x
+
+    def test_pairwise_vdw_band(self, result):
+        _, ours = result
+        assert 11 <= ours["pairwise_vdw"] <= 24  # paper: 17x
+
+    def test_force_updates_band(self, result):
+        _, ours = result
+        assert 4 <= ours["force_updates"] <= 10  # paper: 6.7x
+
+    def test_ordering(self, result):
+        _, ours = result
+        assert ours["self_energies"] > ours["pairwise_vdw"] > ours["force_updates"]
+
+
+class TestOverall:
+    def test_bands(self):
+        _, ours = overall_speedup()
+        assert 10 <= ours["minimization_speedup"] <= 15     # paper: 12.5x
+        assert 10 <= ours["overall_speedup"] <= 16          # paper: 13x
+        assert 0.88 <= 1 - ours["serial_docking_fraction"] <= 0.97  # Fig 2a
+
+
+class TestMulticore:
+    def test_bands(self):
+        _, ours = multicore_comparison()
+        assert 8 <= ours["vs_fft_multicore"] <= 14          # paper: 11x
+        assert 4 <= ours["vs_direct_multicore"] <= 9        # paper: 6x
+        assert 9 <= ours["overall_vs_multicore"] <= 15      # paper: 12.3x
+
+
+class TestBatching:
+    def test_speedup_band(self):
+        _, times = batching_sweep()
+        speedup = times[1] / times[8]
+        assert 2.2 <= speedup <= 3.3  # paper: 2.7x
+
+    def test_monotone_in_batch(self):
+        _, times = batching_sweep(batches=(1, 2, 4, 8))
+        vals = [times[b] for b in (1, 2, 4, 8)]
+        assert all(b < a for a, b in zip(vals, vals[1:]))
+
+
+class TestSchemeLadder:
+    @pytest.fixture(scope="class")
+    def ladder(self, ladder_model):
+        return scheme_ladder(model=ladder_model)
+
+    @pytest.fixture(scope="class")
+    def ladder_model(self):
+        from repro.minimize import EnergyModel
+        from repro.structure import synthetic_complex
+        from repro.structure.builder import pocket_movable_mask
+
+        mol = synthetic_complex(n_residues=120, seed=3)
+        mask = pocket_movable_mask(mol, mol.meta["n_probe_atoms"])
+        return EnergyModel(mol, movable=mask)
+
+    def test_scheme_b_around_3x(self, ladder):
+        _, times = ladder
+        assert 2.0 <= times["serial"] / times["B-flat-pairs"] <= 4.5
+
+    def test_scheme_c_around_12x(self, ladder):
+        _, times = ladder
+        assert 9 <= times["serial"] / times["C-split-assignment"] <= 16
+
+    def test_scheme_a_poor(self, ladder):
+        """'Poor performance and is not preferred': scheme A gains far less
+        than scheme C (and at paper scale loses to serial)."""
+        _, times = ladder
+        assert times["A-neighbor-list"] > 3 * times["C-split-assignment"]
+
+
+class TestRendering:
+    def test_render_table(self):
+        rows = [
+            ComparisonRow("a", 2.0, 1.9, "x"),
+            ComparisonRow("b", None, 5.0),
+        ]
+        out = render_table("T", rows)
+        assert "ours/paper" in out
+        assert "0.95" in out
+        assert "n/a" in out
+
+    def test_format_time(self):
+        assert format_time(5e-7).endswith("us")
+        assert format_time(5e-3).endswith("ms")
+        assert format_time(5.0).endswith("s")
+        assert format_time(500.0).endswith("min")

@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+These encode the load-bearing algebraic facts of the reproduction:
+
+* direct correlation == FFT correlation on arbitrary grids,
+* rotation algebra laws (SO(3) closure, inverse, round-trips),
+* pairs-list / assignment-table accumulation == scatter-add, for arbitrary
+  pair multisets,
+* filtering invariants (separation, sorted scores) on arbitrary score grids,
+* vdW cutoff smoothness for arbitrary parameters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.docking.direct import DirectCorrelationEngine
+from repro.docking.fft import FFTCorrelationEngine
+from repro.docking.filtering import filter_top_poses
+from repro.geometry.rotations import (
+    Quaternion,
+    is_rotation_matrix,
+    matrix_to_quaternion,
+    quaternion_to_matrix,
+)
+from repro.gpu.assignment import build_assignment_table, execute_grouped_accumulation
+from repro.grids.energyfunctions import EnergyGrids
+from repro.grids.gridding import GridSpec
+from repro.minimize.pairslist import DirectionalPairsList
+from repro.minimize.vdw import vdw_energy
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def grid_pair_strategy():
+    return st.tuples(
+        st.integers(min_value=4, max_value=10),   # receptor edge n
+        st.integers(min_value=1, max_value=3),    # ligand edge m
+        st.integers(min_value=1, max_value=3),    # channels
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+
+
+@st.composite
+def correlation_case(draw):
+    n, m, c, seed = draw(grid_pair_strategy())
+    rng = np.random.default_rng(seed)
+    rec = EnergyGrids(
+        GridSpec(n=n),
+        rng.normal(size=(c, n, n, n)),
+        rng.normal(size=c),
+        [f"c{k}" for k in range(c)],
+    )
+    lig = EnergyGrids(
+        GridSpec(n=m),
+        rng.normal(size=(c, m, m, m)),
+        np.ones(c),
+        [f"c{k}" for k in range(c)],
+    )
+    return rec, lig
+
+
+class TestCorrelationProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(correlation_case())
+    def test_fft_equals_direct(self, case):
+        rec, lig = case
+        d = DirectCorrelationEngine().correlate(rec, lig)
+        f = FFTCorrelationEngine().correlate(rec, lig)
+        scale = max(float(np.abs(d).max()), 1.0)
+        assert float(np.abs(d - f).max()) / scale < 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(correlation_case(), st.floats(min_value=-3, max_value=3, allow_nan=False))
+    def test_linearity_in_receptor(self, case, scale):
+        """corr(a*R, L) == a * corr(R, L)."""
+        rec, lig = case
+        eng = DirectCorrelationEngine()
+        base = eng.correlate(rec, lig)
+        scaled = EnergyGrids(
+            rec.spec, rec.channels * scale, rec.weights.copy(), list(rec.labels)
+        )
+        assert np.allclose(eng.correlate(scaled, lig), scale * base, atol=1e-5)
+
+
+class TestRotationProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.tuples(finite_floats, finite_floats, finite_floats, finite_floats))
+    def test_quaternion_matrix_roundtrip(self, wxyz):
+        w, x, y, z = wxyz
+        if abs(w) + abs(x) + abs(y) + abs(z) < 1e-6:
+            return  # zero quaternion invalid
+        q = Quaternion(w, x, y, z)
+        R = quaternion_to_matrix(q)
+        assert is_rotation_matrix(R, atol=1e-8)
+        q2 = matrix_to_quaternion(R)
+        # q and -q are the same rotation
+        d = min(
+            np.abs(q.as_array() - q2.as_array()).max(),
+            np.abs(q.as_array() + q2.as_array()).max(),
+        )
+        assert d < 1e-7
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.tuples(finite_floats, finite_floats, finite_floats, finite_floats),
+        st.tuples(finite_floats, finite_floats, finite_floats, finite_floats),
+    )
+    def test_composition_closure(self, a, b):
+        if abs(sum(map(abs, a))) < 1e-6 or abs(sum(map(abs, b))) < 1e-6:
+            return
+        qa, qb = Quaternion(*a), Quaternion(*b)
+        R = quaternion_to_matrix(qa * qb)
+        assert is_rotation_matrix(R, atol=1e-7)
+        assert np.allclose(
+            R, quaternion_to_matrix(qa) @ quaternion_to_matrix(qb), atol=1e-7
+        )
+
+
+@st.composite
+def pair_multiset(draw):
+    n_atoms = draw(st.integers(min_value=2, max_value=30))
+    n_pairs = draw(st.integers(min_value=0, max_value=120))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    first = np.sort(rng.integers(0, n_atoms, size=n_pairs)).astype(np.intp)
+    second = rng.integers(0, n_atoms, size=n_pairs).astype(np.intp)
+    energies = rng.normal(size=n_pairs)
+    return n_atoms, first, second, energies
+
+
+class TestAccumulationProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(pair_multiset(), st.integers(min_value=2, max_value=64))
+    def test_assignment_table_equals_scatter_add(self, case, block_threads):
+        """For ANY grouped pair multiset and ANY block size, the Fig. 11
+        grouped accumulation equals np.add.at."""
+        n_atoms, first, second, energies = case
+        dl = DirectionalPairsList(first=first, second=second, energy=np.zeros(len(first)))
+        table = build_assignment_table(dl, threads_per_block=block_threads)
+        table.validate()
+        got = execute_grouped_accumulation(table, energies, n_atoms)
+        ref = np.zeros(n_atoms)
+        np.add.at(ref, first, energies)
+        assert np.allclose(got, ref, atol=1e-12)
+
+
+class TestFilteringProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=12),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_invariants(self, edge, k, radius, seed):
+        rng = np.random.default_rng(seed)
+        grid = rng.normal(size=(edge, edge, edge))
+        poses = filter_top_poses(grid, k=k, exclusion_radius=radius)
+        # scores sorted
+        scores = [p.score for p in poses]
+        assert scores == sorted(scores)
+        # pairwise Chebyshev separation > radius
+        for i in range(len(poses)):
+            for j in range(i + 1, len(poses)):
+                cheb = max(
+                    abs(a - b)
+                    for a, b in zip(poses[i].translation, poses[j].translation)
+                )
+                assert cheb > radius
+        # first pose is the global minimum (if any)
+        if poses:
+            assert poses[0].score == pytest.approx(float(grid.min()))
+
+
+class TestVdwProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=0.01, max_value=0.5),
+        st.floats(min_value=1.0, max_value=2.5),
+        st.floats(min_value=5.0, max_value=12.0),
+    )
+    def test_cutoff_smoothness(self, eps_v, rm_v, cutoff):
+        """E(rc) == 0 and E continuous through rc for arbitrary params."""
+        eps = np.array([eps_v, eps_v])
+        rm = np.array([rm_v, rm_v])
+        i, j = np.array([0]), np.array([1])
+
+        def e(r):
+            coords = np.array([[0.0, 0, 0], [r, 0, 0]])
+            return vdw_energy(coords, eps, rm, i, j, cutoff)[0]
+
+        assert e(cutoff) == 0.0
+        assert abs(e(cutoff - 1e-5)) < 1e-6
+        slope = (e(cutoff - 1e-5) - e(cutoff - 3e-5)) / 2e-5
+        assert abs(slope) < 1e-2

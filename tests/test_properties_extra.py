@@ -1,0 +1,101 @@
+"""Additional property-based tests: neighbor lists, grids, minimizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grids.gridding import GridSpec
+from repro.minimize.neighborlist import build_neighbor_list
+from repro.minimize.pairslist import split_pairs
+
+
+@st.composite
+def point_cloud(draw):
+    n = draw(st.integers(min_value=0, max_value=60))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    box = draw(st.floats(min_value=2.0, max_value=25.0))
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, box, size=(n, 3))
+
+
+class TestNeighborListProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(point_cloud(), st.floats(min_value=1.0, max_value=8.0))
+    def test_matches_brute_force(self, coords, cutoff):
+        nl = build_neighbor_list(coords, cutoff=cutoff)
+        i, j = nl.pair_arrays()
+        got = set(zip(i.tolist(), j.tolist()))
+        ref = set()
+        for a in range(len(coords)):
+            for b in range(a + 1, len(coords)):
+                if np.linalg.norm(coords[a] - coords[b]) <= cutoff:
+                    ref.add((a, b))
+        assert got == ref
+
+    @settings(max_examples=30, deadline=None)
+    @given(point_cloud(), st.floats(min_value=1.0, max_value=6.0))
+    def test_split_lists_are_transposes(self, coords, cutoff):
+        nl = build_neighbor_list(coords, cutoff=cutoff)
+        split = split_pairs(nl)
+        fwd = sorted(zip(split.forward.first.tolist(), split.forward.second.tolist()))
+        rev = sorted(zip(split.reverse.second.tolist(), split.reverse.first.tolist()))
+        assert fwd == rev
+        # Both lists grouped by first atom.
+        assert np.all(np.diff(split.forward.first) >= 0)
+        assert np.all(np.diff(split.reverse.first) >= 0)
+
+
+class TestGridProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=32),
+        st.floats(min_value=0.2, max_value=3.0),
+        st.tuples(
+            st.floats(min_value=-20, max_value=20),
+            st.floats(min_value=-20, max_value=20),
+            st.floats(min_value=-20, max_value=20),
+        ),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_world_voxel_inverse(self, n, spacing, origin, seed):
+        spec = GridSpec(n=n, spacing=spacing, origin=origin)
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(-30, 30, size=(10, 3))
+        back = spec.voxel_to_world(spec.world_to_voxel(pts))
+        assert np.allclose(back, pts, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=16), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_voxelize_conserves_weight(self, n, seed):
+        """Deposited mass equals the summed weights of in-grid atoms."""
+        from repro.grids.gridding import voxelize_molecule
+        from repro.structure.molecule import Molecule
+
+        rng = np.random.default_rng(seed)
+        spec = GridSpec(n=n, spacing=1.0)
+        coords = rng.uniform(-2, n + 1, size=(15, 3))
+        weights = rng.normal(size=15)
+        mol = Molecule(coords, ["CT"] * 15)
+        grid = voxelize_molecule(mol, spec, weights=weights)
+        inside = spec.contains(coords)
+        assert grid.sum() == pytest.approx(weights[inside].sum(), abs=1e-9)
+
+
+class TestMinimizerProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_monotone_on_random_two_body_systems(self, seed):
+        """Minimization never increases energy, from any random start of a
+        small LJ/GB cluster."""
+        from repro.minimize import EnergyModel, Minimizer, MinimizerConfig
+        from repro.structure.molecule import Molecule
+
+        rng = np.random.default_rng(seed)
+        coords = rng.uniform(0, 8, size=(8, 3))
+        mol = Molecule(coords, ["CT3"] * 8)
+        model = EnergyModel(mol)
+        res = Minimizer(model, config=MinimizerConfig(max_iterations=25)).run()
+        traj = res.energy_trajectory
+        assert all(b <= a + 1e-9 for a, b in zip(traj, traj[1:]))
+        assert np.all(np.isfinite(res.coords))

@@ -1,0 +1,124 @@
+"""Tests for the synthetic protein / complex generator."""
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.structure.builder import (
+    pocket_center,
+    pocket_movable_mask,
+    synthetic_complex,
+    synthetic_protein,
+)
+
+
+class TestSyntheticProtein:
+    def test_paper_scale_default(self):
+        p = synthetic_protein()
+        assert 1800 <= p.n_atoms <= 2400  # "~2000 atoms"
+
+    def test_deterministic(self):
+        a = synthetic_protein(n_residues=30, seed=9)
+        b = synthetic_protein(n_residues=30, seed=9)
+        assert np.array_equal(a.coords, b.coords)
+        assert a.type_names == b.type_names
+
+    def test_seed_changes_structure(self):
+        a = synthetic_protein(n_residues=30, seed=1)
+        b = synthetic_protein(n_residues=30, seed=2)
+        assert not np.array_equal(a.coords, b.coords)
+
+    def test_no_steric_clashes(self):
+        p = synthetic_protein(n_residues=200, seed=4)
+        tree = cKDTree(p.coords)
+        d, _ = tree.query(p.coords, k=2)
+        assert d[:, 1].min() > 0.85  # bonded distances bound from below
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            synthetic_protein(n_residues=1)
+
+    def test_topology_valid(self):
+        p = synthetic_protein(n_residues=50)
+        p.topology.validate(p.n_atoms)
+
+    def test_has_all_bonded_terms(self):
+        p = synthetic_protein(n_residues=50)
+        assert len(p.topology.bonds) > 0
+        assert len(p.topology.angles) > 0
+        assert len(p.topology.dihedrals) > 0
+        assert len(p.topology.impropers) > 0
+
+    def test_centered(self):
+        p = synthetic_protein(n_residues=40)
+        assert np.linalg.norm(p.center()) < 2.0
+
+    def test_pocket_is_emptier_than_bulk(self):
+        """The carved pocket must have lower atom density than the core."""
+        p = synthetic_protein(n_residues=200, seed=4, pocket_radius=8.0)
+        pocket = pocket_center(p)
+        d_pocket = np.linalg.norm(p.coords - pocket, axis=1)
+        d_core = np.linalg.norm(p.coords - p.center(), axis=1)
+        in_pocket = (d_pocket <= 6.0).sum()
+        in_core = (d_core <= 6.0).sum()
+        assert in_pocket < in_core * 0.8
+
+    def test_calibration_flag(self):
+        assert synthetic_protein(n_residues=20).meta["calibrate_bonded_equilibrium"]
+
+
+class TestSyntheticComplex:
+    def test_paper_scale(self):
+        c = synthetic_complex()
+        assert 2100 <= c.n_atoms <= 2300  # "the 2200 atoms in the complex"
+
+    def test_records_probe_size(self):
+        c = synthetic_complex(probe_name="benzene", n_residues=40)
+        assert c.meta["n_probe_atoms"] == 6
+
+    def test_probe_atoms_are_last(self):
+        c = synthetic_complex(probe_name="ethanol", n_residues=40)
+        # Last 3 atoms are the probe; they sit near the pocket center.
+        probe_xyz = c.coords[-3:]
+        protein = synthetic_protein(n_residues=40)
+        target = pocket_center(protein)
+        assert np.linalg.norm(probe_xyz.mean(axis=0) - target) < 4.0
+
+    def test_probe_inside_complex_not_clashing(self):
+        c = synthetic_complex(n_residues=80)
+        n_probe = c.meta["n_probe_atoms"]
+        probe = c.coords[-n_probe:]
+        protein = c.coords[:-n_probe]
+        d = np.linalg.norm(protein[:, None] - probe[None, :], axis=2)
+        assert d.min() > 1.0  # no overlap
+
+
+class TestMovableMask:
+    def test_probe_always_movable(self):
+        c = synthetic_complex(n_residues=60)
+        n_probe = c.meta["n_probe_atoms"]
+        mask = pocket_movable_mask(c, n_probe)
+        assert mask[-n_probe:].all()
+
+    def test_radius_monotonic(self):
+        c = synthetic_complex(n_residues=60)
+        n_probe = c.meta["n_probe_atoms"]
+        small = pocket_movable_mask(c, n_probe, flexible_radius=6.0).sum()
+        large = pocket_movable_mask(c, n_probe, flexible_radius=14.0).sum()
+        assert large > small
+
+    def test_bad_probe_count(self):
+        c = synthetic_complex(n_residues=40)
+        with pytest.raises(ValueError):
+            pocket_movable_mask(c, 0)
+        with pytest.raises(ValueError):
+            pocket_movable_mask(c, c.n_atoms + 1)
+
+    def test_paper_pair_scale(self):
+        """Default settings should land near the paper's ~10k pair count."""
+        from repro.minimize import EnergyModel
+
+        c = synthetic_complex()
+        mask = pocket_movable_mask(c, c.meta["n_probe_atoms"])
+        model = EnergyModel(c, movable=mask)
+        assert 6_000 <= model.n_active_pairs <= 16_000

@@ -1,0 +1,73 @@
+"""Tests for the force-field parameter tables."""
+
+import pytest
+
+from repro.structure.forcefield import (
+    DEFAULT_ATOM_TYPES,
+    AtomType,
+    ForceField,
+    default_forcefield,
+)
+
+
+class TestAtomType:
+    def test_defaults_cover_protein_elements(self):
+        elements = {t.element for t in DEFAULT_ATOM_TYPES.values()}
+        assert {"C", "N", "O", "S", "H"} <= elements
+
+    def test_negative_eps_rejected(self):
+        with pytest.raises(ValueError):
+            AtomType("X", "C", 0.0, -0.1, 2.0, 1.9, 10.0, 12.0)
+
+    def test_nonpositive_radius_rejected(self):
+        with pytest.raises(ValueError):
+            AtomType("X", "C", 0.0, 0.1, 0.0, 1.9, 10.0, 12.0)
+
+    def test_all_defaults_physical(self):
+        for t in DEFAULT_ATOM_TYPES.values():
+            assert t.eps >= 0
+            assert 0 < t.rm < 3.0
+            assert 0 < t.born_radius < 3.0
+            assert t.volume > 0
+            assert t.mass > 0
+
+
+class TestForceField:
+    def test_lookup(self):
+        ff = default_forcefield()
+        assert ff.atom_type("CT").element == "C"
+
+    def test_unknown_type_raises_with_known_list(self):
+        ff = default_forcefield()
+        with pytest.raises(KeyError, match="known"):
+            ff.atom_type("ZZ")
+
+    def test_has_type(self):
+        ff = default_forcefield()
+        assert ff.has_type("O")
+        assert not ff.has_type("ZZ")
+
+    def test_add_type(self):
+        ff = ForceField()
+        ff.add_type(AtomType("P", "P", 1.1, 0.2, 2.1, 1.9, 25.0, 30.97))
+        assert ff.atom_type("P").charge == pytest.approx(1.1)
+
+    def test_default_forcefield_is_shared(self):
+        assert default_forcefield() is default_forcefield()
+
+    def test_bond_param_element_aware(self):
+        ff = default_forcefield()
+        ch = ff.bond_param("CT", "HA").r0
+        cc = ff.bond_param("CT", "CT3").r0
+        assert ch < cc  # C-H shorter than C-C
+
+    def test_bond_param_symmetric(self):
+        ff = default_forcefield()
+        assert ff.bond_param("CT", "O").r0 == ff.bond_param("O", "CT").r0
+
+    def test_angle_dihedral_improper_params(self):
+        ff = default_forcefield()
+        assert ff.angle_param("N", "CT", "C").ka > 0
+        d = ff.dihedral_param("N", "CT", "C", "O")
+        assert d.n >= 1
+        assert ff.improper_param("C", "CT", "O", "N").ka > 0

@@ -1,0 +1,105 @@
+"""Tests for the Molecule container and bonded topology."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.transforms import RigidTransform
+from repro.structure.molecule import BondedTopology, Molecule
+
+
+def tiny(name="tiny"):
+    coords = np.array([[0.0, 0, 0], [1.5, 0, 0], [3.0, 0, 0]])
+    topo = BondedTopology(
+        bonds=np.array([[0, 1], [1, 2]]), angles=np.array([[0, 1, 2]])
+    )
+    return Molecule(coords, ["CT", "CT", "OH1"], topology=topo, name=name)
+
+
+class TestBondedTopology:
+    def test_empty_defaults(self):
+        t = BondedTopology()
+        assert t.bonds.shape == (0, 2)
+        assert t.dihedrals.shape == (0, 4)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            BondedTopology(bonds=np.array([[0, 1, 2]]))
+
+    def test_validate_out_of_range(self):
+        t = BondedTopology(bonds=np.array([[0, 5]]))
+        with pytest.raises(ValueError, match="out of range"):
+            t.validate(3)
+
+    def test_validate_repeated_atom(self):
+        t = BondedTopology(bonds=np.array([[1, 1]]))
+        with pytest.raises(ValueError, match="repeated"):
+            t.validate(3)
+
+    def test_shift_and_merge(self):
+        a = BondedTopology(bonds=np.array([[0, 1]]))
+        b = BondedTopology(bonds=np.array([[0, 1]]))
+        merged = BondedTopology.merge(a, b, offset=2)
+        assert merged.bonds.tolist() == [[0, 1], [2, 3]]
+
+
+class TestMolecule:
+    def test_basic_properties(self):
+        m = tiny()
+        assert len(m) == 3
+        assert m.n_atoms == 3
+        assert m.elements == ["C", "C", "O"]
+        assert m.charges.shape == (3,)
+        assert m.eps.shape == (3,)
+
+    def test_coord_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Molecule(np.zeros((3, 2)), ["CT"] * 3)
+
+    def test_type_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Molecule(np.zeros((3, 3)), ["CT"] * 2)
+
+    def test_charge_override(self):
+        m = Molecule(np.zeros((2, 3)), ["CT", "CT"], charges=np.array([0.5, -0.5]))
+        assert m.total_charge() == pytest.approx(0.0)
+
+    def test_charge_override_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Molecule(np.zeros((2, 3)), ["CT", "CT"], charges=np.array([0.5]))
+
+    def test_center_and_rg(self):
+        m = tiny()
+        assert np.allclose(m.center(), [1.5, 0, 0])
+        assert m.radius_of_gyration() > 0
+
+    def test_with_coords_preserves_topology_and_meta(self):
+        m = tiny()
+        m.meta["flag"] = True
+        m2 = m.with_coords(m.coords + 1.0)
+        assert np.array_equal(m2.topology.bonds, m.topology.bonds)
+        assert m2.meta["flag"] is True
+        assert np.allclose(m2.coords, m.coords + 1.0)
+
+    def test_transformed(self):
+        m = tiny()
+        t = RigidTransform(np.eye(3), np.array([0.0, 0.0, 5.0]))
+        m2 = m.transformed(t)
+        assert np.allclose(m2.coords[:, 2], 5.0)
+
+    def test_merge_offsets_topology(self):
+        a, b = tiny("a"), tiny("b")
+        m = a.merged_with(b)
+        assert m.n_atoms == 6
+        assert m.topology.bonds.tolist() == [[0, 1], [1, 2], [3, 4], [4, 5]]
+        assert m.name == "a+b"
+
+    def test_merge_concatenates_parameters(self):
+        a, b = tiny(), tiny()
+        m = a.merged_with(b)
+        assert np.allclose(m.charges[:3], a.charges)
+        assert np.allclose(m.eps[3:], b.eps)
+
+    def test_merge_validates_total_indices(self):
+        a, b = tiny(), tiny()
+        m = a.merged_with(b)
+        m.topology.validate(m.n_atoms)  # should not raise

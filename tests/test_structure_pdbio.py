@@ -1,0 +1,87 @@
+"""Tests for minimal PDB I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.structure.pdbio import guess_type_name, read_pdb, write_pdb
+from repro.structure.probes import build_probe
+
+PDB_SNIPPET = """\
+HEADER    TEST
+ATOM      1  N   ALA A   1      11.104   6.134  -6.504  1.00  0.00           N
+ATOM      2  CA  ALA A   1      11.639   6.071  -5.147  1.00  0.00           C
+ATOM      3  C   ALA A   1      12.697   7.161  -4.953  1.00  0.00           C
+ATOM      4  O   ALA A   1      13.560   7.323  -5.816  1.00  0.00           O
+ATOM      5  H   ALA A   1      10.500   5.500  -7.000  1.00  0.00           H
+HETATM    6  S   LIG B   1       0.000   0.000   0.000  1.00  0.00           S
+END
+"""
+
+
+class TestGuessType:
+    def test_backbone_names(self):
+        assert guess_type_name("CA", "C") == "CT"
+        assert guess_type_name("C", "C") == "C"
+        assert guess_type_name("N", "N") == "NH1"
+        assert guess_type_name("O", "O") == "O"
+
+    def test_hydroxyl(self):
+        assert guess_type_name("OG1", "O") == "OH1"
+
+    def test_ammonium(self):
+        assert guess_type_name("NZ", "N") == "NH3"
+
+    def test_element_fallback(self):
+        assert guess_type_name("SD", "S") == "S"
+
+    def test_unknown_element(self):
+        with pytest.raises(ValueError):
+            guess_type_name("FE", "FE")
+
+
+class TestReadPdb:
+    def test_reads_atoms_skips_hydrogens(self):
+        mol = read_pdb(io.StringIO(PDB_SNIPPET))
+        assert mol.n_atoms == 5  # 4 heavy protein atoms + 1 HETATM S
+        assert mol.elements.count("S") == 1
+
+    def test_coordinates_parsed(self):
+        mol = read_pdb(io.StringIO(PDB_SNIPPET))
+        assert np.allclose(mol.coords[0], [11.104, 6.134, -6.504])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="no ATOM"):
+            read_pdb(io.StringIO("HEADER only\nEND\n"))
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "mol.pdb"
+        path.write_text(PDB_SNIPPET)
+        mol = read_pdb(path)
+        assert mol.name == "mol"
+        assert mol.n_atoms == 5
+
+
+class TestWritePdb:
+    def test_round_trip_coordinates(self, tmp_path):
+        probe = build_probe("acetone")
+        path = tmp_path / "acetone.pdb"
+        write_pdb(probe, path)
+        back = read_pdb(path)
+        assert back.n_atoms == probe.n_atoms
+        assert np.allclose(back.coords, probe.coords, atol=1e-3)  # 8.3f columns
+
+    def test_writes_end_record(self, tmp_path):
+        probe = build_probe("ethane")
+        buf = io.StringIO()
+        write_pdb(probe, buf)
+        assert buf.getvalue().strip().endswith("END")
+
+    def test_element_column(self):
+        probe = build_probe("urea")
+        buf = io.StringIO()
+        write_pdb(probe, buf)
+        lines = [l for l in buf.getvalue().splitlines() if l.startswith("ATOM")]
+        elements = [l[76:78].strip() for l in lines]
+        assert elements == probe.elements

@@ -1,0 +1,83 @@
+"""Tests for the 16-probe FTMap library."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.transforms import bounding_radius
+from repro.structure.probes import FTMAP_PROBE_NAMES, build_probe, probe_library
+
+
+class TestProbeLibrary:
+    def test_sixteen_probes(self):
+        assert len(FTMAP_PROBE_NAMES) == 16
+
+    def test_all_buildable(self):
+        lib = probe_library()
+        assert set(lib) == set(FTMAP_PROBE_NAMES)
+
+    def test_unknown_probe(self):
+        with pytest.raises(KeyError):
+            build_probe("water")
+
+    def test_probes_are_centered(self):
+        for name in FTMAP_PROBE_NAMES:
+            m = build_probe(name)
+            assert np.allclose(m.center(), 0.0, atol=1e-10)
+
+    def test_probes_are_neutral(self):
+        for name in FTMAP_PROBE_NAMES:
+            assert build_probe(name).total_charge() == pytest.approx(0.0, abs=1e-12)
+
+    def test_probes_fit_4cube(self):
+        """Sec. III.A: 'the probes are never bigger than 4^3' — at PIPER's
+        ~1.25 A spacing a 4^3 grid spans 5 A, so the bounding radius must
+        stay under ~2.5 + deposit slack."""
+        for name in FTMAP_PROBE_NAMES:
+            assert bounding_radius(build_probe(name).coords) <= 3.2, name
+
+    def test_heavy_atom_counts(self):
+        sizes = {name: build_probe(name).n_atoms for name in FTMAP_PROBE_NAMES}
+        assert sizes["ethane"] == 2
+        assert sizes["benzene"] == 6
+        assert sizes["benzaldehyde"] == 8
+        assert max(sizes.values()) <= 8
+
+    def test_bond_topology_connected(self):
+        """Every probe's bond graph must be a single connected component."""
+        for name in FTMAP_PROBE_NAMES:
+            m = build_probe(name)
+            n = m.n_atoms
+            adj = {i: set() for i in range(n)}
+            for i, j in m.topology.bonds:
+                adj[i].add(j)
+                adj[j].add(i)
+            seen = {0}
+            stack = [0]
+            while stack:
+                for nb in adj[stack.pop()]:
+                    if nb not in seen:
+                        seen.add(nb)
+                        stack.append(nb)
+            assert len(seen) == n, f"{name} bond graph disconnected"
+
+    def test_bond_lengths_physical(self):
+        for name in FTMAP_PROBE_NAMES:
+            m = build_probe(name)
+            b = m.topology.bonds
+            if not len(b):
+                continue
+            d = np.linalg.norm(m.coords[b[:, 0]] - m.coords[b[:, 1]], axis=1)
+            assert d.min() > 0.9, name
+            assert d.max() < 2.1, name
+
+    def test_angles_inferred(self):
+        m = build_probe("acetone")  # central C has 3 neighbors -> 3 angles
+        assert len(m.topology.angles) == 3
+
+    def test_deterministic(self):
+        a = build_probe("phenol")
+        b = build_probe("phenol")
+        assert np.array_equal(a.coords, b.coords)
+
+    def test_calibration_flag_set(self):
+        assert build_probe("urea").meta["calibrate_bonded_equilibrium"] is True
