@@ -18,7 +18,6 @@ import numpy as np
 import pytest
 
 from repro.cuda.device import Device
-from repro.cuda.memory import TransferDirection
 from repro.gpu.minimize_kernels import GpuMinimizationEngine, GpuMinimizationScheme
 from repro.perf.tables import ComparisonRow
 

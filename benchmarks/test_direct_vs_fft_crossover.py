@@ -11,11 +11,9 @@ direct wins where the paper says it does, plus the modeled crossover sweep.
 
 import time
 
-import numpy as np
-import pytest
-
 from repro.docking.direct import DirectCorrelationEngine
 from repro.docking.fft import FFTCorrelationEngine
+from repro.docking.selection import select_backend
 from repro.perf.cpumodel import CpuModel
 from repro.perf.tables import ComparisonRow
 
@@ -57,3 +55,10 @@ def test_direct_vs_fft_crossover(
     assert t_direct < t_fft            # real: direct wins at probe size
     assert cpu.direct_correlation_s(128, 4, 22) < fft_s
     assert crossover is not None and 6 <= crossover <= 12
+
+    # The selection layer reproduces the crossover: below it the auto
+    # backend is direct, well above it an FFT path wins.
+    below = select_backend(n=128, m=2, channels=22, num_rotations=500)
+    above = select_backend(n=128, m=16, channels=22, num_rotations=500)
+    assert below.backend == "direct"
+    assert above.backend in ("fft", "batched-fft")

@@ -5,7 +5,6 @@ Real measurement: one serial energy-evaluation iteration at paper scale
 Model output: the phase split at the paper's full workload.
 """
 
-import pytest
 
 from repro.perf.profiles import ftmap_profile
 from repro.perf.tables import ComparisonRow

@@ -7,7 +7,6 @@ accumulation, ~2.3% scoring & filtering (Table 1's own entries give
 Real measurement: one full FFT-correlation rotation at 48^3 scale.
 """
 
-import pytest
 
 from repro.docking.fft import FFTCorrelationEngine
 from repro.perf.profiles import docking_profile

@@ -7,7 +7,6 @@ Real measurement: the electrostatics vs vdW split of a real evaluation at
 paper scale (~2200 atoms, ~10k pairs).
 """
 
-import pytest
 
 from repro.perf.profiles import minimization_profile
 from repro.perf.tables import ComparisonRow

@@ -8,7 +8,6 @@ Model output: predicted times on cubic (similar) and non-cubic (divergent)
 result grids.
 """
 
-import pytest
 
 from repro.cuda.device import Device
 from repro.docking.direct import DirectCorrelationEngine

@@ -9,7 +9,6 @@ paper-sized result grid.
 """
 
 import numpy as np
-import pytest
 
 from repro.cuda.device import Device
 from repro.docking.filtering import filter_top_poses

@@ -8,7 +8,6 @@ Real measurement: the split-scheme numeric path (pair energies routed
 through the actual assignment tables) at paper scale.
 """
 
-import pytest
 
 from repro.cuda.device import Device
 from repro.gpu.minimize_kernels import GpuMinimizationEngine, GpuMinimizationScheme

@@ -9,7 +9,6 @@ parallelism the paper's multicore version uses), checked identical to the
 serial run by the test suite.
 """
 
-import pytest
 
 from repro.docking import PiperConfig
 from repro.perf.speedup import multicore_comparison

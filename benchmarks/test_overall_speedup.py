@@ -6,7 +6,6 @@ Real measurement: a complete scaled-down minimization run (the unit repeated
 2000x per probe).
 """
 
-import pytest
 
 from repro.minimize import Minimizer, MinimizerConfig
 from repro.perf.speedup import overall_speedup

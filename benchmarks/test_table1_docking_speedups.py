@@ -11,7 +11,7 @@ Model output: the full Table 1 at N=128 / m=4 / 22 channels.
 import pytest
 
 from repro.docking.direct import DirectCorrelationEngine
-from repro.perf.speedup import PAPER_TABLE1, table1_docking_speedups
+from repro.perf.speedup import table1_docking_speedups
 
 
 def test_table1_docking_speedups(

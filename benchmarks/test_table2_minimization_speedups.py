@@ -8,9 +8,8 @@ a 2200-atom complex.
 Real measurement: the pairwise GB + vdW evaluation at paper scale.
 """
 
-import pytest
 
-from repro.minimize.ace import born_radii_from_self_energies, gb_pairwise_energy
+from repro.minimize.ace import gb_pairwise_energy
 from repro.perf.speedup import table2_minimization_speedups
 
 

@@ -40,8 +40,12 @@ from repro.docking import (
     PiperConfig,
     PiperDocker,
     DockedPose,
+    DockingEngine,
+    DockingRun,
     FFTCorrelationEngine,
+    BatchedFFTCorrelationEngine,
     DirectCorrelationEngine,
+    select_backend,
     filter_top_poses,
 )
 from repro.minimize import (
@@ -61,7 +65,7 @@ from repro.mapping import (
 )
 from repro.cuda import Device, DeviceSpec, TESLA_C1060
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Molecule",
@@ -77,8 +81,12 @@ __all__ = [
     "PiperConfig",
     "PiperDocker",
     "DockedPose",
+    "DockingEngine",
+    "DockingRun",
     "FFTCorrelationEngine",
+    "BatchedFFTCorrelationEngine",
     "DirectCorrelationEngine",
+    "select_backend",
     "filter_top_poses",
     "EnergyModel",
     "EnergyReport",

@@ -10,10 +10,8 @@ WinXP/CUDA-2.x era magnitudes and are documented inline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
-
-import numpy as np
 
 from repro.cuda.kernel import KernelLaunch
 from repro.cuda.memory import DeviceBuffer, MemorySpace, TransferDirection, TransferEvent
@@ -159,7 +157,7 @@ class Device:
 
     def total_time(self) -> float:
         """Total predicted device time (kernels + transfers), seconds."""
-        return sum(l.predicted_time_s for l in self.launches) + sum(
+        return sum(k.predicted_time_s for k in self.launches) + sum(
             t.predicted_time_s for t in self.transfers
         )
 
@@ -170,10 +168,10 @@ class Device:
     def timeline(self) -> List[str]:
         """Human-readable event log (used by examples and reports)."""
         rows = []
-        for l in self.launches:
+        for k in self.launches:
             rows.append(
-                f"kernel {l.name:<28s} grid={l.num_blocks:<6d} "
-                f"threads/blk={l.threads_per_block:<4d} t={l.predicted_time_s * 1e3:8.3f} ms"
+                f"kernel {k.name:<28s} grid={k.num_blocks:<6d} "
+                f"threads/blk={k.threads_per_block:<4d} t={k.predicted_time_s * 1e3:8.3f} ms"
             )
         for t in self.transfers:
             rows.append(

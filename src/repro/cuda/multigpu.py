@@ -21,7 +21,7 @@ filtered poses is a host-side merge of k x rotations tiny records.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from repro.cuda.device import Device, DeviceSpec, TESLA_C1060
 

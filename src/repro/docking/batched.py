@@ -1,0 +1,222 @@
+"""Batched multi-rotation FFT correlation.
+
+The paper's central restructuring (Sec. III.A) is to keep the hardware busy
+across rotations instead of paying the per-rotation pipeline cost one
+rotation at a time.  This module applies the same idea to the FFT path:
+
+* **Rotation stacking** — the rotated ligand grids of a whole batch are
+  stacked into one (B, C, m1, m2, m3) array and transformed together, so
+  the B x C forward transforms run as a single vectorized sweep (and fan
+  out over ``workers`` threads on multicore hosts).
+* **Staged zero-padded forward FFTs** — a padded ligand transform only has
+  m^3 non-zero inputs.  Transforming axis-by-axis and letting each 1-D pass
+  zero-pad internally (``fft(x, n=N)``) does ~``m*m*N + m*N*N + N^3`` points
+  of work instead of the naive ``3 * N^3``: nearly a 3x flop reduction of
+  the dominant forward transforms when ``m << N``.
+* **Fused frequency-domain reduction** — the receptor spectra are
+  conjugated, transposed into the staged layout and cached once; the
+  weighted channel sum is then a single einsum contraction per batch over
+  contiguous arrays, avoiding the per-rotation C-channel temporaries of
+  the serial engine.
+* **Single-precision compute (default)** — the paper's C1060 runs the
+  correlations in fp32; so does this path.  It halves the memory traffic
+  of the batch (the bottleneck on the host too) at ~1e-7 relative error.
+  Pass ``precision="double"`` for results that match the serial
+  :class:`~repro.docking.fft.FFTCorrelationEngine` to fp64 round-off.
+
+Top poses are identical to the serial engines in either precision on the
+test systems.  Grids may be non-cubic — all shape logic reads the channel
+arrays, not ``spec.n``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import fft as sp_fft
+
+from repro.docking.correlation import (
+    CorrelationEngine,
+    ReceptorSpectraCache,
+    valid_translation_shape,
+)
+from repro.grids.energyfunctions import EnergyGrids
+
+__all__ = [
+    "BatchedFFTCorrelationEngine",
+    "stack_rotation_grids",
+    "fft_batch_limit",
+    "DEFAULT_FFT_BATCH",
+    "DEFAULT_FFT_MEMORY_BUDGET",
+]
+
+#: Default rotation batch when nothing smarter is known.
+DEFAULT_FFT_BATCH = 16
+
+#: Working-set budget for one batched pass (bytes).  Bounds the stacked
+#: spectra so paper-scale grids (N=128, 22 channels) keep batches modest
+#: instead of exhausting host memory.
+DEFAULT_FFT_MEMORY_BUDGET = 1024 * 1024 * 1024
+
+
+def fft_batch_limit(
+    receptor_shape: Sequence[int],
+    n_channels: int,
+    budget_bytes: int = DEFAULT_FFT_MEMORY_BUDGET,
+    complex_itemsize: int = 8,
+) -> int:
+    """Largest rotation batch whose stacked spectra fit ``budget_bytes``.
+
+    The working set per rotation is the (C, N1, N2, N3/2+1) half-spectrum
+    of the staged forward output plus ~half that again for the stage
+    temporaries and the combined spectrum.  Always allows at least one
+    rotation.
+    """
+    n1, n2, n3 = (int(v) for v in receptor_shape)
+    if n1 < 1 or n2 < 1 or n3 < 1 or n_channels < 1:
+        raise ValueError("grid shape and channel count must be positive")
+    spectra = n_channels * n1 * n2 * (n3 // 2 + 1) * complex_itemsize
+    per_rotation = spectra + spectra // 2
+    return max(1, int(budget_bytes // per_rotation))
+
+
+def stack_rotation_grids(
+    ligand_rotations: Sequence[EnergyGrids], dtype=np.float64
+) -> np.ndarray:
+    """Stack a batch of rotation grids into one (B, C, m1, m2, m3) array."""
+    if not ligand_rotations:
+        raise ValueError("empty rotation batch")
+    base = ligand_rotations[0].channels.shape
+    for lg in ligand_rotations[1:]:
+        if lg.channels.shape != base:
+            raise ValueError("all batched rotations must share grid geometry")
+    return np.stack([lg.channels for lg in ligand_rotations]).astype(dtype)
+
+
+class BatchedFFTCorrelationEngine(CorrelationEngine):
+    """FFT correlation over a whole batch of rotations per call.
+
+    Parameters
+    ----------
+    workers:
+        FFT worker threads (scipy ``workers=``); defaults to the host core
+        count — batching is what makes the thread fan-out effective, since
+        a single rotation's C transforms rarely saturate the cores.
+    precision:
+        ``"single"`` (default, the GPU's arithmetic) or ``"double"``
+        (bit-faithful to the serial FFT engine's fp64 pipeline).
+    memory_budget_bytes:
+        Cap on the stacked-spectra working set; :meth:`max_batch` derives
+        the largest admissible batch from it.
+    """
+
+    name = "batched-fft"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        precision: str = "single",
+        memory_budget_bytes: int = DEFAULT_FFT_MEMORY_BUDGET,
+    ) -> None:
+        if precision not in ("single", "double"):
+            raise ValueError(f"unknown precision {precision!r}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.precision = precision
+        self.memory_budget_bytes = memory_budget_bytes
+        self._real_dtype = np.float32 if precision == "single" else np.float64
+        self._complex_itemsize = 8 if precision == "single" else 16
+        self._receptor_cache = ReceptorSpectraCache()
+
+    # -- capacity ---------------------------------------------------------------
+
+    def max_batch(self, receptor: EnergyGrids) -> int:
+        """Largest batch for this receptor under the memory budget."""
+        return fft_batch_limit(
+            receptor.channels.shape[1:],
+            receptor.n_channels,
+            self.memory_budget_bytes,
+            self._complex_itemsize,
+        )
+
+    # -- single rotation (CorrelationEngine interface) --------------------------
+
+    def correlate(self, receptor: EnergyGrids, ligand: EnergyGrids) -> np.ndarray:
+        return self.correlate_batch(receptor, [ligand])[0]
+
+    # -- batched path -----------------------------------------------------------
+
+    def correlate_batch(
+        self, receptor: EnergyGrids, ligand_rotations: Sequence[EnergyGrids]
+    ) -> np.ndarray:
+        """Weighted pose-energy grids for a batch, shape (B, T1, T2, T3).
+
+        The whole pipeline runs in the staged ``[fz, y, x]`` layout so every
+        FFT pass and the channel contraction see contiguous memory; a single
+        transpose-and-slice at the end restores ``[x, y, z]`` order.
+        """
+        self._check_batch(receptor, ligand_rotations)
+        n1, n2, n3 = receptor.channels.shape[1:]
+        t1, t2, t3 = valid_translation_shape(
+            (n1, n2, n3), ligand_rotations[0].channels.shape[1:]
+        )
+
+        rec_conj = self._receptor_spectra(receptor)
+        weights = (receptor.weights * ligand_rotations[0].weights).astype(
+            self._real_dtype
+        )
+        for lg in ligand_rotations[1:]:
+            if not np.array_equal(lg.weights, ligand_rotations[0].weights):
+                raise ValueError("all batched rotations must share channel weights")
+
+        stack = stack_rotation_grids(ligand_rotations, dtype=self._real_dtype)
+        lig_spec = self._staged_forward(stack, (n1, n2, n3))  # (B,C,fz,y,x)
+
+        # Sum_c w_c * R_hat_c * conj(L_hat_c) == conj(Sum_c w_c conj(R_hat_c)
+        # L_hat_c): contract against the cached conjugated spectra and flip
+        # once, so the batch needs a single reduction and no C-channel
+        # temporaries.
+        combined = np.einsum("c,cijk,bcijk->bijk", weights, rec_conj, lig_spec)
+        np.conj(combined, out=combined)
+        corr = sp_fft.irfftn(
+            combined, s=(n1, n2, n3), axes=(3, 2, 1), workers=self.workers
+        )  # (B, z, y, x)
+        return np.ascontiguousarray(
+            corr.transpose(0, 3, 2, 1)[:, :t1, :t2, :t3]
+        )
+
+    def _receptor_spectra(self, receptor: EnergyGrids) -> np.ndarray:
+        """Conjugated receptor spectra in staged (C, fz, y, x) layout, cached."""
+        spectra = self._receptor_cache.get(receptor)
+        if spectra is None:
+            spectra = np.conj(
+                sp_fft.rfftn(
+                    receptor.channels.astype(self._real_dtype),
+                    axes=(1, 2, 3),
+                    workers=self.workers,
+                )
+            )
+            spectra = np.ascontiguousarray(spectra.transpose(0, 3, 2, 1))
+            self._receptor_cache.put(receptor, spectra)
+        return spectra
+
+    def _staged_forward(
+        self, stack: np.ndarray, shape: Tuple[int, int, int]
+    ) -> np.ndarray:
+        """Zero-padded forward spectra of the stacked batch.
+
+        Pads one axis per pass (each 1-D FFT zero-pads internally via
+        ``n=``), keeping the transformed axis contiguous between passes.
+        Returns the (B, C, N3/2+1, N2, N1) staged-layout spectra, equal (up
+        to round-off order) to ``rfftn`` of the fully padded stack.
+        """
+        n1, n2, n3 = shape
+        s1 = sp_fft.rfft(stack, n=n3, axis=4, workers=self.workers)
+        s1 = np.ascontiguousarray(np.moveaxis(s1, 3, 4))  # (B,C,m1,fz,m2)
+        s2 = sp_fft.fft(s1, n=n2, axis=4, workers=self.workers)
+        s2 = np.ascontiguousarray(np.moveaxis(s2, 2, 4))  # (B,C,fz,n2,m1)
+        return sp_fft.fft(s2, n=n1, axis=4, workers=self.workers)
+
+    def clear_cache(self) -> None:
+        self._receptor_cache.clear()

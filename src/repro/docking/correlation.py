@@ -12,13 +12,77 @@ return the full weighted score grid over valid translations.
 
 from __future__ import annotations
 
+import weakref
 from abc import ABC, abstractmethod
+from typing import Sequence, Tuple
 
 import numpy as np
 
 from repro.grids.energyfunctions import EnergyGrids
 
-__all__ = ["CorrelationEngine", "correlate_channels", "valid_translations"]
+__all__ = [
+    "CorrelationEngine",
+    "ReceptorSpectraCache",
+    "correlate_channels",
+    "valid_translations",
+    "valid_translation_shape",
+]
+
+
+class ReceptorSpectraCache:
+    """Small bounded cache of per-receptor precomputed arrays.
+
+    Entries are validated through a weak reference to the receptor object,
+    so a recycled ``id()`` (receptor freed, new one allocated at the same
+    address) can never return another receptor's spectra.  The cache keeps
+    at most ``max_entries`` receptors (FIFO eviction) — PIPER reuses one
+    protein across all rotations, so a handful of entries covers every
+    real workload while bounding memory.
+    """
+
+    def __init__(self, max_entries: int = 4) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: dict = {}   # id(receptor) -> (weakref, value)
+
+    def get(self, receptor: EnergyGrids):
+        entry = self._entries.get(id(receptor))
+        if entry is None:
+            return None
+        ref, value = entry
+        if ref() is not receptor:   # address reuse or freed receptor
+            del self._entries[id(receptor)]
+            return None
+        return value
+
+    def put(self, receptor: EnergyGrids, value) -> None:
+        self._prune()
+        while len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[id(receptor)] = (weakref.ref(receptor), value)
+
+    def _prune(self) -> None:
+        dead = [k for k, (ref, _) in self._entries.items() if ref() is None]
+        for k in dead:
+            del self._entries[k]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        self._prune()
+        return len(self._entries)
+
+    # Engines holding a cache must survive pickling (process executors fork
+    # workers and ship bound methods); weakrefs don't pickle, and a cache
+    # never needs to — workers simply start cold.
+    def __getstate__(self):
+        return {"max_entries": self.max_entries}
+
+    def __setstate__(self, state) -> None:
+        self.max_entries = state["max_entries"]
+        self._entries = {}
 
 
 def valid_translations(n: int, m: int) -> int:
@@ -26,6 +90,22 @@ def valid_translations(n: int, m: int) -> int:
     if m > n:
         raise ValueError(f"ligand grid ({m}) larger than receptor grid ({n})")
     return n - m + 1
+
+
+def valid_translation_shape(
+    receptor_shape: Sequence[int], ligand_shape: Sequence[int]
+) -> Tuple[int, int, int]:
+    """Per-axis valid-translation extents ``n_i - m_i + 1``.
+
+    The correlation algebra is separable per axis, so non-cubic grids are
+    supported: each axis contributes its own valid range independently.
+    """
+    if len(receptor_shape) != 3 or len(ligand_shape) != 3:
+        raise ValueError("grid shapes must be 3-D")
+    return tuple(
+        valid_translations(int(n), int(m))
+        for n, m in zip(receptor_shape, ligand_shape)
+    )
 
 
 class CorrelationEngine(ABC):
@@ -43,14 +123,44 @@ class CorrelationEngine(ABC):
     def correlate(self, receptor: EnergyGrids, ligand: EnergyGrids) -> np.ndarray:
         """Weighted pose-energy grid over valid translations."""
 
+    def correlate_batch(
+        self, receptor: EnergyGrids, ligand_rotations: Sequence[EnergyGrids]
+    ) -> np.ndarray:
+        """Score a batch of rotations, returning a (B, T1, T2, T3) stack.
+
+        The base implementation loops :meth:`correlate` per rotation, so
+        every engine exposes the batch API with identical numerics; the
+        batched-FFT engine overrides this with a vectorized path.
+        """
+        self._check_batch(receptor, ligand_rotations)
+        return np.stack(
+            [self.correlate(receptor, lg) for lg in ligand_rotations]
+        )
+
     def _check(self, receptor: EnergyGrids, ligand: EnergyGrids) -> None:
         if receptor.n_channels != ligand.n_channels:
             raise ValueError(
                 f"channel mismatch: receptor {receptor.n_channels} vs "
                 f"ligand {ligand.n_channels}"
             )
-        if ligand.spec.n > receptor.spec.n:
+        rec_shape = receptor.channels.shape[1:]
+        lig_shape = ligand.channels.shape[1:]
+        if any(m > n for n, m in zip(rec_shape, lig_shape)):
             raise ValueError("ligand grid larger than receptor grid")
+
+    def _check_batch(
+        self, receptor: EnergyGrids, ligand_rotations: Sequence[EnergyGrids]
+    ) -> None:
+        if not ligand_rotations:
+            raise ValueError("empty rotation batch")
+        base = ligand_rotations[0]
+        self._check(receptor, base)
+        for lg in ligand_rotations[1:]:
+            if (
+                lg.channels.shape != base.channels.shape
+                or lg.n_channels != base.n_channels
+            ):
+                raise ValueError("all batched rotations must share grid geometry")
 
 
 def correlate_channels(

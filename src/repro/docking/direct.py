@@ -20,7 +20,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.docking.correlation import CorrelationEngine, valid_translations
+from repro.docking.correlation import CorrelationEngine, valid_translation_shape
 from repro.grids.energyfunctions import EnergyGrids
 
 __all__ = ["DirectCorrelationEngine", "direct_correlate_batch"]
@@ -45,16 +45,17 @@ class DirectCorrelationEngine(CorrelationEngine):
 
     def correlate(self, receptor: EnergyGrids, ligand: EnergyGrids) -> np.ndarray:
         self._check(receptor, ligand)
-        n, m = receptor.spec.n, ligand.spec.n
-        t = valid_translations(n, m)
+        tshape = valid_translation_shape(
+            receptor.channels.shape[1:], ligand.channels.shape[1:]
+        )
         weights = receptor.weights * ligand.weights
-        out = np.zeros((t, t, t), dtype=np.float64)
+        out = np.zeros(tshape, dtype=np.float64)
         for c in range(receptor.n_channels):
             w = weights[c]
             if w == 0.0:
                 continue
             out += w * self._correlate_one(
-                receptor.channels[c], ligand.channels[c], t
+                receptor.channels[c], ligand.channels[c], tshape
             )
         return out
 
@@ -63,22 +64,23 @@ class DirectCorrelationEngine(CorrelationEngine):
     ) -> np.ndarray:
         """Unweighted per-channel correlations, shape (C, T, T, T)."""
         self._check(receptor, ligand)
-        n, m = receptor.spec.n, ligand.spec.n
-        t = valid_translations(n, m)
+        tshape = valid_translation_shape(
+            receptor.channels.shape[1:], ligand.channels.shape[1:]
+        )
         return np.stack(
             [
-                self._correlate_one(receptor.channels[c], ligand.channels[c], t)
+                self._correlate_one(receptor.channels[c], ligand.channels[c], tshape)
                 for c in range(receptor.n_channels)
             ]
         )
 
     def _correlate_one(
-        self, rec: np.ndarray, lig: np.ndarray, t: int
+        self, rec: np.ndarray, lig: np.ndarray, tshape
     ) -> np.ndarray:
-        """corr(a) = sum_d L(d) * R(a + d) for a in [0, t)^3."""
+        """corr(a) = sum_d L(d) * R(a + d) for a in [0, t1) x [0, t2) x [0, t3)."""
         rec = rec.astype(np.float64)
-        out = np.zeros((t, t, t), dtype=np.float64)
-        m = lig.shape[0]
+        t1, t2, t3 = tshape
+        out = np.zeros((t1, t2, t3), dtype=np.float64)
         if self.skip_zero_voxels:
             nz = np.argwhere(lig != 0)
             vals = lig[lig != 0].astype(np.float64)
@@ -88,8 +90,7 @@ class DirectCorrelationEngine(CorrelationEngine):
         for (dx, dy, dz), v in zip(nz, vals):
             if v == 0.0 and self.skip_zero_voxels:
                 continue
-            out += v * rec[dx : dx + t, dy : dy + t, dz : dz + t]
-        del m
+            out += v * rec[dx : dx + t1, dy : dy + t2, dz : dz + t3]
         return out
 
 
@@ -112,8 +113,5 @@ def direct_correlate_batch(
     eng = engine or DirectCorrelationEngine()
     if not ligand_rotations:
         return []
-    base = ligand_rotations[0]
-    for lg in ligand_rotations[1:]:
-        if lg.spec.n != base.spec.n or lg.n_channels != base.n_channels:
-            raise ValueError("all batched rotations must share grid geometry")
+    eng._check_batch(receptor, ligand_rotations)
     return [eng.correlate(receptor, lg) for lg in ligand_rotations]

@@ -11,12 +11,14 @@ Complexity per rotation: C channels x O(N^3 log N).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
-
 import numpy as np
 from scipy import fft as sp_fft
 
-from repro.docking.correlation import CorrelationEngine, valid_translations
+from repro.docking.correlation import (
+    CorrelationEngine,
+    ReceptorSpectraCache,
+    valid_translation_shape,
+)
 from repro.grids.energyfunctions import EnergyGrids
 
 __all__ = ["FFTCorrelationEngine"]
@@ -39,26 +41,25 @@ class FFTCorrelationEngine(CorrelationEngine):
         #: Number of FFT worker threads (scipy.fft ``workers=``); the
         #: multicore comparison of Sec. V.A uses >1.
         self.workers = workers
-        self._receptor_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self._receptor_cache = ReceptorSpectraCache()
 
     def correlate(self, receptor: EnergyGrids, ligand: EnergyGrids) -> np.ndarray:
         self._check(receptor, ligand)
-        n = receptor.spec.n
-        m = ligand.spec.n
-        t = valid_translations(n, m)
+        shape = receptor.channels.shape[1:]
+        mshape = ligand.channels.shape[1:]
+        t1, t2, t3 = valid_translation_shape(shape, mshape)
 
-        key = (id(receptor), n)
-        spectra = self._receptor_cache.get(key)
+        spectra = self._receptor_cache.get(receptor)
         if spectra is None:
             spectra = sp_fft.rfftn(
                 receptor.channels.astype(np.float64),
                 axes=(1, 2, 3),
                 workers=self.workers,
             )
-            self._receptor_cache[key] = spectra
+            self._receptor_cache.put(receptor, spectra)
 
-        padded = np.zeros((ligand.n_channels, n, n, n), dtype=np.float64)
-        padded[:, :m, :m, :m] = ligand.channels
+        padded = np.zeros((ligand.n_channels, *shape), dtype=np.float64)
+        padded[:, : mshape[0], : mshape[1], : mshape[2]] = ligand.channels
         lig_spec = np.conj(
             sp_fft.rfftn(padded, axes=(1, 2, 3), workers=self.workers)
         )
@@ -66,8 +67,8 @@ class FFTCorrelationEngine(CorrelationEngine):
         weights = receptor.weights * ligand.weights
         # Sum channels in the frequency domain: one inverse FFT instead of C.
         combined = np.einsum("c,cijk->ijk", weights, spectra * lig_spec)
-        corr = sp_fft.irfftn(combined, s=(n, n, n), workers=self.workers)
-        return np.ascontiguousarray(corr[:t, :t, :t])
+        corr = sp_fft.irfftn(combined, s=shape, workers=self.workers)
+        return np.ascontiguousarray(corr[:t1, :t2, :t3])
 
     def correlate_per_channel(
         self, receptor: EnergyGrids, ligand: EnergyGrids
@@ -78,14 +79,15 @@ class FFTCorrelationEngine(CorrelationEngine):
         the frequency domain (:meth:`correlate`).
         """
         self._check(receptor, ligand)
-        n, m = receptor.spec.n, ligand.spec.n
-        t = valid_translations(n, m)
-        padded = np.zeros((ligand.n_channels, n, n, n), dtype=np.float64)
-        padded[:, :m, :m, :m] = ligand.channels
+        shape = receptor.channels.shape[1:]
+        mshape = ligand.channels.shape[1:]
+        t1, t2, t3 = valid_translation_shape(shape, mshape)
+        padded = np.zeros((ligand.n_channels, *shape), dtype=np.float64)
+        padded[:, : mshape[0], : mshape[1], : mshape[2]] = ligand.channels
         rec_spec = sp_fft.rfftn(receptor.channels.astype(np.float64), axes=(1, 2, 3))
         lig_spec = np.conj(sp_fft.rfftn(padded, axes=(1, 2, 3)))
-        corr = sp_fft.irfftn(rec_spec * lig_spec, s=(n, n, n), axes=(1, 2, 3))
-        return np.ascontiguousarray(corr[:, :t, :t, :t])
+        corr = sp_fft.irfftn(rec_spec * lig_spec, s=shape, axes=(1, 2, 3))
+        return np.ascontiguousarray(corr[:, :t1, :t2, :t3])
 
     def clear_cache(self) -> None:
         self._receptor_cache.clear()

@@ -16,7 +16,7 @@ for the minimization phase.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -29,18 +29,24 @@ from repro.constants import (
     MIN_DESOLVATION_TERMS,
     POSES_PER_ROTATION,
 )
+from repro.docking.batched import BatchedFFTCorrelationEngine
 from repro.docking.correlation import CorrelationEngine
 from repro.docking.direct import DirectCorrelationEngine
 from repro.docking.fft import FFTCorrelationEngine
 from repro.docking.filtering import filter_top_poses
+from repro.docking.selection import select_backend
 from repro.geometry.sampling import rotation_set
 from repro.geometry.transforms import RigidTransform, centered
-from repro.grids.energyfunctions import protein_grids
+from repro.grids.energyfunctions import EnergyGrids, protein_grids
 from repro.grids.gridding import GridSpec
 from repro.grids.rotation import ligand_grid_spec, rotate_and_grid_ligand
 from repro.structure.molecule import Molecule
+from repro.util.parallel import RotationExecutor, chunked
 
-__all__ = ["PiperConfig", "DockedPose", "PiperDocker"]
+__all__ = ["PiperConfig", "DockedPose", "PiperDocker", "ENGINE_NAMES"]
+
+#: Engine names accepted by :attr:`PiperConfig.engine`.
+ENGINE_NAMES = ("direct", "fft", "batched-fft", "auto")
 
 
 @dataclass(frozen=True)
@@ -50,6 +56,12 @@ class PiperConfig:
     Defaults follow the paper: 500 rotations, 4 poses/rotation, 128^3
     receptor grid, 4^3 probe grid, 4 desolvation terms (the minimum of the
     4..18 range), direct correlation engine.
+
+    ``engine`` may also be ``"batched-fft"`` (multi-rotation vectorized FFT
+    path) or ``"auto"`` (cost-model backend selection per problem size, see
+    :mod:`repro.docking.selection`).  ``batch_size`` caps how many rotations
+    are gridded and scored per batched pass (``None`` = engine default);
+    ``fft_workers`` feeds the FFT engines' thread fan-out.
     """
 
     num_rotations: int = FTMAP_NUM_ROTATIONS
@@ -59,17 +71,21 @@ class PiperConfig:
     grid_spacing: float = 1.0
     n_desolvation_terms: int = MIN_DESOLVATION_TERMS
     exclusion_radius: int = FILTER_EXCLUSION_RADIUS
-    engine: str = "direct"  # "direct" | "fft"
+    engine: str = "direct"  # see ENGINE_NAMES
     rotation_scheme: str = "super-fibonacci"
     desolvation_seed: int = 2010
+    batch_size: Optional[int] = None
+    fft_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.num_rotations < 1:
             raise ValueError("need at least one rotation")
         if self.poses_per_rotation < 1:
             raise ValueError("need at least one pose per rotation")
-        if self.engine not in ("direct", "fft"):
+        if self.engine not in ENGINE_NAMES:
             raise ValueError(f"unknown engine {self.engine!r}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -124,26 +140,44 @@ class PiperDocker:
             n_desolvation_terms=cfg.n_desolvation_terms,
             desolvation_seed=cfg.desolvation_seed,
         )
+        self.rotations = rotation_set(cfg.num_rotations, cfg.rotation_scheme)
         if engine is not None:
             self.engine: CorrelationEngine = engine
-        elif cfg.engine == "fft":
-            self.engine = FFTCorrelationEngine()
         else:
-            self.engine = DirectCorrelationEngine()
-        self.rotations = rotation_set(cfg.num_rotations, cfg.rotation_scheme)
+            self.engine = self._build_engine(cfg.engine)
+
+    def _build_engine(self, name: str) -> CorrelationEngine:
+        if name == "auto":
+            decision = select_backend(
+                self.config.receptor_grid,
+                self.config.probe_grid,
+                self.receptor_grids.n_channels,
+                num_rotations=len(self.rotations),
+                batch_size=self.config.batch_size,
+            )
+            name = decision.backend
+        if name == "fft":
+            return FFTCorrelationEngine(workers=self.config.fft_workers)
+        if name == "batched-fft":
+            return BatchedFFTCorrelationEngine(workers=self.config.fft_workers)
+        return DirectCorrelationEngine()
 
     # -- single rotation ------------------------------------------------------
 
-    def score_rotation(self, rotation_index: int) -> np.ndarray:
-        """Weighted pose-energy grid for one rotation (steps 1-3)."""
+    def grid_rotation(self, rotation_index: int) -> EnergyGrids:
+        """Host-side step 1: rotate the probe and re-grid it."""
         cfg = self.config
-        lig = rotate_and_grid_ligand(
+        return rotate_and_grid_ligand(
             self.probe,
             self.rotations[rotation_index],
             self.probe_spec,
             n_desolvation_terms=cfg.n_desolvation_terms,
             desolvation_seed=cfg.desolvation_seed,
         )
+
+    def score_rotation(self, rotation_index: int) -> np.ndarray:
+        """Weighted pose-energy grid for one rotation (steps 1-3)."""
+        lig = self.grid_rotation(rotation_index)
         return self.engine.correlate(self.receptor_grids, lig)
 
     def poses_for_rotation(self, rotation_index: int) -> List[DockedPose]:
@@ -176,14 +210,52 @@ class PiperDocker:
 
     # -- full run -----------------------------------------------------------------
 
-    def run(self, rotation_indices: Sequence[int] | None = None) -> List[DockedPose]:
-        """Dock over all (or selected) rotations; poses sorted by energy."""
-        indices = (
+    def default_batch_size(self) -> int:
+        """Rotations per batched pass: configured, else the engine's cap.
+
+        Engines without a vectorized batch path keep a batch of 1 — their
+        base-class ``correlate_batch`` is a per-rotation loop, so batching
+        would only change memory footprint, not arithmetic.
+        """
+        if self.config.batch_size is not None:
+            return self.config.batch_size
+        if isinstance(self.engine, BatchedFFTCorrelationEngine):
+            from repro.docking.batched import DEFAULT_FFT_BATCH
+
+            return max(1, min(DEFAULT_FFT_BATCH, self.engine.max_batch(self.receptor_grids)))
+        return 1
+
+    def run(
+        self,
+        rotation_indices: Sequence[int] | None = None,
+        batch_size: int | None = None,
+        executor: RotationExecutor | None = None,
+    ) -> List[DockedPose]:
+        """Dock over all (or selected) rotations; poses sorted by energy.
+
+        Rotations are processed in batches: each batch is gridded on the
+        host (fanned out over ``executor`` when given), scored in one
+        ``correlate_batch`` call, and filtered per rotation.  A batch size
+        of 1 reproduces the classic per-rotation loop exactly.
+        """
+        indices = list(
             range(len(self.rotations)) if rotation_indices is None else rotation_indices
         )
+        bs = batch_size if batch_size is not None else self.default_batch_size()
+        if bs < 1:
+            raise ValueError("batch_size must be >= 1")
+        exe = executor or RotationExecutor("serial")
+        cfg = self.config
+
         poses: List[DockedPose] = []
-        for ri in indices:
-            poses.extend(self.poses_for_rotation(ri))
+        for chunk in chunked(indices, bs):
+            grids = exe.map(self.grid_rotation, chunk)
+            score_stack = self.engine.correlate_batch(self.receptor_grids, grids)
+            for ri, scores in zip(chunk, score_stack):
+                filtered = filter_top_poses(
+                    scores, cfg.poses_per_rotation, cfg.exclusion_radius
+                )
+                poses.extend(self._to_docked(ri, f) for f in filtered)
         poses.sort()
         return poses
 

@@ -1,0 +1,137 @@
+"""Backend auto-selection for the docking correlation hot path.
+
+Given a problem size — receptor edge ``n``, ligand edge ``m``, channel
+count, rotation count — this layer predicts the per-rotation correlation
+cost of every backend and picks the cheapest:
+
+* ``direct`` / ``fft`` / ``batched-fft`` from the serial CPU model
+  (:class:`repro.perf.cpumodel.CpuModel`) — the same primitives the paper's
+  Sec. III crossover argument uses ("if the ligand grid is smaller than a
+  certain size, direct correlation can perform better than FFT"),
+* ``gpu-sim`` from the analytic GPU cost model
+  (:class:`repro.cuda.costmodel.CostModel`) applied to the batched
+  direct-correlation kernel launch, included only when a device spec is
+  supplied — the virtual device predicts time but executes on the host, so
+  it must be opted into.
+
+The decision carries every backend's prediction so callers (benchmarks,
+reports) can show the full table, not just the winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.docking.batched import DEFAULT_FFT_BATCH, fft_batch_limit
+from repro.perf.cpumodel import CpuModel
+
+__all__ = ["BackendDecision", "predict_backend_times", "select_backend", "CPU_BACKENDS"]
+
+#: Backends that execute real host arithmetic (auto-selectable everywhere).
+CPU_BACKENDS = ("direct", "fft", "batched-fft")
+
+
+@dataclass(frozen=True)
+class BackendDecision:
+    """Outcome of backend selection for one problem size."""
+
+    backend: str
+    batch_size: int
+    predictions: Dict[str, float]   # backend -> predicted s/rotation
+
+    @property
+    def predicted_s(self) -> float:
+        return self.predictions[self.backend]
+
+
+def predict_backend_times(
+    n: int,
+    m: int,
+    channels: int,
+    num_rotations: int = 1,
+    batch_size: Optional[int] = None,
+    cpu: Optional[CpuModel] = None,
+    device_spec=None,
+) -> Dict[str, float]:
+    """Predicted per-rotation correlation seconds for every backend.
+
+    ``gpu-sim`` appears only when ``device_spec`` is given; its prediction
+    is the cost-model kernel time of the constant-memory-batched direct
+    kernel plus the per-rotation probe upload.
+    """
+    cpu = cpu or CpuModel()
+    batch = _resolve_batch(n, channels, num_rotations, batch_size)
+    times = {
+        "direct": cpu.direct_correlation_s(n, m, channels),
+        "fft": cpu.fft_correlation_s(n, channels),
+        "batched-fft": cpu.batched_fft_correlation_s(n, m, channels, batch),
+    }
+    if device_spec is not None:
+        times["gpu-sim"] = _gpu_time_per_rotation(n, m, channels, device_spec)
+    return times
+
+
+def select_backend(
+    n: int,
+    m: int,
+    channels: int,
+    num_rotations: int = 1,
+    batch_size: Optional[int] = None,
+    include_gpu: bool = False,
+    cpu: Optional[CpuModel] = None,
+    device_spec=None,
+) -> BackendDecision:
+    """Pick the cheapest backend for a problem size.
+
+    The GPU simulator is considered only with ``include_gpu=True`` (it
+    predicts device time while computing on the host, so auto-picking it
+    must be an explicit choice).  A single rotation never selects the
+    batched path — there is nothing to batch.
+    """
+    if include_gpu and device_spec is None:
+        from repro.cuda.device import TESLA_C1060
+
+        device_spec = TESLA_C1060
+    times = predict_backend_times(
+        n, m, channels, num_rotations, batch_size, cpu, device_spec
+    )
+    candidates = dict(times)
+    if not include_gpu:
+        candidates.pop("gpu-sim", None)
+    if num_rotations <= 1:
+        candidates.pop("batched-fft", None)
+    backend = min(candidates, key=candidates.get)
+    batch = (
+        _resolve_batch(n, channels, num_rotations, batch_size)
+        if backend in ("batched-fft", "gpu-sim")
+        else 1
+    )
+    return BackendDecision(backend=backend, batch_size=batch, predictions=times)
+
+
+def _resolve_batch(
+    n: int, channels: int, num_rotations: int, batch_size: Optional[int]
+) -> int:
+    if batch_size is not None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return batch_size
+    limit = fft_batch_limit((n, n, n), channels)
+    return max(1, min(DEFAULT_FFT_BATCH, limit, num_rotations))
+
+
+def _gpu_time_per_rotation(n: int, m: int, channels: int, device_spec) -> float:
+    """Cost-model time of the batched direct kernel, per rotation."""
+    from repro.cuda.costmodel import CostModel
+    from repro.docking.correlation import valid_translations
+    from repro.gpu.batching import max_batch_rotations
+    from repro.gpu.correlation_kernels import correlation_launch_sizes
+
+    batch = max(1, max_batch_rotations(m, channels, device_spec))
+    t = valid_translations(n, m)
+    launch = correlation_launch_sizes((t, t, t), channels, m, batch=batch)
+    cost = CostModel(device_spec)
+    kernel_s = cost.kernel_time(launch) / batch
+    upload_s = cost.transfer_time(channels * m**3 * 4)
+    return kernel_s + upload_s

@@ -11,14 +11,14 @@ tested identical to the serial ``PiperDocker.run``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Sequence
 
 from repro.docking.piper import DockedPose, PiperConfig, PiperDocker
 from repro.cuda.device import Device
 from repro.gpu.batching import gpu_batched_correlation, max_batch_rotations
 from repro.gpu.scoring_kernel import gpu_score_and_filter
-from repro.grids.rotation import rotate_and_grid_ligand
 from repro.structure.molecule import Molecule
+from repro.util.parallel import chunked
 
 __all__ = ["GpuDockingRun", "GpuPiperDocker"]
 
@@ -47,8 +47,11 @@ class GpuPiperDocker:
         probe: Molecule,
         config: PiperConfig | None = None,
         device: Device | None = None,
+        serial: Optional[PiperDocker] = None,
     ) -> None:
-        self.serial = PiperDocker(receptor, probe, config)
+        # The DockingEngine facade shares its PiperDocker (receptor grids are
+        # expensive to rebuild); standalone use constructs a fresh one.
+        self.serial = serial or PiperDocker(receptor, probe, config)
         self.device = device or Device()
         cfg = self.serial.config
         limit = max_batch_rotations(
@@ -61,28 +64,25 @@ class GpuPiperDocker:
                 "probe grids do not fit constant memory; direct correlation "
                 "on this device requires a smaller probe grid"
             )
-        self.batch_size = limit
+        # An explicit configured batch may shrink below the constant-memory
+        # cap (never exceed it — the device would reject the upload).
+        configured = self.serial.config.batch_size
+        self.batch_size = min(limit, configured) if configured else limit
 
-    def run(self) -> GpuDockingRun:
-        """Dock all rotations through the GPU path."""
+    def run(self, rotation_indices: Sequence[int] | None = None) -> GpuDockingRun:
+        """Dock all (or selected) rotations through the GPU path."""
         cfg = self.serial.config
-        rotations = self.serial.rotations
+        indices = list(
+            range(len(self.serial.rotations))
+            if rotation_indices is None
+            else rotation_indices
+        )
         t_total = 0.0
         poses: List[DockedPose] = []
         n_batches = 0
 
-        for start in range(0, len(rotations), self.batch_size):
-            batch_idx = range(start, min(start + self.batch_size, len(rotations)))
-            grids = [
-                rotate_and_grid_ligand(
-                    self.serial.probe,
-                    rotations[ri],
-                    self.serial.probe_spec,
-                    n_desolvation_terms=cfg.n_desolvation_terms,
-                    desolvation_seed=cfg.desolvation_seed,
-                )
-                for ri in batch_idx
-            ]
+        for batch_idx in chunked(indices, self.batch_size):
+            grids = [self.serial.grid_rotation(ri) for ri in batch_idx]
             corr = gpu_batched_correlation(
                 self.device, self.serial.receptor_grids, grids
             )

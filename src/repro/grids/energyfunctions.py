@@ -28,7 +28,7 @@ in for PIPER's grid preparation step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 from scipy import fft as sp_fft
@@ -39,7 +39,7 @@ from repro.constants import (
     MAX_DESOLVATION_TERMS,
     MIN_DESOLVATION_TERMS,
 )
-from repro.grids.gridding import GridSpec, surface_layer_mask, voxelize_molecule
+from repro.grids.gridding import GridSpec, voxelize_molecule
 from repro.structure.molecule import Molecule
 
 __all__ = [

@@ -8,13 +8,14 @@ models for paper-scale timing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.constants import POSES_PER_ROTATION
-from repro.docking.piper import DockedPose, PiperConfig, PiperDocker
+from repro.docking.engine import DockingEngine
+from repro.docking.piper import DockedPose, PiperConfig
 from repro.geometry.transforms import centered
 from repro.mapping.clustering import Cluster, cluster_poses
 from repro.mapping.consensus import ConsensusSite, consensus_sites
@@ -47,16 +48,20 @@ class FTMapConfig:
     cluster_radius: float = 4.0
     consensus_radius: float = 6.0
     flexible_radius: float = 8.2
-    engine: str = "direct"
+    engine: str = "direct"            # any DockingEngine backend, or "auto"
+    batch_size: Optional[int] = None
+    docking_workers: Optional[int] = None
 
     def piper_config(self) -> PiperConfig:
+        engine = self.engine if self.engine != "gpu-sim" else "direct"
         return PiperConfig(
             num_rotations=self.num_rotations,
             poses_per_rotation=self.poses_per_rotation,
             receptor_grid=self.receptor_grid,
             probe_grid=self.probe_grid,
             grid_spacing=self.grid_spacing,
-            engine=self.engine,
+            engine=engine,
+            batch_size=self.batch_size,
         )
 
 
@@ -131,8 +136,14 @@ def run_ftmap(
 
     probe_results: Dict[str, ProbeResult] = {}
     for name, probe in probe_set.items():
-        docker = PiperDocker(receptor, probe, cfg.piper_config())
-        poses = docker.run()
+        engine = DockingEngine(
+            receptor,
+            probe,
+            cfg.piper_config(),
+            backend=cfg.engine,
+            workers=cfg.docking_workers,
+        )
+        poses = engine.run()
 
         n_probe = probe.n_atoms
         minimized: List[MinimizationResult] = []

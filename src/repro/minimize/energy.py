@@ -14,7 +14,7 @@ treated as constants within one force evaluation; see ``repro.minimize.ace``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np

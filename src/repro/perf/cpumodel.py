@@ -97,6 +97,28 @@ class CpuModel:
         flops = 2.0 * t**3 * m**3 * channels
         return flops / (self.spec.effective_gflops * 1e9)
 
+    def batched_fft_correlation_s(
+        self, n: int, m: int, channels: int, batch: int = 8
+    ) -> float:
+        """Batched-FFT correlation, per rotation amortized over ``batch``.
+
+        The batched path (``repro.docking.batched``) does staged zero-padded
+        forward transforms — per channel one 1-D sweep over ``m*m*n + m*n*n
+        + n^3`` points instead of three over ``n^3`` — plus a single shared
+        inverse transform and one fused channel reduction per rotation.  The
+        receptor spectra are prepared once per batch and amortized.
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        log_n = np.log2(float(n))
+        fwd = channels * 5.0 * log_n * (m * m * n + m * n * n + n**3)
+        inv = 3.0 * 5.0 * log_n * n**3
+        modulate = 6.0 * channels * n**3
+        # Receptor-side spectra: C forward transforms shared by the batch.
+        prep = channels * 3.0 * 5.0 * log_n * n**3 / batch
+        flops = fwd + inv + modulate + prep
+        return flops / (self.spec.effective_gflops * 1e9)
+
     def accumulation_s(self, n: int, m: int, desolvation_terms: int) -> float:
         """Accumulate the desolvation pairwise-potential term grids."""
         t = n - m + 1

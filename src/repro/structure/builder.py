@@ -23,7 +23,7 @@ occupancy — which is what determines the compute structure (see DESIGN.md).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

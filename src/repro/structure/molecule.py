@@ -9,7 +9,7 @@ energy kernels can vectorize without per-atom Python objects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

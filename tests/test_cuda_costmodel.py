@@ -92,19 +92,19 @@ class TestMonotonicity:
         assert all(t2 <= t1 + 1e-12 for t1, t2 in zip(times, times[1:]))
 
     def test_additivity(self, model):
-        l = launch(
+        kl = launch(
             flops=1e8,
             sfu_ops=1e6,
             global_bytes_coalesced=1e7,
             global_uncoalesced_accesses=1e5,
             shared_accesses=1e6,
         )
-        total = model.kernel_time(l)
+        total = model.kernel_time(kl)
         parts = (
             TESLA_C1060.kernel_launch_overhead_us * 1e-6
-            + model.compute_time(l)
-            + model.coalesced_time(l)
-            + model.gather_time(l)
-            + model.shared_time(l)
+            + model.compute_time(kl)
+            + model.coalesced_time(kl)
+            + model.gather_time(kl)
+            + model.shared_time(kl)
         )
         assert total == pytest.approx(parts)

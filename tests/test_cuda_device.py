@@ -1,9 +1,8 @@
 """Tests for the virtual CUDA device and resource limits."""
 
-import numpy as np
 import pytest
 
-from repro.cuda.device import TESLA_C1060, Device, DeviceSpec
+from repro.cuda.device import TESLA_C1060, Device
 from repro.cuda.kernel import KernelLaunch
 from repro.cuda.memory import DeviceBuffer, MemorySpace, TransferDirection
 
@@ -114,5 +113,5 @@ class TestDeviceAccounting:
         dev.launch(KernelLaunch(name="corr", num_blocks=2, threads_per_block=8))
         dev.transfer(2048, TransferDirection.H2D, "grids")
         lines = dev.timeline()
-        assert any("corr" in l for l in lines)
-        assert any("grids" in l for l in lines)
+        assert any("corr" in ln for ln in lines)
+        assert any("grids" in ln for ln in lines)

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.docking import FFTCorrelationEngine, PiperConfig, PiperDocker
-from repro.structure.builder import pocket_center
 
 
 class TestPiperConfig:

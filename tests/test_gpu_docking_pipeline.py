@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.cuda.device import Device
 from repro.docking import PiperConfig, PiperDocker
 from repro.gpu.docking_pipeline import GpuPiperDocker
 

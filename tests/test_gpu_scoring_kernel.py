@@ -1,8 +1,5 @@
 """Tests for the single-SM scoring/filtering kernel (Figs. 5-6)."""
 
-import numpy as np
-import pytest
-
 from repro.cuda.device import Device
 from repro.docking.filtering import filter_top_poses
 from repro.gpu.scoring_kernel import (

@@ -6,7 +6,6 @@ import pytest
 from repro.grids.energyfunctions import (
     EnergyGrids,
     desolvation_eigenterms,
-    ligand_grids,
     num_channels,
     protein_grids,
 )

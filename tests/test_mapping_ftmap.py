@@ -6,7 +6,6 @@ import pytest
 from repro.mapping.ftmap import FTMapConfig, run_ftmap
 from repro.mapping.report import mapping_report
 from repro.structure import synthetic_protein
-from repro.structure.builder import pocket_center
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.minimize import EnergyModel
-from repro.structure import synthetic_complex
 from repro.structure.builder import pocket_movable_mask
 
 

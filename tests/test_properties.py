@@ -14,7 +14,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
-from hypothesis.extra.numpy import arrays
 
 from repro.docking.direct import DirectCorrelationEngine
 from repro.docking.fft import FFTCorrelationEngine

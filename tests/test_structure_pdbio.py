@@ -82,6 +82,6 @@ class TestWritePdb:
         probe = build_probe("urea")
         buf = io.StringIO()
         write_pdb(probe, buf)
-        lines = [l for l in buf.getvalue().splitlines() if l.startswith("ATOM")]
-        elements = [l[76:78].strip() for l in lines]
+        lines = [ln for ln in buf.getvalue().splitlines() if ln.startswith("ATOM")]
+        elements = [ln[76:78].strip() for ln in lines]
         assert elements == probe.elements
