@@ -54,6 +54,11 @@ from repro.minimize import (
     Minimizer,
     MinimizerConfig,
     MinimizationResult,
+    EnsembleEnergyModel,
+    BatchedMinimizer,
+    MinimizationEngine,
+    MinimizationRun,
+    select_minimize_backend,
 )
 from repro.mapping import (
     FTMapConfig,
@@ -93,6 +98,11 @@ __all__ = [
     "Minimizer",
     "MinimizerConfig",
     "MinimizationResult",
+    "EnsembleEnergyModel",
+    "BatchedMinimizer",
+    "MinimizationEngine",
+    "MinimizationRun",
+    "select_minimize_backend",
     "FTMapConfig",
     "FTMapResult",
     "run_ftmap",

@@ -4,11 +4,20 @@ Per-pair instruction budgets for the three energy kernels of Sec. IV
 (counted from the formulas of Eqs. 5-8: arithmetic as 1-cycle ops, exp/
 sqrt/div/pow as SFU ops).  These feed the cost model; the numeric results
 come from the vectorized reference implementations.
+
+:func:`energy_kernel_launch` is the one place the per-pair profiles turn
+into a :class:`~repro.cuda.kernel.KernelLaunch`: the scheme-C kernel
+simulation (:mod:`repro.gpu.minimize_kernels`), the whole-pipeline roll-up
+(:mod:`repro.gpu.pipeline`), and the minimization backend selector
+(:mod:`repro.minimize.selection`) all build their launches here, so their
+predictions cannot drift apart.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.cuda.kernel import KernelLaunch
 
 __all__ = [
     "DEFAULT_BLOCK_THREADS",
@@ -16,6 +25,7 @@ __all__ = [
     "SELF_ENERGY_OPS",
     "PAIRWISE_VDW_OPS",
     "FORCE_UPDATE_OPS",
+    "energy_kernel_launch",
 ]
 
 #: Threads per block used by the minimization kernels.
@@ -49,3 +59,30 @@ PAIRWISE_VDW_OPS = KernelOpProfile(
 FORCE_UPDATE_OPS = KernelOpProfile(
     flops=9.0, sfu_ops=0.0, table_bytes=8.0, gathers=0.5, shared_accesses=3.0
 )
+
+
+def energy_kernel_launch(
+    name: str,
+    profile: KernelOpProfile,
+    rows: int,
+    n_atoms: int,
+    block_threads: int = DEFAULT_BLOCK_THREADS,
+) -> KernelLaunch:
+    """Launch record for one pairs-list pass of a scheme-C energy kernel.
+
+    ``rows`` is the pairs-list length processed in this pass (one direction
+    of the split lists).  Coalesced traffic is the assignment-table row plus
+    the 12-byte coordinate read per pair and one per-atom output stream.
+    """
+    blocks = max(1, -(-rows // block_threads))
+    return KernelLaunch(
+        name=name,
+        num_blocks=blocks,
+        threads_per_block=block_threads,
+        flops=rows * profile.flops,
+        sfu_ops=rows * profile.sfu_ops,
+        global_bytes_coalesced=rows * (profile.table_bytes + 12.0) + n_atoms * 4.0,
+        global_uncoalesced_accesses=rows * profile.gathers,
+        shared_accesses=rows * profile.shared_accesses,
+        shared_bytes_per_block=block_threads * 4,
+    )

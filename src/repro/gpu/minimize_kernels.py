@@ -44,6 +44,7 @@ from repro.gpu.minimize_common import (
     PAIRWISE_VDW_OPS,
     SELF_ENERGY_OPS,
     KernelOpProfile,
+    energy_kernel_launch,
 )
 from repro.minimize.ace import ace_self_energies, born_radii_from_self_energies, gb_pairwise_energy
 from repro.minimize.energy import EnergyModel
@@ -228,19 +229,7 @@ class GpuMinimizationEngine:
     def _energy_kernel_launch(
         self, name: str, profile: KernelOpProfile, rows: int
     ) -> KernelLaunch:
-        blocks = max(1, -(-rows // DEFAULT_BLOCK_THREADS))
-        return KernelLaunch(
-            name=name,
-            num_blocks=blocks,
-            threads_per_block=DEFAULT_BLOCK_THREADS,
-            flops=rows * profile.flops,
-            sfu_ops=rows * profile.sfu_ops,
-            global_bytes_coalesced=rows * (profile.table_bytes + 12.0)
-            + self.n_atoms * 4.0,
-            global_uncoalesced_accesses=rows * profile.gathers,
-            shared_accesses=rows * profile.shared_accesses,
-            shared_bytes_per_block=DEFAULT_BLOCK_THREADS * 4,
-        )
+        return energy_kernel_launch(name, profile, rows, self.n_atoms)
 
     def _iteration_scheme_c(self) -> IterationTiming:
         timing = IterationTiming(host_s=HOST_MOVE_S)

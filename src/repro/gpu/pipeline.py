@@ -35,10 +35,10 @@ from repro.cuda.memory import TransferDirection
 from repro.gpu.batching import max_batch_rotations
 from repro.gpu.correlation_kernels import DistributionScheme, correlation_launch_sizes
 from repro.gpu.minimize_common import (
-    DEFAULT_BLOCK_THREADS,
     FORCE_UPDATE_OPS,
     PAIRWISE_VDW_OPS,
     SELF_ENERGY_OPS,
+    energy_kernel_launch,
 )
 from repro.gpu.minimize_kernels import HOST_MOVE_S
 from repro.gpu.scoring_kernel import scoring_filter_launch
@@ -214,20 +214,8 @@ class GpuFTMapPipeline:
         def launch_pair(name, profile):
             total = 0.0
             for direction in ("fwd", "rev"):
-                blocks = max(1, -(-p // DEFAULT_BLOCK_THREADS))
                 total += self.device.launch(
-                    KernelLaunch(
-                        name=f"{name}[{direction}]",
-                        num_blocks=blocks,
-                        threads_per_block=DEFAULT_BLOCK_THREADS,
-                        flops=p * profile.flops,
-                        sfu_ops=p * profile.sfu_ops,
-                        global_bytes_coalesced=p * (profile.table_bytes + 12.0)
-                        + self.atoms * 4.0,
-                        global_uncoalesced_accesses=p * profile.gathers,
-                        shared_accesses=p * profile.shared_accesses,
-                        shared_bytes_per_block=DEFAULT_BLOCK_THREADS * 4,
-                    )
+                    energy_kernel_launch(f"{name}[{direction}]", profile, p, self.atoms)
                 )
             return total
 

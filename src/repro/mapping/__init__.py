@@ -11,7 +11,16 @@ per-probe cluster representatives; consensus sites rank by how many
 *distinct* probe types they attract.
 """
 
-from repro.mapping.ftmap import FTMapConfig, FTMapResult, ProbeResult, run_ftmap
+from repro.mapping.ftmap import (
+    FTMapConfig,
+    FTMapResult,
+    ProbeResult,
+    cluster_probe,
+    dock_probe,
+    map_probe,
+    minimize_poses,
+    run_ftmap,
+)
 from repro.mapping.clustering import Cluster, cluster_poses
 from repro.mapping.consensus import ConsensusSite, consensus_sites
 from repro.mapping.hotspot import BurialMap, burial_map, site_concavity, top_pockets
@@ -22,6 +31,10 @@ __all__ = [
     "FTMapResult",
     "ProbeResult",
     "run_ftmap",
+    "dock_probe",
+    "minimize_poses",
+    "cluster_probe",
+    "map_probe",
     "Cluster",
     "cluster_poses",
     "ConsensusSite",

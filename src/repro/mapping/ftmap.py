@@ -1,31 +1,49 @@
-"""The FTMap driver: dock -> minimize -> cluster -> consensus.
+"""The FTMap driver: an explicit dock -> minimize -> cluster -> consensus pipeline.
 
-This is the end-to-end application the paper accelerates.  The driver is
-workload-parameterized so tests and examples can run scaled-down instances
-(fewer rotations / probes / iterations) while the benchmarks use the cost
-models for paper-scale timing.
+This is the end-to-end application the paper accelerates.  Each probe flows
+through four staged functions — :func:`dock_probe` (the
+:class:`~repro.docking.engine.DockingEngine` facade),
+:func:`minimize_poses` (the
+:class:`~repro.minimize.engine.MinimizationEngine` facade over the docked
+ensemble), :func:`cluster_probe`, and the cross-probe consensus — and whole
+probes stream through :mod:`repro.util.parallel` workers when
+``probe_workers`` is set.
+
+The driver is workload-parameterized so tests and examples can run
+scaled-down instances (fewer rotations / probes / iterations) while the
+benchmarks use the cost models for paper-scale timing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.constants import POSES_PER_ROTATION
-from repro.docking.engine import DockingEngine
+from repro.docking.engine import DockingEngine, DockingRun
 from repro.docking.piper import DockedPose, PiperConfig
 from repro.geometry.transforms import centered
 from repro.mapping.clustering import Cluster, cluster_poses
 from repro.mapping.consensus import ConsensusSite, consensus_sites
-from repro.minimize.energy import EnergyModel
-from repro.minimize.minimizer import MinimizationResult, Minimizer, MinimizerConfig
+from repro.minimize.engine import MinimizationEngine
+from repro.minimize.minimizer import MinimizationResult, MinimizerConfig
 from repro.structure.builder import pocket_movable_mask
 from repro.structure.molecule import Molecule
 from repro.structure.probes import FTMAP_PROBE_NAMES, build_probe
+from repro.util.parallel import parallel_map
 
-__all__ = ["FTMapConfig", "ProbeResult", "FTMapResult", "run_ftmap"]
+__all__ = [
+    "FTMapConfig",
+    "ProbeResult",
+    "FTMapResult",
+    "run_ftmap",
+    "dock_probe",
+    "minimize_poses",
+    "cluster_probe",
+    "map_probe",
+]
 
 
 @dataclass(frozen=True)
@@ -35,6 +53,15 @@ class FTMapConfig:
     Defaults are scaled for interactive use; the paper-scale workload is
     500 rotations x 16 probes x 2000 minimized conformations (see
     ``repro.gpu.pipeline`` for the timing-model equivalents).
+
+    ``engine`` selects the docking backend (any
+    :class:`~repro.docking.engine.DockingEngine` backend, including
+    ``"gpu-sim"`` and ``"auto"``); ``minimize_engine`` selects the
+    minimization backend (any
+    :class:`~repro.minimize.engine.MinimizationEngine` backend, default
+    cost-model ``"auto"``).  ``probe_workers`` streams whole probes through
+    forked workers — the coarse-grained parallelism of Sec. V.A applied one
+    level up from rotations.
     """
 
     probe_names: Sequence[str] = FTMAP_PROBE_NAMES
@@ -51,9 +78,33 @@ class FTMapConfig:
     engine: str = "direct"            # any DockingEngine backend, or "auto"
     batch_size: Optional[int] = None
     docking_workers: Optional[int] = None
+    minimize_engine: str = "auto"     # any MinimizationEngine backend
+    minimize_batch_size: Optional[int] = None
+    probe_workers: Optional[int] = None
 
     def piper_config(self) -> PiperConfig:
-        engine = self.engine if self.engine != "gpu-sim" else "direct"
+        """The PIPER workload of this run, for direct :class:`PiperDocker` use.
+
+        ``engine="gpu-sim"`` cannot be expressed as a PIPER correlation
+        engine — it is a :class:`DockingEngine` facade backend (the virtual
+        device wraps the whole rotation loop, not one correlation).  Rather
+        than silently downgrading it, this raises; :func:`dock_probe` routes
+        gpu-sim through the facade honestly.
+        """
+        if self.engine == "gpu-sim":
+            raise ValueError(
+                "engine='gpu-sim' is a DockingEngine facade backend, not a "
+                "PiperConfig correlation engine; use run_ftmap / "
+                "DockingEngine(..., backend='gpu-sim') which route it "
+                "through the virtual-device pipeline"
+            )
+        return self._docking_workload()
+
+    def _docking_workload(self) -> PiperConfig:
+        # The facade receives the backend separately (dock_probe passes
+        # ``backend=self.engine``), so for gpu-sim the PiperConfig's own
+        # engine field is an inert placeholder, never executed.
+        engine = "direct" if self.engine == "gpu-sim" else self.engine
         return PiperConfig(
             num_rotations=self.num_rotations,
             poses_per_rotation=self.poses_per_rotation,
@@ -63,6 +114,9 @@ class FTMapConfig:
             engine=engine,
             batch_size=self.batch_size,
         )
+
+    def minimizer_config(self) -> MinimizerConfig:
+        return MinimizerConfig(max_iterations=self.minimizer_iterations)
 
 
 @dataclass
@@ -75,6 +129,8 @@ class ProbeResult:
     minimized_centers: np.ndarray          # (M, 3) probe centers after refinement
     minimized_energies: np.ndarray         # (M,)
     clusters: List[Cluster]
+    docking_backend: str = ""
+    minimize_backend: str = ""
 
 
 @dataclass
@@ -89,24 +145,121 @@ class FTMapResult:
         return self.sites[0] if self.sites else None
 
 
-def _minimize_pose(
+# -- pipeline stages ----------------------------------------------------------------
+
+
+def dock_probe(
+    receptor: Molecule, probe: Molecule, config: FTMapConfig
+) -> DockingRun:
+    """Stage 1: exhaustive rigid docking through the engine facade."""
+    engine = DockingEngine(
+        receptor,
+        probe,
+        config._docking_workload(),
+        backend=config.engine,
+        workers=config.docking_workers,
+    )
+    return engine.run_detailed()
+
+
+def minimize_poses(
     receptor: Molecule,
     probe: Molecule,
-    pose: DockedPose,
+    poses: Sequence[DockedPose],
     config: FTMapConfig,
-) -> MinimizationResult:
-    """Build the complex at the docked pose and energy-minimize it."""
-    placed = probe.with_coords(pose.transform.apply(centered(probe.coords)))
-    complex_mol = receptor.merged_with(placed)
-    movable = pocket_movable_mask(
-        complex_mol, probe.n_atoms, flexible_radius=config.flexible_radius
+) -> Tuple[List[MinimizationResult], np.ndarray, np.ndarray, str]:
+    """Stage 2: refine the top docked poses as one batched ensemble.
+
+    Builds the receptor+probe complex template once, stacks the top
+    ``minimize_top`` pose conformations into a ``(P, N, 3)`` ensemble with
+    per-pose pocket masks, and hands the whole stack to the
+    :class:`MinimizationEngine` (backend per ``config.minimize_engine``).
+
+    Returns ``(results, centers, energies, backend)``; a probe whose
+    docking produced no poses yields the explicit empty ensemble —
+    ``([], (0, 3), (0,), backend)`` — rather than tripping over empty
+    array construction downstream.
+    """
+    top = list(poses[: config.minimize_top])
+    n_probe = probe.n_atoms
+    if not top:
+        return [], np.empty((0, 3)), np.empty((0,)), ""
+
+    placed0 = probe.with_coords(top[0].transform.apply(centered(probe.coords)))
+    template = receptor.merged_with(placed0)
+    n_total = template.n_atoms
+    stack = np.empty((len(top), n_total, 3))
+    stack[:, : n_total - n_probe] = receptor.coords
+    for k, pose in enumerate(top):
+        stack[k, n_total - n_probe:] = pose.transform.apply(centered(probe.coords))
+    movable = np.stack(
+        [
+            pocket_movable_mask(
+                template.with_coords(stack[k]),
+                n_probe,
+                flexible_radius=config.flexible_radius,
+            )
+            for k in range(len(top))
+        ]
     )
-    model = EnergyModel(complex_mol, movable=movable)
-    minimizer = Minimizer(
-        model,
-        config=MinimizerConfig(max_iterations=config.minimizer_iterations),
+    engine = MinimizationEngine(
+        template,
+        stack,
+        movable=movable,
+        config=config.minimizer_config(),
+        backend=config.minimize_engine,
+        batch_size=config.minimize_batch_size,
     )
-    return minimizer.run()
+    run = engine.run_detailed()
+    centers = np.stack([r.coords[-n_probe:].mean(axis=0) for r in run.results])
+    energies = np.array([r.energy for r in run.results], dtype=float)
+    return run.results, centers, energies, run.backend
+
+
+def cluster_probe(
+    centers: np.ndarray, energies: np.ndarray, config: FTMapConfig
+) -> List[Cluster]:
+    """Stage 3: energy-weighted clustering of the refined probe centers."""
+    if len(centers) == 0:
+        return []
+    return cluster_poses(centers, energies, radius=config.cluster_radius)
+
+
+def map_probe(
+    receptor: Molecule, name: str, probe: Molecule, config: FTMapConfig
+) -> ProbeResult:
+    """Run one probe through dock -> minimize -> cluster."""
+    docking = dock_probe(receptor, probe, config)
+    minimized, centers, energies, minimize_backend = minimize_poses(
+        receptor, probe, docking.poses, config
+    )
+    clusters = cluster_probe(centers, energies, config)
+    return ProbeResult(
+        probe_name=name,
+        docked_poses=docking.poses,
+        minimized=minimized,
+        minimized_centers=centers,
+        minimized_energies=energies,
+        clusters=clusters,
+        docking_backend=docking.backend,
+        minimize_backend=minimize_backend,
+    )
+
+
+# Module-level worker state for probe streaming: the receptor and config
+# are installed once per forked worker, tasks carry only (name, probe).
+_PROBE_WORKER_CTX = None
+
+
+def _init_probe_worker(receptor, config) -> None:
+    global _PROBE_WORKER_CTX
+    _PROBE_WORKER_CTX = (receptor, config)
+
+
+def _map_probe_task(item) -> ProbeResult:
+    name, probe = item
+    receptor, config = _PROBE_WORKER_CTX
+    return map_probe(receptor, name, probe, config)
 
 
 def run_ftmap(
@@ -129,50 +282,27 @@ def run_ftmap(
     Returns
     -------
     :class:`FTMapResult` with per-probe docking/minimization details and
-    the ranked consensus sites.
+    the ranked consensus sites.  With ``config.probe_workers > 1`` the
+    per-probe pipelines run in forked workers (order-preserving, so the
+    result is deterministic either way).
     """
     cfg = config or FTMapConfig()
     probe_set = probes or {name: build_probe(name) for name in cfg.probe_names}
+    items = list(probe_set.items())
 
-    probe_results: Dict[str, ProbeResult] = {}
-    for name, probe in probe_set.items():
-        engine = DockingEngine(
-            receptor,
-            probe,
-            cfg.piper_config(),
-            backend=cfg.engine,
-            workers=cfg.docking_workers,
+    workers = cfg.probe_workers or 1
+    if workers > 1 and len(items) > 1:
+        results = parallel_map(
+            _map_probe_task,
+            items,
+            processes=min(workers, len(items)),
+            initializer=_init_probe_worker,
+            initargs=(receptor, cfg),
         )
-        poses = engine.run()
+    else:
+        results = [map_probe(receptor, name, probe, cfg) for name, probe in items]
 
-        n_probe = probe.n_atoms
-        minimized: List[MinimizationResult] = []
-        centers: List[np.ndarray] = []
-        energies: List[float] = []
-        for pose in poses[: cfg.minimize_top]:
-            res = _minimize_pose(receptor, probe, pose, cfg)
-            minimized.append(res)
-            centers.append(res.coords[-n_probe:].mean(axis=0))
-            energies.append(res.energy)
-
-        centers_arr = (
-            np.array(centers) if centers else np.empty((0, 3))
-        )
-        energies_arr = np.array(energies)
-        clusters = (
-            cluster_poses(centers_arr, energies_arr, radius=cfg.cluster_radius)
-            if len(centers)
-            else []
-        )
-        probe_results[name] = ProbeResult(
-            probe_name=name,
-            docked_poses=poses,
-            minimized=minimized,
-            minimized_centers=centers_arr,
-            minimized_energies=energies_arr,
-            clusters=clusters,
-        )
-
+    probe_results = {pr.probe_name: pr for pr in results}
     sites = consensus_sites(
         {name: pr.clusters for name, pr in probe_results.items()},
         radius=cfg.consensus_radius,

@@ -40,6 +40,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.constants import BORN_166, COULOMB_332, SOLVENT_DIELECTRIC, TAU
+from repro.minimize.accumulate import as_float_array, scatter_add_rows, scatter_sub_rows
 
 __all__ = [
     "AceSelfResult",
@@ -66,8 +67,9 @@ class AceSelfResult:
     quantities the split pairs-lists of Fig. 10 route separately.
     """
 
-    self_energies: np.ndarray   # (N,)
-    gradient: np.ndarray        # (N, 3) d(sum_i E_i^self)/dx
+    self_energies: np.ndarray          # (N,)
+    gradient: np.ndarray | None        # (N, 3) d(sum_i E_i^self)/dx; None on
+                                       # the energies-only fast path
     pair_terms_forward: np.ndarray | None = None   # (P,) e_ij
     pair_terms_reverse: np.ndarray | None = None   # (P,) e_ji
 
@@ -95,6 +97,7 @@ def ace_self_energies(
     pair_i: np.ndarray,
     pair_j: np.ndarray,
     per_pair: bool = False,
+    with_gradient: bool = True,
 ) -> AceSelfResult:
     """Evaluate Eq. (5)/(6) over a half pairs-list.
 
@@ -118,12 +121,12 @@ def ace_self_energies(
     constant Born term ``q^2 / (2 eps_s R)``) and the analytic gradient of
     the *total* self energy.
     """
-    coords = np.asarray(coords, dtype=float)
+    coords = as_float_array(coords)
     n = len(coords)
     energies = (charges**2) / (2.0 * SOLVENT_DIELECTRIC * born_params)
-    gradient = np.zeros((n, 3))
+    gradient = np.zeros((n, 3), dtype=coords.dtype)
     if len(pair_i) == 0:
-        empty = np.zeros(0) if per_pair else None
+        empty = np.zeros(0, dtype=coords.dtype) if per_pair else None
         return AceSelfResult(energies, gradient, empty, empty)
 
     d = coords[pair_i] - coords[pair_j]
@@ -161,6 +164,12 @@ def ace_self_energies(
     np.add.at(energies, pair_i, e_ij)
     np.add.at(energies, pair_j, e_ji)
 
+    if not with_gradient:
+        # Line-search fast path: energies only, no derivative arithmetic.
+        if per_pair:
+            return AceSelfResult(energies, None, e_ij, e_ji)
+        return AceSelfResult(energies, None)
+
     # Gradient wrt r of each term (then chain rule through d/r).
     # d(gauss)/dr = -2 r / sigma^2 * gauss
     dgauss_dr = -2.0 * r / sig2 * gauss
@@ -176,8 +185,8 @@ def ace_self_energies(
     )
     r_safe = np.where(r > 0, r, 1.0)
     g = (de_dr / r_safe)[:, None] * d  # dE/dx_i; dE/dx_j = -g
-    np.add.at(gradient, pair_i, g)
-    np.subtract.at(gradient, pair_j, g)
+    scatter_add_rows(gradient, pair_i, g)
+    scatter_sub_rows(gradient, pair_j, g)
     if per_pair:
         return AceSelfResult(energies, gradient, e_ij, e_ji)
     return AceSelfResult(energies, gradient)
@@ -197,8 +206,8 @@ def born_radii_from_self_energies(
     back to their force-field Born radius.  Results are clamped to
     [0.8, 16] Angstrom.
     """
-    q2 = np.asarray(charges, dtype=float) ** 2
-    e = np.asarray(self_energies, dtype=float)
+    q2 = as_float_array(charges) ** 2
+    e = as_float_array(self_energies)
     with np.errstate(divide="ignore", invalid="ignore"):
         alpha = BORN_166 * TAU * q2 / e
     bad = ~np.isfinite(alpha) | (alpha <= 0) | (q2 < 1e-12)
@@ -213,6 +222,7 @@ def gb_pairwise_energy(
     pair_i: np.ndarray,
     pair_j: np.ndarray,
     per_pair: bool = False,
+    energies_only: bool = False,
 ):
     """Generalized Born pairwise interaction (Eq. 7) with analytic gradient.
 
@@ -227,10 +237,10 @@ def gb_pairwise_energy(
     fourth element (the per-pair energies) is appended, used by the GPU
     kernel simulations.
     """
-    coords = np.asarray(coords, dtype=float)
+    coords = as_float_array(coords)
     n = len(coords)
-    per_atom = np.zeros(n)
-    gradient = np.zeros((n, 3))
+    per_atom = np.zeros(n, dtype=coords.dtype)
+    gradient = np.zeros((n, 3), dtype=coords.dtype)
     if len(pair_i) == 0:
         result = (0.0, per_atom, gradient)
         return result + (np.zeros(0),) if per_pair else result
@@ -251,6 +261,12 @@ def gb_pairwise_energy(
     e_pair = e_coul + e_gb
     total = float(e_pair.sum())
 
+    if energies_only:
+        # Line-search fast path: per-pair energies only (callers sum them);
+        # no per-atom split, no derivative arithmetic.
+        result = (total, None, None)
+        return result + (e_pair,) if per_pair else result
+
     np.add.at(per_atom, pair_i, 0.5 * e_pair)
     np.add.at(per_atom, pair_j, 0.5 * e_pair)
 
@@ -260,8 +276,8 @@ def gb_pairwise_energy(
     df_dr = r * (1.0 - 0.25 * expo) / f
     de_dr = -COULOMB_332 * qq / (r_safe**2) + BORN_166 * TAU * qq / f2 * df_dr
     g = (de_dr / r_safe)[:, None] * d
-    np.add.at(gradient, pair_i, g)
-    np.subtract.at(gradient, pair_j, g)
+    scatter_add_rows(gradient, pair_i, g)
+    scatter_sub_rows(gradient, pair_j, g)
 
     if per_pair:
         return total, per_atom, gradient, e_pair

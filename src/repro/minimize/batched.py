@@ -1,0 +1,205 @@
+"""Batched ensemble minimizer: the serial algorithm, one step for all poses.
+
+Runs the exact per-pose algorithm of :class:`~repro.minimize.minimizer.
+Minimizer` — steepest descent or Polak-Ribiere CG, normalized descent
+direction, backtracking line search, the "seldom updated" neighbor-list
+policy — but advances every conformation of an ensemble in lock-step through
+one :class:`~repro.minimize.ensemble.EnsembleEnergyModel` evaluation per
+step.  Per-pose state (step size, CG memory, convergence) is kept in arrays;
+poses drop out of the active set as they converge, so late iterations
+evaluate only the stragglers (active-set masking).
+
+The numbers are the serial numbers: each pose's trajectory is what its own
+``Minimizer`` would produce, to floating-point summation order.  Only the
+batching of NumPy dispatches differs — the same restructuring-without-
+renumbering discipline the paper's GPU schemes follow.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.minimize.energy import EnergyReport
+from repro.minimize.ensemble import EnsembleEnergyModel, EnsembleEnergyReport
+from repro.minimize.minimizer import MinimizationResult, MinimizerConfig
+
+__all__ = ["BatchedMinimizer"]
+
+
+class BatchedMinimizer:
+    """Minimizes every pose of an ensemble with vectorized per-pose state.
+
+    Parameters
+    ----------
+    model:
+        The ensemble energy model (carries the movable masks).
+    config:
+        :class:`MinimizerConfig` — shared hyper-parameters; step sizes and
+        convergence are still tracked per pose.
+    """
+
+    def __init__(
+        self,
+        model: EnsembleEnergyModel,
+        config: MinimizerConfig | None = None,
+    ) -> None:
+        self.model = model
+        self.config = config or MinimizerConfig()
+
+    def run(
+        self,
+        coords_stack: np.ndarray | None = None,
+        callback: Optional[Callable[[int, EnsembleEnergyReport], None]] = None,
+    ) -> List[MinimizationResult]:
+        """Minimize every pose; returns one result per pose, in pose order.
+
+        ``callback(iteration, ensemble_report)`` fires after each accepted
+        batch step with the report of the poses evaluated that iteration.
+        """
+        cfg = self.config
+        model = self.model
+        n_poses, n_atoms = model.n_poses, model.n_atoms
+        if n_poses == 0:
+            return []
+        dtype = model.dtype
+        x = np.array(
+            model.coords_stack if coords_stack is None else coords_stack, dtype=dtype
+        )
+        if x.shape != (n_poses, n_atoms, 3):
+            raise ValueError(f"coords_stack must be ({n_poses}, {n_atoms}, 3)")
+        movable = model.movable_stack()
+        rebuilds_before = model.pose_list_rebuilds.copy()
+
+        report = model.evaluate(x)
+        energy = report.totals.copy()
+        initial_energy = energy.copy()
+        trajectory: List[List[float]] = [[float(e)] for e in energy]
+
+        # Last-known per-pose evaluation state (rows refreshed as poses step).
+        forces_buf = report.forces.copy()
+        comp_buf = {key: val.copy() for key, val in report.components.items()}
+        per_atom_buf = report.per_atom_nonbonded.copy()
+        born_buf = report.born_radii.copy()
+
+        step = np.full(n_poses, cfg.initial_step, dtype=dtype)
+        converged = np.zeros(n_poses, dtype=bool)
+        iterations = np.zeros(n_poses, dtype=int)
+        active = np.ones(n_poses, dtype=bool)
+        prev_forces = np.zeros((n_poses, n_atoms, 3), dtype=dtype)
+        prev_direction = np.zeros((n_poses, n_atoms, 3), dtype=dtype)
+
+        for it in range(1, cfg.max_iterations + 1):
+            ids = np.nonzero(active)[0]
+            if ids.size == 0:
+                break
+            iterations[ids] = it
+
+            forces = forces_buf[ids].copy()
+            forces[~movable[ids]] = 0.0
+            fmax = np.abs(forces).max(axis=(1, 2))
+            at_rest = fmax == 0.0
+            if at_rest.any():
+                converged[ids[at_rest]] = True
+                active[ids[at_rest]] = False
+                ids = ids[~at_rest]
+                forces = forces[~at_rest]
+                if ids.size == 0:
+                    continue
+
+            if cfg.method == "cg" and it > 1 and (it % cfg.cg_restart_every != 0):
+                # Polak-Ribiere beta per pose, clipped at 0 (automatic restart).
+                pf = prev_forces[ids]
+                num = ((forces - pf) * forces).sum(axis=(1, 2))
+                den = (pf * pf).sum(axis=(1, 2))
+                beta = np.where(den > 0, np.maximum(0.0, num / den), 0.0)
+                raw = forces + beta[:, None, None] * prev_direction[ids]
+                # Fall back to steepest descent where CG points uphill.
+                uphill = (raw * forces).sum(axis=(1, 2)) <= 0
+                raw[uphill] = forces[uphill]
+            else:
+                raw = forces
+            prev_forces[ids] = forces
+            prev_direction[ids] = raw
+            dmax = np.abs(raw).max(axis=(1, 2))
+            direction = raw / dmax[:, None, None]  # normalized descent directions
+
+            # Backtracking line search: each pending pose halves its own step
+            # until its energy decreases; accepted poses sit out the retries.
+            trial = np.minimum(step[ids], dtype(cfg.max_step))
+            accepted = np.zeros(ids.size, dtype=bool)
+            x_new = np.empty_like(direction)
+            e_new = np.empty(ids.size, dtype=dtype)
+            pending = np.arange(ids.size)
+            for _ in range(cfg.max_backtracks):
+                pids = ids[pending]
+                x_trial = x[pids] + trial[pending][:, None, None] * direction[pending]
+                e_trial = model.energy_only(x_trial, pose_ids=pids)
+                ok = e_trial < energy[pids]
+                hit = pending[ok]
+                accepted[hit] = True
+                x_new[hit] = x_trial[ok]
+                e_new[hit] = e_trial[ok]
+                pending = pending[~ok]
+                if pending.size == 0:
+                    break
+                trial[pending] *= 0.5
+
+            # No downhill step representable -> that pose is done.
+            stuck = ids[~accepted]
+            converged[stuck] = True
+            active[stuck] = False
+            moved = ids[accepted]
+            if moved.size == 0:
+                continue
+
+            prev_energy = energy[moved].copy()
+            x[moved] = x_new[accepted]
+            energy[moved] = e_new[accepted]
+            step[moved] = np.minimum(trial[accepted] * cfg.growth, cfg.max_step)
+
+            if it % cfg.check_neighbor_list_every == 0:
+                model.maybe_refresh(x[moved], pose_ids=moved)
+
+            report = model.evaluate(x[moved], pose_ids=moved)
+            forces_buf[moved] = report.forces
+            # Keep the evaluated energy authoritative; it may differ slightly
+            # from the line-search value after a list refresh.
+            energy[moved] = report.totals
+            per_atom_buf[moved] = report.per_atom_nonbonded
+            born_buf[moved] = report.born_radii
+            for key, val in report.components.items():
+                comp_buf[key][moved] = val
+            for row, p in enumerate(moved):
+                trajectory[p].append(float(report.totals[row]))
+            if callback is not None:
+                callback(it, report)
+            settled = np.abs(prev_energy - energy[moved]) < cfg.tolerance
+            converged[moved[settled]] = True
+            active[moved[settled]] = False
+
+        results: List[MinimizationResult] = []
+        for p in range(n_poses):
+            final_report = EnergyReport(
+                total=float(energy[p]),
+                components={key: float(val[p]) for key, val in comp_buf.items()},
+                forces=forces_buf[p].copy(),
+                per_atom_nonbonded=per_atom_buf[p].copy(),
+                born_radii=born_buf[p].copy(),
+            )
+            results.append(
+                MinimizationResult(
+                    coords=x[p],
+                    energy=float(energy[p]),
+                    initial_energy=float(initial_energy[p]),
+                    iterations=int(iterations[p]),
+                    converged=bool(converged[p]),
+                    energy_trajectory=trajectory[p],
+                    list_rebuilds=int(
+                        model.pose_list_rebuilds[p] - rebuilds_before[p]
+                    ),
+                    final_report=final_report,
+                )
+            )
+        return results

@@ -14,9 +14,9 @@ path in both the serial and GPU pipelines.
 
 from __future__ import annotations
 
-from typing import Tuple
-
 import numpy as np
+
+from repro.minimize.accumulate import as_float_array, scatter_add_rows, scatter_sub_rows
 
 __all__ = ["bond_energy", "angle_energy", "dihedral_energy", "improper_energy"]
 
@@ -24,37 +24,57 @@ _EPS = 1e-12
 
 
 def bond_energy(
-    coords: np.ndarray, bonds: np.ndarray, kb: np.ndarray, r0: np.ndarray
-) -> Tuple[float, np.ndarray]:
+    coords: np.ndarray,
+    bonds: np.ndarray,
+    kb: np.ndarray,
+    r0: np.ndarray,
+    per_term: bool = False,
+    with_gradient: bool = True,
+):
     """Harmonic bond energy and gradient.
 
-    Parameters are per-bond arrays (kb, r0); ``bonds`` is (B, 2).
+    Parameters are per-bond arrays (kb, r0); ``bonds`` is (B, 2).  With
+    ``per_term=True`` a third element (the per-bond energies, in bond order)
+    is appended — the hook the ensemble evaluator uses to split one
+    flattened bonded pass back into per-conformation sums.
     """
+    coords = as_float_array(coords)
     n = len(coords)
-    grad = np.zeros((n, 3))
+    grad = np.zeros((n, 3), dtype=coords.dtype)
     if len(bonds) == 0:
-        return 0.0, grad
+        return (0.0, grad, np.zeros(0)) if per_term else (0.0, grad)
     i, j = bonds[:, 0], bonds[:, 1]
     d = coords[i] - coords[j]
     r = np.linalg.norm(d, axis=1)
     dr = r - r0
-    energy = float((kb * dr**2).sum())
+    e_terms = kb * dr**2
+    energy = float(e_terms.sum())
+    if not with_gradient:
+        return (energy, None, e_terms) if per_term else (energy, None)
     r_safe = np.where(r > _EPS, r, 1.0)
     g = (2.0 * kb * dr / r_safe)[:, None] * d
-    np.add.at(grad, i, g)
-    np.subtract.at(grad, j, g)
+    scatter_add_rows(grad, i, g)
+    scatter_sub_rows(grad, j, g)
+    if per_term:
+        return energy, grad, e_terms
     return energy, grad
 
 
 def angle_energy(
-    coords: np.ndarray, angles: np.ndarray, ka: np.ndarray, theta0: np.ndarray
-) -> Tuple[float, np.ndarray]:
+    coords: np.ndarray,
+    angles: np.ndarray,
+    ka: np.ndarray,
+    theta0: np.ndarray,
+    per_term: bool = False,
+    with_gradient: bool = True,
+):
     """Harmonic angle energy and gradient; ``angles`` is (A, 3) = (i, j, k)
-    with ``j`` the vertex."""
+    with ``j`` the vertex.  ``per_term=True`` appends per-angle energies."""
+    coords = as_float_array(coords)
     n = len(coords)
-    grad = np.zeros((n, 3))
+    grad = np.zeros((n, 3), dtype=coords.dtype)
     if len(angles) == 0:
-        return 0.0, grad
+        return (0.0, grad, np.zeros(0)) if per_term else (0.0, grad)
     i, j, k = angles[:, 0], angles[:, 1], angles[:, 2]
     rij = coords[i] - coords[j]
     rkj = coords[k] - coords[j]
@@ -66,7 +86,10 @@ def angle_energy(
     cos_t = np.clip(cos_t, -1.0, 1.0)
     theta = np.arccos(cos_t)
     dt = theta - theta0
-    energy = float((ka * dt**2).sum())
+    e_terms = ka * dt**2
+    energy = float(e_terms.sum())
+    if not with_gradient:
+        return (energy, None, e_terms) if per_term else (energy, None)
 
     # dtheta/dcos = -1/sin(theta); guard collinear geometries.
     sin_t = np.sqrt(np.maximum(1.0 - cos_t**2, 1e-8))
@@ -78,13 +101,17 @@ def angle_energy(
     dcos_dk = (rij / (nij * nkj)[:, None]) - (cos_t / nkj**2)[:, None] * rkj
     gi = coef[:, None] * dcos_di
     gk = coef[:, None] * dcos_dk
-    np.add.at(grad, i, gi)
-    np.add.at(grad, k, gk)
-    np.subtract.at(grad, j, gi + gk)
+    scatter_add_rows(grad, i, gi)
+    scatter_add_rows(grad, k, gk)
+    scatter_sub_rows(grad, j, gi + gk)
+    if per_term:
+        return energy, grad, e_terms
     return energy, grad
 
 
-def _dihedral_angle_and_grads(coords: np.ndarray, quads: np.ndarray):
+def _dihedral_angle_and_grads(
+    coords: np.ndarray, quads: np.ndarray, with_grads: bool = True
+):
     """Signed dihedral angles phi and dphi/dx for (D, 4) index quads.
 
     Convention: with bond vectors b1 = p1-p0, b2 = p2-p1, b3 = p3-p2 and
@@ -118,6 +145,8 @@ def _dihedral_angle_and_grads(coords: np.ndarray, quads: np.ndarray):
     x = (n1 * n2).sum(axis=1)
     y = (np.cross(n1, n2) * b2_hat).sum(axis=1)
     phi = np.arctan2(y, x)
+    if not with_grads:
+        return phi, None
 
     sq_n1 = (n1 * n1).sum(axis=1)
     sq_n2 = (n2 * n2).sum(axis=1)
@@ -139,18 +168,26 @@ def dihedral_energy(
     kd: np.ndarray,
     n_mult: np.ndarray,
     delta: np.ndarray,
-) -> Tuple[float, np.ndarray]:
+    per_term: bool = False,
+    with_gradient: bool = True,
+):
     """Cosine torsion energy ``kd (1 + cos(n phi - delta))`` and gradient."""
+    coords = as_float_array(coords)
     n = len(coords)
-    grad = np.zeros((n, 3))
+    grad = np.zeros((n, 3), dtype=coords.dtype)
     if len(dihedrals) == 0:
-        return 0.0, grad
-    phi, dgrads = _dihedral_angle_and_grads(coords, dihedrals)
+        return (0.0, grad, np.zeros(0)) if per_term else (0.0, grad)
+    phi, dgrads = _dihedral_angle_and_grads(coords, dihedrals, with_gradient)
     arg = n_mult * phi - delta
-    energy = float((kd * (1.0 + np.cos(arg))).sum())
+    e_terms = kd * (1.0 + np.cos(arg))
+    energy = float(e_terms.sum())
+    if not with_gradient:
+        return (energy, None, e_terms) if per_term else (energy, None)
     dE_dphi = -kd * n_mult * np.sin(arg)
     for col, dphi in zip(range(4), dgrads):
-        np.add.at(grad, dihedrals[:, col], dE_dphi[:, None] * dphi)
+        scatter_add_rows(grad, dihedrals[:, col], dE_dphi[:, None] * dphi)
+    if per_term:
+        return energy, grad, e_terms
     return energy, grad
 
 
@@ -159,18 +196,26 @@ def improper_energy(
     impropers: np.ndarray,
     ki: np.ndarray,
     psi0: np.ndarray,
-) -> Tuple[float, np.ndarray]:
+    per_term: bool = False,
+    with_gradient: bool = True,
+):
     """Harmonic improper energy ``ki (psi - psi0)^2`` using the dihedral
     angle of the (i, j, k, l) quad as the out-of-plane coordinate psi."""
+    coords = as_float_array(coords)
     n = len(coords)
-    grad = np.zeros((n, 3))
+    grad = np.zeros((n, 3), dtype=coords.dtype)
     if len(impropers) == 0:
-        return 0.0, grad
-    psi, dgrads = _dihedral_angle_and_grads(coords, impropers)
+        return (0.0, grad, np.zeros(0)) if per_term else (0.0, grad)
+    psi, dgrads = _dihedral_angle_and_grads(coords, impropers, with_gradient)
     # Wrap psi - psi0 into (-pi, pi] so the harmonic well is periodic-safe.
     dpsi = np.arctan2(np.sin(psi - psi0), np.cos(psi - psi0))
-    energy = float((ki * dpsi**2).sum())
+    e_terms = ki * dpsi**2
+    energy = float(e_terms.sum())
+    if not with_gradient:
+        return (energy, None, e_terms) if per_term else (energy, None)
     dE_dpsi = 2.0 * ki * dpsi
     for col, dphi in zip(range(4), dgrads):
-        np.add.at(grad, impropers[:, col], dE_dpsi[:, None] * dphi)
+        scatter_add_rows(grad, impropers[:, col], dE_dpsi[:, None] * dphi)
+    if per_term:
+        return energy, grad, e_terms
     return energy, grad

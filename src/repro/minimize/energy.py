@@ -39,7 +39,77 @@ from repro.minimize.neighborlist import (
 from repro.minimize.vdw import vdw_energy
 from repro.structure.molecule import Molecule
 
-__all__ = ["EnergyReport", "EnergyModel"]
+__all__ = ["EnergyReport", "EnergyModel", "resolve_bonded_params", "geometry_equilibria"]
+
+
+def resolve_bonded_params(molecule: Molecule) -> Dict[str, np.ndarray]:
+    """Per-term bonded parameter arrays for one molecule's topology.
+
+    Shared by :class:`EnergyModel` and the ensemble evaluator
+    (:class:`repro.minimize.ensemble.EnsembleEnergyModel`): the parameters
+    depend only on topology and build geometry, so every conformation of the
+    same complex reuses one resolution.
+    """
+    ff = molecule.forcefield
+    topo = molecule.topology
+    t = molecule.type_names
+
+    kb = np.array([ff.bond_param(t[i], t[j]).kb for i, j in topo.bonds])
+    r0 = np.array([ff.bond_param(t[i], t[j]).r0 for i, j in topo.bonds])
+    ka = np.array([ff.angle_param(t[i], t[j], t[k]).ka for i, j, k in topo.angles])
+    th0 = np.array(
+        [ff.angle_param(t[i], t[j], t[k]).theta0 for i, j, k in topo.angles]
+    )
+    if molecule.meta.get("calibrate_bonded_equilibrium"):
+        r0, th0, psi0_cal = geometry_equilibria(molecule)
+    else:
+        psi0_cal = None
+    kd = np.array(
+        [ff.dihedral_param(t[i], t[j], t[k], t[l]).kd for i, j, k, l in topo.dihedrals]
+    )
+    nmul = np.array(
+        [ff.dihedral_param(t[i], t[j], t[k], t[l]).n for i, j, k, l in topo.dihedrals],
+        dtype=float,
+    )
+    delt = np.array(
+        [ff.dihedral_param(t[i], t[j], t[k], t[l]).delta for i, j, k, l in topo.dihedrals]
+    )
+    ki = np.array(
+        [ff.improper_param(t[i], t[j], t[k], t[l]).ka for i, j, k, l in topo.impropers]
+    )
+    psi0 = np.array(
+        [ff.improper_param(t[i], t[j], t[k], t[l]).theta0 for i, j, k, l in topo.impropers]
+    )
+    if psi0_cal is not None:
+        psi0 = psi0_cal
+    return dict(kb=kb, r0=r0, ka=ka, th0=th0, kd=kd, nmul=nmul, delt=delt, ki=ki, psi0=psi0)
+
+
+def geometry_equilibria(molecule: Molecule):
+    """Bond/angle/improper equilibria measured from the build geometry."""
+    from repro.minimize.bonded import _dihedral_angle_and_grads
+
+    c = molecule.coords
+    topo = molecule.topology
+    if len(topo.bonds):
+        d = c[topo.bonds[:, 0]] - c[topo.bonds[:, 1]]
+        r0 = np.linalg.norm(d, axis=1)
+    else:
+        r0 = np.empty(0)
+    if len(topo.angles):
+        rij = c[topo.angles[:, 0]] - c[topo.angles[:, 1]]
+        rkj = c[topo.angles[:, 2]] - c[topo.angles[:, 1]]
+        cos_t = (rij * rkj).sum(axis=1) / (
+            np.linalg.norm(rij, axis=1) * np.linalg.norm(rkj, axis=1)
+        )
+        th0 = np.arccos(np.clip(cos_t, -1.0, 1.0))
+    else:
+        th0 = np.empty(0)
+    if len(topo.impropers):
+        psi0, _ = _dihedral_angle_and_grads(c, topo.impropers)
+    else:
+        psi0 = np.empty(0)
+    return r0, th0, psi0
 
 
 @dataclass
@@ -167,67 +237,7 @@ class EnergyModel:
     # -- bonded parameter resolution -----------------------------------------------
 
     def _resolve_bonded_params(self):
-        m = self.molecule
-        ff = m.forcefield
-        topo = m.topology
-        t = m.type_names
-
-        kb = np.array([ff.bond_param(t[i], t[j]).kb for i, j in topo.bonds])
-        r0 = np.array([ff.bond_param(t[i], t[j]).r0 for i, j in topo.bonds])
-        ka = np.array([ff.angle_param(t[i], t[j], t[k]).ka for i, j, k in topo.angles])
-        th0 = np.array(
-            [ff.angle_param(t[i], t[j], t[k]).theta0 for i, j, k in topo.angles]
-        )
-        if m.meta.get("calibrate_bonded_equilibrium"):
-            r0, th0, psi0_cal = self._geometry_equilibria()
-        else:
-            psi0_cal = None
-        kd = np.array(
-            [ff.dihedral_param(t[i], t[j], t[k], t[l]).kd for i, j, k, l in topo.dihedrals]
-        )
-        nmul = np.array(
-            [ff.dihedral_param(t[i], t[j], t[k], t[l]).n for i, j, k, l in topo.dihedrals],
-            dtype=float,
-        )
-        delt = np.array(
-            [ff.dihedral_param(t[i], t[j], t[k], t[l]).delta for i, j, k, l in topo.dihedrals]
-        )
-        ki = np.array(
-            [ff.improper_param(t[i], t[j], t[k], t[l]).ka for i, j, k, l in topo.impropers]
-        )
-        psi0 = np.array(
-            [ff.improper_param(t[i], t[j], t[k], t[l]).theta0 for i, j, k, l in topo.impropers]
-        )
-        if psi0_cal is not None:
-            psi0 = psi0_cal
-        return dict(kb=kb, r0=r0, ka=ka, th0=th0, kd=kd, nmul=nmul, delt=delt, ki=ki, psi0=psi0)
-
-    def _geometry_equilibria(self):
-        """Bond/angle/improper equilibria measured from the build geometry."""
-        from repro.minimize.bonded import _dihedral_angle_and_grads
-
-        m = self.molecule
-        c = m.coords
-        topo = m.topology
-        if len(topo.bonds):
-            d = c[topo.bonds[:, 0]] - c[topo.bonds[:, 1]]
-            r0 = np.linalg.norm(d, axis=1)
-        else:
-            r0 = np.empty(0)
-        if len(topo.angles):
-            rij = c[topo.angles[:, 0]] - c[topo.angles[:, 1]]
-            rkj = c[topo.angles[:, 2]] - c[topo.angles[:, 1]]
-            cos_t = (rij * rkj).sum(axis=1) / (
-                np.linalg.norm(rij, axis=1) * np.linalg.norm(rkj, axis=1)
-            )
-            th0 = np.arccos(np.clip(cos_t, -1.0, 1.0))
-        else:
-            th0 = np.empty(0)
-        if len(topo.impropers):
-            psi0, _ = _dihedral_angle_and_grads(c, topo.impropers)
-        else:
-            psi0 = np.empty(0)
-        return r0, th0, psi0
+        return resolve_bonded_params(self.molecule)
 
     # -- evaluation ------------------------------------------------------------------
 
@@ -288,5 +298,13 @@ class EnergyModel:
         )
 
     def energy_only(self, coords: np.ndarray | None = None) -> float:
-        """Total energy (used by line searches)."""
+        """Total energy (used by line searches).
+
+        Deliberately the full evaluation: this class is the reproduction of
+        the original serial FTMap code, the fixed baseline the repo's
+        speedup tables measure against, so its per-iteration work profile
+        stays as-is.  The kernels' energies-only fast path (``with_gradient``
+        / ``energies_only`` flags) is part of the batched subsystem's design
+        and is exercised by ``EnsembleEnergyModel.energy_only``.
+        """
         return self.evaluate(coords).total

@@ -1,0 +1,491 @@
+"""Vectorized ensemble energy evaluation: many conformations, one topology.
+
+FTMap's minimization phase refines ~2000 docked conformations of the *same*
+receptor+probe complex (Sec. II.B) — the serial code builds a fresh
+:class:`~repro.minimize.energy.EnergyModel` per conformation and walks the
+pair terms one pose at a time.  :class:`EnsembleEnergyModel` instead stacks
+``P`` same-topology conformations into one ``(P, N, 3)`` array, offsets each
+pose's pair and bonded index arrays into its own ``N``-atom block, and
+evaluates Eqs. (3)-(10) once over the concatenated arrays.
+
+Exactness: pose ``k``'s pair list is the list its own serial
+:class:`EnergyModel` would build (per-pose neighbor lists, per-pose movable
+filters, the same "seldom updated" refresh policy), and pairs never cross
+pose blocks, so per-pose energies, components, and forces match the serial
+reference to summation-order-level floating point.  What changes is the
+*number of NumPy dispatches* per evaluation — one vectorized pass instead of
+``P`` — which is where the batched minimizer's wall-clock win comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import NEIGHBOR_LIST_CUTOFF, VDW_CUTOFF
+from repro.minimize.ace import (
+    ace_self_energies,
+    born_radii_from_self_energies,
+    gb_pairwise_energy,
+)
+from repro.minimize.bonded import (
+    angle_energy,
+    bond_energy,
+    dihedral_energy,
+    improper_energy,
+)
+from repro.minimize.energy import resolve_bonded_params
+from repro.minimize.neighborlist import (
+    NeighborList,
+    bonded_exclusions,
+    build_neighbor_list,
+)
+from repro.minimize.vdw import vdw_energy
+from repro.structure.molecule import Molecule
+
+__all__ = ["EnsembleEnergyReport", "EnsembleEnergyModel"]
+
+
+@dataclass
+class EnsembleEnergyReport:
+    """Decomposed evaluation of a stack of conformations.
+
+    All arrays are aligned with ``pose_ids`` (the ensemble slots evaluated,
+    in order); ``components`` holds the same seven keys as
+    :class:`~repro.minimize.energy.EnergyReport`, each as a ``(K,)`` array.
+    """
+
+    pose_ids: np.ndarray                # (K,)
+    totals: np.ndarray                  # (K,)
+    components: Dict[str, np.ndarray]   # each (K,)
+    forces: np.ndarray                  # (K, N, 3)
+    per_atom_nonbonded: np.ndarray      # (K, N)
+    born_radii: np.ndarray              # (K, N)
+
+    @property
+    def n_poses(self) -> int:
+        return len(self.pose_ids)
+
+
+class EnsembleEnergyModel:
+    """Evaluates the CHARMM/ACE potential for a stack of conformations.
+
+    Parameters
+    ----------
+    molecule:
+        Template complex: topology, force-field parameters, and (when
+        ``meta['calibrate_bonded_equilibrium']`` is set) the build geometry
+        the bonded equilibria are measured from.  All conformations share
+        this topology.
+    coords_stack:
+        ``(P, N, 3)`` start coordinates, one conformation per row.  Pose
+        neighbor lists are built lazily from the first coordinates each pose
+        is evaluated at (mirroring ``EnergyModel``'s lazy first build).
+    movable:
+        Optional movable mask — ``(N,)`` shared by every pose, or ``(P, N)``
+        per pose (FTMap's pocket masks depend on where the probe docked).
+        Pair lists are movable-filtered per pose exactly like the serial
+        model.
+    nonbonded_cutoff, list_cutoff:
+        As in :class:`~repro.minimize.energy.EnergyModel`.
+    precision:
+        ``"double"`` (default) evaluates in float64 and matches the serial
+        model to summation order; ``"single"`` evaluates the stacked arrays
+        in float32 — the paper's GPU arithmetic, and the batched engine's
+        production configuration (mirroring the docking side's fp32 batched
+        FFT path).  Neighbor lists are always built in float64.
+    """
+
+    def __init__(
+        self,
+        molecule: Molecule,
+        coords_stack: np.ndarray,
+        movable: np.ndarray | None = None,
+        nonbonded_cutoff: float = VDW_CUTOFF,
+        list_cutoff: float = NEIGHBOR_LIST_CUTOFF,
+        precision: str = "double",
+    ) -> None:
+        if precision not in ("single", "double"):
+            raise ValueError(f"unknown precision {precision!r}")
+        self.precision = precision
+        self.dtype = np.float32 if precision == "single" else np.float64
+        self.molecule = molecule
+        stack = np.asarray(coords_stack, dtype=self.dtype)
+        n = molecule.n_atoms
+        if stack.ndim != 3 or stack.shape[1:] != (n, 3):
+            raise ValueError(
+                f"coords_stack must be (P, {n}, 3), got {stack.shape}"
+            )
+        self.coords_stack = stack.copy()
+        self.n_poses = len(stack)
+        self.n_atoms = n
+        self.nonbonded_cutoff = nonbonded_cutoff
+        self.list_cutoff = list_cutoff
+        self.exclusions = bonded_exclusions(molecule.topology)
+        self.movable = self._normalize_movable(movable)
+        self._bonded_params = resolve_bonded_params(molecule)
+        self._nlists: List[Optional[NeighborList]] = [None] * self.n_poses
+        self._pose_pairs: List[Optional[Tuple[np.ndarray, np.ndarray]]] = (
+            [None] * self.n_poses
+        )
+        self._flat_full: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._tiled_cache: Dict[int, Dict[str, np.ndarray]] = {}
+        self.list_rebuilds = 0
+        self.pose_list_rebuilds = np.zeros(self.n_poses, dtype=int)
+
+    # -- masks -------------------------------------------------------------------
+
+    def _normalize_movable(self, movable) -> Optional[np.ndarray]:
+        if movable is None:
+            return None
+        movable = np.asarray(movable, dtype=bool)
+        if movable.shape == (self.n_atoms,):
+            movable = np.broadcast_to(movable, (self.n_poses, self.n_atoms)).copy()
+        if movable.shape != (self.n_poses, self.n_atoms):
+            raise ValueError(
+                f"movable must be ({self.n_atoms},) or "
+                f"({self.n_poses}, {self.n_atoms}), got {movable.shape}"
+            )
+        return movable
+
+    def movable_stack(self) -> np.ndarray:
+        """(P, N) movable mask (all-True when no mask was given)."""
+        if self.movable is None:
+            return np.ones((self.n_poses, self.n_atoms), dtype=bool)
+        return self.movable
+
+    # -- per-pose pair structure ----------------------------------------------------
+
+    def _build_pose(self, p: int, coords: np.ndarray) -> None:
+        nlist = build_neighbor_list(coords, self.list_cutoff, self.exclusions)
+        i, j = nlist.pair_arrays()
+        if self.movable is not None:
+            mv = self.movable[p]
+            keep = mv[i] | mv[j]
+            i, j = i[keep], j[keep]
+        self._nlists[p] = nlist
+        self._pose_pairs[p] = (i, j)
+        self._flat_full = None
+        self.list_rebuilds += 1
+        self.pose_list_rebuilds[p] += 1
+
+    def _ensure_pose(self, p: int, coords: np.ndarray | None = None) -> None:
+        if self._nlists[p] is None:
+            c = self.coords_stack[p] if coords is None else coords
+            self._build_pose(p, c)
+
+    def pair_arrays(self, p: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Movable-filtered (first, second) pair arrays of pose ``p``."""
+        self._ensure_pose(p)
+        return self._pose_pairs[p]
+
+    def pose_pair_counts(self) -> np.ndarray:
+        """(P,) active-pair count per pose (builds missing lists)."""
+        return np.array(
+            [len(self.pair_arrays(p)[0]) for p in range(self.n_poses)], dtype=int
+        )
+
+    @property
+    def n_active_pairs(self) -> int:
+        """Total active pairs across the ensemble."""
+        return int(self.pose_pair_counts().sum())
+
+    def maybe_refresh(
+        self, coords: np.ndarray, pose_ids: Sequence[int] | None = None
+    ) -> bool:
+        """Rebuild the lists of any pose whose pairs drifted out of validity.
+
+        ``coords`` rows are aligned with ``pose_ids`` (all poses when None).
+        Returns True when at least one pose rebuilt — the event that, on the
+        GPU, forces assignment tables to be regenerated and re-uploaded.
+        """
+        ids = np.arange(self.n_poses) if pose_ids is None else np.asarray(pose_ids)
+        rebuilt = False
+        for k, p in enumerate(ids):
+            nlist = self._nlists[p]
+            if nlist is None:
+                self._build_pose(int(p), coords[k])
+                continue
+            if not nlist.max_distance_ok(coords[k]):
+                self._build_pose(int(p), coords[k])
+                rebuilt = True
+        return rebuilt
+
+    def force_refresh(
+        self, coords: np.ndarray, pose_ids: Sequence[int] | None = None
+    ) -> None:
+        ids = np.arange(self.n_poses) if pose_ids is None else np.asarray(pose_ids)
+        for k, p in enumerate(ids):
+            self._build_pose(int(p), coords[k])
+
+    # -- flattening ------------------------------------------------------------------
+
+    def _flat_pairs(
+        self, pose_ids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated pair arrays with each pose offset to its own block.
+
+        Returns ``(I, J, boundaries)`` where ``boundaries`` has K+1 entries
+        delimiting each pose's segment of the flat pair arrays.
+        """
+        full = pose_ids.size == self.n_poses and np.array_equal(
+            pose_ids, np.arange(self.n_poses)
+        )
+        if full and self._flat_full is not None:
+            return self._flat_full
+        n = self.n_atoms
+        arrs_i, arrs_j, counts = [], [], []
+        for k, p in enumerate(pose_ids):
+            i, j = self._pose_pairs[p]
+            arrs_i.append(i + k * n)
+            arrs_j.append(j + k * n)
+            counts.append(len(i))
+        if arrs_i:
+            flat_i = np.concatenate(arrs_i)
+            flat_j = np.concatenate(arrs_j)
+        else:
+            flat_i = np.empty(0, dtype=np.intp)
+            flat_j = np.empty(0, dtype=np.intp)
+        boundaries = np.concatenate([[0], np.cumsum(counts)]).astype(np.intp)
+        out = (flat_i, flat_j, boundaries)
+        if full:
+            self._flat_full = out
+        return out
+
+    def _tiled(self, k: int) -> Dict[str, np.ndarray]:
+        """Per-atom parameters and bonded topology tiled for a K-pose stack.
+
+        Tiled once at the full ensemble size; smaller active sets (the
+        shrinking line-search and moved-pose subsets) are served as views of
+        the full tile — every pose block is identical, so the first ``k``
+        blocks of the P-pose tile *are* the k-pose tile.
+        """
+        full = self._tiled_cache.get(self.n_poses)
+        if full is None:
+            full = self._build_tiled(self.n_poses)
+            self._tiled_cache[self.n_poses] = full
+        if k == self.n_poses:
+            return full
+        out = {}
+        for key, arr in full.items():
+            per_pose = len(arr) // self.n_poses
+            out[key] = arr[: k * per_pose]
+        return out
+
+    def _build_tiled(self, k: int) -> Dict[str, np.ndarray]:
+        m = self.molecule
+        n = self.n_atoms
+        p = self._bonded_params
+        offsets = np.arange(k) * n
+
+        def tile_topo(arr: np.ndarray) -> np.ndarray:
+            arr = np.asarray(arr, dtype=np.intp)
+            if len(arr) == 0:
+                return arr
+            return np.tile(arr, (k, 1)) + np.repeat(offsets, len(arr))[:, None]
+
+        def tile_param(arr: np.ndarray) -> np.ndarray:
+            return np.tile(np.asarray(arr, dtype=self.dtype), k)
+
+        out = {
+            "charges": tile_param(m.charges),
+            "born": tile_param(m.born_radii),
+            "volumes": tile_param(m.volumes),
+            "eps": tile_param(m.eps),
+            "rm": tile_param(m.rm),
+            "bonds": tile_topo(m.topology.bonds),
+            "angles": tile_topo(m.topology.angles),
+            "dihedrals": tile_topo(m.topology.dihedrals),
+            "impropers": tile_topo(m.topology.impropers),
+            "kb": tile_param(p["kb"]),
+            "r0": tile_param(p["r0"]),
+            "ka": tile_param(p["ka"]),
+            "th0": tile_param(p["th0"]),
+            "kd": tile_param(p["kd"]),
+            "nmul": tile_param(p["nmul"]),
+            "delt": tile_param(p["delt"]),
+            "ki": tile_param(p["ki"]),
+            "psi0": tile_param(p["psi0"]),
+        }
+        return out
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def evaluate(
+        self, coords: np.ndarray, pose_ids: Sequence[int] | None = None
+    ) -> EnsembleEnergyReport:
+        """Energies, components, per-atom arrays, and forces for a stack.
+
+        ``coords`` is ``(K, N, 3)`` with rows aligned to ``pose_ids`` (all
+        poses in order when None).
+        """
+        ids = (
+            np.arange(self.n_poses)
+            if pose_ids is None
+            else np.asarray(pose_ids, dtype=np.intp)
+        )
+        coords = np.asarray(coords, dtype=self.dtype)
+        n = self.n_atoms
+        k = ids.size
+        if coords.shape != (k, n, 3):
+            raise ValueError(f"coords must be ({k}, {n}, 3), got {coords.shape}")
+        if k == 0:
+            return EnsembleEnergyReport(
+                pose_ids=ids,
+                totals=np.zeros(0),
+                components={},
+                forces=np.zeros((0, n, 3)),
+                per_atom_nonbonded=np.zeros((0, n)),
+                born_radii=np.zeros((0, n)),
+            )
+        for row, p in enumerate(ids):
+            self._ensure_pose(int(p), coords[row])
+        pair_i, pair_j, bounds = self._flat_pairs(ids)
+        flat = coords.reshape(k * n, 3)
+        par = self._tiled(k)
+        m = self.molecule
+
+        # (i) self energies + gradients (GPU kernel (a) in the paper)
+        self_res = ace_self_energies(
+            flat, par["charges"], par["born"], par["volumes"], pair_i, pair_j
+        )
+        alphas = born_radii_from_self_energies(
+            self_res.self_energies, par["charges"], par["born"]
+        )
+
+        # (ii)+(iii) pairwise elec + vdw (GPU kernel (b)); per-pair energies
+        # are kept so pose sums replicate the serial accumulation order.
+        _, per_atom_gb, grad_gb, gb_pair = gb_pairwise_energy(
+            flat, par["charges"], alphas, pair_i, pair_j, per_pair=True
+        )
+        _, per_atom_vdw, grad_vdw, vdw_pair = vdw_energy(
+            flat, par["eps"], par["rm"], pair_i, pair_j,
+            self.nonbonded_cutoff, per_pair=True,
+        )
+
+        # Bonded terms (host side), one flattened pass per term.
+        _, g_bond, bond_t = bond_energy(
+            flat, par["bonds"], par["kb"], par["r0"], per_term=True
+        )
+        _, g_angle, angle_t = angle_energy(
+            flat, par["angles"], par["ka"], par["th0"], per_term=True
+        )
+        _, g_dih, dih_t = dihedral_energy(
+            flat, par["dihedrals"], par["kd"], par["nmul"], par["delt"], per_term=True
+        )
+        _, g_imp, imp_t = improper_energy(
+            flat, par["impropers"], par["ki"], par["psi0"], per_term=True
+        )
+
+        components = {
+            "elec_self": self_res.self_energies.reshape(k, n).sum(axis=1),
+            "elec_pairwise": _segment_sums(gb_pair, bounds),
+            "vdw": _segment_sums(vdw_pair, bounds),
+            "bond": bond_t.reshape(k, len(m.topology.bonds)).sum(axis=1),
+            "angle": angle_t.reshape(k, len(m.topology.angles)).sum(axis=1),
+            "dihedral": dih_t.reshape(k, len(m.topology.dihedrals)).sum(axis=1),
+            "improper": imp_t.reshape(k, len(m.topology.impropers)).sum(axis=1),
+        }
+        # Same accumulation sequence as the serial EnergyModel's total.
+        totals = np.zeros(k, dtype=self.dtype)
+        for key in (
+            "elec_self", "elec_pairwise", "vdw", "bond", "angle", "dihedral", "improper",
+        ):
+            totals = totals + components[key]
+        gradient = (
+            self_res.gradient + grad_gb + grad_vdw + g_bond + g_angle + g_dih + g_imp
+        )
+        per_atom = self_res.self_energies + per_atom_gb + per_atom_vdw
+        return EnsembleEnergyReport(
+            pose_ids=ids,
+            totals=totals,
+            components=components,
+            forces=-gradient.reshape(k, n, 3),
+            per_atom_nonbonded=per_atom.reshape(k, n),
+            born_radii=alphas.reshape(k, n),
+        )
+
+    def energy_only(
+        self, coords: np.ndarray, pose_ids: Sequence[int] | None = None
+    ) -> np.ndarray:
+        """(K,) total energies — the batched line search's fast path.
+
+        Skips every derivative and per-atom-split computation (roughly half
+        the per-pair arithmetic plus all gradient scatters); the energy
+        values themselves are computed by the same operations in the same
+        order as :meth:`evaluate`, so line-search decisions are identical.
+        """
+        ids = (
+            np.arange(self.n_poses)
+            if pose_ids is None
+            else np.asarray(pose_ids, dtype=np.intp)
+        )
+        coords = np.asarray(coords, dtype=self.dtype)
+        n = self.n_atoms
+        k = ids.size
+        if coords.shape != (k, n, 3):
+            raise ValueError(f"coords must be ({k}, {n}, 3), got {coords.shape}")
+        if k == 0:
+            return np.zeros(0)
+        for row, p in enumerate(ids):
+            self._ensure_pose(int(p), coords[row])
+        pair_i, pair_j, bounds = self._flat_pairs(ids)
+        flat = coords.reshape(k * n, 3)
+        par = self._tiled(k)
+        m = self.molecule
+
+        self_res = ace_self_energies(
+            flat, par["charges"], par["born"], par["volumes"], pair_i, pair_j,
+            with_gradient=False,
+        )
+        alphas = born_radii_from_self_energies(
+            self_res.self_energies, par["charges"], par["born"]
+        )
+        _, _, _, gb_pair = gb_pairwise_energy(
+            flat, par["charges"], alphas, pair_i, pair_j,
+            per_pair=True, energies_only=True,
+        )
+        _, _, _, vdw_pair = vdw_energy(
+            flat, par["eps"], par["rm"], pair_i, pair_j,
+            self.nonbonded_cutoff, per_pair=True, energies_only=True,
+        )
+        _, _, bond_t = bond_energy(
+            flat, par["bonds"], par["kb"], par["r0"],
+            per_term=True, with_gradient=False,
+        )
+        _, _, angle_t = angle_energy(
+            flat, par["angles"], par["ka"], par["th0"],
+            per_term=True, with_gradient=False,
+        )
+        _, _, dih_t = dihedral_energy(
+            flat, par["dihedrals"], par["kd"], par["nmul"], par["delt"],
+            per_term=True, with_gradient=False,
+        )
+        _, _, imp_t = improper_energy(
+            flat, par["impropers"], par["ki"], par["psi0"],
+            per_term=True, with_gradient=False,
+        )
+        totals = np.zeros(k, dtype=self.dtype)
+        for part in (
+            self_res.self_energies.reshape(k, n).sum(axis=1),
+            _segment_sums(gb_pair, bounds),
+            _segment_sums(vdw_pair, bounds),
+            bond_t.reshape(k, len(m.topology.bonds)).sum(axis=1),
+            angle_t.reshape(k, len(m.topology.angles)).sum(axis=1),
+            dih_t.reshape(k, len(m.topology.dihedrals)).sum(axis=1),
+            imp_t.reshape(k, len(m.topology.impropers)).sum(axis=1),
+        ):
+            totals = totals + part
+        return totals
+
+
+def _segment_sums(values: np.ndarray, boundaries: np.ndarray) -> np.ndarray:
+    """Per-segment sums, each segment summed exactly like a serial ``.sum()``."""
+    return np.array(
+        [
+            values[boundaries[s] : boundaries[s + 1]].sum()
+            for s in range(len(boundaries) - 1)
+        ]
+    )

@@ -1,0 +1,181 @@
+"""Backend auto-selection for the minimization hot path.
+
+Mirror of :mod:`repro.docking.selection`, one phase later in the pipeline:
+given an ensemble size (poses), the per-pose active-pair count, and the
+atom count, predict the whole-phase cost of every minimization backend and
+pick the cheapest:
+
+* ``serial`` / ``batched`` / ``multiprocess`` from the reproduction-host
+  formulas of :class:`repro.perf.cpumodel.CpuModel` — the batched path
+  amortizes the fixed per-evaluation dispatch cost over the ensemble (it
+  wins when that overhead is a visible fraction, i.e. small/medium pair
+  counts), while process fan-out divides the array arithmetic across cores
+  (it wins for very large pair counts where arithmetic dominates),
+* ``gpu-sim`` from the analytic GPU cost model applied to the three
+  scheme-C energy kernels (via the shared launch builder in
+  :mod:`repro.gpu.minimize_common`), included only when a device spec is
+  supplied — the virtual device predicts time but executes on the host, so
+  it must be opted into.
+
+The decision carries every backend's prediction so callers (benchmarks,
+reports) can show the full table, not just the winner.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.perf.cpumodel import CpuModel
+
+__all__ = [
+    "MINIMIZE_CPU_BACKENDS",
+    "DEFAULT_MINIMIZE_BATCH",
+    "ENSEMBLE_PAIR_BUDGET",
+    "MinimizeBackendDecision",
+    "ensemble_batch_limit",
+    "predict_minimize_times",
+    "select_minimize_backend",
+]
+
+#: Backends that execute real host arithmetic (auto-selectable everywhere).
+MINIMIZE_CPU_BACKENDS = ("serial", "batched", "multiprocess")
+
+#: Default cap on poses per vectorized evaluation.
+DEFAULT_MINIMIZE_BATCH = 64
+
+#: Flattened-pair budget per vectorized evaluation: poses x pairs beyond
+#: this stops amortizing (temporaries spill cache) and starts costing RAM,
+#: so the batch size is clamped to stay inside it.
+ENSEMBLE_PAIR_BUDGET = 1_500_000
+
+
+def ensemble_batch_limit(n_pairs: int, budget: int = ENSEMBLE_PAIR_BUDGET) -> int:
+    """Largest pose batch keeping ``batch * n_pairs`` within the budget."""
+    return max(1, budget // max(1, n_pairs))
+
+
+@dataclass(frozen=True)
+class MinimizeBackendDecision:
+    """Outcome of minimization backend selection for one ensemble size."""
+
+    backend: str
+    batch_size: int
+    workers: int
+    predictions: Dict[str, float]   # backend -> predicted whole-phase seconds
+
+    @property
+    def predicted_s(self) -> float:
+        return self.predictions[self.backend]
+
+
+def predict_minimize_times(
+    n_poses: int,
+    n_pairs: int,
+    n_atoms: int,
+    iterations: int,
+    batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
+    cpu: Optional[CpuModel] = None,
+    device_spec=None,
+) -> Dict[str, float]:
+    """Predicted whole-phase seconds for every minimization backend.
+
+    ``gpu-sim`` appears only when ``device_spec`` is given; its prediction
+    is the cost-model time of the six scheme-C kernel passes per iteration
+    (forward + reverse direction of each energy kernel) plus the host move.
+    """
+    cpu = cpu or CpuModel()
+    batch = _resolve_batch(n_poses, n_pairs, batch_size)
+    w = workers or os.cpu_count() or 1
+    times = {
+        "serial": cpu.host_minimization_phase_s(n_poses, iterations, n_pairs, n_atoms),
+        "batched": cpu.host_minimization_phase_s(
+            n_poses, iterations, n_pairs, n_atoms, batch=batch
+        ),
+        "multiprocess": cpu.multiprocess_minimization_phase_s(
+            n_poses, iterations, n_pairs, n_atoms, workers=w
+        ),
+    }
+    if device_spec is not None:
+        times["gpu-sim"] = (
+            n_poses * iterations * _gpu_iteration_s(n_pairs, n_atoms, device_spec)
+        )
+    return times
+
+
+def select_minimize_backend(
+    n_poses: int,
+    n_pairs: int,
+    n_atoms: int,
+    iterations: int,
+    batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
+    include_gpu: bool = False,
+    cpu: Optional[CpuModel] = None,
+    device_spec=None,
+) -> MinimizeBackendDecision:
+    """Pick the cheapest minimization backend for an ensemble size.
+
+    The GPU simulator is considered only with ``include_gpu=True`` (it
+    predicts device time while computing on the host, so auto-picking it
+    must be an explicit choice).  A single pose never selects the batched
+    or multiprocess paths — there is nothing to batch or fan out.
+    """
+    if include_gpu and device_spec is None:
+        from repro.cuda.device import TESLA_C1060
+
+        device_spec = TESLA_C1060
+    w = workers or os.cpu_count() or 1
+    times = predict_minimize_times(
+        n_poses, n_pairs, n_atoms, iterations, batch_size, w, cpu, device_spec
+    )
+    candidates = dict(times)
+    if not include_gpu:
+        candidates.pop("gpu-sim", None)
+    if n_poses <= 1:
+        candidates.pop("batched", None)
+        candidates.pop("multiprocess", None)
+    backend = min(candidates, key=candidates.get)
+    batch = (
+        _resolve_batch(n_poses, n_pairs, batch_size)
+        if backend in ("batched", "gpu-sim")
+        else 1
+    )
+    return MinimizeBackendDecision(
+        backend=backend, batch_size=batch, workers=w, predictions=times
+    )
+
+
+def _resolve_batch(n_poses: int, n_pairs: int, batch_size: Optional[int]) -> int:
+    if batch_size is not None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return batch_size
+    return max(
+        1, min(DEFAULT_MINIMIZE_BATCH, ensemble_batch_limit(n_pairs), max(1, n_poses))
+    )
+
+
+def _gpu_iteration_s(n_pairs: int, n_atoms: int, device_spec) -> float:
+    """Cost-model time of one scheme-C minimization iteration."""
+    from repro.cuda.costmodel import CostModel
+    from repro.gpu.minimize_common import (
+        FORCE_UPDATE_OPS,
+        PAIRWISE_VDW_OPS,
+        SELF_ENERGY_OPS,
+        energy_kernel_launch,
+    )
+    from repro.gpu.minimize_kernels import HOST_MOVE_S
+
+    cost = CostModel(device_spec)
+    total = 0.0
+    for name, profile in (
+        ("self_energy", SELF_ENERGY_OPS),
+        ("pairwise_vdw", PAIRWISE_VDW_OPS),
+        ("force_update", FORCE_UPDATE_OPS),
+    ):
+        launch = energy_kernel_launch(name, profile, n_pairs, n_atoms)
+        total += 2.0 * cost.kernel_time(launch)   # forward + reverse lists
+    return total + HOST_MOVE_S

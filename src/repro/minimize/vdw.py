@@ -26,6 +26,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.constants import VDW_CUTOFF
+from repro.minimize.accumulate import as_float_array, scatter_add_rows, scatter_sub_rows
 
 __all__ = ["vdw_pair_parameters", "vdw_energy"]
 
@@ -50,6 +51,7 @@ def vdw_energy(
     pair_j: np.ndarray,
     cutoff: float = VDW_CUTOFF,
     per_pair: bool = False,
+    energies_only: bool = False,
 ):
     """Smoothed LJ energy, per-atom split, and analytic gradient.
 
@@ -57,10 +59,10 @@ def vdw_energy(
     ``per_pair=True``).  Pairs at or beyond the cutoff contribute exactly
     zero energy and force.
     """
-    coords = np.asarray(coords, dtype=float)
+    coords = as_float_array(coords)
     n = len(coords)
-    per_atom = np.zeros(n)
-    gradient = np.zeros((n, 3))
+    per_atom = np.zeros(n, dtype=coords.dtype)
+    gradient = np.zeros((n, 3), dtype=coords.dtype)
     if len(pair_i) == 0:
         result = (0.0, per_atom, gradient)
         return result + (np.zeros(0),) if per_pair else result
@@ -91,6 +93,12 @@ def vdw_energy(
     e_pair = np.where(inside, e_pair, 0.0)
     total = float(e_pair.sum())
 
+    if energies_only:
+        # Line-search fast path: per-pair energies only, no per-atom split,
+        # no derivative arithmetic.
+        result = (total, None, None)
+        return result + (e_pair,) if per_pair else result
+
     np.add.at(per_atom, pair_i, 0.5 * e_pair)
     np.add.at(per_atom, pair_j, 0.5 * e_pair)
 
@@ -105,8 +113,8 @@ def vdw_energy(
     de_dr = np.where(inside, de_dr, 0.0)
     r_safe = np.where(r > 1e-6, r, 1e-6)
     g = (de_dr / r_safe)[:, None] * d
-    np.add.at(gradient, pair_i, g)
-    np.subtract.at(gradient, pair_j, g)
+    scatter_add_rows(gradient, pair_i, g)
+    scatter_sub_rows(gradient, pair_j, g)
 
     if per_pair:
         return total, per_atom, gradient, e_pair

@@ -51,6 +51,14 @@ class CpuSpec:
     host_move_ms: float            # optimization move + coordinate update
     bonded_ms: float               # bonded terms per iteration (~0.2% of eval)
     parallel_efficiency: float     # multicore scaling efficiency
+    # -- reproduction-host (NumPy evaluator) constants, used only by the
+    # -- minimization backend selector (repro.minimize.selection); they
+    # -- describe *this* package's vectorized evaluator, not the paper's C
+    # -- code, so the paper-table models above never read them.
+    numpy_pair_ns: float = 40.0    # vectorized non-bonded work per pair per eval
+    numpy_atom_ns: float = 5.0     # vectorized per-atom work (forces, bonded) per eval
+    eval_dispatch_ms: float = 1.2  # fixed per-evaluation interpreter/dispatch cost
+    fork_spawn_ms: float = 30.0    # per-worker process-pool startup
 
 
 #: The paper's serial reference host (Sec. V).  Table 2's per-pair times:
@@ -200,3 +208,65 @@ class CpuModel:
         self, conformations: int, iterations: int, pairs: int, atoms: int
     ) -> float:
         return conformations * iterations * self.minimization_iteration_s(pairs, atoms)
+
+    # -- reproduction-host minimization (NumPy evaluator) --------------------------
+    #
+    # The paper-table formulas above model the original serial C code.  The
+    # formulas below model the *reproduction's own* vectorized evaluator,
+    # whose per-iteration cost splits into array arithmetic (linear in
+    # pairs) plus a fixed interpreter/dispatch overhead per evaluation —
+    # the overhead is what ensemble batching amortizes, and what process
+    # fan-out cannot touch.  Used by ``repro.minimize.selection``.
+
+    def vectorized_evaluation_s(self, pairs: int, atoms: int, poses: int = 1) -> float:
+        """One NumPy energy/force evaluation of ``poses`` stacked poses."""
+        per_pose = (
+            pairs * self.spec.numpy_pair_ns + atoms * self.spec.numpy_atom_ns
+        ) * 1e-9
+        return poses * per_pose + self.spec.eval_dispatch_ms * 1e-3
+
+    def host_minimization_phase_s(
+        self,
+        conformations: int,
+        iterations: int,
+        pairs: int,
+        atoms: int,
+        batch: int = 1,
+    ) -> float:
+        """Whole minimization phase on the reproduction host.
+
+        ``batch = 1`` is the serial per-pose loop; larger batches evaluate
+        that many poses per NumPy dispatch (the ensemble path).  Each
+        iteration costs ~2 evaluations: the line-search probe and the
+        accepted-point refresh.
+        """
+        if conformations <= 0:
+            return 0.0
+        batch = max(1, min(batch, conformations))
+        evals_per_iteration = 2.0
+        per_iteration = evals_per_iteration * self.vectorized_evaluation_s(
+            pairs, atoms, batch
+        )
+        n_groups = -(-conformations // batch)
+        return n_groups * iterations * per_iteration
+
+    def multiprocess_minimization_phase_s(
+        self,
+        conformations: int,
+        iterations: int,
+        pairs: int,
+        atoms: int,
+        workers: int,
+    ) -> float:
+        """Serial per-pose loop fanned out over ``workers`` forked processes.
+
+        Workers are clamped by the pose count — the execution path never
+        forks more processes than it has poses to hand out.
+        """
+        serial = self.host_minimization_phase_s(conformations, iterations, pairs, atoms)
+        w = max(1, min(workers, conformations))
+        if w == 1:
+            return serial
+        return serial / (w * self.spec.parallel_efficiency) + (
+            w * self.spec.fork_spawn_ms * 1e-3
+        )

@@ -91,21 +91,41 @@ def parallel_map(
     items: Sequence[T],
     processes: int | None = None,
     chunksize: int = 1,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
 ) -> List[R]:
     """Order-preserving multiprocessing map with a serial fallback.
 
     Uses ``fork`` where available (cheap with NumPy buffers); falls back to
     serial execution when only one process is requested or the platform
     lacks ``fork`` — keeping results deterministic either way.
+
+    ``initializer(*initargs)`` runs once per worker before any task (the
+    pattern that builds per-worker state — receptor grids, energy models —
+    once instead of per task); the serial fallback calls it once in-process
+    so ``fn`` sees the same globals either way.
+
+    Nested fan-outs degrade gracefully: pool workers are daemonic and may
+    not fork grandchildren, so a ``parallel_map`` reached from inside
+    another ``parallel_map`` task (e.g. a multiprocess minimization stage
+    inside a probe-streaming worker) runs serially instead of raising.
     """
     processes = processes or os.cpu_count() or 1
-    if processes <= 1 or len(items) <= 1:
+
+    def serial() -> List[R]:
+        if initializer is not None:
+            initializer(*initargs)
         return [fn(x) for x in items]
+
+    if processes <= 1 or len(items) <= 1 or mp.current_process().daemon:
+        return serial()
     try:
         ctx = mp.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
-        return [fn(x) for x in items]
-    with ctx.Pool(processes=processes) as pool:
+        return serial()
+    with ctx.Pool(
+        processes=processes, initializer=initializer, initargs=initargs
+    ) as pool:
         return pool.map(fn, items, chunksize=chunksize)
 
 

@@ -3,9 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.mapping.ftmap import FTMapConfig, run_ftmap
+from repro.mapping.ftmap import (
+    FTMapConfig,
+    cluster_probe,
+    dock_probe,
+    map_probe,
+    minimize_poses,
+    run_ftmap,
+)
 from repro.mapping.report import mapping_report
-from repro.structure import synthetic_protein
+from repro.structure import build_probe, synthetic_protein
 
 
 @pytest.fixture(scope="module")
@@ -74,3 +81,147 @@ class TestRunFTMap:
 
         text = mapping_report(FTMapResult(probe_results={}, sites=[]))
         assert "none found" in text
+
+    def test_backend_provenance_recorded(self, result):
+        for pr in result.probe_results.values():
+            assert pr.docking_backend == "direct"
+            assert pr.minimize_backend in ("serial", "batched", "multiprocess")
+
+
+class TestStagedPipeline:
+    def test_stages_compose_to_map_probe(self, protein, tiny_config):
+        probe = build_probe("ethanol")
+        docking = dock_probe(protein, probe, tiny_config)
+        assert docking.poses
+        minimized, centers, energies, backend = minimize_poses(
+            protein, probe, docking.poses, tiny_config
+        )
+        assert len(minimized) == tiny_config.minimize_top
+        assert centers.shape == (tiny_config.minimize_top, 3)
+        assert energies.shape == (tiny_config.minimize_top,)
+        assert backend
+        clusters = cluster_probe(centers, energies, tiny_config)
+        assert clusters
+        pr = map_probe(protein, "ethanol", probe, tiny_config)
+        assert pr.probe_name == "ethanol"
+        assert len(pr.minimized) == tiny_config.minimize_top
+
+    def test_minimize_engine_backends_agree(self, protein, tiny_config):
+        """The staged pipeline yields equivalent refinements whichever
+        minimization backend the config selects."""
+        probe = build_probe("ethanol")
+        poses = dock_probe(protein, probe, tiny_config).poses
+        results = {}
+        for backend in ("serial", "batched"):
+            cfg = FTMapConfig(
+                **{**tiny_config.__dict__, "minimize_engine": backend}
+            )
+            _, _, energies, resolved = minimize_poses(protein, probe, poses, cfg)
+            assert resolved == backend
+            results[backend] = energies
+        np.testing.assert_allclose(
+            results["batched"], results["serial"], rtol=5e-3
+        )
+
+
+class TestZeroPoseProbe:
+    """Regression: a probe whose docking returns no poses must flow through
+    the minimize/cluster stages as an explicit empty ensemble."""
+
+    def test_minimize_poses_empty(self, protein, tiny_config):
+        probe = build_probe("ethanol")
+        minimized, centers, energies, backend = minimize_poses(
+            protein, probe, [], tiny_config
+        )
+        assert minimized == []
+        assert centers.shape == (0, 3)
+        assert energies.shape == (0,)
+        assert backend == ""
+        assert cluster_probe(centers, energies, tiny_config) == []
+
+    def test_run_ftmap_with_poseless_probe(self, protein, tiny_config, monkeypatch):
+        import repro.mapping.ftmap as ftmap_mod
+
+        real_dock = ftmap_mod.dock_probe
+
+        def no_poses_for_acetone(receptor, probe, config):
+            run = real_dock(receptor, probe, config)
+            if probe.name == "acetone":
+                run.poses = []
+            return run
+
+        monkeypatch.setattr(ftmap_mod, "dock_probe", no_poses_for_acetone)
+        result = ftmap_mod.run_ftmap(protein, tiny_config)
+        empty = result.probe_results["acetone"]
+        assert empty.minimized == []
+        assert empty.minimized_centers.shape == (0, 3)
+        assert empty.minimized_energies.shape == (0,)
+        assert empty.clusters == []
+        # The other probe still maps, and consensus still forms.
+        assert result.probe_results["ethanol"].clusters
+        assert result.sites
+
+
+class TestEngineRouting:
+    def test_piper_config_rejects_gpu_sim(self):
+        cfg = FTMapConfig(engine="gpu-sim")
+        with pytest.raises(ValueError, match="gpu-sim"):
+            cfg.piper_config()
+
+    def test_piper_config_passes_cpu_engines(self):
+        assert FTMapConfig(engine="batched-fft").piper_config().engine == "batched-fft"
+        assert FTMapConfig(engine="auto").piper_config().engine == "auto"
+
+    def test_run_ftmap_routes_gpu_sim_through_facade(self, protein):
+        cfg = FTMapConfig(
+            probe_names=("ethanol",),
+            num_rotations=2,
+            receptor_grid=24,
+            minimize_top=2,
+            minimizer_iterations=5,
+            engine="gpu-sim",
+        )
+        result = run_ftmap(protein, cfg)
+        pr = result.probe_results["ethanol"]
+        assert pr.docking_backend == "gpu-sim"
+        assert pr.docked_poses
+
+
+class TestProbeWorkers:
+    def test_nested_fanout_degrades_to_serial(self, protein):
+        """A multiprocess minimization stage inside a probe-streaming worker
+        may not fork grandchildren (daemonic pool workers); the nested
+        parallel_map must fall back to serial instead of raising."""
+        cfg = FTMapConfig(
+            probe_names=("ethanol", "acetone"),
+            num_rotations=2,
+            receptor_grid=24,
+            minimize_top=2,
+            minimizer_iterations=4,
+            minimize_engine="multiprocess",
+            probe_workers=2,
+        )
+        result = run_ftmap(protein, cfg)
+        assert set(result.probe_results) == {"ethanol", "acetone"}
+        for pr in result.probe_results.values():
+            assert pr.minimize_backend == "multiprocess"
+            assert len(pr.minimized) == 2
+
+    def test_probe_streaming_matches_serial(self, protein):
+        cfg = dict(
+            probe_names=("ethanol", "acetone"),
+            num_rotations=2,
+            receptor_grid=24,
+            minimize_top=2,
+            minimizer_iterations=5,
+        )
+        serial = run_ftmap(protein, FTMapConfig(**cfg))
+        streamed = run_ftmap(protein, FTMapConfig(**cfg, probe_workers=2))
+        assert set(streamed.probe_results) == set(serial.probe_results)
+        for name in serial.probe_results:
+            np.testing.assert_allclose(
+                streamed.probe_results[name].minimized_energies,
+                serial.probe_results[name].minimized_energies,
+                rtol=1e-6,
+            )
+        assert len(streamed.sites) == len(serial.sites)

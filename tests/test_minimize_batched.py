@@ -1,0 +1,189 @@
+"""Batched-vs-serial minimization equivalence (the PR's acceptance suite).
+
+In double precision the batched minimizer replays the serial algorithm's
+arithmetic operation-for-operation, so final energies, coordinates,
+iteration counts, and convergence flags must match the per-pose
+:class:`Minimizer` to floating-point summation order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.minimize import (
+    BatchedMinimizer,
+    EnergyModel,
+    EnsembleEnergyModel,
+    Minimizer,
+    MinimizerConfig,
+)
+from repro.structure import synthetic_complex
+from repro.structure.builder import pocket_movable_mask
+
+N_POSES = 4
+
+
+@pytest.fixture(scope="module")
+def complex_mol():
+    return synthetic_complex(probe_name="ethanol", n_residues=40, seed=3)
+
+
+@pytest.fixture(scope="module")
+def ensemble(complex_mol):
+    n_probe = complex_mol.meta["n_probe_atoms"]
+    rng = np.random.default_rng(11)
+    stack = np.stack([complex_mol.coords.copy() for _ in range(N_POSES)])
+    for k in range(N_POSES):
+        stack[k, -n_probe:] += rng.normal(scale=0.3, size=(n_probe, 3))
+    masks = np.stack(
+        [
+            pocket_movable_mask(complex_mol.with_coords(stack[k]), n_probe)
+            for k in range(N_POSES)
+        ]
+    )
+    return stack, masks
+
+
+def _serial_results(complex_mol, stack, masks, config):
+    out = []
+    for k in range(len(stack)):
+        model = EnergyModel(complex_mol, movable=masks[k])
+        out.append(Minimizer(model, config=config).run(coords=stack[k]))
+    return out
+
+
+def _batched_results(complex_mol, stack, masks, config, precision="double"):
+    model = EnsembleEnergyModel(
+        complex_mol, stack, movable=masks, precision=precision
+    )
+    return BatchedMinimizer(model, config).run()
+
+
+def _assert_equivalent(serial, batched):
+    assert len(serial) == len(batched)
+    for s, b in zip(serial, batched):
+        assert b.energy == pytest.approx(s.energy, rel=1e-10, abs=1e-7)
+        assert b.initial_energy == pytest.approx(s.initial_energy, rel=1e-10)
+        np.testing.assert_allclose(b.coords, s.coords, atol=1e-8)
+        assert b.iterations == s.iterations
+        assert b.converged == s.converged
+        assert len(b.energy_trajectory) == len(s.energy_trajectory)
+        np.testing.assert_allclose(
+            b.energy_trajectory, s.energy_trajectory, rtol=1e-10
+        )
+
+
+class TestEquivalenceSD:
+    def test_sd_matches_serial(self, complex_mol, ensemble):
+        stack, masks = ensemble
+        cfg = MinimizerConfig(max_iterations=30, method="sd")
+        _assert_equivalent(
+            _serial_results(complex_mol, stack, masks, cfg),
+            _batched_results(complex_mol, stack, masks, cfg),
+        )
+
+    def test_energy_monotone_and_decreasing(self, complex_mol, ensemble):
+        stack, masks = ensemble
+        cfg = MinimizerConfig(max_iterations=30)
+        for res in _batched_results(complex_mol, stack, masks, cfg):
+            assert res.energy <= res.initial_energy
+            traj = res.energy_trajectory
+            assert all(b <= a + 1e-9 for a, b in zip(traj, traj[1:]))
+
+
+class TestEquivalenceCG:
+    def test_cg_matches_serial(self, complex_mol, ensemble):
+        stack, masks = ensemble
+        cfg = MinimizerConfig(max_iterations=30, method="cg")
+        _assert_equivalent(
+            _serial_results(complex_mol, stack, masks, cfg),
+            _batched_results(complex_mol, stack, masks, cfg),
+        )
+
+
+class TestMixedConvergence:
+    def test_early_converger_drops_out(self, complex_mol, ensemble):
+        """A pose started at an already-minimized geometry converges early
+        (active-set masking) without perturbing the other poses' results."""
+        stack, masks = ensemble
+        warm_cfg = MinimizerConfig(max_iterations=500, tolerance=1.0)
+        warm = _serial_results(complex_mol, stack[:1], masks[:1], warm_cfg)[0]
+        assert warm.converged
+
+        cfg = MinimizerConfig(max_iterations=25, tolerance=1.0)
+        mixed_stack = stack.copy()
+        mixed_stack[0] = warm.coords   # pose 0 starts at the minimum found
+        serial = _serial_results(complex_mol, mixed_stack, masks, cfg)
+        batched = _batched_results(complex_mol, mixed_stack, masks, cfg)
+        _assert_equivalent(serial, batched)
+        iters = [r.iterations for r in batched]
+        assert iters[0] < max(iters[1:])   # pose 0 left the batch early
+
+    def test_tight_tolerance_flags_convergence(self, complex_mol, ensemble):
+        stack, masks = ensemble
+        cfg = MinimizerConfig(max_iterations=400, tolerance=1.0)
+        batched = _batched_results(complex_mol, stack, masks, cfg)
+        assert all(r.converged for r in batched)
+        assert all(r.iterations < 400 for r in batched)
+
+
+class TestSinglePoseAndEmpty:
+    def test_single_pose_batch_matches_serial(self, complex_mol, ensemble):
+        stack, masks = ensemble
+        cfg = MinimizerConfig(max_iterations=30)
+        _assert_equivalent(
+            _serial_results(complex_mol, stack[:1], masks[:1], cfg),
+            _batched_results(complex_mol, stack[:1], masks[:1], cfg),
+        )
+
+    def test_empty_ensemble_returns_no_results(self, complex_mol):
+        model = EnsembleEnergyModel(
+            complex_mol, np.empty((0, complex_mol.n_atoms, 3))
+        )
+        assert BatchedMinimizer(model).run() == []
+
+
+class TestSinglePrecision:
+    def test_fp32_production_config_tracks_serial(self, complex_mol, ensemble):
+        """The fp32 batched path (the paper's GPU arithmetic) agrees with
+        the fp64 serial reference within single-precision tolerance."""
+        stack, masks = ensemble
+        cfg = MinimizerConfig(max_iterations=30)
+        serial = _serial_results(complex_mol, stack, masks, cfg)
+        batched = _batched_results(
+            complex_mol, stack, masks, cfg, precision="single"
+        )
+        for s, b in zip(serial, batched):
+            assert b.energy == pytest.approx(s.energy, rel=5e-3)
+            assert b.energy <= b.initial_energy
+
+
+class TestReports:
+    def test_final_report_populated(self, complex_mol, ensemble):
+        stack, masks = ensemble
+        cfg = MinimizerConfig(max_iterations=10)
+        for res in _batched_results(complex_mol, stack, masks, cfg):
+            rep = res.final_report
+            assert rep is not None
+            assert rep.total == pytest.approx(res.energy)
+            assert set(rep.components) == {
+                "elec_self", "elec_pairwise", "vdw",
+                "bond", "angle", "dihedral", "improper",
+            }
+
+    def test_frozen_atoms_do_not_move(self, complex_mol, ensemble):
+        stack, masks = ensemble
+        cfg = MinimizerConfig(max_iterations=10)
+        for k, res in enumerate(_batched_results(complex_mol, stack, masks, cfg)):
+            frozen = ~masks[k]
+            np.testing.assert_allclose(res.coords[frozen], stack[k][frozen])
+
+    def test_callback_fires_per_iteration(self, complex_mol, ensemble):
+        stack, masks = ensemble
+        cfg = MinimizerConfig(max_iterations=6)
+        model = EnsembleEnergyModel(complex_mol, stack, movable=masks)
+        calls = []
+        BatchedMinimizer(model, cfg).run(
+            callback=lambda it, rep: calls.append((it, rep.n_poses))
+        )
+        assert calls
+        assert all(n >= 1 for _, n in calls)

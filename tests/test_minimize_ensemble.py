@@ -1,0 +1,160 @@
+"""Tests for the vectorized ensemble energy model."""
+
+import numpy as np
+import pytest
+
+from repro.minimize import EnergyModel, EnsembleEnergyModel
+from repro.structure import synthetic_complex
+from repro.structure.builder import pocket_movable_mask
+
+N_POSES = 4
+
+
+@pytest.fixture(scope="module")
+def complex_mol():
+    return synthetic_complex(probe_name="ethanol", n_residues=40, seed=3)
+
+
+@pytest.fixture(scope="module")
+def ensemble(complex_mol):
+    """(stack, masks): perturbed-probe conformations with per-pose masks."""
+    n_probe = complex_mol.meta["n_probe_atoms"]
+    rng = np.random.default_rng(7)
+    stack = np.stack([complex_mol.coords.copy() for _ in range(N_POSES)])
+    for k in range(N_POSES):
+        stack[k, -n_probe:] += rng.normal(scale=0.3, size=(n_probe, 3))
+        stack[k, -n_probe:] += np.array([0.2 * k, 0.0, 0.0])
+    masks = np.stack(
+        [
+            pocket_movable_mask(complex_mol.with_coords(stack[k]), n_probe)
+            for k in range(N_POSES)
+        ]
+    )
+    return stack, masks
+
+
+@pytest.fixture(scope="module")
+def model(complex_mol, ensemble):
+    stack, masks = ensemble
+    return EnsembleEnergyModel(complex_mol, stack, movable=masks)
+
+
+@pytest.fixture(scope="module")
+def serial_models(complex_mol, ensemble):
+    stack, masks = ensemble
+    return [EnergyModel(complex_mol, movable=masks[k]) for k in range(N_POSES)]
+
+
+class TestConstruction:
+    def test_bad_stack_shape(self, complex_mol):
+        with pytest.raises(ValueError):
+            EnsembleEnergyModel(complex_mol, np.zeros((3, 5, 3)))
+
+    def test_bad_movable_shape(self, complex_mol, ensemble):
+        stack, _ = ensemble
+        with pytest.raises(ValueError):
+            EnsembleEnergyModel(complex_mol, stack, movable=np.ones(3, dtype=bool))
+
+    def test_bad_precision(self, complex_mol, ensemble):
+        stack, _ = ensemble
+        with pytest.raises(ValueError):
+            EnsembleEnergyModel(complex_mol, stack, precision="half")
+
+    def test_shared_mask_broadcasts(self, complex_mol, ensemble):
+        stack, masks = ensemble
+        em = EnsembleEnergyModel(complex_mol, stack, movable=masks[0])
+        assert em.movable.shape == (N_POSES, complex_mol.n_atoms)
+        assert np.array_equal(em.movable[0], em.movable[-1])
+
+
+class TestEquivalence:
+    def test_pair_lists_match_serial(self, model, serial_models, ensemble):
+        stack, _ = ensemble
+        for k in range(N_POSES):
+            i, j = model.pair_arrays(k)
+            si, sj = serial_models[k].active_pairs(stack[k])
+            assert np.array_equal(i, si)
+            assert np.array_equal(j, sj)
+
+    def test_totals_and_components_match_serial(self, model, serial_models, ensemble):
+        stack, _ = ensemble
+        rep = model.evaluate(stack)
+        for k in range(N_POSES):
+            ref = serial_models[k].evaluate(stack[k])
+            assert rep.totals[k] == pytest.approx(ref.total, rel=1e-12, abs=1e-9)
+            for key, val in ref.components.items():
+                assert rep.components[key][k] == pytest.approx(
+                    val, rel=1e-12, abs=1e-9
+                )
+
+    def test_forces_and_per_atom_match_serial(self, model, serial_models, ensemble):
+        stack, _ = ensemble
+        rep = model.evaluate(stack)
+        for k in range(N_POSES):
+            ref = serial_models[k].evaluate(stack[k])
+            np.testing.assert_allclose(rep.forces[k], ref.forces, atol=1e-9)
+            np.testing.assert_allclose(
+                rep.per_atom_nonbonded[k], ref.per_atom_nonbonded, atol=1e-10
+            )
+            np.testing.assert_allclose(rep.born_radii[k], ref.born_radii, atol=1e-12)
+
+    def test_energy_only_matches_evaluate(self, model, ensemble):
+        stack, _ = ensemble
+        np.testing.assert_array_equal(
+            model.energy_only(stack), model.evaluate(stack).totals
+        )
+
+    def test_subset_matches_full(self, model, ensemble):
+        stack, _ = ensemble
+        full = model.evaluate(stack)
+        sub = model.evaluate(stack[[2, 0]], pose_ids=[2, 0])
+        np.testing.assert_array_equal(sub.totals, full.totals[[2, 0]])
+        np.testing.assert_array_equal(sub.forces, full.forces[[2, 0]])
+
+
+class TestSinglePrecision:
+    def test_fp32_close_to_fp64(self, complex_mol, ensemble):
+        stack, masks = ensemble
+        em64 = EnsembleEnergyModel(complex_mol, stack, movable=masks)
+        em32 = EnsembleEnergyModel(
+            complex_mol, stack, movable=masks, precision="single"
+        )
+        t64 = em64.evaluate(stack).totals
+        rep32 = em32.evaluate(stack)
+        assert rep32.totals.dtype == np.float32
+        np.testing.assert_allclose(rep32.totals, t64, rtol=1e-4)
+
+
+class TestRefresh:
+    def test_maybe_refresh_rebuilds_only_drifted_pose(self, complex_mol, ensemble):
+        stack, masks = ensemble
+        em = EnsembleEnergyModel(complex_mol, stack, movable=masks)
+        em.evaluate(stack)
+        before = em.pose_list_rebuilds.copy()
+        moved = stack.copy()
+        n_probe = complex_mol.meta["n_probe_atoms"]
+        moved[1, -n_probe:] += 30.0   # pose 1 drifts far out of its list
+        assert em.maybe_refresh(moved)
+        assert em.pose_list_rebuilds[1] == before[1] + 1
+        assert np.array_equal(
+            np.delete(em.pose_list_rebuilds, 1), np.delete(before, 1)
+        )
+
+    def test_no_rebuild_when_static(self, complex_mol, ensemble):
+        stack, masks = ensemble
+        em = EnsembleEnergyModel(complex_mol, stack, movable=masks)
+        em.evaluate(stack)
+        before = em.pose_list_rebuilds.copy()
+        assert not em.maybe_refresh(stack)
+        assert np.array_equal(em.pose_list_rebuilds, before)
+
+
+class TestEmptyEnsemble:
+    def test_zero_pose_model(self, complex_mol):
+        em = EnsembleEnergyModel(
+            complex_mol, np.empty((0, complex_mol.n_atoms, 3))
+        )
+        rep = em.evaluate(np.empty((0, complex_mol.n_atoms, 3)))
+        assert rep.n_poses == 0
+        assert rep.totals.shape == (0,)
+        assert em.n_active_pairs == 0
