@@ -1,0 +1,134 @@
+"""Artifact-cache speedup gate (the caching PR's artifact).
+
+The content-addressed cache (:mod:`repro.cache`) exists to make *repeat*
+mappings near-free: receptor energy grids, receptor FFT spectra and whole
+per-probe dock results are reused, so a warm repeat pays only for
+minimization and clustering.  Two hard assertions:
+
+* **warm repeat >= 3x** — the same ``run_ftmap`` twice on one receptor
+  with the memory-tier cache; the warm run must be at least 3x faster
+  than the cold one (measured ~5-15x at this docking-dominated scale),
+* **cache-off unchanged** — with policy ``off`` the pipeline must produce
+  bitwise-identical poses and minimized energies to the cached runs (the
+  cache is invisible in outputs, only in wall clock).
+
+The workload is docking-dominated on purpose (many rotations, shallow
+minimization): that is the regime the cache targets, and it keeps the
+assertion about *docking-side* reuse from being diluted by minimization
+time the cache does not (yet) touch.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheManager, reset_cache_registry
+from repro.mapping.ftmap import FTMapConfig, run_ftmap
+from repro.perf.tables import ComparisonRow
+from repro.structure import synthetic_protein
+
+#: Warm-over-cold wall-clock floor for the repeat mapping (acceptance
+#: gate; measured well above this at the benchmark scale).
+MIN_WARM_REPEAT_SPEEDUP = 3.0
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Start from and leave behind an empty cache registry, so this
+    module's populated managers can't skew other timed benchmarks."""
+    reset_cache_registry()
+    yield
+    reset_cache_registry()
+
+
+def _workload():
+    protein = synthetic_protein(n_residues=60, seed=3)
+    config = dict(
+        probe_names=("ethanol", "acetone"),
+        num_rotations=64,
+        receptor_grid=40,
+        grid_spacing=1.25,
+        minimize_top=2,
+        minimizer_iterations=3,
+        engine="fft",
+    )
+    return protein, config
+
+
+def _probe_outputs(result):
+    """The bitwise-comparable outputs of one run."""
+    out = {}
+    for name, pr in result.probe_results.items():
+        out[name] = (
+            [(p.rotation_index, p.translation, p.score) for p in pr.docked_poses],
+            pr.minimized_energies.copy(),
+            pr.minimized_centers.copy(),
+        )
+    return out
+
+
+def test_cache_warm_repeat_speedup(print_comparison):
+    protein, config = _workload()
+
+    reset_cache_registry()
+    cfg_off = FTMapConfig(**config, cache_policy="off")
+    cfg_on = FTMapConfig(**config, cache_policy="memory")
+
+    t0 = time.perf_counter()
+    r_off = run_ftmap(protein, cfg_off)
+    t_off = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    r_cold = run_ftmap(protein, cfg_on)
+    t_cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    r_warm = run_ftmap(protein, cfg_on)
+    t_warm = time.perf_counter() - t0
+
+    speedup = t_cold / t_warm
+    print_comparison(
+        "Artifact cache — repeat mapping wall clock "
+        f"({len(cfg_on.probe_names)} probes x {cfg_on.num_rotations} rotations)",
+        [
+            ComparisonRow("cache off (s)", None, t_off),
+            ComparisonRow("cold, memory cache (s)", None, t_cold),
+            ComparisonRow("warm repeat (s)", None, t_warm),
+            ComparisonRow("warm-repeat speedup", None, speedup, "x"),
+            ComparisonRow(
+                "warm hit rate", None, r_warm.cache_stats.hit_rate * 100.0, "%"
+            ),
+        ],
+    )
+
+    # The warm run reused everything on the docking side: its only
+    # lookups are one dock-result hit per probe.
+    assert r_warm.cache_stats.misses == 0
+    assert r_warm.cache_stats.hits == len(cfg_on.probe_names)
+    assert r_warm.cache_stats.hit_rate == 1.0
+    assert speedup >= MIN_WARM_REPEAT_SPEEDUP
+
+    # Cache-off path unchanged: all three runs agree bitwise.
+    out_off, out_cold, out_warm = (
+        _probe_outputs(r) for r in (r_off, r_cold, r_warm)
+    )
+    for name in out_off:
+        for other in (out_cold, out_warm):
+            assert out_off[name][0] == other[name][0]           # poses
+            assert np.array_equal(out_off[name][1], other[name][1])  # energies
+            assert np.array_equal(out_off[name][2], other[name][2])  # centers
+
+
+def test_cache_off_run_does_no_cache_work():
+    """Policy off must not even consult the stores (zero lookups)."""
+    protein, config = _workload()
+    reset_cache_registry()
+    manager = CacheManager(policy="off")
+    config = dict(config, num_rotations=4)
+    result = run_ftmap(
+        protein, FTMapConfig(**config, cache_policy="off"), cache=manager
+    )
+    assert result.cache_stats is None
+    assert manager.stats.lookups == 0
+    assert manager.stats.puts == 0

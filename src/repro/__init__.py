@@ -64,13 +64,17 @@ from repro.mapping import (
     FTMapConfig,
     FTMapResult,
     run_ftmap,
+    run_sweep,
+    sweep_grid,
+    SweepReport,
     mapping_report,
     consensus_sites,
     cluster_poses,
 )
+from repro.cache import CacheManager, CacheStats, resolve_manager
 from repro.cuda import Device, DeviceSpec, TESLA_C1060
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Molecule",
@@ -106,6 +110,12 @@ __all__ = [
     "FTMapConfig",
     "FTMapResult",
     "run_ftmap",
+    "run_sweep",
+    "sweep_grid",
+    "SweepReport",
+    "CacheManager",
+    "CacheStats",
+    "resolve_manager",
     "mapping_report",
     "consensus_sites",
     "cluster_poses",

@@ -1,0 +1,310 @@
+"""The cache facade: policy, two-tier lookup, statistics.
+
+One :class:`CacheManager` fronts both storage tiers behind a policy:
+
+* ``"off"`` — every lookup bypasses storage entirely; callers compute as
+  if the subsystem did not exist (bitwise-identical outputs, zero hashing
+  overhead on the hot paths),
+* ``"memory"`` — in-process LRU under a byte budget,
+* ``"disk"`` — memory front + persistent on-disk store; disk hits are
+  promoted into memory, and forked workers / separate processes share
+  artifacts through the filesystem.
+
+Managers are resolved through a small per-process registry
+(:func:`resolve_manager`), so every caller that asks for the same
+``(policy, directory, budget)`` gets the *same* instance — that is what
+lets repeated :func:`~repro.mapping.ftmap.run_ftmap` calls and sweep runs
+hit each other's artifacts without any explicit plumbing.  The
+environment configures the default: ``REPRO_CACHE_POLICY`` (off | memory
+| disk), ``REPRO_CACHE_DIR`` and ``REPRO_CACHE_MEMORY_BYTES``.
+
+The receptor-spectra path of the FFT engines uses a dedicated always-on
+memory manager (:func:`spectra_cache`): spectra reuse across rotations is
+a core algorithmic property of PIPER, not an optional artifact cache, so
+it stays active even when the artifact cache policy is ``off``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.cache.store import CODECS, MISS, DiskStore, MemoryStore, estimate_nbytes
+
+__all__ = [
+    "CACHE_POLICIES",
+    "DEFAULT_MEMORY_BUDGET",
+    "DEFAULT_SPECTRA_BUDGET",
+    "CacheStats",
+    "CacheManager",
+    "resolve_manager",
+    "default_manager",
+    "spectra_cache",
+    "reset_cache_registry",
+]
+
+#: Policies a manager can run under.
+CACHE_POLICIES = ("off", "memory", "disk")
+
+#: Memory-tier byte budget when none is configured.  Sized like the
+#: batched engine's working-set budget (1 GiB): a paper-scale receptor's
+#: energy grids (~185 MB at 128^3 x 22 channels fp32) plus its spectra
+#: (~190-375 MB) must fit together, or warm repeats would LRU-thrash at
+#: exactly the scale the cache targets.
+DEFAULT_MEMORY_BUDGET = 1024 * 1024 * 1024
+
+#: Spectra-cache budget: one paper-scale receptor's fp64 spectra set is
+#: ~375 MB (22 channels x 128^3 half-spectrum complex128), and the old
+#: per-instance cache held up to 4 receptors — so the shared replacement
+#: must comfortably hold a few or it would silently recompute spectra per
+#: rotation at exactly the scale that matters.
+DEFAULT_SPECTRA_BUDGET = 2 * 1024 * 1024 * 1024
+
+_ENV_POLICY = "REPRO_CACHE_POLICY"
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_BUDGET = "REPRO_CACHE_MEMORY_BYTES"
+_ENV_SPECTRA_BUDGET = "REPRO_SPECTRA_CACHE_BYTES"
+
+
+@dataclass
+class CacheStats:
+    """Counters of one manager (or a delta between two snapshots)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    corrupt_entries: int = 0
+    disk_write_failures: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when idle)."""
+        n = self.lookups
+        return self.hits / n if n else 0.0
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            puts=self.puts - other.puts,
+            evictions=self.evictions - other.evictions,
+            memory_hits=self.memory_hits - other.memory_hits,
+            disk_hits=self.disk_hits - other.disk_hits,
+            corrupt_entries=self.corrupt_entries - other.corrupt_entries,
+            disk_write_failures=self.disk_write_failures - other.disk_write_failures,
+        )
+
+
+class CacheManager:
+    """Two-tier content-addressed artifact cache with hit/miss statistics.
+
+    Values are cached as live objects in the memory tier and treated as
+    immutable by convention; callers that hand a cached container to
+    mutating code must copy it first (see
+    :func:`repro.mapping.ftmap.dock_probe`).
+    """
+
+    def __init__(
+        self,
+        policy: str = "memory",
+        memory_bytes: int = DEFAULT_MEMORY_BUDGET,
+        directory: Optional[str] = None,
+    ) -> None:
+        if policy not in CACHE_POLICIES:
+            raise ValueError(
+                f"unknown cache policy {policy!r}; expected one of {CACHE_POLICIES}"
+            )
+        if policy == "disk" and not directory:
+            raise ValueError("cache policy 'disk' requires a directory")
+        self.policy = policy
+        self.memory_bytes = int(memory_bytes)
+        self.directory = str(directory) if directory else None
+        self.stats = CacheStats()
+        self.memory = MemoryStore(self.memory_bytes) if policy != "off" else None
+        self.disk = DiskStore(self.directory) if policy == "disk" else None
+
+    # -- core operations ---------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.policy != "off"
+
+    def get(self, key: str):
+        """Cached value for ``key`` or ``None`` (values must not be None)."""
+        if not self.enabled:
+            return None
+        value = self.memory.get(key)
+        if value is not MISS:
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return value
+        if self.disk is not None:
+            value = self.disk.get(key)
+            self.stats.corrupt_entries = self.disk.corrupt_entries
+            if value is not MISS:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                # Promote, so repeat lookups skip decode + checksum.
+                self.memory.put(key, value, nbytes=estimate_nbytes(value))
+                self.stats.evictions = self.memory.evictions
+                return value
+        self.stats.misses += 1
+        return None
+
+    def put(
+        self,
+        key: str,
+        value,
+        codec: str = "pickle",
+        nbytes: Optional[int] = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        payload = None
+        if self.disk is not None and nbytes is None:
+            # Encode once: the disk payload doubles as the byte-budget
+            # measurement, instead of pickling for estimate_nbytes and
+            # again for the disk entry.
+            payload = CODECS[codec].encode(value)
+            nbytes = len(payload)
+        self.memory.put(key, value, nbytes=nbytes)
+        self.stats.evictions = self.memory.evictions
+        if self.disk is not None:
+            try:
+                self.disk.put(key, value, codec=codec, payload=payload)
+            except OSError:
+                # A full or unwritable cache directory must never abort the
+                # pipeline that just computed the value — the store degrades
+                # to recompute on the next process, same as a corrupt read.
+                self.stats.disk_write_failures += 1
+        self.stats.puts += 1
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], object], codec: str = "pickle"
+    ):
+        """Lookup, else compute and store.  With policy off: just compute."""
+        if not self.enabled:
+            return compute()
+        value = self.get(key)
+        if value is not None:
+            return value
+        value = compute()
+        self.put(key, value, codec=codec)
+        return value
+
+    # -- introspection -----------------------------------------------------------
+
+    def snapshot(self) -> CacheStats:
+        """Copy of the current counters (subtract two to get a delta)."""
+        return replace(self.stats)
+
+    def clear(self, namespace: Optional[str] = None) -> None:
+        """Drop all entries, or only those under ``namespace``."""
+        if self.memory is not None:
+            self.memory.clear(None if namespace is None else namespace + "/")
+        if self.disk is not None:
+            self.disk.clear(namespace)
+
+    def __len__(self) -> int:
+        return len(self.memory) if self.memory is not None else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CacheManager(policy={self.policy!r}, entries={len(self)}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )
+
+    # Managers ride along when configs/engines cross process boundaries
+    # (probe streaming forks, sweep workers).  Only the configuration
+    # travels: workers rebuild empty tiers (and re-share through the disk
+    # tier's directory when one is configured).
+    def __getstate__(self):
+        return {
+            "policy": self.policy,
+            "memory_bytes": self.memory_bytes,
+            "directory": self.directory,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.__init__(
+            policy=state["policy"],
+            memory_bytes=state["memory_bytes"],
+            directory=state["directory"],
+        )
+
+
+# -- resolution ---------------------------------------------------------------------
+
+_REGISTRY: Dict[Tuple[str, Optional[str], int], CacheManager] = {}
+_SPECTRA_MANAGER: Optional[CacheManager] = None
+
+
+def resolve_manager(
+    policy: str = "inherit",
+    directory: Optional[str] = None,
+    memory_bytes: Optional[int] = None,
+) -> CacheManager:
+    """Per-process memoized manager for a cache configuration.
+
+    ``policy="inherit"`` reads the environment (default ``off``); explicit
+    policies override it.  Equal configurations resolve to the same
+    instance, so independent callers share tiers and statistics.
+    """
+    if policy == "inherit":
+        policy = os.environ.get(_ENV_POLICY, "off")
+        if directory is None:
+            directory = os.environ.get(_ENV_DIR) or None
+        if memory_bytes is None:
+            env_budget = os.environ.get(_ENV_BUDGET)
+            memory_bytes = int(env_budget) if env_budget else None
+    if policy not in CACHE_POLICIES:
+        raise ValueError(
+            f"unknown cache policy {policy!r}; expected one of "
+            f"{CACHE_POLICIES + ('inherit',)}"
+        )
+    if policy == "disk" and not directory:
+        directory = os.path.join(os.getcwd(), ".repro-cache")
+    budget = int(memory_bytes) if memory_bytes else DEFAULT_MEMORY_BUDGET
+    directory = os.path.abspath(directory) if directory else None
+    key = (policy, directory if policy == "disk" else None, budget)
+    manager = _REGISTRY.get(key)
+    if manager is None:
+        manager = CacheManager(
+            policy=policy,
+            memory_bytes=budget,
+            directory=directory if policy == "disk" else None,
+        )
+        _REGISTRY[key] = manager
+    return manager
+
+
+def default_manager() -> CacheManager:
+    """The environment-configured artifact cache (policy ``off`` unless set)."""
+    return resolve_manager("inherit")
+
+
+def spectra_cache() -> CacheManager:
+    """Shared in-process receptor-spectra cache (always on, bounded)."""
+    global _SPECTRA_MANAGER
+    if _SPECTRA_MANAGER is None:
+        env_budget = os.environ.get(_ENV_SPECTRA_BUDGET)
+        _SPECTRA_MANAGER = CacheManager(
+            policy="memory",
+            memory_bytes=int(env_budget) if env_budget else DEFAULT_SPECTRA_BUDGET,
+        )
+    return _SPECTRA_MANAGER
+
+
+def reset_cache_registry() -> None:
+    """Forget all memoized managers (test isolation helper)."""
+    global _SPECTRA_MANAGER
+    _REGISTRY.clear()
+    _SPECTRA_MANAGER = None

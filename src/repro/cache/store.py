@@ -1,0 +1,288 @@
+"""Cache storage tiers: in-process LRU with a byte budget + on-disk store.
+
+The memory tier holds live objects behind an LRU with a byte budget, so a
+long sweep can keep its hot artifacts (receptor grids, spectra, dock
+results) resident without growing unboundedly.  The disk tier persists
+encoded payloads with atomic writes (``os.replace`` of a unique temp
+file, safe under concurrent forked writers), versioned codecs and an
+integrity checksum; *any* defect on read — truncation, bit corruption, a
+stale format or codec version — degrades to a miss (and removes the bad
+entry) instead of raising, so a damaged cache can only cost recompute
+time, never correctness.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import shutil
+import tempfile
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.cache.keys import CACHE_FORMAT_VERSION, hash_parts
+
+__all__ = [
+    "MISS",
+    "PickleCodec",
+    "NpzCodec",
+    "CODECS",
+    "estimate_nbytes",
+    "MemoryStore",
+    "DiskStore",
+]
+
+#: Sentinel distinguishing "no entry" from a stored falsy value.
+MISS = object()
+
+#: Magic tag opening every disk entry's header line.
+_MAGIC = "repro-cache"
+
+
+# -- codecs -------------------------------------------------------------------------
+
+
+class PickleCodec:
+    """General object payloads (pose lists, EnergyGrids, dataclasses)."""
+
+    name = "pickle"
+    version = 1
+
+    @staticmethod
+    def encode(value) -> bytes:
+        return pickle.dumps(value, protocol=4)
+
+    @staticmethod
+    def decode(payload: bytes):
+        return pickle.loads(payload)
+
+
+class NpzCodec:
+    """Pure-array payloads: one ndarray or a flat dict of ndarrays.
+
+    Refuses object arrays on both ends (``allow_pickle=False``), so an
+    npz entry can never smuggle arbitrary pickled state.
+    """
+
+    name = "npz"
+    version = 1
+
+    _SINGLE = "__array__"
+
+    @classmethod
+    def encode(cls, value) -> bytes:
+        if isinstance(value, np.ndarray):
+            arrays = {cls._SINGLE: value}
+        elif isinstance(value, dict):
+            arrays = value
+        else:
+            raise TypeError(f"npz codec stores arrays, got {type(value).__name__}")
+        buf = io.BytesIO()
+        np.savez(buf, **arrays)
+        return buf.getvalue()
+
+    @classmethod
+    def decode(cls, payload: bytes):
+        with np.load(io.BytesIO(payload), allow_pickle=False) as data:
+            if set(data.files) == {cls._SINGLE}:
+                return data[cls._SINGLE]
+            return {k: data[k] for k in data.files}
+
+
+CODECS = {PickleCodec.name: PickleCodec, NpzCodec.name: NpzCodec}
+
+
+def estimate_nbytes(value) -> int:
+    """Approximate in-memory footprint of a cached value.
+
+    Arrays report exactly; array containers sum their parts; anything else
+    falls back to its pickled length (close enough for budget accounting).
+    """
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, dict):
+        return sum(estimate_nbytes(v) for v in value.values()) + 64 * len(value)
+    if isinstance(value, (list, tuple)):
+        return sum(estimate_nbytes(v) for v in value) + 16 * len(value)
+    channels = getattr(value, "channels", None)
+    if isinstance(channels, np.ndarray):  # EnergyGrids-shaped
+        weights = getattr(value, "weights", None)
+        extra = int(weights.nbytes) if isinstance(weights, np.ndarray) else 0
+        return int(channels.nbytes) + extra + 256
+    try:
+        return len(pickle.dumps(value, protocol=4))
+    except Exception:
+        return 1024
+
+
+# -- memory tier --------------------------------------------------------------------
+
+
+class MemoryStore:
+    """LRU mapping of key -> live object under a byte budget.
+
+    Thread-safe; eviction pops least-recently-used entries until the
+    budget holds.  A value larger than the whole budget is simply not
+    stored (storing it would evict everything for a single entry).
+    """
+
+    def __init__(self, budget_bytes: int) -> None:
+        if budget_bytes < 1:
+            raise ValueError("memory budget must be >= 1 byte")
+        self.budget_bytes = int(budget_bytes)
+        self.evictions = 0
+        self.total_bytes = 0
+        self._entries: "OrderedDict[str, Tuple[object, int]]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    def get(self, key: str):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return MISS
+            self._entries.move_to_end(key)
+            return entry[0]
+
+    def put(self, key: str, value, nbytes: Optional[int] = None) -> None:
+        size = int(nbytes) if nbytes is not None else estimate_nbytes(value)
+        if size > self.budget_bytes:
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.total_bytes -= old[1]
+            self._entries[key] = (value, size)
+            self.total_bytes += size
+            while self.total_bytes > self.budget_bytes:
+                _, (_, dropped) = self._entries.popitem(last=False)
+                self.total_bytes -= dropped
+                self.evictions += 1
+
+    def clear(self, prefix: Optional[str] = None) -> None:
+        with self._lock:
+            if prefix is None:
+                self._entries.clear()
+                self.total_bytes = 0
+                return
+            for key in [k for k in self._entries if k.startswith(prefix)]:
+                _, size = self._entries.pop(key)
+                self.total_bytes -= size
+
+    def keys(self):
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+# -- disk tier ----------------------------------------------------------------------
+
+
+class DiskStore:
+    """One file per entry under ``root``, written atomically.
+
+    Entry layout: one JSON header line (magic, format + codec versions,
+    payload SHA-256 and length) followed by the raw codec payload.  Reads
+    re-verify length and checksum; any mismatch or decode failure counts
+    as corruption, unlinks the entry and reads as a miss.  Writers encode
+    to a unique temp file in the destination directory and ``os.replace``
+    it into place, so two forked workers racing on the same key leave one
+    complete entry, never an interleaved one.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.corrupt_entries = 0
+
+    def _path(self, key: str) -> Path:
+        namespace, _, digest = key.rpartition("/")
+        safe_ns = "".join(
+            c if (c.isalnum() or c in "-_/.") else "_" for c in namespace
+        ) or "default"
+        return self.root / safe_ns / digest[:2] / f"{digest}.bin"
+
+    def put(
+        self, key: str, value, codec: str = "pickle",
+        payload: Optional[bytes] = None,
+    ) -> None:
+        """Write one entry; ``payload`` skips re-encoding when the caller
+        already serialized ``value`` (the manager encodes once and reuses
+        the byte length for memory-tier accounting)."""
+        enc = CODECS[codec]
+        if payload is None:
+            payload = enc.encode(value)
+        header = json.dumps(
+            {
+                "magic": _MAGIC,
+                "format": CACHE_FORMAT_VERSION,
+                "codec": enc.name,
+                "codec_version": enc.version,
+                "sha256": hash_parts(payload),
+                "nbytes": len(payload),
+            }
+        ).encode("ascii")
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(header + b"\n" + payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get(self, key: str):
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                header_line = fh.readline()
+                payload = fh.read()
+        except OSError:
+            return MISS
+        try:
+            header = json.loads(header_line)
+            if header.get("magic") != _MAGIC:
+                raise ValueError("bad magic")
+            if header.get("format") != CACHE_FORMAT_VERSION:
+                raise ValueError("stale format version")
+            codec = CODECS[header["codec"]]
+            if header.get("codec_version") != codec.version:
+                raise ValueError("stale codec version")
+            if header.get("nbytes") != len(payload):
+                raise ValueError("truncated payload")
+            if header.get("sha256") != hash_parts(payload):
+                raise ValueError("checksum mismatch")
+            return codec.decode(payload)
+        except Exception:
+            # Corrupt, truncated or outdated: drop the entry and recompute.
+            self.corrupt_entries += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return MISS
+
+    def clear(self, prefix: Optional[str] = None) -> None:
+        if prefix is None:
+            shutil.rmtree(self.root, ignore_errors=True)
+            return
+        # Prefixes are namespaces; their sanitized directory holds all keys.
+        probe = self._path(prefix + "/x")
+        shutil.rmtree(probe.parent.parent, ignore_errors=True)
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.bin"))

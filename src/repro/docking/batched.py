@@ -37,9 +37,10 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 from scipy import fft as sp_fft
 
+from repro.cache.manager import CacheManager
 from repro.docking.correlation import (
     CorrelationEngine,
-    ReceptorSpectraCache,
+    SpectraCache,
     valid_translation_shape,
 )
 from repro.grids.energyfunctions import EnergyGrids
@@ -110,6 +111,10 @@ class BatchedFFTCorrelationEngine(CorrelationEngine):
     memory_budget_bytes:
         Cap on the stacked-spectra working set; :meth:`max_batch` derives
         the largest admissible batch from it.
+    spectra_cache:
+        Optional :class:`~repro.cache.manager.CacheManager` backing the
+        receptor-spectra cache; defaults to the shared in-process spectra
+        manager.
     """
 
     name = "batched-fft"
@@ -119,6 +124,7 @@ class BatchedFFTCorrelationEngine(CorrelationEngine):
         workers: Optional[int] = None,
         precision: str = "single",
         memory_budget_bytes: int = DEFAULT_FFT_MEMORY_BUDGET,
+        spectra_cache: Optional[CacheManager] = None,
     ) -> None:
         if precision not in ("single", "double"):
             raise ValueError(f"unknown precision {precision!r}")
@@ -127,7 +133,11 @@ class BatchedFFTCorrelationEngine(CorrelationEngine):
         self.memory_budget_bytes = memory_budget_bytes
         self._real_dtype = np.float32 if precision == "single" else np.float64
         self._complex_itemsize = 8 if precision == "single" else 16
-        self._receptor_cache = ReceptorSpectraCache()
+        # Content-addressed: keyed by grid content + the staged conjugated
+        # layout's precision, shared across engine instances.
+        self._receptor_cache = SpectraCache(
+            f"batched-{precision}", cache=spectra_cache
+        )
 
     # -- capacity ---------------------------------------------------------------
 
@@ -219,4 +229,10 @@ class BatchedFFTCorrelationEngine(CorrelationEngine):
         return sp_fft.fft(s2, n=n1, axis=4, workers=self.workers)
 
     def clear_cache(self) -> None:
+        """Drop the cached staged spectra of this engine's precision.
+
+        The backing store is shared (content-addressed), so this clears
+        that variant for *every* engine on the same manager — and the
+        on-disk namespace too when a disk-backed manager is injected.
+        """
         self._receptor_cache.clear()

@@ -12,77 +12,75 @@ return the full weighted score grid over valid translations.
 
 from __future__ import annotations
 
-import weakref
 from abc import ABC, abstractmethod
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache.keys import compose_key, grids_token
+from repro.cache.manager import CacheManager, spectra_cache
 from repro.grids.energyfunctions import EnergyGrids
 
 __all__ = [
     "CorrelationEngine",
-    "ReceptorSpectraCache",
+    "SpectraCache",
     "correlate_channels",
     "valid_translations",
     "valid_translation_shape",
 ]
 
 
-class ReceptorSpectraCache:
-    """Small bounded cache of per-receptor precomputed arrays.
+class SpectraCache:
+    """Content-addressed receptor-spectra cache for the FFT engines.
 
-    Entries are validated through a weak reference to the receptor object,
-    so a recycled ``id()`` (receptor freed, new one allocated at the same
-    address) can never return another receptor's spectra.  The cache keeps
-    at most ``max_entries`` receptors (FIFO eviction) — PIPER reuses one
-    protein across all rotations, so a handful of entries covers every
-    real workload while bounding memory.
+    Replaces the former ``id()``-keyed weakref cache: keys derive from the
+    receptor grid *content* (:func:`repro.cache.keys.grids_token`, memoized
+    per object), so structurally equal receptors hit across engine
+    instances and object lifetimes, and a recycled ``id()`` can never
+    alias another receptor's spectra — the failure mode the weakref scheme
+    existed to defend against.
+
+    ``variant`` separates incompatible spectra layouts (per-engine
+    precision and memory order) within the shared store.  Entries live in
+    the process-wide spectra manager
+    (:func:`repro.cache.manager.spectra_cache`, an always-on bounded
+    memory tier) unless an explicit :class:`CacheManager` is injected —
+    e.g. a disk-backed artifact cache, which then shares spectra across
+    processes too.
     """
 
-    def __init__(self, max_entries: int = 4) -> None:
-        if max_entries < 1:
-            raise ValueError("max_entries must be >= 1")
-        self.max_entries = max_entries
-        self._entries: dict = {}   # id(receptor) -> (weakref, value)
+    def __init__(self, variant: str, cache: Optional[CacheManager] = None) -> None:
+        self.variant = variant
+        self._cache = cache
+
+    @property
+    def manager(self) -> CacheManager:
+        return self._cache if self._cache is not None else spectra_cache()
+
+    def _key(self, receptor: EnergyGrids) -> str:
+        return compose_key(f"spectra-{self.variant}", [grids_token(receptor)])
 
     def get(self, receptor: EnergyGrids):
-        entry = self._entries.get(id(receptor))
-        if entry is None:
-            return None
-        ref, value = entry
-        if ref() is not receptor:   # address reuse or freed receptor
-            del self._entries[id(receptor)]
-            return None
-        return value
+        return self.manager.get(self._key(receptor))
 
-    def put(self, receptor: EnergyGrids, value) -> None:
-        self._prune()
-        while len(self._entries) >= self.max_entries:
-            self._entries.pop(next(iter(self._entries)))
-        self._entries[id(receptor)] = (weakref.ref(receptor), value)
-
-    def _prune(self) -> None:
-        dead = [k for k, (ref, _) in self._entries.items() if ref() is None]
-        for k in dead:
-            del self._entries[k]
+    def put(self, receptor: EnergyGrids, value: np.ndarray) -> None:
+        self.manager.put(
+            self._key(receptor), value, codec="npz", nbytes=int(value.nbytes)
+        )
 
     def clear(self) -> None:
-        self._entries.clear()
-
-    def __len__(self) -> int:
-        self._prune()
-        return len(self._entries)
+        """Drop this variant's entries (other engines' spectra survive)."""
+        self.manager.clear(namespace=f"spectra-{self.variant}")
 
     # Engines holding a cache must survive pickling (process executors fork
-    # workers and ship bound methods); weakrefs don't pickle, and a cache
-    # never needs to — workers simply start cold.
+    # workers and ship bound methods).  An injected manager already pickles
+    # as configuration-only; the default manager is re-resolved per process.
     def __getstate__(self):
-        return {"max_entries": self.max_entries}
+        return {"variant": self.variant, "cache": self._cache}
 
     def __setstate__(self, state) -> None:
-        self.max_entries = state["max_entries"]
-        self._entries = {}
+        self.variant = state["variant"]
+        self._cache = state["cache"]
 
 
 def valid_translations(n: int, m: int) -> int:

@@ -61,6 +61,9 @@ class DockingEngine:
         Host-side gridding fan-out (thread executor) for batched passes.
     device:
         Virtual device for ``gpu-sim`` (defaults to the paper's C1060).
+    cache:
+        Optional :class:`~repro.cache.manager.CacheManager` threaded into
+        the :class:`PiperDocker` (receptor grid build + spectra caching).
     """
 
     def __init__(
@@ -72,6 +75,7 @@ class DockingEngine:
         batch_size: int | None = None,
         workers: int | None = None,
         device=None,
+        cache=None,
     ) -> None:
         self.config = config or PiperConfig()
         requested = backend if backend is not None else self.config.engine
@@ -84,7 +88,8 @@ class DockingEngine:
         from repro.docking.direct import DirectCorrelationEngine
 
         self.docker = PiperDocker(
-            receptor, probe, self.config, engine=DirectCorrelationEngine()
+            receptor, probe, self.config, engine=DirectCorrelationEngine(),
+            cache=cache,
         )
         self.decision = select_backend(
             self.config.receptor_grid,

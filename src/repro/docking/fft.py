@@ -14,9 +14,12 @@ from __future__ import annotations
 import numpy as np
 from scipy import fft as sp_fft
 
+from typing import Optional
+
+from repro.cache.manager import CacheManager
 from repro.docking.correlation import (
     CorrelationEngine,
-    ReceptorSpectraCache,
+    SpectraCache,
     valid_translation_shape,
 )
 from repro.grids.energyfunctions import EnergyGrids
@@ -37,11 +40,16 @@ class FFTCorrelationEngine(CorrelationEngine):
 
     name = "fft"
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(
+        self, workers: int = 1, spectra_cache: Optional[CacheManager] = None
+    ) -> None:
         #: Number of FFT worker threads (scipy.fft ``workers=``); the
         #: multicore comparison of Sec. V.A uses >1.
         self.workers = workers
-        self._receptor_cache = ReceptorSpectraCache()
+        #: Content-addressed spectra cache: structurally equal receptors
+        #: hit across engine instances (and across processes when a
+        #: disk-backed manager is injected).
+        self._receptor_cache = SpectraCache("fft-f64", cache=spectra_cache)
 
     def correlate(self, receptor: EnergyGrids, ligand: EnergyGrids) -> np.ndarray:
         self._check(receptor, ligand)
@@ -90,4 +98,10 @@ class FFTCorrelationEngine(CorrelationEngine):
         return np.ascontiguousarray(corr[:, :t1, :t2, :t3])
 
     def clear_cache(self) -> None:
+        """Drop all cached fp64 FFT spectra.
+
+        The backing store is shared (content-addressed), so this clears
+        the ``fft-f64`` spectra of *every* engine on the same manager —
+        process-wide with the default manager — not just this instance's.
+        """
         self._receptor_cache.clear()

@@ -37,7 +37,7 @@ from repro.docking.filtering import filter_top_poses
 from repro.docking.selection import select_backend
 from repro.geometry.sampling import rotation_set
 from repro.geometry.transforms import RigidTransform, centered
-from repro.grids.energyfunctions import EnergyGrids, protein_grids
+from repro.grids.energyfunctions import EnergyGrids, protein_grids_cached
 from repro.grids.gridding import GridSpec
 from repro.grids.rotation import ligand_grid_spec, rotate_and_grid_ligand
 from repro.structure.molecule import Molecule
@@ -116,6 +116,12 @@ class PiperDocker:
     engine:
         Optional explicit :class:`CorrelationEngine` (overrides
         ``config.engine``).
+    cache:
+        Optional :class:`~repro.cache.manager.CacheManager`.  When enabled,
+        the receptor grid build is served content-addressed (structurally
+        equal receptors reuse the grids across dockers and probes) and the
+        FFT engines route their receptor-spectra caching through the same
+        manager (so a disk tier shares spectra across processes).
     """
 
     def __init__(
@@ -124,21 +130,24 @@ class PiperDocker:
         probe: Molecule,
         config: PiperConfig | None = None,
         engine: Optional[CorrelationEngine] = None,
+        cache=None,
     ) -> None:
         self.receptor = receptor
         self.probe = probe
         self.config = config or PiperConfig()
+        self.cache = cache
         cfg = self.config
 
         self.receptor_spec = GridSpec.centered_on(
             receptor, cfg.receptor_grid, cfg.grid_spacing
         )
         self.probe_spec = ligand_grid_spec(probe, cfg.probe_grid, cfg.grid_spacing)
-        self.receptor_grids = protein_grids(
+        self.receptor_grids = protein_grids_cached(
             receptor,
             self.receptor_spec,
             n_desolvation_terms=cfg.n_desolvation_terms,
             desolvation_seed=cfg.desolvation_seed,
+            cache=cache,
         )
         self.rotations = rotation_set(cfg.num_rotations, cfg.rotation_scheme)
         if engine is not None:
@@ -156,10 +165,18 @@ class PiperDocker:
                 batch_size=self.config.batch_size,
             )
             name = decision.backend
+        # Route spectra through the artifact cache only when one is active;
+        # otherwise engines fall back to the shared in-process spectra
+        # manager (spectra reuse across rotations is never off).
+        spectra = self.cache if self.cache is not None and self.cache.enabled else None
         if name == "fft":
-            return FFTCorrelationEngine(workers=self.config.fft_workers)
+            return FFTCorrelationEngine(
+                workers=self.config.fft_workers, spectra_cache=spectra
+            )
         if name == "batched-fft":
-            return BatchedFFTCorrelationEngine(workers=self.config.fft_workers)
+            return BatchedFFTCorrelationEngine(
+                workers=self.config.fft_workers, spectra_cache=spectra
+            )
         return DirectCorrelationEngine()
 
     # -- single rotation ------------------------------------------------------

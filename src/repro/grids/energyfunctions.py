@@ -46,6 +46,7 @@ __all__ = [
     "EnergyGrids",
     "CHANNELS",
     "protein_grids",
+    "protein_grids_cached",
     "ligand_grids",
     "num_channels",
     "desolvation_eigenterms",
@@ -278,6 +279,66 @@ def protein_grids(
         f"desolvation_{k}" for k in range(n_desolvation_terms)
     ]
     return EnergyGrids(spec=spec, channels=np.stack(chans), weights=weights, labels=labels)
+
+
+def protein_grids_cached(
+    protein: Molecule,
+    spec: GridSpec,
+    n_desolvation_terms: int = MIN_DESOLVATION_TERMS,
+    elec_weight: float = DEFAULT_ELEC_WEIGHT,
+    desolvation_weight: float = DEFAULT_DESOLVATION_WEIGHT,
+    desolvation_seed: int = 2010,
+    cache=None,
+) -> EnergyGrids:
+    """:func:`protein_grids` behind the content-addressed artifact cache.
+
+    The receptor grid build (vdW-sphere fill, burial density, two FFT
+    potential convolutions, K desolvation deposits) is the most expensive
+    per-receptor artifact in the pipeline and depends only on the receptor
+    content and the grid/workload parameters hashed here — so a repeat
+    mapping, another probe of the same run, or a sweep variant that keeps
+    the receptor fixed reuses it as an O(lookup).
+
+    ``cache`` is a :class:`repro.cache.manager.CacheManager` (or ``None`` /
+    policy ``off``, which computes exactly like :func:`protein_grids`).
+    Cached grids are shared objects and must be treated as immutable.
+    """
+    if cache is None or not cache.enabled:
+        return protein_grids(
+            protein,
+            spec,
+            n_desolvation_terms=n_desolvation_terms,
+            elec_weight=elec_weight,
+            desolvation_weight=desolvation_weight,
+            desolvation_seed=desolvation_seed,
+        )
+    from repro.cache.keys import compose_key, mapping_token, molecule_token
+
+    key = compose_key(
+        "receptor-grids",
+        [
+            molecule_token(protein),
+            spec.cache_token(),
+            mapping_token(
+                n_desolvation_terms=n_desolvation_terms,
+                elec_weight=float(elec_weight),
+                desolvation_weight=float(desolvation_weight),
+                desolvation_seed=desolvation_seed,
+            ),
+        ],
+    )
+    return cache.get_or_compute(
+        key,
+        lambda: protein_grids(
+            protein,
+            spec,
+            n_desolvation_terms=n_desolvation_terms,
+            elec_weight=elec_weight,
+            desolvation_weight=desolvation_weight,
+            desolvation_seed=desolvation_seed,
+        ),
+        codec="pickle",
+    )
 
 
 def ligand_grids(

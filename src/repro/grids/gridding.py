@@ -56,6 +56,16 @@ class GridSpec:
         """Physical edge length in Angstrom."""
         return self.n * self.spacing
 
+    def cache_token(self) -> str:
+        """Exact content token for artifact-cache keys.
+
+        Floats are rendered in hex so two specs produce the same token iff
+        they describe bit-identical geometry (no decimal rounding).
+        """
+        from repro.cache.keys import grid_spec_token
+
+        return grid_spec_token(self)
+
     @classmethod
     def centered_on(cls, molecule: Molecule, n: int, spacing: float = 1.0) -> "GridSpec":
         """Grid of edge ``n`` centered on the molecule's geometric center."""

@@ -25,6 +25,7 @@ from repro.mapping.clustering import Cluster, cluster_poses
 from repro.mapping.consensus import ConsensusSite, consensus_sites
 from repro.mapping.hotspot import BurialMap, burial_map, site_concavity, top_pockets
 from repro.mapping.report import mapping_report
+from repro.mapping.sweep import SweepReport, SweepRun, run_sweep, sweep_grid
 
 __all__ = [
     "FTMapConfig",
@@ -35,6 +36,10 @@ __all__ = [
     "minimize_poses",
     "cluster_probe",
     "map_probe",
+    "SweepRun",
+    "SweepReport",
+    "run_sweep",
+    "sweep_grid",
     "Cluster",
     "cluster_poses",
     "ConsensusSite",

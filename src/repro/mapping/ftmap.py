@@ -16,18 +16,20 @@ benchmarks use the cost models for paper-scale timing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache.keys import compose_key, mapping_token, molecule_token
+from repro.cache.manager import CACHE_POLICIES, CacheManager, CacheStats, resolve_manager
 from repro.constants import POSES_PER_ROTATION
-from repro.docking.engine import DockingEngine, DockingRun
+from repro.docking.engine import BACKEND_NAMES, DockingEngine, DockingRun
 from repro.docking.piper import DockedPose, PiperConfig
 from repro.geometry.transforms import centered
 from repro.mapping.clustering import Cluster, cluster_poses
 from repro.mapping.consensus import ConsensusSite, consensus_sites
-from repro.minimize.engine import MinimizationEngine
+from repro.minimize.engine import MINIMIZE_BACKEND_NAMES, MinimizationEngine
 from repro.minimize.minimizer import MinimizationResult, MinimizerConfig
 from repro.structure.builder import pocket_movable_mask
 from repro.structure.molecule import Molecule
@@ -62,6 +64,16 @@ class FTMapConfig:
     cost-model ``"auto"``).  ``probe_workers`` streams whole probes through
     forked workers — the coarse-grained parallelism of Sec. V.A applied one
     level up from rotations.
+
+    ``cache_policy`` drives the content-addressed artifact cache
+    (:mod:`repro.cache`): ``"off"`` | ``"memory"`` | ``"disk"`` | the
+    default ``"inherit"``, which reads ``REPRO_CACHE_POLICY`` from the
+    environment (off unless set).  When enabled, receptor grids, receptor
+    FFT spectra and whole per-probe dock results are reused across runs
+    keyed by receptor x probe x rotation set x grid spec, which makes
+    repeat mappings and parameter sweeps (:mod:`repro.mapping.sweep`)
+    near-free on the docking side.  Nonsensical field values are rejected
+    here, at construction, instead of failing deep in the pipeline.
     """
 
     probe_names: Sequence[str] = FTMAP_PROBE_NAMES
@@ -81,6 +93,61 @@ class FTMapConfig:
     minimize_engine: str = "auto"     # any MinimizationEngine backend
     minimize_batch_size: Optional[int] = None
     probe_workers: Optional[int] = None
+    cache_policy: str = "inherit"     # inherit | off | memory | disk
+    cache_dir: Optional[str] = None
+    cache_memory_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.probe_names:
+            raise ValueError("probe_names must name at least one probe")
+        for field, value in (
+            ("num_rotations", self.num_rotations),
+            ("poses_per_rotation", self.poses_per_rotation),
+            ("receptor_grid", self.receptor_grid),
+            ("probe_grid", self.probe_grid),
+            ("minimize_top", self.minimize_top),
+            ("minimizer_iterations", self.minimizer_iterations),
+        ):
+            if value < 1:
+                raise ValueError(f"{field} must be >= 1, got {value}")
+        for field, value in (
+            ("grid_spacing", self.grid_spacing),
+            ("cluster_radius", self.cluster_radius),
+            ("consensus_radius", self.consensus_radius),
+            ("flexible_radius", self.flexible_radius),
+        ):
+            if not (value > 0):
+                raise ValueError(f"{field} must be positive, got {value}")
+        if self.engine not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown docking engine {self.engine!r}; expected one of "
+                f"{BACKEND_NAMES}"
+            )
+        if self.minimize_engine not in MINIMIZE_BACKEND_NAMES:
+            raise ValueError(
+                f"unknown minimize engine {self.minimize_engine!r}; expected "
+                f"one of {MINIMIZE_BACKEND_NAMES}"
+            )
+        for field, value in (
+            ("batch_size", self.batch_size),
+            ("docking_workers", self.docking_workers),
+            ("minimize_batch_size", self.minimize_batch_size),
+            ("probe_workers", self.probe_workers),
+            ("cache_memory_bytes", self.cache_memory_bytes),
+        ):
+            if value is not None and value < 1:
+                raise ValueError(f"{field} must be >= 1 when set, got {value}")
+        if self.cache_policy not in CACHE_POLICIES + ("inherit",):
+            raise ValueError(
+                f"unknown cache policy {self.cache_policy!r}; expected one of "
+                f"{CACHE_POLICIES + ('inherit',)}"
+            )
+
+    def cache_manager(self) -> CacheManager:
+        """The artifact cache this run uses (process-memoized per config)."""
+        return resolve_manager(
+            self.cache_policy, self.cache_dir, self.cache_memory_bytes
+        )
 
     def piper_config(self) -> PiperConfig:
         """The PIPER workload of this run, for direct :class:`PiperDocker` use.
@@ -139,6 +206,10 @@ class FTMapResult:
 
     probe_results: Dict[str, ProbeResult]
     sites: List[ConsensusSite]
+    #: Artifact-cache counter delta of this run (None with caching off).
+    #: With ``probe_workers > 1`` only the parent process's lookups are
+    #: counted — forked workers keep their own stats.
+    cache_stats: Optional[CacheStats] = None
 
     @property
     def top_site(self) -> Optional[ConsensusSite]:
@@ -148,18 +219,73 @@ class FTMapResult:
 # -- pipeline stages ----------------------------------------------------------------
 
 
-def dock_probe(
+def _dock_result_key(
     receptor: Molecule, probe: Molecule, config: FTMapConfig
+) -> str:
+    """Cache key of one probe's full dock result.
+
+    Keyed by receptor content x probe content x the complete docking
+    workload (rotation count + scheme, grid edges and spacing, poses per
+    rotation, exclusion radius, desolvation terms/seed) *plus* the facade
+    backend and batch size: backends agree on the retained poses but not
+    bitwise on scores, so a cached result is only served to the exact
+    engine configuration that produced it.
+    """
+    workload = config._docking_workload()
+    return compose_key(
+        "dock-results",
+        [
+            molecule_token(receptor),
+            molecule_token(probe),
+            mapping_token(
+                num_rotations=workload.num_rotations,
+                poses_per_rotation=workload.poses_per_rotation,
+                receptor_grid=workload.receptor_grid,
+                probe_grid=workload.probe_grid,
+                grid_spacing=float(workload.grid_spacing),
+                n_desolvation_terms=workload.n_desolvation_terms,
+                exclusion_radius=workload.exclusion_radius,
+                rotation_scheme=workload.rotation_scheme,
+                desolvation_seed=workload.desolvation_seed,
+                engine=config.engine,
+                batch_size=config.batch_size,
+            ),
+        ],
+    )
+
+
+def dock_probe(
+    receptor: Molecule,
+    probe: Molecule,
+    config: FTMapConfig,
+    cache: Optional[CacheManager] = None,
 ) -> DockingRun:
-    """Stage 1: exhaustive rigid docking through the engine facade."""
+    """Stage 1: exhaustive rigid docking through the engine facade.
+
+    With an enabled cache (``cache`` argument, else
+    ``config.cache_manager()``), the whole :class:`DockingRun` is served
+    content-addressed: a repeat mapping of the same receptor/probe/workload
+    skips gridding, spectra and the rotation loop entirely.  Pose lists are
+    shallow-copied on hits so callers may reorder them freely.
+    """
+    manager = cache if cache is not None else config.cache_manager()
+    if manager.enabled:
+        key = _dock_result_key(receptor, probe, config)
+        hit = manager.get(key)
+        if hit is not None:
+            return replace(hit, poses=list(hit.poses))
     engine = DockingEngine(
         receptor,
         probe,
         config._docking_workload(),
         backend=config.engine,
         workers=config.docking_workers,
+        cache=manager if manager.enabled else None,
     )
-    return engine.run_detailed()
+    run = engine.run_detailed()
+    if manager.enabled:
+        manager.put(key, replace(run, poses=list(run.poses)), codec="pickle")
+    return run
 
 
 def minimize_poses(
@@ -226,10 +352,14 @@ def cluster_probe(
 
 
 def map_probe(
-    receptor: Molecule, name: str, probe: Molecule, config: FTMapConfig
+    receptor: Molecule,
+    name: str,
+    probe: Molecule,
+    config: FTMapConfig,
+    cache: Optional[CacheManager] = None,
 ) -> ProbeResult:
     """Run one probe through dock -> minimize -> cluster."""
-    docking = dock_probe(receptor, probe, config)
+    docking = dock_probe(receptor, probe, config, cache=cache)
     minimized, centers, energies, minimize_backend = minimize_poses(
         receptor, probe, docking.poses, config
     )
@@ -246,26 +376,29 @@ def map_probe(
     )
 
 
-# Module-level worker state for probe streaming: the receptor and config
-# are installed once per forked worker, tasks carry only (name, probe).
+# Module-level worker state for probe streaming: the receptor, config and
+# cache manager are installed once per forked worker, tasks carry only
+# (name, probe).  The manager pickles as configuration-only, so workers
+# start with empty memory tiers but share a configured disk tier.
 _PROBE_WORKER_CTX = None
 
 
-def _init_probe_worker(receptor, config) -> None:
+def _init_probe_worker(receptor, config, cache=None) -> None:
     global _PROBE_WORKER_CTX
-    _PROBE_WORKER_CTX = (receptor, config)
+    _PROBE_WORKER_CTX = (receptor, config, cache)
 
 
 def _map_probe_task(item) -> ProbeResult:
     name, probe = item
-    receptor, config = _PROBE_WORKER_CTX
-    return map_probe(receptor, name, probe, config)
+    receptor, config, cache = _PROBE_WORKER_CTX
+    return map_probe(receptor, name, probe, config, cache=cache)
 
 
 def run_ftmap(
     receptor: Molecule,
     config: FTMapConfig | None = None,
     probes: Dict[str, Molecule] | None = None,
+    cache: Optional[CacheManager] = None,
 ) -> FTMapResult:
     """Map a receptor with a set of probes.
 
@@ -278,15 +411,22 @@ def run_ftmap(
     probes:
         Optional pre-built probe molecules; defaults to building
         ``config.probe_names`` from the standard library.
+    cache:
+        Optional explicit :class:`~repro.cache.manager.CacheManager`
+        (overrides the config's cache fields); sweeps use this to share
+        one cache across config variants.
 
     Returns
     -------
     :class:`FTMapResult` with per-probe docking/minimization details and
     the ranked consensus sites.  With ``config.probe_workers > 1`` the
     per-probe pipelines run in forked workers (order-preserving, so the
-    result is deterministic either way).
+    result is deterministic either way).  When an artifact cache is
+    enabled, ``result.cache_stats`` carries this run's hit/miss delta.
     """
     cfg = config or FTMapConfig()
+    manager = cache if cache is not None else cfg.cache_manager()
+    before = manager.snapshot() if manager.enabled else None
     probe_set = probes or {name: build_probe(name) for name in cfg.probe_names}
     items = list(probe_set.items())
 
@@ -297,14 +437,18 @@ def run_ftmap(
             items,
             processes=min(workers, len(items)),
             initializer=_init_probe_worker,
-            initargs=(receptor, cfg),
+            initargs=(receptor, cfg, manager),
         )
     else:
-        results = [map_probe(receptor, name, probe, cfg) for name, probe in items]
+        results = [
+            map_probe(receptor, name, probe, cfg, cache=manager)
+            for name, probe in items
+        ]
 
     probe_results = {pr.probe_name: pr for pr in results}
     sites = consensus_sites(
         {name: pr.clusters for name, pr in probe_results.items()},
         radius=cfg.consensus_radius,
     )
-    return FTMapResult(probe_results=probe_results, sites=sites)
+    stats = (manager.snapshot() - before) if before is not None else None
+    return FTMapResult(probe_results=probe_results, sites=sites, cache_stats=stats)

@@ -1,0 +1,210 @@
+"""Parameter-sweep runner: the repeat-mapping workload the cache exists for.
+
+A sweep maps one receptor under a grid of :class:`FTMapConfig` variants —
+the protocol-tuning loop of a real mapping service (how sensitive are the
+consensus sites to ``cluster_radius``?  how many rotations are enough?).
+Most variants share the expensive artifacts: every config with the same
+receptor/grid spec reuses the receptor energy grids and FFT spectra, and
+variants that only touch post-docking parameters (clustering radii,
+minimization depth) reuse whole per-probe dock results.  The runner wires
+all runs through one shared :class:`~repro.cache.manager.CacheManager`
+and reports per-run wall time and cache hit rates, so the sharing is
+visible, not assumed.
+
+Serial by default; ``workers > 1`` fans configs out over forked processes
+(:func:`repro.util.parallel.parallel_map`).  Cross-run sharing then needs
+the ``disk`` cache policy — forked workers cannot see each other's memory
+tier, and the runner says so rather than silently running cold.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, fields, replace
+from itertools import product
+from typing import Dict, List, Optional, Sequence
+
+from repro.cache.manager import CacheManager, CacheStats
+from repro.mapping.ftmap import FTMapConfig, FTMapResult, run_ftmap
+from repro.structure.molecule import Molecule
+from repro.util.parallel import parallel_map
+
+__all__ = ["SweepRun", "SweepReport", "sweep_grid", "run_sweep"]
+
+
+@dataclass
+class SweepRun:
+    """One sweep point: the config variant, its result and its cost."""
+
+    label: str
+    config: FTMapConfig
+    result: FTMapResult
+    wall_time_s: float
+    cache_stats: CacheStats
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_stats.hit_rate
+
+
+@dataclass
+class SweepReport:
+    """All sweep points plus aggregate accounting."""
+
+    runs: List[SweepRun]
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(r.wall_time_s for r in self.runs)
+
+    @property
+    def overall_hit_rate(self) -> float:
+        hits = sum(r.cache_stats.hits for r in self.runs)
+        lookups = sum(r.cache_stats.lookups for r in self.runs)
+        return hits / lookups if lookups else 0.0
+
+    def render(self) -> str:
+        """ASCII table: run | wall time | cache hits/lookups | hit rate."""
+        title = (
+            f"Parameter sweep — {len(self.runs)} runs, "
+            f"{self.total_time_s:.2f} s total, "
+            f"{self.overall_hit_rate:.0%} cache hit rate"
+        )
+        lines = [title, "-" * len(title)]
+        header = f"{'run':<40s} {'time':>10s} {'hits':>6s} {'lookups':>8s} {'rate':>6s}"
+        lines.append(header)
+        lines.append("=" * len(header))
+        for r in self.runs:
+            lines.append(
+                f"{r.label:<40.40s} {r.wall_time_s:>9.3f}s "
+                f"{r.cache_stats.hits:>6d} {r.cache_stats.lookups:>8d} "
+                f"{r.hit_rate:>6.0%}"
+            )
+        return "\n".join(lines)
+
+
+def sweep_grid(base: FTMapConfig, **axes: Sequence) -> List[FTMapConfig]:
+    """Cartesian grid of config variants over the named axes.
+
+    ``sweep_grid(base, cluster_radius=(3.0, 4.0), minimize_top=(4, 8))``
+    yields 4 configs, last axis varying fastest.  Axis names must be
+    :class:`FTMapConfig` fields; values pass through ``dataclasses.replace``
+    so every variant re-validates at construction.
+    """
+    if not axes:
+        return [base]
+    known = {f.name for f in fields(FTMapConfig)}
+    unknown = sorted(set(axes) - known)
+    if unknown:
+        raise ValueError(f"unknown FTMapConfig field(s) in sweep axes: {unknown}")
+    names = list(axes)
+    configs = []
+    for combo in product(*(axes[n] for n in names)):
+        configs.append(replace(base, **dict(zip(names, combo))))
+    return configs
+
+
+def _variant_label(config: FTMapConfig, base: FTMapConfig, index: int) -> str:
+    """Human label from the fields where ``config`` differs from ``base``."""
+    diffs = [
+        f"{f.name}={getattr(config, f.name)}"
+        for f in fields(FTMapConfig)
+        if getattr(config, f.name) != getattr(base, f.name)
+    ]
+    return ", ".join(diffs) if diffs else f"run{index}"
+
+
+def _execute_one(receptor, probes, config, cache, label) -> SweepRun:
+    t0 = time.perf_counter()
+    result = run_ftmap(receptor, config, probes=probes, cache=cache)
+    wall = time.perf_counter() - t0
+    stats = result.cache_stats if result.cache_stats is not None else CacheStats()
+    return SweepRun(
+        label=label, config=config, result=result, wall_time_s=wall,
+        cache_stats=stats,
+    )
+
+
+# Worker state for parallel sweeps: receptor/probes/cache installed once
+# per forked process, tasks carry only (index-labelled) configs.
+_SWEEP_WORKER_CTX = None
+
+
+def _init_sweep_worker(receptor, probes, cache) -> None:
+    global _SWEEP_WORKER_CTX
+    _SWEEP_WORKER_CTX = (receptor, probes, cache)
+
+
+def _sweep_task(item) -> SweepRun:
+    label, config = item
+    receptor, probes, cache = _SWEEP_WORKER_CTX
+    return _execute_one(receptor, probes, config, cache, label)
+
+
+def run_sweep(
+    receptor: Molecule,
+    configs: Sequence[FTMapConfig],
+    probes: Optional[Dict[str, Molecule]] = None,
+    cache: Optional[CacheManager] = None,
+    workers: Optional[int] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> SweepReport:
+    """Map ``receptor`` under every config, sharing one artifact cache.
+
+    Parameters
+    ----------
+    receptor:
+        The (fixed) protein all variants map.
+    configs:
+        The sweep points, e.g. from :func:`sweep_grid`.
+    probes:
+        Optional pre-built probe molecules shared by all runs.
+    cache:
+        Shared :class:`CacheManager`; defaults to the first config's
+        manager (``configs[0].cache_manager()``), so setting
+        ``cache_policy="memory"`` on the base config is enough.
+    workers:
+        Fan configs out over this many forked processes.  Requires a
+        disk-policy cache for cross-run sharing (memory tiers are
+        per-process); raises otherwise instead of silently running cold.
+    labels:
+        Optional per-run labels; defaults to the fields where each variant
+        differs from ``configs[0]``.
+
+    Returns
+    -------
+    :class:`SweepReport` with per-run results, wall times and cache
+    hit-rate deltas (run order matches ``configs`` in both modes).
+    """
+    configs = list(configs)
+    if not configs:
+        raise ValueError("run_sweep needs at least one config")
+    manager = cache if cache is not None else configs[0].cache_manager()
+    if labels is None:
+        labels = [
+            _variant_label(cfg, configs[0], i) for i, cfg in enumerate(configs)
+        ]
+    elif len(labels) != len(configs):
+        raise ValueError(f"{len(labels)} labels for {len(configs)} configs")
+    items = list(zip(labels, configs))
+
+    n_workers = workers or 1
+    if n_workers > 1 and len(items) > 1:
+        if manager.enabled and manager.disk is None:
+            raise ValueError(
+                "parallel sweeps share artifacts through the filesystem: use "
+                "cache_policy='disk' (or workers=1 for the in-memory tier)"
+            )
+        runs = parallel_map(
+            _sweep_task,
+            items,
+            processes=min(n_workers, len(items)),
+            initializer=_init_sweep_worker,
+            initargs=(receptor, probes, manager),
+        )
+    else:
+        runs = [
+            _execute_one(receptor, probes, cfg, manager, label)
+            for label, cfg in items
+        ]
+    return SweepReport(runs=runs)

@@ -1,0 +1,164 @@
+"""CacheManager facade: policies, two-tier lookup, stats, resolution."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    CacheManager,
+    CacheStats,
+    compose_key,
+    reset_cache_registry,
+    resolve_manager,
+    spectra_cache,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    reset_cache_registry()
+    yield
+    reset_cache_registry()
+
+
+class TestPolicies:
+    def test_off_bypasses_everything(self):
+        mgr = CacheManager(policy="off")
+        assert not mgr.enabled
+        mgr.put("ns/k", 123)
+        assert mgr.get("ns/k") is None
+        assert mgr.stats.lookups == 0                 # off = invisible
+        calls = []
+        assert mgr.get_or_compute("ns/k", lambda: calls.append(1) or 42) == 42
+        assert mgr.get_or_compute("ns/k", lambda: calls.append(1) or 42) == 42
+        assert len(calls) == 2                        # computed every time
+
+    def test_memory_policy_hits(self):
+        mgr = CacheManager(policy="memory")
+        assert mgr.get("ns/k") is None
+        mgr.put("ns/k", {"v": 1})
+        assert mgr.get("ns/k") == {"v": 1}
+        assert (mgr.stats.hits, mgr.stats.misses, mgr.stats.puts) == (1, 1, 1)
+        assert mgr.stats.memory_hits == 1
+
+    def test_disk_policy_requires_directory(self):
+        with pytest.raises(ValueError, match="directory"):
+            CacheManager(policy="disk")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            CacheManager(policy="turbo")
+
+    def test_disk_tier_survives_new_manager(self, tmp_path):
+        """A second manager on the same directory serves the first one's
+        artifacts — the cross-process story, minus the fork."""
+        a = CacheManager(policy="disk", directory=tmp_path)
+        arr = np.arange(16.0)
+        a.put("ns/k", arr, codec="npz")
+        b = CacheManager(policy="disk", directory=tmp_path)
+        out = b.get("ns/k")
+        assert np.array_equal(out, arr)
+        assert b.stats.disk_hits == 1
+        # Promoted into b's memory tier: second lookup is a memory hit.
+        b.get("ns/k")
+        assert b.stats.memory_hits == 1
+
+    def test_disk_write_failure_degrades_not_raises(self, tmp_path, monkeypatch):
+        """A full/unwritable cache directory must never abort the pipeline:
+        the value still lands in the memory tier and the failure is counted."""
+        mgr = CacheManager(policy="disk", directory=tmp_path)
+
+        def refuse(*args, **kwargs):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(mgr.disk, "put", refuse)
+        mgr.put("ns/k", {"v": 1})
+        assert mgr.stats.disk_write_failures == 1
+        assert mgr.get("ns/k") == {"v": 1}             # memory tier still serves
+
+    def test_get_or_compute_caches(self):
+        mgr = CacheManager(policy="memory")
+        calls = []
+        key = compose_key("ns", ["x"])
+        assert mgr.get_or_compute(key, lambda: calls.append(1) or 7) == 7
+        assert mgr.get_or_compute(key, lambda: calls.append(1) or 7) == 7
+        assert len(calls) == 1
+
+
+class TestStats:
+    def test_snapshot_delta(self):
+        mgr = CacheManager(policy="memory")
+        mgr.put("ns/a", 1)
+        before = mgr.snapshot()
+        mgr.get("ns/a")
+        mgr.get("ns/b")
+        delta = mgr.snapshot() - before
+        assert (delta.hits, delta.misses) == (1, 1)
+        assert delta.hit_rate == 0.5
+
+    def test_hit_rate_idle(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_eviction_counted(self):
+        mgr = CacheManager(policy="memory", memory_bytes=2048)
+        for i in range(4):
+            mgr.put(f"ns/{i}", np.zeros(128))         # 1024 bytes each
+        assert mgr.stats.evictions >= 2
+        assert mgr.memory.total_bytes <= 2048
+
+
+class TestClear:
+    def test_namespace_clear_scoped(self, tmp_path):
+        mgr = CacheManager(policy="disk", directory=tmp_path)
+        mgr.put("spectra-fft/a", np.zeros(4), codec="npz")
+        mgr.put("dock/b", np.zeros(4), codec="npz")
+        mgr.clear(namespace="spectra-fft")
+        assert mgr.get("spectra-fft/a") is None
+        assert mgr.get("dock/b") is not None
+
+    def test_full_clear(self):
+        mgr = CacheManager(policy="memory")
+        mgr.put("ns/a", 1)
+        mgr.clear()
+        assert mgr.get("ns/a") is None
+
+
+class TestResolution:
+    def test_same_config_same_instance(self):
+        a = resolve_manager("memory")
+        b = resolve_manager("memory")
+        assert a is b
+
+    def test_different_budgets_different_instances(self):
+        a = resolve_manager("memory", memory_bytes=1024)
+        b = resolve_manager("memory", memory_bytes=2048)
+        assert a is not b
+
+    def test_inherit_reads_environment(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_POLICY", "disk")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        mgr = resolve_manager("inherit")
+        assert mgr.policy == "disk"
+        assert mgr.directory == str(tmp_path)
+
+    def test_inherit_defaults_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_POLICY", raising=False)
+        assert resolve_manager("inherit").policy == "off"
+
+    def test_spectra_cache_always_on(self):
+        assert spectra_cache().enabled
+        assert spectra_cache() is spectra_cache()
+
+
+class TestPickling:
+    def test_manager_pickles_as_configuration(self, tmp_path):
+        """Crossing a fork boundary ships policy/budget/directory, never
+        the live tiers (workers re-share through the disk directory)."""
+        mgr = CacheManager(policy="disk", directory=tmp_path)
+        mgr.put("ns/a", np.zeros(4), codec="npz")
+        clone = pickle.loads(pickle.dumps(mgr))
+        assert clone.policy == "disk"
+        assert clone.directory == str(tmp_path)
+        assert len(clone) == 0                        # memory tier is fresh
+        assert clone.get("ns/a") is not None          # disk tier is shared

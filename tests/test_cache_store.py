@@ -1,0 +1,189 @@
+"""Storage tiers: LRU byte budget, disk integrity, concurrent writers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache.store import (
+    CODECS,
+    MISS,
+    DiskStore,
+    MemoryStore,
+    NpzCodec,
+    PickleCodec,
+    estimate_nbytes,
+)
+from repro.util.parallel import parallel_map
+
+
+class TestCodecs:
+    def test_pickle_roundtrip(self):
+        value = {"poses": [1, 2, 3], "label": "x"}
+        assert PickleCodec.decode(PickleCodec.encode(value)) == value
+
+    def test_npz_single_array_roundtrip(self):
+        arr = np.random.default_rng(0).normal(size=(3, 4)).astype(np.complex128)
+        out = NpzCodec.decode(NpzCodec.encode(arr))
+        assert np.array_equal(out, arr)
+
+    def test_npz_dict_roundtrip(self):
+        arrays = {"a": np.arange(5), "b": np.ones((2, 2), dtype=np.float32)}
+        out = NpzCodec.decode(NpzCodec.encode(arrays))
+        assert set(out) == {"a", "b"}
+        assert np.array_equal(out["a"], arrays["a"])
+        assert out["b"].dtype == np.float32
+
+    def test_npz_rejects_objects(self):
+        with pytest.raises(TypeError):
+            NpzCodec.encode(["not", "arrays"])
+
+    def test_registry(self):
+        assert CODECS["pickle"] is PickleCodec
+        assert CODECS["npz"] is NpzCodec
+
+    def test_estimate_nbytes_arrays_exact(self):
+        arr = np.zeros((10, 10), dtype=np.float64)
+        assert estimate_nbytes(arr) == 800
+        assert estimate_nbytes({"a": arr}) >= 800
+        assert estimate_nbytes([arr, arr]) >= 1600
+
+
+class TestMemoryStore:
+    def test_lru_eviction_under_byte_budget(self):
+        """Filling past the budget evicts least-recently-used entries and
+        keeps total_bytes within budget."""
+        store = MemoryStore(budget_bytes=3000)
+        a, b, c = (np.zeros(128) for _ in range(3))   # 1024 bytes each
+        store.put("k/a", a)
+        store.put("k/b", b)
+        store.get("k/a")                              # a is now most recent
+        store.put("k/c", c)                           # evicts b (LRU)
+        assert store.get("k/b") is MISS
+        assert store.get("k/a") is not MISS
+        assert store.get("k/c") is not MISS
+        assert store.evictions == 1
+        assert store.total_bytes <= store.budget_bytes
+
+    def test_oversized_value_not_stored(self):
+        store = MemoryStore(budget_bytes=100)
+        store.put("k/huge", np.zeros(1000))
+        assert store.get("k/huge") is MISS
+        assert store.evictions == 0                   # skipped, not thrashed
+
+    def test_replacement_updates_accounting(self):
+        store = MemoryStore(budget_bytes=10_000)
+        store.put("k/a", np.zeros(128))
+        store.put("k/a", np.zeros(256))
+        assert len(store) == 1
+        assert store.total_bytes == 2048
+
+    def test_prefix_clear(self):
+        store = MemoryStore(budget_bytes=10_000)
+        store.put("spectra-fft/a", np.zeros(8))
+        store.put("dock/a", np.zeros(8))
+        store.clear(prefix="spectra-fft/")
+        assert store.get("spectra-fft/a") is MISS
+        assert store.get("dock/a") is not MISS
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MemoryStore(budget_bytes=0)
+
+
+class TestDiskStore:
+    def test_roundtrip_both_codecs(self, tmp_path):
+        store = DiskStore(tmp_path)
+        arr = np.random.default_rng(1).normal(size=(4, 4))
+        store.put("ns/abc123", arr, codec="npz")
+        store.put("ns/def456", {"x": [1, 2]}, codec="pickle")
+        assert np.array_equal(store.get("ns/abc123"), arr)
+        assert store.get("ns/def456") == {"x": [1, 2]}
+        assert len(store) == 2
+
+    def test_missing_key_is_miss(self, tmp_path):
+        assert DiskStore(tmp_path).get("ns/nothing") is MISS
+
+    def test_truncated_entry_reads_as_miss_and_is_removed(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("ns/abc", np.arange(100.0), codec="npz")
+        path = store._path("ns/abc")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])      # simulate a torn write
+        assert store.get("ns/abc") is MISS
+        assert store.corrupt_entries == 1
+        assert not path.exists()                      # bad entry dropped
+
+    def test_bitflip_corruption_detected_by_checksum(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("ns/abc", np.arange(100.0), codec="npz")
+        path = store._path("ns/abc")
+        data = bytearray(path.read_bytes())
+        data[-10] ^= 0xFF                             # flip a payload bit
+        path.write_bytes(bytes(data))
+        assert store.get("ns/abc") is MISS
+        assert store.corrupt_entries == 1
+
+    def test_garbage_file_reads_as_miss(self, tmp_path):
+        store = DiskStore(tmp_path)
+        path = store._path("ns/abc")
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a cache entry at all")
+        assert store.get("ns/abc") is MISS
+
+    def test_format_version_mismatch_invalidates(self, tmp_path):
+        """Entries written under another format version read as misses."""
+        store = DiskStore(tmp_path)
+        store.put("ns/abc", {"v": 1}, codec="pickle")
+        path = store._path("ns/abc")
+        header_line, payload = path.read_bytes().split(b"\n", 1)
+        header = json.loads(header_line)
+        header["format"] = header["format"] + 1       # future format
+        path.write_bytes(json.dumps(header).encode() + b"\n" + payload)
+        assert store.get("ns/abc") is MISS
+        assert not path.exists()
+
+    def test_codec_version_mismatch_invalidates(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("ns/abc", {"v": 1}, codec="pickle")
+        path = store._path("ns/abc")
+        header_line, payload = path.read_bytes().split(b"\n", 1)
+        header = json.loads(header_line)
+        header["codec_version"] = 999
+        path.write_bytes(json.dumps(header).encode() + b"\n" + payload)
+        assert store.get("ns/abc") is MISS
+
+    def test_namespace_clear(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("spectra-fft/a1", np.zeros(4), codec="npz")
+        store.put("dock/b2", np.zeros(4), codec="npz")
+        store.clear(prefix="spectra-fft")
+        assert store.get("spectra-fft/a1") is MISS
+        assert store.get("dock/b2") is not MISS
+
+
+def _write_same_key(worker_id):
+    """Concurrent-writer task: everyone writes the same key, atomically."""
+    store = DiskStore(_write_same_key.root)
+    value = {"worker": worker_id, "payload": list(range(2000))}
+    for _ in range(10):
+        store.put("race/samekey", value, codec="pickle")
+    return worker_id
+
+
+class TestConcurrentWriters:
+    def test_forked_writers_same_key_leave_one_valid_entry(self, tmp_path):
+        """Two forked workers hammering one key (the dual of two probe
+        workers caching the same receptor artifact) must leave a complete,
+        checksum-valid entry — os.replace makes each write atomic."""
+        _write_same_key.root = str(tmp_path)
+        results = parallel_map(_write_same_key, [1, 2], processes=2)
+        assert sorted(results) == [1, 2]
+        store = DiskStore(tmp_path)
+        value = store.get("race/samekey")
+        assert value is not MISS
+        assert value["worker"] in (1, 2)              # one writer won, intact
+        assert value["payload"] == list(range(2000))
+        assert store.corrupt_entries == 0
+        # No stranded temp files from the losing writer.
+        assert not list(tmp_path.rglob("*.tmp"))

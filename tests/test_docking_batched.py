@@ -138,28 +138,60 @@ class TestBatchedValidation:
         assert fft_batch_limit((128, 128, 128), 22, budget_bytes=1) == 1
 
     def test_receptor_cache(self, rng):
+        from repro.cache import CacheManager
+
         rec, ligs = random_grid_batch(rng, (8, 8, 8), (2, 2, 2))
-        eng = BatchedFFTCorrelationEngine(workers=1)
+        manager = CacheManager(policy="memory")
+        eng = BatchedFFTCorrelationEngine(workers=1, spectra_cache=manager)
         eng.correlate_batch(rec, ligs)
-        assert len(eng._receptor_cache) == 1
+        assert (manager.stats.misses, manager.stats.hits) == (1, 0)
         eng.correlate_batch(rec, ligs)
-        assert len(eng._receptor_cache) == 1
+        assert (manager.stats.misses, manager.stats.hits) == (1, 1)
         eng.clear_cache()
-        assert not len(eng._receptor_cache)
+        eng.correlate_batch(rec, ligs)
+        assert manager.stats.misses == 2   # cold again after clear
+
+    def test_structurally_equal_receptors_hit_across_instances(self, rng):
+        """Content-addressed keys: a *different* receptor object with equal
+        grids hits, including from a different engine instance — the case
+        the old id()-keyed weakref cache could never serve."""
+        from repro.cache import CacheManager
+
+        rec_a, ligs = random_grid_batch(rng, (8, 8, 8), (2, 2, 2))
+        rec_b = EnergyGrids(
+            spec=rec_a.spec,
+            channels=rec_a.channels.copy(),
+            weights=rec_a.weights.copy(),
+            labels=list(rec_a.labels),
+        )
+        manager = CacheManager(policy="memory")
+        eng_a = BatchedFFTCorrelationEngine(workers=1, spectra_cache=manager)
+        eng_b = BatchedFFTCorrelationEngine(workers=1, spectra_cache=manager)
+        out_a = eng_a.correlate_batch(rec_a, ligs)
+        out_b = eng_b.correlate_batch(rec_b, ligs)
+        assert manager.stats.hits == 1 and manager.stats.misses == 1
+        assert np.array_equal(out_a, out_b)
 
     def test_cache_never_serves_stale_spectra(self, rng):
-        """A freed receptor whose id() is reused must not leak its spectra
-        (the caches validate entries through weak references)."""
+        """Distinct receptors (including freed ones whose id() could be
+        recycled) must each correlate against their own spectra, and the
+        cache must stay bounded by its byte budget."""
+        from repro.cache import CacheManager
+
         _, ligs = random_grid_batch(rng, (8, 8, 8), (2, 2, 2), batch=2)
-        eng = BatchedFFTCorrelationEngine(workers=1, precision="double")
+        # Budget sized for only a few 8^3 double-precision spectra sets.
+        manager = CacheManager(policy="memory", memory_bytes=64 * 1024)
+        eng = BatchedFFTCorrelationEngine(
+            workers=1, precision="double", spectra_cache=manager
+        )
         fresh = DirectCorrelationEngine()
         for _ in range(50):
             rec, _ = random_grid_batch(rng, (8, 8, 8), (2, 2, 2), batch=1)
             got = eng.correlate_batch(rec, ligs)
             ref = fresh.correlate_batch(rec, ligs)
             assert np.allclose(got, ref, atol=1e-9)
-        # Bounded: dead receptors were evicted/pruned, not accumulated.
-        assert len(eng._receptor_cache) <= 4
+        assert manager.memory.total_bytes <= manager.memory.budget_bytes
+        assert manager.stats.evictions > 0
 
 
 class TestBatchedPiperRuns:

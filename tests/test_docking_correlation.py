@@ -119,11 +119,15 @@ class TestDirectEngine:
 
 class TestFFTEngine:
     def test_receptor_cache_reused(self, rng):
+        from repro.cache import CacheManager
+
         rec, lig = random_grids(rng, 8, 2)
-        eng = FFTCorrelationEngine()
+        manager = CacheManager(policy="memory")
+        eng = FFTCorrelationEngine(spectra_cache=manager)
         eng.correlate(rec, lig)
-        assert len(eng._receptor_cache) == 1
+        assert (manager.stats.misses, manager.stats.hits) == (1, 0)
         eng.correlate(rec, lig)
-        assert len(eng._receptor_cache) == 1
+        assert (manager.stats.misses, manager.stats.hits) == (1, 1)
         eng.clear_cache()
-        assert len(eng._receptor_cache) == 0
+        eng.correlate(rec, lig)
+        assert manager.stats.misses == 2   # spectra recomputed after clear

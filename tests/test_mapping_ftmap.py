@@ -144,8 +144,8 @@ class TestZeroPoseProbe:
 
         real_dock = ftmap_mod.dock_probe
 
-        def no_poses_for_acetone(receptor, probe, config):
-            run = real_dock(receptor, probe, config)
+        def no_poses_for_acetone(receptor, probe, config, cache=None):
+            run = real_dock(receptor, probe, config, cache=cache)
             if probe.name == "acetone":
                 run.poses = []
             return run
@@ -225,3 +225,161 @@ class TestProbeWorkers:
                 rtol=1e-6,
             )
         assert len(streamed.sites) == len(serial.sites)
+
+
+class TestConfigValidation:
+    """Nonsensical FTMapConfig values fail at construction, not mid-pipeline."""
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("num_rotations", 0),
+            ("num_rotations", -5),
+            ("poses_per_rotation", 0),
+            ("receptor_grid", 0),
+            ("probe_grid", -1),
+            ("minimize_top", 0),
+            ("minimize_top", -3),
+            ("minimizer_iterations", 0),
+        ],
+    )
+    def test_nonpositive_counts_rejected(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            FTMapConfig(**{field: value})
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("grid_spacing", 0.0),
+            ("grid_spacing", -1.0),
+            ("cluster_radius", -4.0),
+            ("consensus_radius", 0.0),
+            ("flexible_radius", -8.2),
+        ],
+    )
+    def test_nonpositive_lengths_rejected(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            FTMapConfig(**{field: value})
+
+    def test_unknown_engines_rejected(self):
+        with pytest.raises(ValueError, match="docking engine"):
+            FTMapConfig(engine="warp-drive")
+        with pytest.raises(ValueError, match="minimize engine"):
+            FTMapConfig(minimize_engine="warp-drive")
+
+    def test_unknown_cache_policy_rejected(self):
+        with pytest.raises(ValueError, match="cache policy"):
+            FTMapConfig(cache_policy="turbo")
+
+    def test_bad_optional_counts_rejected(self):
+        with pytest.raises(ValueError, match="probe_workers"):
+            FTMapConfig(probe_workers=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            FTMapConfig(batch_size=0)
+        with pytest.raises(ValueError, match="cache_memory_bytes"):
+            FTMapConfig(cache_memory_bytes=0)
+
+    def test_empty_probe_names_rejected(self):
+        with pytest.raises(ValueError, match="probe_names"):
+            FTMapConfig(probe_names=())
+
+    def test_valid_config_accepted(self):
+        cfg = FTMapConfig(cache_policy="memory", probe_workers=2)
+        assert cfg.cache_policy == "memory"
+
+
+class TestArtifactCache:
+    """run_ftmap x repro.cache: reuse across repeat mappings."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_registry(self):
+        from repro.cache import reset_cache_registry
+
+        reset_cache_registry()
+        yield
+        reset_cache_registry()
+
+    def _config(self, **overrides):
+        base = dict(
+            probe_names=("ethanol",),
+            num_rotations=5,
+            receptor_grid=32,
+            grid_spacing=1.25,
+            minimize_top=2,
+            minimizer_iterations=4,
+            engine="fft",
+        )
+        base.update(overrides)
+        return FTMapConfig(**base)
+
+    def test_cache_off_matches_cache_on_bitwise(self, protein):
+        """The artifact cache must be invisible in the outputs: cache-off,
+        cold-cached and warm-cached runs agree bitwise."""
+        r_off = run_ftmap(protein, self._config(cache_policy="off"))
+        r_cold = run_ftmap(protein, self._config(cache_policy="memory"))
+        r_warm = run_ftmap(protein, self._config(cache_policy="memory"))
+        assert r_off.cache_stats is None
+        for other in (r_cold, r_warm):
+            for name, pr in r_off.probe_results.items():
+                opr = other.probe_results[name]
+                assert [p.score for p in pr.docked_poses] == [
+                    p.score for p in opr.docked_poses
+                ]
+                assert [p.translation for p in pr.docked_poses] == [
+                    p.translation for p in opr.docked_poses
+                ]
+                assert np.array_equal(pr.minimized_energies, opr.minimized_energies)
+                assert np.array_equal(pr.minimized_centers, opr.minimized_centers)
+
+    def test_warm_repeat_reuses_dock_results(self, protein):
+        """A repeated mapping hits the dock-result cache: the warm run's
+        only docking-side lookup is one hit per probe."""
+        cfg = self._config(cache_policy="memory")
+        cold = run_ftmap(protein, cfg)
+        warm = run_ftmap(protein, cfg)
+        assert cold.cache_stats.misses >= 3        # grids + spectra + dock
+        assert warm.cache_stats.misses == 0
+        assert warm.cache_stats.hits == 1          # one probe, one dock hit
+        assert warm.cache_stats.hit_rate == 1.0
+
+    def test_structurally_equal_receptor_hits(self, protein):
+        """A *rebuilt* receptor with identical content reuses artifacts —
+        the content-addressed property the id()-keyed cache lacked."""
+        cfg = self._config(cache_policy="memory")
+        run_ftmap(protein, cfg)
+        rebuilt = synthetic_protein(n_residues=60, seed=3)
+        assert rebuilt is not protein
+        warm = run_ftmap(rebuilt, cfg)
+        assert warm.cache_stats.hits == 1
+        assert warm.cache_stats.misses == 0
+
+    def test_different_workload_misses(self, protein):
+        """Any workload-relevant field change re-docks instead of aliasing."""
+        run_ftmap(protein, self._config(cache_policy="memory"))
+        bumped = run_ftmap(
+            protein, self._config(cache_policy="memory", num_rotations=6)
+        )
+        assert bumped.cache_stats.misses >= 1      # dock result re-computed
+        # But the receptor grids (same receptor, same grid spec) still hit.
+        assert bumped.cache_stats.hits >= 1
+
+    def test_disk_cache_hits_across_fresh_managers(self, protein, tmp_path):
+        """Disk policy persists artifacts: a fresh registry (as a new
+        process would see) still serves the dock result from disk."""
+        from repro.cache import reset_cache_registry
+
+        cfg = self._config(cache_policy="disk", cache_dir=str(tmp_path))
+        cold = run_ftmap(protein, cfg)
+        assert cold.cache_stats.misses >= 3
+        reset_cache_registry()                     # simulate a new process
+        warm = run_ftmap(protein, cfg)
+        assert warm.cache_stats.disk_hits == 1
+        assert warm.cache_stats.misses == 0
+
+    def test_cached_dock_run_poses_are_private_copies(self, protein):
+        """Mutating a returned pose list must not poison the cache."""
+        cfg = self._config(cache_policy="memory")
+        first = dock_probe(protein, build_probe("ethanol"), cfg)
+        first.poses.clear()                        # caller mangles its copy
+        second = dock_probe(protein, build_probe("ethanol"), cfg)
+        assert len(second.poses) == cfg.num_rotations * cfg.poses_per_rotation
