@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import FTMapConfig, mapping_report, run_ftmap, synthetic_protein
+from repro import FTMapConfig, FTMapService, mapping_report, synthetic_protein
 from repro.mapping.hotspot import burial_map, site_concavity
 from repro.structure.builder import pocket_center
 from repro.util.runlog import RunLogger
@@ -41,9 +41,15 @@ def main() -> None:
     )
     log.done()
 
-    log.section("map")
-    result = run_ftmap(protein, config)
-    log.done("mapping complete")
+    log.section("map (one request through the service front door)")
+    # The probes stream stage-pipelined: probe k+1 docks while probe k
+    # minimizes and clusters.
+    with FTMapService(config=config) as service:
+        mapped = service.map(protein, config)
+    result = mapped.result
+    log.done(
+        f"mapping complete ({mapped.wall_time_s:.2f}s, {mapped.streaming})"
+    )
 
     print()
     print(mapping_report(result))

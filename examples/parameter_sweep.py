@@ -89,6 +89,18 @@ def main() -> None:
     for label, center in top_centers.items():
         print(f"  {label:<40s} {center}")
 
+    # Every sweep point records its serialized config — the exact JSON a
+    # job log or wire protocol would carry to replay that variant.
+    import json
+
+    best = min(warm.runs, key=lambda run: run.wall_time_s)
+    wire = json.dumps(best.config_dict)
+    print()
+    print(
+        f"replayable config of the fastest run ({best.label!r}): "
+        f"{len(wire)} bytes of JSON"
+    )
+
 
 if __name__ == "__main__":
     main()

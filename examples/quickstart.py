@@ -5,7 +5,11 @@ This walks the two FTMap phases on a laptop-scale workload:
 
 1. rigid docking (PIPER, direct correlation) — exhaustive rotation x
    translation search over multi-channel grids,
-2. energy minimization (CHARMM/ACE) of the best docked conformation.
+2. energy minimization (CHARMM/ACE) of the best docked conformation,
+
+then runs the same anatomy through the production front door — one
+:class:`repro.api.FTMapService` request — which is how every real caller
+(scripts, sweeps, benchmarks, a future HTTP layer) maps receptors.
 
 Run:  python examples/quickstart.py
 """
@@ -75,6 +79,30 @@ def main() -> None:
 
     probe_center = result.coords[-probe.n_atoms :].mean(axis=0)
     log.step(f"refined probe center: {np.round(probe_center, 2).tolist()}")
+
+    log.section("the same pipeline, as a service request")
+    from repro import FTMapConfig, FTMapService
+
+    with FTMapService() as service:
+        mapped = service.map(
+            protein,
+            FTMapConfig(
+                probe_names=("ethanol",),
+                num_rotations=config.num_rotations,
+                receptor_grid=config.receptor_grid,
+                probe_grid=config.probe_grid,
+                grid_spacing=config.grid_spacing,
+                minimize_top=1,
+                minimizer_iterations=80,
+            ),
+        )
+    pr = mapped.probe_results["ethanol"]
+    log.step(
+        f"service request: {len(pr.docked_poses)} poses -> "
+        f"{len(pr.minimized)} refined -> {len(pr.clusters)} cluster(s) "
+        f"({mapped.wall_time_s:.2f}s)"
+    )
+    log.done()
 
 
 if __name__ == "__main__":

@@ -15,13 +15,17 @@ The package rebuilds the full FTMap system the paper accelerates —
 with the serial/multicore reference models and the table/figure
 reproduction harness in :mod:`repro.perf`.
 
-Quickstart::
+The public front door is the session-scoped mapping service
+(:mod:`repro.api`)::
 
-    from repro import synthetic_protein, FTMapConfig, run_ftmap, mapping_report
+    from repro import synthetic_protein, FTMapConfig, FTMapService, mapping_report
 
-    protein = synthetic_protein()
-    result = run_ftmap(protein, FTMapConfig(probe_names=("ethanol", "benzene")))
-    print(mapping_report(result))
+    with FTMapService() as service:
+        mapped = service.map(
+            synthetic_protein(),
+            FTMapConfig(probe_names=("ethanol", "benzene")),
+        )
+    print(mapping_report(mapped.result))
 """
 
 from repro.structure import (
@@ -73,8 +77,17 @@ from repro.mapping import (
 )
 from repro.cache import CacheManager, CacheStats, resolve_manager
 from repro.cuda import Device, DeviceSpec, TESLA_C1060
+from repro.api import (
+    FTMapService,
+    MapRequest,
+    MapResult,
+    JobHandle,
+    JobCancelled,
+    ProgressEvent,
+    receptor_fingerprint,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Molecule",
@@ -119,6 +132,13 @@ __all__ = [
     "mapping_report",
     "consensus_sites",
     "cluster_poses",
+    "FTMapService",
+    "MapRequest",
+    "MapResult",
+    "JobHandle",
+    "JobCancelled",
+    "ProgressEvent",
+    "receptor_fingerprint",
     "Device",
     "DeviceSpec",
     "TESLA_C1060",

@@ -1,0 +1,57 @@
+"""Public serving API: the session-scoped mapping service.
+
+This package is the front door of the reproduction-as-a-system: every
+caller — scripts, sweeps, benchmarks, a future HTTP layer — maps
+receptors through one long-lived :class:`FTMapService` instead of
+re-plumbing engines, cache policy and parallelism by hand.
+
+Quickstart::
+
+    from repro.api import FTMapService, MapRequest
+    from repro import FTMapConfig, synthetic_protein
+
+    with FTMapService() as service:
+        receptor_id = service.register_receptor(synthetic_protein())
+        job = service.submit(MapRequest(
+            receptor=receptor_id,
+            config=FTMapConfig(probe_names=("ethanol", "benzene")),
+        ))
+        result = job.result()          # MapResult: sites, stats, provenance
+        print(result.top_site)
+"""
+
+from repro.api.jobs import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JOB_STATUSES,
+    JobCancelled,
+    JobHandle,
+    ProgressEvent,
+)
+from repro.api.requests import (
+    STREAMING_MODES,
+    MapRequest,
+    MapResult,
+    receptor_fingerprint,
+)
+from repro.api.service import FTMapService
+
+__all__ = [
+    "FTMapService",
+    "MapRequest",
+    "MapResult",
+    "JobHandle",
+    "JobCancelled",
+    "ProgressEvent",
+    "receptor_fingerprint",
+    "STREAMING_MODES",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_CANCELLED",
+    "JOB_STATUSES",
+]

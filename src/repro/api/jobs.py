@@ -1,0 +1,190 @@
+"""Job model of the mapping service: handles, status, progress events.
+
+A submitted :class:`~repro.api.requests.MapRequest` becomes a job.  The
+caller holds a :class:`JobHandle` and interacts only through it — poll
+the status, wait for the result, cancel, read progress events — while the
+service executes the request on its worker pool.  Cancellation is
+cooperative once a job runs: the flag is checked at every stage boundary
+(per probe, per pipeline stage), so a running job stops at the next
+boundary rather than mid-kernel.  One exception: a request running in
+fork mode (``probe_workers > 1``) executes its probe fan-out as a single
+process-level barrier, so cancellation there applies before the fork and
+again at the consensus stage, not between probes.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+__all__ = [
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_CANCELLED",
+    "JOB_STATUSES",
+    "JobCancelled",
+    "ProgressEvent",
+    "JobHandle",
+]
+
+#: Job lifecycle states (strings, so they serialize into logs verbatim).
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+JOB_STATUSES = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED, JOB_CANCELLED)
+
+#: States a job never leaves.
+_TERMINAL = (JOB_DONE, JOB_FAILED, JOB_CANCELLED)
+
+
+class JobCancelled(RuntimeError):
+    """Raised inside a job when its cancel flag is observed, and re-raised
+    by :meth:`JobHandle.result` for a cancelled job."""
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One stage boundary of one job: ``probe`` entered ``stage``.
+
+    ``stage`` is ``"dock"`` / ``"minimize"`` / ``"cluster"`` per probe
+    (``"dispatch"`` per probe in fork mode, whose in-stage progress lives
+    in the worker processes), then a single ``"consensus"`` (with
+    ``probe=""``) for the cross-probe stage.  ``index``/``total`` locate
+    the probe within the request, so a client can render per-stage
+    progress without knowing the pipeline.
+    """
+
+    job_id: str
+    stage: str
+    probe: str
+    index: int
+    total: int
+
+
+class JobHandle:
+    """The caller's view of one submitted mapping job.
+
+    Thread-safe; every accessor reflects the live state of the job.  The
+    service mutates the underlying record through the package-private
+    methods — callers only read, wait and cancel.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        on_event: Optional[Callable[[ProgressEvent], None]] = None,
+    ) -> None:
+        self.job_id = job_id
+        self._status = JOB_QUEUED
+        self._result = None
+        self._error: Optional[BaseException] = None
+        self._events: List[ProgressEvent] = []
+        self._on_event = on_event
+        self._cancel = threading.Event()
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+        self._future = None  # set by the service right after submit
+
+    # -- caller API --------------------------------------------------------------
+
+    def status(self) -> str:
+        """Current lifecycle state (one of :data:`JOB_STATUSES`)."""
+        with self._lock:
+            return self._status
+
+    def poll(self) -> str:
+        """Non-blocking status check (alias of :meth:`status`)."""
+        return self.status()
+
+    def done(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self.status() in _TERMINAL
+
+    def result(self, timeout: Optional[float] = None):
+        """Block until terminal, then return the :class:`MapResult`.
+
+        Raises :class:`JobCancelled` for a cancelled job, re-raises the
+        job's exception for a failed one, and raises :class:`TimeoutError`
+        if the job is still running after ``timeout`` seconds.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job_id!r} still {self.status()!r} after {timeout}s"
+            )
+        with self._lock:
+            if self._status == JOB_CANCELLED:
+                raise JobCancelled(f"job {self.job_id!r} was cancelled")
+            if self._status == JOB_FAILED:
+                raise self._error
+            return self._result
+
+    def cancel(self) -> bool:
+        """Request cancellation; True unless the job already finished.
+
+        A queued job is cancelled immediately; a running one stops at its
+        next stage boundary (cooperative), after which :meth:`status`
+        reports ``"cancelled"`` and :meth:`result` raises
+        :class:`JobCancelled`.
+        """
+        with self._lock:
+            if self._status in _TERMINAL:
+                return False
+            self._cancel.set()
+            future = self._future
+        # Outside the lock: Future.cancel only succeeds while still queued.
+        if future is not None and future.cancel():
+            self._finish(JOB_CANCELLED)
+        return True
+
+    def events(self) -> List[ProgressEvent]:
+        """Progress events recorded so far (copy, oldest first)."""
+        with self._lock:
+            return list(self._events)
+
+    def exception(self) -> Optional[BaseException]:
+        """The error of a failed job, else None."""
+        with self._lock:
+            return self._error
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"JobHandle({self.job_id!r}, status={self.status()!r})"
+
+    # -- service-side hooks ------------------------------------------------------
+
+    def _check_cancelled(self) -> None:
+        """Stage-boundary check: raise :class:`JobCancelled` if requested."""
+        if self._cancel.is_set():
+            raise JobCancelled(f"job {self.job_id!r} was cancelled")
+
+    def _emit(self, stage: str, probe: str, index: int, total: int) -> None:
+        event = ProgressEvent(
+            job_id=self.job_id, stage=stage, probe=probe, index=index, total=total
+        )
+        with self._lock:
+            self._events.append(event)
+        if self._on_event is not None:
+            self._on_event(event)
+
+    def _set_running(self) -> None:
+        with self._lock:
+            if self._status == JOB_QUEUED:
+                self._status = JOB_RUNNING
+
+    def _finish(
+        self,
+        status: str,
+        result=None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        with self._lock:
+            if self._status in _TERMINAL:
+                return
+            self._status = status
+            self._result = result
+            self._error = error
+        self._done.set()

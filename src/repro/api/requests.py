@@ -1,0 +1,149 @@
+"""Typed request/result surface of the mapping service.
+
+A :class:`MapRequest` is everything one mapping needs: the receptor
+(inline, or the content hash of one previously registered with the
+service), the :class:`~repro.mapping.ftmap.FTMapConfig` workload, and
+optional pre-built probes.  Requests that reference receptors by hash are
+JSON-round-trippable (:meth:`MapRequest.to_dict`), which is the shape a
+wire protocol will ship: upload the receptor once, then stream small
+request documents against it.
+
+A :class:`MapResult` wraps the mapping outcome
+(:class:`~repro.mapping.ftmap.FTMapResult`) with serving provenance: the
+request id, the receptor's content hash, how the request was scheduled,
+its wall time and its request-scoped cache statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.cache.keys import molecule_token
+from repro.cache.manager import CacheStats
+from repro.mapping.consensus import ConsensusSite
+from repro.mapping.ftmap import FTMapConfig, FTMapResult, ProbeResult
+from repro.structure.molecule import Molecule
+
+__all__ = ["STREAMING_MODES", "MapRequest", "MapResult", "receptor_fingerprint"]
+
+#: How a request's probes may be scheduled: ``None`` (service default),
+#: sequential stage loop, or the stage-overlapped pipeline.
+STREAMING_MODES = ("sequential", "pipeline")
+
+
+def receptor_fingerprint(receptor: Molecule) -> str:
+    """Content hash a service registers/addresses a receptor under.
+
+    Structurally equal molecules share a fingerprint (coordinates,
+    parameters, topology — see :func:`repro.cache.keys.molecule_token`),
+    which is exactly the property that lets concurrent requests against
+    the same receptor share grids, spectra and dock results.
+    """
+    return molecule_token(receptor)
+
+
+@dataclass
+class MapRequest:
+    """One unit of service work: map ``receptor`` under ``config``.
+
+    ``receptor`` is a :class:`Molecule`, or the string fingerprint of a
+    receptor previously passed to
+    :meth:`~repro.api.service.FTMapService.register_receptor`.
+    ``streaming`` overrides the service's scheduling mode for this request
+    (``"sequential"`` | ``"pipeline"``; None = service default).
+    """
+
+    receptor: Union[Molecule, str]
+    config: FTMapConfig = field(default_factory=FTMapConfig)
+    probes: Optional[Dict[str, Molecule]] = None
+    request_id: Optional[str] = None
+    streaming: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.streaming is not None and self.streaming not in STREAMING_MODES:
+            raise ValueError(
+                f"unknown streaming mode {self.streaming!r}; expected one of "
+                f"{STREAMING_MODES} or None"
+            )
+        if not isinstance(self.receptor, (Molecule, str)):
+            raise TypeError(
+                "receptor must be a Molecule or a registered receptor "
+                f"fingerprint string, got {type(self.receptor).__name__}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (wire shape): requires a by-hash receptor.
+
+        Inline molecules and pre-built probes are process-local objects —
+        serializable requests reference a registered receptor by
+        fingerprint and name their probes through the config.
+        """
+        if isinstance(self.receptor, Molecule):
+            raise ValueError(
+                "only requests that reference a registered receptor by "
+                "fingerprint serialize; call "
+                "FTMapService.register_receptor(receptor) and build the "
+                "request from the returned hash"
+            )
+        if self.probes is not None:
+            raise ValueError(
+                "requests with pre-built probe molecules do not serialize; "
+                "name probes via config.probe_names instead"
+            )
+        return {
+            "receptor": self.receptor,
+            "config": self.config.to_dict(),
+            "request_id": self.request_id,
+            "streaming": self.streaming,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MapRequest":
+        """Rebuild a request from :meth:`to_dict` output (re-validated)."""
+        known = {"receptor", "config", "request_id", "streaming"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown MapRequest field(s): {unknown}")
+        if "receptor" not in data:
+            raise ValueError("MapRequest needs a receptor fingerprint")
+        config = data.get("config")
+        return cls(
+            receptor=data["receptor"],
+            config=(
+                FTMapConfig.from_dict(config)
+                if config is not None
+                else FTMapConfig()
+            ),
+            request_id=data.get("request_id"),
+            streaming=data.get("streaming"),
+        )
+
+
+@dataclass
+class MapResult:
+    """Mapping outcome plus serving provenance for one request."""
+
+    request_id: str
+    receptor_hash: str
+    config: FTMapConfig
+    result: FTMapResult
+    wall_time_s: float
+    #: Request-scoped cache delta (None with caching off): only this
+    #: request's lookups, even when other requests overlap on the manager.
+    cache_stats: Optional[CacheStats]
+    #: How the probes were actually scheduled: ``"sequential"``,
+    #: ``"pipeline"`` (stage-overlapped), or ``"fork"`` (probe_workers).
+    streaming: str = "sequential"
+
+    @property
+    def probe_results(self) -> Dict[str, ProbeResult]:
+        return self.result.probe_results
+
+    @property
+    def sites(self) -> List[ConsensusSite]:
+        return self.result.sites
+
+    @property
+    def top_site(self) -> Optional[ConsensusSite]:
+        return self.result.top_site

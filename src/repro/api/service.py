@@ -1,0 +1,398 @@
+"""`FTMapService`: the single front door of the mapping system.
+
+The paper's end state is a mapping *service* — one resident receptor
+mapped against a stream of probe workloads as fast as the hardware
+allows.  This module is that request→result API: a long-lived session
+that owns the resolved docking/minimization engines (through the staged
+pipeline functions), one shared content-addressed
+:class:`~repro.cache.manager.CacheManager`, and a worker pool for
+asynchronous jobs.
+
+Three properties define the serving layer:
+
+* **async probe streaming** — a multi-probe request is stage-pipelined
+  (:class:`~repro.util.parallel.PipelineExecutor`): probe ``k+1`` docks
+  while probe ``k`` minimizes and clusters.  Scheduling changes, values
+  never do — the pipelined result is bitwise-identical to the sequential
+  stage loop (tested).
+* **cache-aware serving** — receptors register once by content hash, and
+  every artifact lookup is content-addressed, so concurrent requests
+  against the same receptor share grids, spectra and whole dock results
+  through the manager; a repeat request is served mapped-or-cached.
+* **request-scoped accounting** — each result carries the cache delta of
+  *its own* request (:meth:`CacheManager.stats_scope`), which stays
+  correct when jobs overlap on the shared manager.
+
+Every legacy entrypoint (:func:`repro.mapping.ftmap.run_ftmap`, the sweep
+runner, examples, benchmarks) is a thin client of this service.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.api.jobs import JobCancelled, JobHandle, ProgressEvent
+from repro.api.requests import (
+    STREAMING_MODES,
+    MapRequest,
+    MapResult,
+    receptor_fingerprint,
+)
+from repro.cache.manager import CacheManager, CacheStats
+from repro.mapping import ftmap as _ftmap
+from repro.mapping.consensus import consensus_sites
+from repro.mapping.ftmap import FTMapConfig, FTMapResult, ProbeResult
+from repro.structure.molecule import Molecule
+from repro.structure.probes import build_probe
+from repro.util.parallel import PipelineExecutor, parallel_map
+
+__all__ = ["FTMapService"]
+
+#: Service-level scheduling defaults.
+_SERVICE_STREAMING = ("auto",) + STREAMING_MODES
+
+
+class FTMapService:
+    """Session-scoped mapping service: submit requests, receive results.
+
+    Parameters
+    ----------
+    config:
+        Default :class:`FTMapConfig` for requests that do not carry one
+        (also the source of the service's cache policy).
+    cache:
+        Explicit shared :class:`CacheManager` — when given, *every*
+        request uses it, whatever its config's cache fields say (the
+        legacy ``cache=`` override contract).  When omitted, the service
+        resolves its default config's manager; requests whose config
+        names an explicit cache policy then get their own manager, and
+        everything else shares the service one — that sharing is what
+        makes the service cache-aware.
+    max_workers:
+        Worker threads for asynchronous jobs (:meth:`submit`).  Synchronous
+        :meth:`map` calls run in the caller's thread and do not consume a
+        worker.
+    streaming:
+        Default probe scheduling: ``"auto"`` (pipeline multi-probe
+        requests whenever possible), ``"pipeline"``, or ``"sequential"``.
+    on_event:
+        Optional callback invoked with every :class:`ProgressEvent`
+        across all jobs (in addition to per-handle event logs).
+
+    Use as a context manager (``with FTMapService() as service:``) or call
+    :meth:`close` to release the worker pool.
+    """
+
+    def __init__(
+        self,
+        config: Optional[FTMapConfig] = None,
+        cache: Optional[CacheManager] = None,
+        max_workers: int = 2,
+        streaming: str = "auto",
+        on_event: Optional[Callable[[ProgressEvent], None]] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if streaming not in _SERVICE_STREAMING:
+            raise ValueError(
+                f"unknown streaming mode {streaming!r}; expected one of "
+                f"{_SERVICE_STREAMING}"
+            )
+        self.default_config = config if config is not None else FTMapConfig()
+        # An explicitly injected manager is pinned: every request uses it,
+        # whatever its config says — the contract the legacy cache=
+        # arguments of run_ftmap/run_sweep rely on (e.g. a sweep sharing
+        # one manager across variants with differing cache fields).
+        self._cache_pinned = cache is not None
+        self.cache = (
+            cache if cache is not None else self.default_config.cache_manager()
+        )
+        self.streaming = streaming
+        self.max_workers = int(max_workers)
+        self._on_event = on_event
+        self._receptors: Dict[str, Molecule] = {}
+        self._jobs: Dict[str, JobHandle] = {}
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._job_counter = 0
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def __enter__(self) -> "FTMapService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the worker pool down; pending queued jobs are cancelled."""
+        with self._lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+            handles = list(self._jobs.values())
+        for handle in handles:
+            if not handle.done():
+                handle.cancel()
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    # -- receptor registry -------------------------------------------------------
+
+    def register_receptor(self, receptor: Molecule) -> str:
+        """Register ``receptor`` and return its content fingerprint.
+
+        Registration is idempotent: structurally equal molecules share a
+        fingerprint, and requests may reference it instead of shipping the
+        molecule — the "upload once, map many" half of the serving story.
+        """
+        fingerprint = receptor_fingerprint(receptor)
+        with self._lock:
+            self._receptors.setdefault(fingerprint, receptor)
+        return fingerprint
+
+    def registered_receptors(self) -> List[str]:
+        """Fingerprints of every registered receptor (insertion order)."""
+        with self._lock:
+            return list(self._receptors)
+
+    def _resolve_receptor(
+        self, receptor: Union[Molecule, str]
+    ) -> Tuple[Molecule, str]:
+        if isinstance(receptor, Molecule):
+            return receptor, self.register_receptor(receptor)
+        with self._lock:
+            molecule = self._receptors.get(receptor)
+        if molecule is None:
+            raise KeyError(
+                f"unknown receptor fingerprint {receptor!r}; call "
+                "register_receptor(receptor) first"
+            )
+        return molecule, receptor
+
+    # -- request execution -------------------------------------------------------
+
+    def submit(self, request: MapRequest) -> JobHandle:
+        """Queue a request on the worker pool; returns its job handle.
+
+        The handle exposes ``poll()`` / ``result(timeout)`` / ``cancel()``
+        and the per-stage progress events.  Jobs run concurrently up to
+        ``max_workers``; requests against the same receptor share
+        artifacts through the cache whichever order they land in.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("FTMapService is closed")
+            self._job_counter += 1
+            job_id = request.request_id or f"job-{self._job_counter}"
+            if job_id in self._jobs:
+                raise ValueError(f"duplicate request_id {job_id!r}")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="ftmap-service",
+                )
+            handle = JobHandle(job_id, on_event=self._on_event)
+            self._jobs[job_id] = handle
+
+            def task() -> None:
+                handle._set_running()
+                try:
+                    handle._check_cancelled()
+                    result = self._execute(request, handle)
+                except JobCancelled:
+                    handle._finish("cancelled")
+                except BaseException as exc:
+                    handle._finish("failed", error=exc)
+                else:
+                    handle._finish("done", result=result)
+
+            # Scheduled under the lock: a concurrent close() either sees
+            # this job registered (and cancels it) or blocks here until
+            # the future exists — never a registered handle stuck
+            # "queued" with no future after the executor shut down.
+            handle._future = self._executor.submit(task)
+        return handle
+
+    def job(self, job_id: str) -> JobHandle:
+        """Look a submitted job up by id."""
+        with self._lock:
+            return self._jobs[job_id]
+
+    def map(
+        self,
+        receptor: Union[Molecule, str],
+        config: Optional[FTMapConfig] = None,
+        probes: Optional[Dict[str, Molecule]] = None,
+        streaming: Optional[str] = None,
+    ) -> MapResult:
+        """Synchronous sugar: execute one request in the calling thread.
+
+        Equivalent to submitting ``MapRequest(receptor, config, probes)``
+        and waiting, but without consuming a job worker — the right call
+        for scripts, sweeps and tests.
+        """
+        request = MapRequest(
+            receptor=receptor,
+            config=config if config is not None else self.default_config,
+            probes=probes,
+            streaming=streaming,
+        )
+        handle = JobHandle("sync", on_event=self._on_event)
+        return self._execute(request, handle)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _request_manager(self, config: FTMapConfig) -> CacheManager:
+        """The cache a request uses.
+
+        An explicitly injected service manager wins unconditionally
+        (legacy ``cache=`` override semantics); otherwise a request whose
+        config names an explicit policy resolves its own manager, and
+        ``"inherit"`` requests share the service default.
+        """
+        if self._cache_pinned or config.cache_policy == "inherit":
+            return self.cache
+        return config.cache_manager()
+
+    def _execute(self, request: MapRequest, handle: JobHandle) -> MapResult:
+        t0 = time.perf_counter()
+        receptor, fingerprint = self._resolve_receptor(request.receptor)
+        cfg = request.config
+        manager = self._request_manager(cfg)
+        probe_set = request.probes or {
+            name: build_probe(name) for name in cfg.probe_names
+        }
+        items = list(probe_set.items())
+        mode = self._resolve_streaming(request, cfg, len(items))
+
+        if manager.enabled:
+            with manager.stats_scope() as scope:
+                probe_results = self._run_probes(
+                    receptor, items, cfg, manager, mode, handle, scope
+                )
+            stats: Optional[CacheStats] = scope
+        else:
+            probe_results = self._run_probes(
+                receptor, items, cfg, manager, mode, handle, None
+            )
+            stats = None
+
+        handle._check_cancelled()
+        handle._emit("consensus", "", len(items), len(items))
+        sites = consensus_sites(
+            {name: pr.clusters for name, pr in probe_results.items()},
+            radius=cfg.consensus_radius,
+        )
+        ftmap_result = FTMapResult(
+            probe_results=probe_results, sites=sites, cache_stats=stats
+        )
+        return MapResult(
+            request_id=handle.job_id,
+            receptor_hash=fingerprint,
+            config=cfg,
+            result=ftmap_result,
+            wall_time_s=time.perf_counter() - t0,
+            cache_stats=stats,
+            streaming=mode,
+        )
+
+    def _resolve_streaming(
+        self, request: MapRequest, cfg: FTMapConfig, n_items: int
+    ) -> str:
+        """Actual scheduling mode for a request.
+
+        Forked probe workers (``cfg.probe_workers > 1``) take precedence —
+        that is process-level streaming already.  Otherwise the request
+        override, then the service default; ``"auto"`` pipelines whenever
+        there is more than one probe to overlap.
+        """
+        if (cfg.probe_workers or 1) > 1 and n_items > 1:
+            return "fork"
+        mode = request.streaming or self.streaming
+        if mode == "auto":
+            mode = "pipeline" if n_items > 1 else "sequential"
+        if n_items <= 1:
+            mode = "sequential"
+        return mode
+
+    def _run_probes(
+        self,
+        receptor: Molecule,
+        items: List[Tuple[str, Molecule]],
+        cfg: FTMapConfig,
+        manager: CacheManager,
+        mode: str,
+        handle: JobHandle,
+        scope: Optional[CacheStats],
+    ) -> Dict[str, ProbeResult]:
+        total = len(items)
+
+        def in_scope(fn):
+            # Pipeline stages run on their own threads; attaching the
+            # request's scope there keeps per-request stats complete.
+            if scope is None:
+                return fn
+            def wrapper(x):
+                with manager.stats_scope(scope):
+                    return fn(x)
+            return wrapper
+
+        # Stages resolve through the module at call time, so the
+        # monkeypatch seam tests use on ftmap.dock_probe keeps working.
+        def stage_dock(task: Tuple[int, Tuple[str, Molecule]]):
+            index, (name, probe) = task
+            handle._check_cancelled()
+            handle._emit("dock", name, index, total)
+            run = _ftmap.dock_probe(receptor, probe, cfg, cache=manager)
+            return index, name, probe, run
+
+        def stage_refine(task) -> ProbeResult:
+            index, name, probe, run = task
+            handle._check_cancelled()
+            handle._emit("minimize", name, index, total)
+            minimized, centers, energies, minimize_backend = (
+                _ftmap.minimize_poses(receptor, probe, run.poses, cfg)
+            )
+            handle._emit("cluster", name, index, total)
+            clusters = _ftmap.cluster_probe(centers, energies, cfg)
+            return ProbeResult(
+                probe_name=name,
+                docked_poses=run.poses,
+                minimized=minimized,
+                minimized_centers=centers,
+                minimized_energies=energies,
+                clusters=clusters,
+                docking_backend=run.backend,
+                minimize_backend=minimize_backend,
+            )
+
+        if mode == "fork":
+            # Process-level streaming (legacy probe_workers): whole probes
+            # fan out over forked workers; children keep their own caches.
+            # The fan-out is one barrier, so per-stage granularity stops
+            # here: one dispatch event per probe up front, cancellation
+            # checked before the fork and again at consensus.
+            handle._check_cancelled()
+            for index, (name, _) in enumerate(items):
+                handle._emit("dispatch", name, index, total)
+            results = parallel_map(
+                _ftmap._map_probe_task,
+                items,
+                processes=min(cfg.probe_workers or 1, total),
+                initializer=_ftmap._init_probe_worker,
+                initargs=(receptor, cfg, manager),
+            )
+        elif mode == "pipeline" and total > 1:
+            executor = PipelineExecutor(
+                [in_scope(stage_dock), in_scope(stage_refine)], mode="thread"
+            )
+            results = executor.map(list(enumerate(items)))
+        else:
+            results = [
+                stage_refine(stage_dock(task)) for task in enumerate(items)
+            ]
+        return {pr.probe_name: pr for pr in results}

@@ -27,8 +27,10 @@ it stays active even when the artifact cache policy is ``off``.
 from __future__ import annotations
 
 import os
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.cache.store import CODECS, MISS, DiskStore, MemoryStore, estimate_nbytes
 
@@ -130,6 +132,11 @@ class CacheManager:
         self.stats = CacheStats()
         self.memory = MemoryStore(self.memory_bytes) if policy != "off" else None
         self.disk = DiskStore(self.directory) if policy == "disk" else None
+        # Counter updates are atomic under one lock so concurrent requests
+        # (service jobs, pipelined stages) never tear the statistics; the
+        # thread-local scope stacks route per-request deltas (stats_scope).
+        self._lock = threading.RLock()
+        self._tlocal = threading.local()
 
     # -- core operations ---------------------------------------------------------
 
@@ -137,26 +144,55 @@ class CacheManager:
     def enabled(self) -> bool:
         return self.policy != "off"
 
+    def _record(self, **deltas: int) -> None:
+        """Apply counter deltas to the global stats and every scope the
+        current thread has attached (both under the manager lock)."""
+        with self._lock:
+            targets = [self.stats] + getattr(self._tlocal, "scopes", [])
+            for stats in targets:
+                for field, delta in deltas.items():
+                    if delta:
+                        setattr(stats, field, getattr(stats, field) + delta)
+
+    def _store_counter_deltas(self) -> Dict[str, int]:
+        """Eviction/corruption deltas since the counters were last synced.
+
+        The stores keep running totals; attribution to the operation that
+        triggered them happens here, under the lock, as increments — which
+        is what lets request scopes see *their* evictions instead of a
+        snapshot of someone else's.
+        """
+        deltas = {}
+        if self.memory is not None:
+            deltas["evictions"] = self.memory.evictions - self.stats.evictions
+        if self.disk is not None:
+            deltas["corrupt_entries"] = (
+                self.disk.corrupt_entries - self.stats.corrupt_entries
+            )
+        return deltas
+
     def get(self, key: str):
         """Cached value for ``key`` or ``None`` (values must not be None)."""
         if not self.enabled:
             return None
         value = self.memory.get(key)
         if value is not MISS:
-            self.stats.hits += 1
-            self.stats.memory_hits += 1
+            self._record(hits=1, memory_hits=1)
             return value
         if self.disk is not None:
             value = self.disk.get(key)
-            self.stats.corrupt_entries = self.disk.corrupt_entries
             if value is not MISS:
-                self.stats.hits += 1
-                self.stats.disk_hits += 1
                 # Promote, so repeat lookups skip decode + checksum.
                 self.memory.put(key, value, nbytes=estimate_nbytes(value))
-                self.stats.evictions = self.memory.evictions
+                with self._lock:
+                    self._record(
+                        hits=1, disk_hits=1, **self._store_counter_deltas()
+                    )
                 return value
-        self.stats.misses += 1
+            with self._lock:
+                self._record(misses=1, **self._store_counter_deltas())
+            return None
+        self._record(misses=1)
         return None
 
     def put(
@@ -176,7 +212,7 @@ class CacheManager:
             payload = CODECS[codec].encode(value)
             nbytes = len(payload)
         self.memory.put(key, value, nbytes=nbytes)
-        self.stats.evictions = self.memory.evictions
+        write_failures = 0
         if self.disk is not None:
             try:
                 self.disk.put(key, value, codec=codec, payload=payload)
@@ -184,8 +220,13 @@ class CacheManager:
                 # A full or unwritable cache directory must never abort the
                 # pipeline that just computed the value — the store degrades
                 # to recompute on the next process, same as a corrupt read.
-                self.stats.disk_write_failures += 1
-        self.stats.puts += 1
+                write_failures = 1
+        with self._lock:
+            self._record(
+                puts=1,
+                disk_write_failures=write_failures,
+                **self._store_counter_deltas(),
+            )
 
     def get_or_compute(
         self, key: str, compute: Callable[[], object], codec: str = "pickle"
@@ -202,9 +243,50 @@ class CacheManager:
 
     # -- introspection -----------------------------------------------------------
 
+    @contextmanager
+    def stats_scope(
+        self, scope: Optional[CacheStats] = None
+    ) -> Iterator[CacheStats]:
+        """Request-scoped statistics: a delta of *this* activity only.
+
+        Yields a :class:`CacheStats` that accumulates every cache
+        operation the current thread performs inside the ``with`` block.
+        Global-snapshot subtraction breaks as soon as two requests overlap
+        on one manager — each delta would include the other request's hits
+        and misses — so per-request accounting attaches a scope instead,
+        and operations increment the global counters *and* every scope
+        attached to the executing thread.
+
+        Work that fans out to helper threads (e.g. the stage-pipelined
+        probe streams of :class:`repro.api.FTMapService`) passes the scope
+        object explicitly: ``stats_scope(scope)`` attaches an existing
+        scope to the current thread, so one request's scope can follow its
+        work across its pipeline workers.  Scopes never cross process
+        boundaries — forked probe workers keep their own managers.
+        """
+        s = scope if scope is not None else CacheStats()
+        with self._lock:
+            stack = getattr(self._tlocal, "scopes", None)
+            if stack is None:
+                stack = self._tlocal.scopes = []
+            stack.append(s)
+        try:
+            yield s
+        finally:
+            with self._lock:
+                # Detach by identity: list.remove compares by value, and
+                # two idle scopes are equal dataclasses — removing the
+                # wrong one would cross-attribute and then crash the
+                # outer scope's own exit.
+                for i in range(len(stack) - 1, -1, -1):
+                    if stack[i] is s:
+                        del stack[i]
+                        break
+
     def snapshot(self) -> CacheStats:
         """Copy of the current counters (subtract two to get a delta)."""
-        return replace(self.stats)
+        with self._lock:
+            return replace(self.stats)
 
     def clear(self, namespace: Optional[str] = None) -> None:
         """Drop all entries, or only those under ``namespace``."""

@@ -1,22 +1,26 @@
-"""The FTMap driver: an explicit dock -> minimize -> cluster -> consensus pipeline.
+"""FTMap stages and configuration: dock -> minimize -> cluster per probe.
 
-This is the end-to-end application the paper accelerates.  Each probe flows
-through four staged functions — :func:`dock_probe` (the
+This is the end-to-end application the paper accelerates.  Each probe
+flows through the staged functions — :func:`dock_probe` (the
 :class:`~repro.docking.engine.DockingEngine` facade),
 :func:`minimize_poses` (the
 :class:`~repro.minimize.engine.MinimizationEngine` facade over the docked
-ensemble), :func:`cluster_probe`, and the cross-probe consensus — and whole
-probes stream through :mod:`repro.util.parallel` workers when
-``probe_workers`` is set.
+ensemble) and :func:`cluster_probe` — which
+:class:`repro.api.FTMapService` schedules across a request's probes
+(sequentially, stage-pipelined, or over forked workers).  The
+:class:`FTMapConfig` here is the single workload description shared by
+every layer, JSON-round-trippable through :meth:`FTMapConfig.to_dict`.
 
-The driver is workload-parameterized so tests and examples can run
-scaled-down instances (fewer rotations / probes / iterations) while the
-benchmarks use the cost models for paper-scale timing.
+:func:`run_ftmap` remains as the deprecated one-shot wrapper around the
+service.  The stages are workload-parameterized so tests and examples can
+run scaled-down instances (fewer rotations / probes / iterations) while
+the benchmarks use the cost models for paper-scale timing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import warnings
+from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -28,13 +32,12 @@ from repro.docking.engine import BACKEND_NAMES, DockingEngine, DockingRun
 from repro.docking.piper import DockedPose, PiperConfig
 from repro.geometry.transforms import centered
 from repro.mapping.clustering import Cluster, cluster_poses
-from repro.mapping.consensus import ConsensusSite, consensus_sites
+from repro.mapping.consensus import ConsensusSite
 from repro.minimize.engine import MINIMIZE_BACKEND_NAMES, MinimizationEngine
 from repro.minimize.minimizer import MinimizationResult, MinimizerConfig
 from repro.structure.builder import pocket_movable_mask
 from repro.structure.molecule import Molecule
-from repro.structure.probes import FTMAP_PROBE_NAMES, build_probe
-from repro.util.parallel import parallel_map
+from repro.structure.probes import FTMAP_PROBE_NAMES
 
 __all__ = [
     "FTMapConfig",
@@ -142,6 +145,32 @@ class FTMapConfig:
                 f"unknown cache policy {self.cache_policy!r}; expected one of "
                 f"{CACHE_POLICIES + ('inherit',)}"
             )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form of the config (every field; tuples as lists).
+
+        The round trip ``FTMapConfig.from_dict(json.loads(json.dumps(
+        cfg.to_dict())))`` reproduces ``cfg`` exactly — this is what lets
+        sweep reports, job logs and a future wire protocol carry whole
+        workload configurations as plain data.
+        """
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FTMapConfig":
+        """Rebuild a config from :meth:`to_dict` output (re-validated)."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown FTMapConfig field(s): {unknown}")
+        kwargs = dict(data)
+        if "probe_names" in kwargs:
+            kwargs["probe_names"] = tuple(kwargs["probe_names"])
+        return cls(**kwargs)
 
     def cache_manager(self) -> CacheManager:
         """The artifact cache this run uses (process-memoized per config)."""
@@ -400,7 +429,14 @@ def run_ftmap(
     probes: Dict[str, Molecule] | None = None,
     cache: Optional[CacheManager] = None,
 ) -> FTMapResult:
-    """Map a receptor with a set of probes.
+    """Map a receptor with a set of probes (legacy one-shot entrypoint).
+
+    .. deprecated:: 1.3.0
+        ``run_ftmap`` is a thin wrapper over the session-scoped service:
+        it builds an ephemeral :class:`~repro.api.service.FTMapService`
+        per call, so repeated calls re-resolve everything a session would
+        keep warm.  Use ``FTMapService.map`` (or ``submit`` for async
+        jobs) instead; outputs are bitwise-identical.
 
     Parameters
     ----------
@@ -424,31 +460,18 @@ def run_ftmap(
     result is deterministic either way).  When an artifact cache is
     enabled, ``result.cache_stats`` carries this run's hit/miss delta.
     """
+    warnings.warn(
+        "run_ftmap is a legacy wrapper around repro.api.FTMapService; "
+        "use FTMapService.map(receptor, config) / submit(MapRequest(...)) "
+        "for session-scoped, cache-aware serving",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    # Imported here: repro.api builds on this module (service -> stages),
+    # so the legacy shim resolves the service lazily to avoid the cycle.
+    from repro.api.service import FTMapService
+
     cfg = config or FTMapConfig()
     manager = cache if cache is not None else cfg.cache_manager()
-    before = manager.snapshot() if manager.enabled else None
-    probe_set = probes or {name: build_probe(name) for name in cfg.probe_names}
-    items = list(probe_set.items())
-
-    workers = cfg.probe_workers or 1
-    if workers > 1 and len(items) > 1:
-        results = parallel_map(
-            _map_probe_task,
-            items,
-            processes=min(workers, len(items)),
-            initializer=_init_probe_worker,
-            initargs=(receptor, cfg, manager),
-        )
-    else:
-        results = [
-            map_probe(receptor, name, probe, cfg, cache=manager)
-            for name, probe in items
-        ]
-
-    probe_results = {pr.probe_name: pr for pr in results}
-    sites = consensus_sites(
-        {name: pr.clusters for name, pr in probe_results.items()},
-        radius=cfg.consensus_radius,
-    )
-    stats = (manager.snapshot() - before) if before is not None else None
-    return FTMapResult(probe_results=probe_results, sites=sites, cache_stats=stats)
+    service = FTMapService(config=cfg, cache=manager)
+    return service.map(receptor, config=cfg, probes=probes).result

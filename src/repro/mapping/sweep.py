@@ -7,9 +7,11 @@ Most variants share the expensive artifacts: every config with the same
 receptor/grid spec reuses the receptor energy grids and FFT spectra, and
 variants that only touch post-docking parameters (clustering radii,
 minimization depth) reuse whole per-probe dock results.  The runner wires
-all runs through one shared :class:`~repro.cache.manager.CacheManager`
-and reports per-run wall time and cache hit rates, so the sharing is
-visible, not assumed.
+all runs through one :class:`repro.api.FTMapService` session (one shared
+:class:`~repro.cache.manager.CacheManager`) and reports per-run wall time
+and cache hit rates, so the sharing is visible, not assumed.  Each run
+also records its variant's serialized config
+(:attr:`SweepRun.config_dict`) for replay and job logs.
 
 Serial by default; ``workers > 1`` fans configs out over forked processes
 (:func:`repro.util.parallel.parallel_map`).  Cross-run sharing then needs
@@ -19,13 +21,12 @@ tier, and the runner says so rather than silently running cold.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, field, fields, replace
 from itertools import product
 from typing import Dict, List, Optional, Sequence
 
 from repro.cache.manager import CacheManager, CacheStats
-from repro.mapping.ftmap import FTMapConfig, FTMapResult, run_ftmap
+from repro.mapping.ftmap import FTMapConfig, FTMapResult
 from repro.structure.molecule import Molecule
 from repro.util.parallel import parallel_map
 
@@ -34,13 +35,20 @@ __all__ = ["SweepRun", "SweepReport", "sweep_grid", "run_sweep"]
 
 @dataclass
 class SweepRun:
-    """One sweep point: the config variant, its result and its cost."""
+    """One sweep point: the config variant, its result and its cost.
+
+    ``config_dict`` is the variant's serialized form
+    (:meth:`FTMapConfig.to_dict`), recorded at execution time so sweep
+    reports and job logs can replay or ship any point without holding
+    live objects.
+    """
 
     label: str
     config: FTMapConfig
     result: FTMapResult
     wall_time_s: float
     cache_stats: CacheStats
+    config_dict: Dict[str, object] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -114,31 +122,38 @@ def _variant_label(config: FTMapConfig, base: FTMapConfig, index: int) -> str:
     return ", ".join(diffs) if diffs else f"run{index}"
 
 
-def _execute_one(receptor, probes, config, cache, label) -> SweepRun:
-    t0 = time.perf_counter()
-    result = run_ftmap(receptor, config, probes=probes, cache=cache)
-    wall = time.perf_counter() - t0
-    stats = result.cache_stats if result.cache_stats is not None else CacheStats()
+def _execute_one(service, receptor, probes, config, label) -> SweepRun:
+    mapped = service.map(receptor, config=config, probes=probes)
+    stats = (
+        mapped.cache_stats if mapped.cache_stats is not None else CacheStats()
+    )
     return SweepRun(
-        label=label, config=config, result=result, wall_time_s=wall,
+        label=label,
+        config=config,
+        result=mapped.result,
+        wall_time_s=mapped.wall_time_s,
         cache_stats=stats,
+        config_dict=config.to_dict(),
     )
 
 
-# Worker state for parallel sweeps: receptor/probes/cache installed once
-# per forked process, tasks carry only (index-labelled) configs.
+# Worker state for parallel sweeps: one service (receptor/probes/shared
+# cache config) installed per forked process, tasks carry only
+# (index-labelled) configs.
 _SWEEP_WORKER_CTX = None
 
 
 def _init_sweep_worker(receptor, probes, cache) -> None:
     global _SWEEP_WORKER_CTX
-    _SWEEP_WORKER_CTX = (receptor, probes, cache)
+    from repro.api.service import FTMapService
+
+    _SWEEP_WORKER_CTX = (FTMapService(cache=cache), receptor, probes)
 
 
 def _sweep_task(item) -> SweepRun:
     label, config = item
-    receptor, probes, cache = _SWEEP_WORKER_CTX
-    return _execute_one(receptor, probes, config, cache, label)
+    service, receptor, probes = _SWEEP_WORKER_CTX
+    return _execute_one(service, receptor, probes, config, label)
 
 
 def run_sweep(
@@ -203,8 +218,13 @@ def run_sweep(
             initargs=(receptor, probes, manager),
         )
     else:
+        # One session for the whole sweep: every variant is a request
+        # against the same service, sharing its artifact cache.
+        from repro.api.service import FTMapService
+
+        service = FTMapService(cache=manager)
         runs = [
-            _execute_one(receptor, probes, cfg, manager, label)
+            _execute_one(service, receptor, probes, cfg, label)
             for label, cfg in items
         ]
     return SweepReport(runs=runs)

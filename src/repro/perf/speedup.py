@@ -8,7 +8,7 @@ reported number next to ours.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.cuda.device import Device
 from repro.perf.cpumodel import CpuModel
@@ -21,6 +21,7 @@ __all__ = [
     "multicore_comparison",
     "batching_sweep",
     "scheme_ladder",
+    "pipeline_makespan",
 ]
 
 #: Paper Table 1 (per rotation): (serial ms, GPU ms, speedup).
@@ -246,3 +247,38 @@ def scheme_ladder(
         ),
     ]
     return rows, times
+
+
+def pipeline_makespan(stage_times: Sequence[Sequence[float]]) -> float:
+    """Makespan of a stage pipeline over measured per-item stage times.
+
+    ``stage_times[k][s]`` is the time item ``k`` spends in stage ``s``.
+    The schedule is the one :class:`~repro.util.parallel.PipelineExecutor`
+    executes: each stage is a single sequential worker, so stage ``s``
+    starts item ``k`` once *both* stage ``s-1`` finished item ``k`` and
+    stage ``s`` itself finished item ``k-1``:
+
+    ``finish[k][s] = max(finish[k][s-1], finish[k-1][s]) + t[k][s]``
+
+    The return value is the finish time of the last item in the last
+    stage.  Dividing the sequential sum ``sum_k sum_s t[k][s]`` by this
+    makespan gives the overlap speedup the pipeline schedule extracts on
+    a machine with one core per stage — the deterministic counterpart of
+    the wall-clock measurement, in the same spirit as the repo's other
+    cost models.
+    """
+    times = [list(map(float, row)) for row in stage_times]
+    if not times:
+        return 0.0
+    n_stages = len(times[0])
+    if n_stages == 0 or any(len(row) != n_stages for row in times):
+        raise ValueError("stage_times must be a rectangular (items x stages) table")
+    if any(t < 0 for row in times for t in row):
+        raise ValueError("stage times must be non-negative")
+    finish_prev_item = [0.0] * n_stages      # finish[k-1][s]
+    for row in times:
+        finish = 0.0                          # finish[k][s-1]
+        for s, t in enumerate(row):
+            finish = max(finish, finish_prev_item[s]) + t
+            finish_prev_item[s] = finish
+    return finish_prev_item[-1]

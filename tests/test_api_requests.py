@@ -1,0 +1,98 @@
+"""MapRequest/MapResult surface + FTMapConfig JSON round-tripping."""
+
+import json
+
+import pytest
+
+from repro.api import MapRequest, receptor_fingerprint
+from repro.mapping.ftmap import FTMapConfig
+from repro.structure import build_probe, synthetic_protein
+
+
+class TestConfigSerialization:
+    def test_json_round_trip_defaults(self):
+        cfg = FTMapConfig()
+        wire = json.dumps(cfg.to_dict())
+        assert FTMapConfig.from_dict(json.loads(wire)) == cfg
+
+    def test_json_round_trip_custom(self):
+        cfg = FTMapConfig(
+            probe_names=("ethanol", "benzene"),
+            num_rotations=12,
+            receptor_grid=40,
+            grid_spacing=1.0,
+            minimize_top=4,
+            minimizer_iterations=25,
+            engine="batched-fft",
+            batch_size=8,
+            minimize_engine="batched",
+            minimize_batch_size=4,
+            probe_workers=2,
+            cache_policy="memory",
+            cache_memory_bytes=1 << 20,
+        )
+        wire = json.dumps(cfg.to_dict())
+        assert FTMapConfig.from_dict(json.loads(wire)) == cfg
+
+    def test_to_dict_is_plain_data(self):
+        data = FTMapConfig().to_dict()
+        assert isinstance(data["probe_names"], list)
+        # Every value must be JSON-native.
+        json.dumps(data)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown FTMapConfig field"):
+            FTMapConfig.from_dict({"num_rotations": 4, "warp_factor": 9})
+
+    def test_from_dict_revalidates(self):
+        with pytest.raises(ValueError, match="num_rotations"):
+            FTMapConfig.from_dict({"num_rotations": 0})
+
+
+class TestMapRequest:
+    def test_round_trip_by_fingerprint(self):
+        receptor = synthetic_protein(n_residues=10, seed=1)
+        request = MapRequest(
+            receptor=receptor_fingerprint(receptor),
+            config=FTMapConfig(probe_names=("ethanol",), num_rotations=4),
+            request_id="req-7",
+            streaming="pipeline",
+        )
+        wire = json.dumps(request.to_dict())
+        back = MapRequest.from_dict(json.loads(wire))
+        assert back == request
+
+    def test_inline_molecule_does_not_serialize(self):
+        receptor = synthetic_protein(n_residues=10, seed=1)
+        with pytest.raises(ValueError, match="register_receptor"):
+            MapRequest(receptor=receptor).to_dict()
+
+    def test_prebuilt_probes_do_not_serialize(self):
+        request = MapRequest(
+            receptor="a" * 64, probes={"ethanol": build_probe("ethanol")}
+        )
+        with pytest.raises(ValueError, match="probe"):
+            request.to_dict()
+
+    def test_streaming_mode_validated(self):
+        with pytest.raises(ValueError, match="streaming"):
+            MapRequest(receptor="a" * 64, streaming="warp")
+
+    def test_receptor_type_validated(self):
+        with pytest.raises(TypeError, match="receptor"):
+            MapRequest(receptor=42)
+
+    def test_from_dict_requires_receptor(self):
+        with pytest.raises(ValueError, match="receptor"):
+            MapRequest.from_dict({"config": FTMapConfig().to_dict()})
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown MapRequest field"):
+            MapRequest.from_dict({"receptor": "a" * 64, "shard": 3})
+
+    def test_fingerprint_is_structural(self):
+        a = synthetic_protein(n_residues=10, seed=1)
+        b = synthetic_protein(n_residues=10, seed=1)
+        c = synthetic_protein(n_residues=10, seed=2)
+        assert receptor_fingerprint(a) == receptor_fingerprint(b)
+        assert receptor_fingerprint(a) != receptor_fingerprint(c)

@@ -1,0 +1,389 @@
+"""FTMapService lifecycle: jobs, streaming modes, cache-aware serving."""
+
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    FTMapService,
+    JobCancelled,
+    MapRequest,
+)
+from repro.cache import CacheManager, reset_cache_registry
+from repro.mapping.ftmap import FTMapConfig, run_ftmap
+from repro.structure import synthetic_protein
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    reset_cache_registry()
+    yield
+    reset_cache_registry()
+
+
+@pytest.fixture(scope="module")
+def protein():
+    return synthetic_protein(n_residues=40, seed=3)
+
+
+def tiny_config(**overrides):
+    base = dict(
+        probe_names=("ethanol", "acetone"),
+        num_rotations=6,
+        receptor_grid=32,
+        probe_grid=4,
+        grid_spacing=1.25,
+        minimize_top=2,
+        minimizer_iterations=4,
+        engine="fft",
+    )
+    base.update(overrides)
+    return FTMapConfig(**base)
+
+
+def probe_outputs(result):
+    """Bitwise-comparable mapping outputs (poses, energies, centers)."""
+    out = {}
+    for name, pr in result.probe_results.items():
+        out[name] = (
+            [(p.rotation_index, p.translation, p.score) for p in pr.docked_poses],
+            pr.minimized_energies.copy(),
+            pr.minimized_centers.copy(),
+        )
+    return out
+
+
+def assert_bitwise_equal(result_a, result_b):
+    out_a, out_b = probe_outputs(result_a), probe_outputs(result_b)
+    assert out_a.keys() == out_b.keys()
+    for name in out_a:
+        assert out_a[name][0] == out_b[name][0]
+        assert np.array_equal(out_a[name][1], out_b[name][1])
+        assert np.array_equal(out_a[name][2], out_b[name][2])
+    assert len(result_a.sites) == len(result_b.sites)
+    for site_a, site_b in zip(result_a.sites, result_b.sites):
+        assert np.array_equal(site_a.center, site_b.center)
+        assert site_a.probe_names == site_b.probe_names
+        assert site_a.member_clusters == site_b.member_clusters
+        assert site_a.best_energy == site_b.best_energy
+
+
+class TestSynchronousMap:
+    def test_map_matches_legacy_run_ftmap_bitwise(self, protein):
+        cfg = tiny_config()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = run_ftmap(protein, cfg)
+        with FTMapService() as service:
+            mapped = service.map(protein, cfg)
+        assert_bitwise_equal(legacy, mapped.result)
+
+    def test_pipelined_matches_sequential_bitwise(self, protein):
+        cfg = tiny_config(probe_names=("ethanol", "acetone", "urea"))
+        with FTMapService() as service:
+            seq = service.map(protein, cfg, streaming="sequential")
+            pipe = service.map(protein, cfg, streaming="pipeline")
+        assert seq.streaming == "sequential"
+        assert pipe.streaming == "pipeline"
+        assert_bitwise_equal(seq.result, pipe.result)
+
+    def test_auto_pipelines_multi_probe(self, protein):
+        with FTMapService() as service:
+            multi = service.map(protein, tiny_config())
+            single = service.map(protein, tiny_config(probe_names=("ethanol",)))
+        assert multi.streaming == "pipeline"
+        assert single.streaming == "sequential"
+
+    def test_fork_mode_takes_precedence(self, protein):
+        cfg = tiny_config(probe_workers=2)
+        with FTMapService() as service:
+            mapped = service.map(protein, cfg)
+        assert mapped.streaming == "fork"
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = run_ftmap(protein, cfg)
+        assert_bitwise_equal(legacy, mapped.result)
+
+    def test_fork_mode_job_emits_dispatch_events(self, protein):
+        """Fork fan-out is one barrier: the job still reports one
+        dispatch event per probe plus the consensus stage."""
+        cfg = tiny_config(probe_workers=2)
+        with FTMapService() as service:
+            handle = service.submit(MapRequest(receptor=protein, config=cfg))
+            handle.result(timeout=300)
+        stages = [(e.stage, e.probe) for e in handle.events()]
+        for probe in cfg.probe_names:
+            assert ("dispatch", probe) in stages
+        assert stages[-1] == ("consensus", "")
+
+    def test_result_provenance(self, protein):
+        cfg = tiny_config()
+        with FTMapService() as service:
+            fingerprint = service.register_receptor(protein)
+            mapped = service.map(protein, cfg)
+        assert mapped.receptor_hash == fingerprint
+        assert mapped.config == cfg
+        assert mapped.wall_time_s > 0
+        assert mapped.top_site is mapped.result.top_site
+
+
+class TestReceptorRegistry:
+    def test_register_is_idempotent_and_structural(self, protein):
+        with FTMapService() as service:
+            fp1 = service.register_receptor(protein)
+            fp2 = service.register_receptor(
+                synthetic_protein(n_residues=40, seed=3)
+            )
+            assert fp1 == fp2
+            assert service.registered_receptors() == [fp1]
+
+    def test_map_by_fingerprint(self, protein):
+        cfg = tiny_config(probe_names=("ethanol",))
+        with FTMapService() as service:
+            fingerprint = service.register_receptor(protein)
+            by_hash = service.map(fingerprint, cfg)
+            inline = service.map(protein, cfg)
+        assert_bitwise_equal(by_hash.result, inline.result)
+
+    def test_unknown_fingerprint_rejected(self):
+        with FTMapService() as service:
+            with pytest.raises(KeyError, match="register_receptor"):
+                service.map("f" * 64, tiny_config())
+
+
+class TestJobs:
+    def test_submit_many_poll_results(self, protein):
+        cfg = tiny_config()
+        with FTMapService(max_workers=2) as service:
+            fingerprint = service.register_receptor(protein)
+            handles = [
+                service.submit(MapRequest(receptor=fingerprint, config=cfg))
+                for _ in range(3)
+            ]
+            results = [h.result(timeout=300) for h in handles]
+            assert [h.poll() for h in handles] == [JOB_DONE] * 3
+            assert all(h.done() for h in handles)
+        for other in results[1:]:
+            assert_bitwise_equal(results[0].result, other.result)
+        # Job ids are unique and resolvable.
+        ids = [h.job_id for h in handles]
+        assert len(set(ids)) == 3
+        assert service.job(ids[0]) is handles[0]
+
+    def test_progress_events_cover_stages(self, protein):
+        cfg = tiny_config()
+        with FTMapService() as service:
+            handle = service.submit(MapRequest(receptor=protein, config=cfg))
+            handle.result(timeout=300)
+        stages = [(e.stage, e.probe) for e in handle.events()]
+        for probe in cfg.probe_names:
+            for stage in ("dock", "minimize", "cluster"):
+                assert (stage, probe) in stages
+        assert stages[-1] == ("consensus", "")
+        assert all(e.total == len(cfg.probe_names) for e in handle.events())
+
+    def test_queued_job_cancels_immediately(self, protein):
+        cfg = tiny_config()
+        with FTMapService(max_workers=1) as service:
+            fingerprint = service.register_receptor(protein)
+            running = service.submit(
+                MapRequest(receptor=fingerprint, config=cfg)
+            )
+            queued = service.submit(
+                MapRequest(receptor=fingerprint, config=cfg)
+            )
+            assert queued.cancel() is True
+            assert queued.status() == JOB_CANCELLED
+            with pytest.raises(JobCancelled):
+                queued.result(timeout=10)
+            running.result(timeout=300)           # unaffected
+            assert running.status() == JOB_DONE
+            assert running.cancel() is False      # terminal: nothing to cancel
+
+    def test_running_job_cancels_at_stage_boundary(self, protein):
+        cfg = tiny_config(probe_names=("ethanol", "acetone", "urea"))
+        cancelled_from = []
+
+        def cancel_after_first_dock(event):
+            if event.stage == "dock" and event.index == 0:
+                cancelled_from.append(event.job_id)
+                service.job(event.job_id).cancel()
+
+        service = FTMapService(on_event=cancel_after_first_dock)
+        with service:
+            handle = service.submit(MapRequest(receptor=protein, config=cfg))
+            with pytest.raises(JobCancelled):
+                handle.result(timeout=300)
+            assert handle.status() == JOB_CANCELLED
+            assert cancelled_from == [handle.job_id]
+            # The job stopped early: no consensus event was emitted.
+            assert all(e.stage != "consensus" for e in handle.events())
+
+    def test_failing_job_reports_error(self, protein):
+        cfg = tiny_config(probe_names=("unobtainium",))
+        with FTMapService() as service:
+            handle = service.submit(MapRequest(receptor=protein, config=cfg))
+            with pytest.raises(KeyError, match="unobtainium"):
+                handle.result(timeout=300)
+            assert handle.status() == "failed"
+            assert isinstance(handle.exception(), KeyError)
+
+    def test_result_timeout(self, protein):
+        cfg = tiny_config()
+        with FTMapService(max_workers=1) as service:
+            handle = service.submit(MapRequest(receptor=protein, config=cfg))
+            with pytest.raises(TimeoutError):
+                handle.result(timeout=0.001)
+            handle.result(timeout=300)
+
+    def test_submit_after_close_rejected(self, protein):
+        service = FTMapService()
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(MapRequest(receptor=protein, config=tiny_config()))
+
+    def test_duplicate_request_id_rejected(self, protein):
+        cfg = tiny_config(probe_names=("ethanol",))
+        with FTMapService() as service:
+            first = service.submit(
+                MapRequest(receptor=protein, config=cfg, request_id="req-1")
+            )
+            with pytest.raises(ValueError, match="duplicate"):
+                service.submit(
+                    MapRequest(receptor=protein, config=cfg, request_id="req-1")
+                )
+            first.result(timeout=300)
+
+
+class TestCacheAwareServing:
+    def test_concurrent_requests_share_receptor_artifacts(self, protein):
+        """Two in-flight requests against one receptor: the second is
+        served from the first one's artifacts (grids, spectra, whole dock
+        results) — the mapped-or-cached serving story."""
+        cfg = tiny_config()
+        manager = CacheManager(policy="memory")
+        with FTMapService(cache=manager, max_workers=1) as service:
+            fingerprint = service.register_receptor(protein)
+            first = service.submit(
+                MapRequest(receptor=fingerprint, config=cfg)
+            )
+            second = service.submit(
+                MapRequest(receptor=fingerprint, config=cfg)
+            )
+            result_1 = first.result(timeout=300)
+            result_2 = second.result(timeout=300)
+
+        assert result_1.cache_stats.misses > 0        # cold: filled the cache
+        assert result_2.cache_stats.misses == 0       # warm: pure reuse
+        assert result_2.cache_stats.hits == len(cfg.probe_names)
+        assert result_2.cache_stats.hit_rate == 1.0
+        assert_bitwise_equal(result_1.result, result_2.result)
+
+    def test_overlapping_requests_attribute_stats_independently(self, protein):
+        """Request-scoped stats stay disjoint when jobs overlap on the
+        shared manager (global snapshot deltas would cross-count)."""
+        cfg = tiny_config()
+        manager = CacheManager(policy="memory")
+        with FTMapService(cache=manager, max_workers=2) as service:
+            fingerprint = service.register_receptor(protein)
+            warm = service.map(fingerprint, cfg)      # fill the cache
+            handles = [
+                service.submit(MapRequest(receptor=fingerprint, config=cfg))
+                for _ in range(2)
+            ]
+            results = [h.result(timeout=300) for h in handles]
+        assert warm.cache_stats.misses > 0
+        for result in results:
+            assert result.cache_stats.misses == 0
+            assert result.cache_stats.hits == len(cfg.probe_names)
+
+    def test_cache_off_reports_no_stats(self, protein):
+        cfg = tiny_config(cache_policy="off")
+        manager = CacheManager(policy="off")
+        with FTMapService(cache=manager) as service:
+            mapped = service.map(protein, cfg)
+        assert mapped.cache_stats is None
+        assert manager.stats.lookups == 0
+
+    def test_request_config_resolves_its_own_cache(self, protein):
+        """Without an injected manager, a request whose config names an
+        explicit policy does not touch the service's default manager."""
+        cfg = tiny_config(
+            probe_names=("ethanol",), cache_policy="memory",
+            cache_memory_bytes=1 << 22,
+        )
+        with FTMapService() as service:        # default config: inherit/off
+            mapped = service.map(protein, cfg)
+        assert service.cache.stats.lookups == 0
+        assert mapped.cache_stats is not None
+        assert mapped.cache_stats.lookups > 0
+
+    def test_injected_cache_wins_over_request_policy(self, protein):
+        """An explicitly injected manager is pinned: every request uses
+        it regardless of its config's cache fields — the contract the
+        legacy run_ftmap/run_sweep ``cache=`` arguments rely on."""
+        pinned = CacheManager(policy="memory")
+        cfg = tiny_config(
+            probe_names=("ethanol",), cache_policy="memory",
+            cache_memory_bytes=1 << 22,
+        )
+        with FTMapService(cache=pinned) as service:
+            mapped = service.map(protein, cfg)
+        assert pinned.stats.lookups > 0
+        assert mapped.cache_stats is not None
+        assert mapped.cache_stats.lookups == pinned.stats.lookups
+
+    def test_legacy_explicit_cache_argument_respected(self, protein):
+        """run_ftmap(cache=manager) must use that manager even when the
+        config names its own cache policy (pre-service behavior)."""
+        manager = CacheManager(policy="memory")
+        cfg = tiny_config(probe_names=("ethanol",), cache_policy="memory")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            result = run_ftmap(protein, cfg, cache=manager)
+        assert manager.stats.puts > 0
+        assert result.cache_stats is not None
+        assert result.cache_stats.puts == manager.stats.puts
+
+
+class TestServiceValidation:
+    def test_bad_max_workers(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            FTMapService(max_workers=0)
+
+    def test_bad_streaming(self):
+        with pytest.raises(ValueError, match="streaming"):
+            FTMapService(streaming="warp")
+
+    def test_run_ftmap_warns_deprecation(self, protein):
+        with pytest.warns(DeprecationWarning, match="FTMapService"):
+            run_ftmap(protein, tiny_config(probe_names=("ethanol",)))
+
+
+class TestThreadSafetyOfScopes:
+    def test_map_from_two_caller_threads(self, protein):
+        """Synchronous map() from concurrent caller threads: each result
+        still carries its own request-scoped stats."""
+        cfg = tiny_config()
+        manager = CacheManager(policy="memory")
+        results = {}
+        with FTMapService(cache=manager) as service:
+            service.map(protein, cfg)                 # warm the cache
+
+            def call(tag):
+                results[tag] = service.map(protein, cfg)
+
+            threads = [
+                threading.Thread(target=call, args=(t,)) for t in ("a", "b")
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for mapped in results.values():
+            assert mapped.cache_stats.misses == 0
+            assert mapped.cache_stats.hits == len(cfg.probe_names)

@@ -162,3 +162,107 @@ class TestPickling:
         assert clone.directory == str(tmp_path)
         assert len(clone) == 0                        # memory tier is fresh
         assert clone.get("ns/a") is not None          # disk tier is shared
+
+
+class TestStatsScopes:
+    """Request-scoped stats: deltas attribute to the request, not the
+    manager-global counters (which race once requests overlap)."""
+
+    def test_scope_counts_only_own_activity(self):
+        mgr = CacheManager(policy="memory")
+        mgr.put("ns/pre", 1)                         # outside any scope
+        with mgr.stats_scope() as scope:
+            assert mgr.get("ns/absent") is None      # miss
+            mgr.put("ns/k", 2)
+            assert mgr.get("ns/k") == 2              # hit
+        assert (scope.hits, scope.misses, scope.puts) == (1, 1, 1)
+        assert scope.memory_hits == 1
+        # Global counters include the out-of-scope put too.
+        assert mgr.stats.puts == 2
+
+    def test_idle_nested_scopes_detach_by_identity(self):
+        """Regression: two idle scopes are equal dataclasses, so exit must
+        detach by identity — equality-based removal dropped the outer
+        scope and crashed its own exit."""
+        mgr = CacheManager(policy="memory")
+        with mgr.stats_scope() as outer:
+            with mgr.stats_scope() as inner:
+                pass                          # both still all-zero here
+            mgr.put("ns/k", 1)                # after inner detached
+        assert outer.puts == 1
+        assert inner.puts == 0
+
+    def test_nested_scopes_both_accumulate(self):
+        mgr = CacheManager(policy="memory")
+        with mgr.stats_scope() as outer:
+            mgr.put("ns/a", 1)
+            with mgr.stats_scope() as inner:
+                assert mgr.get("ns/a") == 1
+            assert mgr.get("ns/a") == 1
+        assert (outer.hits, outer.puts) == (2, 1)
+        assert (inner.hits, inner.puts) == (1, 0)
+
+    def test_attaching_existing_scope_follows_worker_thread(self):
+        """A request's scope can be attached to helper threads (the
+        pipelined stages), so fan-out work still lands in one delta."""
+        import threading
+
+        mgr = CacheManager(policy="memory")
+        mgr.put("ns/shared", 42)
+        with mgr.stats_scope() as scope:
+            def worker():
+                with mgr.stats_scope(scope):
+                    assert mgr.get("ns/shared") == 42
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+            assert mgr.get("ns/shared") == 42
+        assert scope.hits == 2
+
+    def test_interleaved_requests_attribute_independently(self):
+        """Regression: two overlapped requests on one manager.  Snapshot
+        subtraction would charge each request with the other's lookups;
+        scopes must keep the deltas disjoint."""
+        import threading
+
+        mgr = CacheManager(policy="memory")
+        barrier = threading.Barrier(2, timeout=10)
+        scopes = {}
+
+        def request(name, n_ops):
+            with mgr.stats_scope() as scope:
+                scopes[name] = scope
+                for i in range(n_ops):
+                    key = f"ns/{name}-{i}"
+                    assert mgr.get(key) is None       # miss
+                    mgr.put(key, i)
+                    assert mgr.get(key) == i          # hit
+                    barrier.wait()                    # force interleaving
+        a = threading.Thread(target=request, args=("a", 3))
+        b = threading.Thread(target=request, args=("b", 3))
+        a.start(); b.start(); a.join(); b.join()
+
+        for name in ("a", "b"):
+            scope = scopes[name]
+            assert (scope.hits, scope.misses, scope.puts) == (3, 3, 3)
+            assert scope.hit_rate == 0.5
+        # The global counters saw everything.
+        assert mgr.stats.hits == 6
+        assert mgr.stats.misses == 6
+        assert mgr.stats.puts == 6
+
+    def test_scope_sees_own_evictions(self):
+        mgr = CacheManager(policy="memory", memory_bytes=256)
+        with mgr.stats_scope() as scope:
+            mgr.put("ns/a", np.zeros(24))            # ~192 bytes + overhead
+            mgr.put("ns/b", np.zeros(24))            # evicts a
+        assert scope.evictions >= 1
+        assert mgr.stats.evictions == scope.evictions
+
+    def test_scope_with_policy_off_stays_zero(self):
+        mgr = CacheManager(policy="off")
+        with mgr.stats_scope() as scope:
+            mgr.put("ns/k", 1)
+            assert mgr.get("ns/k") is None
+        assert scope.lookups == 0
+        assert scope.puts == 0

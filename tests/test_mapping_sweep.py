@@ -138,3 +138,17 @@ class TestRunSweep:
         assert [r.label for r in report.runs] == ["loose", "tight"]
         with pytest.raises(ValueError, match="labels"):
             run_sweep(protein, configs, labels=["only-one"])
+
+    def test_runs_record_serialized_configs(self, protein):
+        """Every sweep point carries its variant's JSON-ready config, so
+        reports and job logs can replay any point without live objects."""
+        import json
+
+        from repro.mapping.ftmap import FTMapConfig
+
+        configs = sweep_grid(tiny_config(), cluster_radius=(3.0, 4.0))
+        report = run_sweep(protein, configs)
+        for run, config in zip(report.runs, configs):
+            assert run.config_dict == config.to_dict()
+            wire = json.dumps(run.config_dict)          # JSON-clean
+            assert FTMapConfig.from_dict(json.loads(wire)) == config

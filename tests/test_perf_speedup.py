@@ -8,6 +8,7 @@ import pytest
 
 from repro.perf.speedup import (
     batching_sweep,
+    pipeline_makespan,
     multicore_comparison,
     overall_speedup,
     scheme_ladder,
@@ -143,3 +144,28 @@ class TestRendering:
         assert format_time(5e-3).endswith("ms")
         assert format_time(5.0).endswith("s")
         assert format_time(500.0).endswith("min")
+
+
+class TestPipelineMakespan:
+    def test_single_stage_is_sequential_sum(self):
+        assert pipeline_makespan([[2.0], [3.0], [1.0]]) == 6.0
+
+    def test_single_item_is_stage_sum(self):
+        assert pipeline_makespan([[2.0, 3.0, 1.0]]) == 6.0
+
+    def test_balanced_two_stage_overlap(self):
+        # n equal items of (s, s): makespan = (n + 1) * s, not 2ns.
+        times = [[1.0, 1.0]] * 4
+        assert pipeline_makespan(times) == pytest.approx(5.0)
+
+    def test_bottleneck_stage_dominates(self):
+        # Stage 2 is 3x slower: makespan -> fill + n * bottleneck.
+        times = [[1.0, 3.0]] * 3
+        assert pipeline_makespan(times) == pytest.approx(1.0 + 3 * 3.0)
+
+    def test_empty_and_validation(self):
+        assert pipeline_makespan([]) == 0.0
+        with pytest.raises(ValueError, match="rectangular"):
+            pipeline_makespan([[1.0, 2.0], [1.0]])
+        with pytest.raises(ValueError, match="non-negative"):
+            pipeline_makespan([[-1.0]])

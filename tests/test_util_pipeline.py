@@ -1,0 +1,103 @@
+"""PipelineExecutor: ordering, serial equivalence, error propagation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.util.parallel import PipelineExecutor, pipeline_map
+
+
+def add1(x):
+    return x + 1
+
+
+def double(x):
+    return x * 2
+
+
+class TestPipelineExecutor:
+    def test_matches_serial_composition(self):
+        items = list(range(20))
+        expected = [double(add1(x)) for x in items]
+        assert pipeline_map([add1, double], items) == expected
+        assert pipeline_map([add1, double], items, mode="serial") == expected
+
+    def test_order_preserved_under_uneven_stage_times(self):
+        def slow_on_evens(x):
+            if x % 2 == 0:
+                time.sleep(0.01)
+            return x
+        items = list(range(10))
+        assert pipeline_map([slow_on_evens, add1], items) == [
+            x + 1 for x in items
+        ]
+
+    def test_three_stages(self):
+        items = list(range(8))
+        got = pipeline_map([add1, double, str], items)
+        assert got == [str((x + 1) * 2) for x in items]
+
+    def test_single_item_and_empty(self):
+        assert pipeline_map([add1, double], [3]) == [8]
+        assert pipeline_map([add1, double], []) == []
+
+    def test_stages_overlap_across_items(self):
+        """While stage 2 works on item k, stage 1 must be free to start
+        item k+1 — the defining property of the pipeline."""
+        in_stage1 = threading.Event()
+        stage2_blocked = threading.Event()
+        release = threading.Event()
+        overlap_seen = []
+
+        def stage1(x):
+            if x == 1:
+                in_stage1.set()
+            return x
+
+        def stage2(x):
+            if x == 0:
+                stage2_blocked.set()
+                # Wait (bounded) for stage 1 to reach the *next* item.
+                overlap_seen.append(in_stage1.wait(timeout=5.0))
+                release.set()
+            return x
+
+        out = pipeline_map([stage1, stage2], [0, 1, 2])
+        assert out == [0, 1, 2]
+        assert stage2_blocked.is_set() and release.is_set()
+        assert overlap_seen == [True]
+
+    def test_earliest_item_error_wins(self):
+        def boom_on(x):
+            if x in (2, 5):
+                raise ValueError(f"item {x}")
+            return x
+
+        with pytest.raises(ValueError, match="item 2"):
+            pipeline_map([boom_on, add1], list(range(8)))
+
+    def test_error_skips_later_stages_for_that_item_only(self):
+        seen = []
+
+        def flaky(x):
+            if x == 1:
+                raise RuntimeError("nope")
+            return x
+
+        def record(x):
+            seen.append(x)
+            return x
+
+        with pytest.raises(RuntimeError, match="nope"):
+            pipeline_map([flaky, record], [0, 1, 2])
+        # Items 0 and 2 still flowed through stage 2; 1 was skipped.
+        assert sorted(seen) == [0, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            PipelineExecutor([])
+        with pytest.raises(ValueError, match="unknown pipeline mode"):
+            PipelineExecutor([add1], mode="process")
+        with pytest.raises(ValueError, match="queue_size"):
+            PipelineExecutor([add1], queue_size=0)
