@@ -62,6 +62,9 @@ from repro.minimize import (
     BatchedMinimizer,
     MinimizationEngine,
     MinimizationRun,
+    MultiDeviceMinimizer,
+    MultiDeviceRun,
+    ShardExecution,
     select_minimize_backend,
 )
 from repro.mapping import (
@@ -77,6 +80,7 @@ from repro.mapping import (
 )
 from repro.cache import CacheManager, CacheStats, resolve_manager
 from repro.cuda import Device, DeviceSpec, TESLA_C1060
+from repro.exec import DeviceTopology, ShardPlan, default_topology
 from repro.api import (
     FTMapService,
     MapRequest,
@@ -87,7 +91,7 @@ from repro.api import (
     receptor_fingerprint,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Molecule",
@@ -119,6 +123,9 @@ __all__ = [
     "BatchedMinimizer",
     "MinimizationEngine",
     "MinimizationRun",
+    "MultiDeviceMinimizer",
+    "MultiDeviceRun",
+    "ShardExecution",
     "select_minimize_backend",
     "FTMapConfig",
     "FTMapResult",
@@ -142,5 +149,8 @@ __all__ = [
     "Device",
     "DeviceSpec",
     "TESLA_C1060",
+    "DeviceTopology",
+    "ShardPlan",
+    "default_topology",
     "__version__",
 ]

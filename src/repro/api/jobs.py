@@ -5,7 +5,9 @@ caller holds a :class:`JobHandle` and interacts only through it — poll
 the status, wait for the result, cancel, read progress events — while the
 service executes the request on its worker pool.  Cancellation is
 cooperative once a job runs: the flag is checked at every stage boundary
-(per probe, per pipeline stage), so a running job stops at the next
+(per probe, per pipeline stage, and — when the request shards
+minimization over multiple virtual devices — per shard start and per
+batch chunk within a shard), so a running job stops at the next
 boundary rather than mid-kernel.  One exception: a request running in
 fork mode (``probe_workers > 1``) executes its probe fan-out as a single
 process-level barrier, so cancellation there applies before the fork and
@@ -56,7 +58,9 @@ class ProgressEvent:
     in the worker processes), then a single ``"consensus"`` (with
     ``probe=""``) for the cross-probe stage.  ``index``/``total`` locate
     the probe within the request, so a client can render per-stage
-    progress without knowing the pipeline.
+    progress without knowing the pipeline.  A multi-device minimization
+    additionally emits ``"minimize-shard"`` per shard, where
+    ``index``/``total`` locate the *shard* within that probe's shard plan.
     """
 
     job_id: str

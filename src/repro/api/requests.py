@@ -141,6 +141,27 @@ class MapResult:
         return self.result.probe_results
 
     @property
+    def minimize_provenance(self) -> Dict[str, Dict[str, object]]:
+        """Where each probe's minimization actually ran.
+
+        Per probe: the executing backend, the device count it was planned
+        over, per-shard pose counts, the deterministic reduction order,
+        and whether the stage was served from the artifact cache (in which
+        case no shards ran at all) — the serving-side answer to "which
+        hardware did this request use".
+        """
+        return {
+            name: {
+                "backend": pr.minimize_backend,
+                "devices": pr.minimize_devices,
+                "shard_sizes": list(pr.minimize_shard_sizes),
+                "reduction_order": list(pr.minimize_reduction_order),
+                "cached": pr.minimize_cached,
+            }
+            for name, pr in self.result.probe_results.items()
+        }
+
+    @property
     def sites(self) -> List[ConsensusSite]:
         return self.result.sites
 

@@ -23,6 +23,14 @@ Three properties define the serving layer:
   *its own* request (:meth:`CacheManager.stats_scope`), which stays
   correct when jobs overlap on the shared manager.
 
+The job model is also the dispatch point for multi-device minimization
+(``config.minimize_devices``): each shard surfaces as a
+``"minimize-shard"`` :class:`ProgressEvent`, cancellation is checked at
+shard and batch-chunk boundaries, and the result records shard/backend
+provenance
+(:attr:`MapResult.minimize_provenance`).  Warm requests skip the stage
+entirely through the shard-invariant minimized-ensemble cache.
+
 Every legacy entrypoint (:func:`repro.mapping.ftmap.run_ftmap`, the sweep
 runner, examples, benchmarks) is a thin client of this service.
 """
@@ -354,20 +362,40 @@ class FTMapService:
             index, name, probe, run = task
             handle._check_cancelled()
             handle._emit("minimize", name, index, total)
-            minimized, centers, energies, minimize_backend = (
-                _ftmap.minimize_poses(receptor, probe, run.poses, cfg)
+
+            def on_shard(shard_index: int, num_shards: int) -> None:
+                # Per-shard dispatch events: a multi-device minimization
+                # surfaces each shard as it starts, so clients can render
+                # device-level progress within the stage.
+                handle._emit("minimize-shard", name, shard_index, num_shards)
+
+            # cancel_check reaches the engine's shard starts and the
+            # batch-chunk boundaries inside each shard: a cancelled job
+            # stops mid-stage, not just between stages.
+            stage = _ftmap.minimize_poses(
+                receptor,
+                probe,
+                run.poses,
+                cfg,
+                cache=manager,
+                cancel_check=handle._check_cancelled,
+                on_shard=on_shard,
             )
             handle._emit("cluster", name, index, total)
-            clusters = _ftmap.cluster_probe(centers, energies, cfg)
+            clusters = _ftmap.cluster_probe(stage.centers, stage.energies, cfg)
             return ProbeResult(
                 probe_name=name,
                 docked_poses=run.poses,
-                minimized=minimized,
-                minimized_centers=centers,
-                minimized_energies=energies,
+                minimized=stage.results,
+                minimized_centers=stage.centers,
+                minimized_energies=stage.energies,
                 clusters=clusters,
                 docking_backend=run.backend,
-                minimize_backend=minimize_backend,
+                minimize_backend=stage.backend,
+                minimize_devices=stage.devices,
+                minimize_shard_sizes=stage.shard_sizes,
+                minimize_reduction_order=stage.reduction_order,
+                minimize_cached=stage.cached,
             )
 
         if mode == "fork":

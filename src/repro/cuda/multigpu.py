@@ -16,6 +16,14 @@ The per-device work is the single-GPU pipeline; the multi-GPU model adds
 uploads on every device, and (iii) load imbalance from integer division of
 the work items.  There is no inter-GPU communication — the reduction of
 filtered poses is a host-side merge of k x rotations tiny records.
+
+The device math lives in the shared execution-topology layer
+(:mod:`repro.exec`): :class:`MultiGpuConfig` is a thin front over a
+:class:`~repro.exec.topology.DeviceTopology`, and the per-phase work
+split is a :class:`~repro.exec.plan.ShardPlan` — the same plan the
+minimization engine executes for real
+(:mod:`repro.minimize.multidevice`), so the docking model and the
+minimization implementation cannot disagree about sharding.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.cuda.device import Device, DeviceSpec, TESLA_C1060
+from repro.exec.topology import DeviceTopology
 
 __all__ = ["MultiGpuConfig", "MultiGpuTimes", "multi_gpu_mapping_times", "scaling_curve"]
 
@@ -39,6 +48,10 @@ class MultiGpuConfig:
         if self.num_gpus < 1:
             raise ValueError("need at least one GPU")
 
+    def topology(self) -> DeviceTopology:
+        """This node as a shared execution topology."""
+        return DeviceTopology(num_devices=self.num_gpus, device_spec=self.spec)
+
 
 @dataclass
 class MultiGpuTimes:
@@ -53,10 +66,6 @@ class MultiGpuTimes:
         return self.docking_s + self.minimization_s + self.broadcast_s
 
 
-def _ceil_div(a: int, b: int) -> int:
-    return -(-a // b)
-
-
 def multi_gpu_mapping_times(
     config: MultiGpuConfig,
     rotations: int = 500,
@@ -65,32 +74,28 @@ def multi_gpu_mapping_times(
 ) -> MultiGpuTimes:
     """Predict per-probe mapping time on ``config.num_gpus`` devices.
 
-    Work items round-robin across devices; wall-clock per phase is the
-    busiest device (ceil-division load imbalance).  Each device receives
-    the receptor grids once (22 channels x 128^3 floats ~ 184 MB).
+    Work items shard contiguously across devices
+    (:meth:`~repro.exec.topology.DeviceTopology.plan`); wall-clock per
+    phase is the busiest device (ceil-division load imbalance).  Each
+    device receives the receptor grids once (22 channels x 128^3 floats
+    ~ 184 MB), serialized through the host.
     """
     from repro.gpu.pipeline import GpuFTMapPipeline, ITERATIONS_PER_CONFORMATION
 
-    g = config.num_gpus
+    topology = config.topology()
     pipe = GpuFTMapPipeline(Device(config.spec), **pipeline_kwargs)
 
     per_rotation = pipe.docking_times().total_per_rotation_s
     per_iteration = pipe.minimization_times().total_per_iteration_s
 
-    rot_per_gpu = _ceil_div(rotations, g)
-    conf_per_gpu = _ceil_div(conformations, g)
-
-    # Receptor broadcast: channels x N^3 floats to every device (PCIe
-    # transfers serialize through the host in this era's systems).
     rec_bytes = pipe.channels * pipe.n**3 * 4
-    broadcast = g * pipe.device.cost_model.transfer_time(rec_bytes)
 
     return MultiGpuTimes(
-        docking_s=rot_per_gpu * per_rotation,
-        minimization_s=conf_per_gpu
+        docking_s=topology.plan(rotations).largest * per_rotation,
+        minimization_s=topology.plan(conformations).largest
         * ITERATIONS_PER_CONFORMATION
         * per_iteration,
-        broadcast_s=broadcast,
+        broadcast_s=topology.broadcast_s(rec_bytes),
     )
 
 

@@ -14,6 +14,10 @@ cost of every backend and picks the cheapest:
   supplied — the virtual device predicts time but executes on the host, so
   it must be opted into.
 
+Host constants and the default device spec come from the shared topology
+layer (:mod:`repro.exec.topology`), the same source the minimization
+selector reads — one set of machine constants, no per-subsystem copies.
+
 The decision carries every backend's prediction so callers (benchmarks,
 reports) can show the full table, not just the winner.
 """
@@ -24,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.docking.batched import DEFAULT_FFT_BATCH, fft_batch_limit
+from repro.exec.topology import default_device_spec, host_model
 from repro.perf.cpumodel import CpuModel
 
 __all__ = ["BackendDecision", "predict_backend_times", "select_backend", "CPU_BACKENDS"]
@@ -60,7 +65,7 @@ def predict_backend_times(
     is the cost-model kernel time of the constant-memory-batched direct
     kernel plus the per-rotation probe upload.
     """
-    cpu = cpu or CpuModel()
+    cpu = cpu or host_model()
     batch = _resolve_batch(n, channels, num_rotations, batch_size)
     times = {
         "direct": cpu.direct_correlation_s(n, m, channels),
@@ -90,9 +95,7 @@ def select_backend(
     batched path — there is nothing to batch.
     """
     if include_gpu and device_spec is None:
-        from repro.cuda.device import TESLA_C1060
-
-        device_spec = TESLA_C1060
+        device_spec = default_device_spec()
     times = predict_backend_times(
         n, m, channels, num_rotations, batch_size, cpu, device_spec
     )

@@ -1,0 +1,32 @@
+"""Shared execution-topology layer: devices, sharding, host constants.
+
+The one place the package describes *where work runs*: a
+:class:`DeviceTopology` (N homogeneous virtual devices + the host
+machine's cost constants) and a generic :class:`ShardPlan` (balanced
+contiguous assignment with a fixed reduction order).  Multi-device
+docking (:mod:`repro.cuda.multigpu`), multi-device ensemble minimization
+(:mod:`repro.minimize.multidevice`) and both backend-selection layers
+consume this module instead of keeping private copies of the same
+device math.
+"""
+
+from repro.exec.plan import Shard, ShardPlan
+from repro.exec.topology import (
+    DEFAULT_TOPOLOGY,
+    DeviceTopology,
+    VirtualDevice,
+    default_device_spec,
+    default_topology,
+    host_model,
+)
+
+__all__ = [
+    "Shard",
+    "ShardPlan",
+    "DeviceTopology",
+    "VirtualDevice",
+    "DEFAULT_TOPOLOGY",
+    "default_topology",
+    "default_device_spec",
+    "host_model",
+]

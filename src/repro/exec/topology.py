@@ -1,0 +1,116 @@
+"""Shared execution topology: virtual devices + host constants in one place.
+
+Every backend selector and multi-device model in the package prices work
+against the same two machines — the reproduction host
+(:class:`~repro.perf.cpumodel.CpuModel`) and the paper's Tesla C1060
+(:class:`~repro.cuda.costmodel.CostModel`).  Before this layer existed,
+``repro.docking.selection`` and ``repro.minimize.selection`` each built
+their own ``CpuModel()`` default and re-imported ``TESLA_C1060`` as a
+private fallback, and ``repro.cuda.multigpu`` carried its own
+ceil-division device math; three copies of the same constants is how
+cost models drift.  :class:`DeviceTopology` is now the single source:
+*N* homogeneous virtual devices (one :class:`~repro.cuda.device.DeviceSpec`)
+plus the host :class:`~repro.perf.cpumodel.CpuSpec`, with sharding
+(:meth:`DeviceTopology.plan`) and the serialized host-side broadcast model
+(:meth:`DeviceTopology.broadcast_s`) both phases share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.cuda.costmodel import CostModel
+from repro.cuda.device import DeviceSpec, TESLA_C1060
+from repro.exec.plan import ShardPlan
+from repro.perf.cpumodel import CpuModel, CpuSpec, XEON_HARPERTOWN
+
+__all__ = [
+    "VirtualDevice",
+    "DeviceTopology",
+    "default_topology",
+    "default_device_spec",
+    "host_model",
+]
+
+
+@dataclass(frozen=True)
+class VirtualDevice:
+    """One addressable device of a topology."""
+
+    index: int
+    spec: DeviceSpec
+
+
+@dataclass(frozen=True)
+class DeviceTopology:
+    """``num_devices`` homogeneous virtual devices plus the host machine.
+
+    Frozen and hashable: a topology is a value describing hardware, not a
+    stateful object — per-run state (predicted-time ledgers) lives with
+    the executors that consume it.
+    """
+
+    num_devices: int = 1
+    device_spec: DeviceSpec = TESLA_C1060
+    cpu_spec: CpuSpec = XEON_HARPERTOWN
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {self.num_devices}")
+
+    @property
+    def devices(self) -> Tuple[VirtualDevice, ...]:
+        return tuple(
+            VirtualDevice(index=i, spec=self.device_spec)
+            for i in range(self.num_devices)
+        )
+
+    # -- models -------------------------------------------------------------------
+
+    def cpu_model(self) -> CpuModel:
+        """Host cost model (the constants both selection layers read)."""
+        return CpuModel(self.cpu_spec)
+
+    def cost_model(self) -> CostModel:
+        """Per-device GPU cost model."""
+        return CostModel(self.device_spec)
+
+    # -- sharding -----------------------------------------------------------------
+
+    def plan(self, n_items: int) -> ShardPlan:
+        """Balanced contiguous shard plan of ``n_items`` over the devices."""
+        return ShardPlan.contiguous(n_items, self.num_devices)
+
+    def broadcast_s(self, n_bytes: int) -> float:
+        """One ``n_bytes`` host->device copy to *every* device, serialized.
+
+        PCIe transfers of this era serialize through the host, so the
+        broadcast costs ``num_devices`` full copies — the shared-input
+        distribution model both the docking receptor-grid broadcast and
+        the minimization template broadcast use.
+        """
+        return self.num_devices * self.cost_model().transfer_time(n_bytes)
+
+
+#: The package-default topology: one paper GPU + the paper's serial host.
+DEFAULT_TOPOLOGY = DeviceTopology()
+
+_HOST_MODEL = DEFAULT_TOPOLOGY.cpu_model()
+
+
+def default_topology(num_devices: int = 1) -> DeviceTopology:
+    """Default-hardware topology at a given device count."""
+    if num_devices == DEFAULT_TOPOLOGY.num_devices:
+        return DEFAULT_TOPOLOGY
+    return DeviceTopology(num_devices=num_devices)
+
+
+def default_device_spec() -> DeviceSpec:
+    """The device spec selectors fall back to (the paper's C1060)."""
+    return DEFAULT_TOPOLOGY.device_spec
+
+
+def host_model() -> CpuModel:
+    """The shared host cost model (one instance, one set of constants)."""
+    return _HOST_MODEL

@@ -26,6 +26,7 @@ __all__ = [
     "PAIRWISE_VDW_OPS",
     "FORCE_UPDATE_OPS",
     "energy_kernel_launch",
+    "scheme_c_iteration_s",
 ]
 
 #: Threads per block used by the minimization kernels.
@@ -86,3 +87,32 @@ def energy_kernel_launch(
         shared_accesses=rows * profile.shared_accesses,
         shared_bytes_per_block=block_threads * 4,
     )
+
+
+def scheme_c_iteration_s(
+    n_pairs: int, n_atoms: int, device_spec, include_host: bool = True
+) -> float:
+    """Cost-model time of one scheme-C minimization iteration on a device.
+
+    Six kernel passes — forward + reverse pairs-list direction of each of
+    the three energy kernels — plus, with ``include_host``, the host-side
+    optimization move.  This is the single per-iteration predictor behind
+    the minimization backend selector, the multi-device shard timings and
+    the shard-scaling tables, so their numbers cannot drift apart.
+    """
+    from repro.cuda.costmodel import CostModel
+
+    cost = CostModel(device_spec)
+    total = 0.0
+    for name, profile in (
+        ("self_energy", SELF_ENERGY_OPS),
+        ("pairwise_vdw", PAIRWISE_VDW_OPS),
+        ("force_update", FORCE_UPDATE_OPS),
+    ):
+        launch = energy_kernel_launch(name, profile, n_pairs, n_atoms)
+        total += 2.0 * cost.kernel_time(launch)   # forward + reverse lists
+    if include_host:
+        from repro.gpu.minimize_kernels import HOST_MOVE_S
+
+        total += HOST_MOVE_S
+    return total

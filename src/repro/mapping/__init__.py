@@ -14,6 +14,7 @@ per-probe cluster representatives; consensus sites rank by how many
 from repro.mapping.ftmap import (
     FTMapConfig,
     FTMapResult,
+    MinimizeStage,
     ProbeResult,
     cluster_probe,
     dock_probe,
@@ -30,6 +31,7 @@ from repro.mapping.sweep import SweepReport, SweepRun, run_sweep, sweep_grid
 __all__ = [
     "FTMapConfig",
     "FTMapResult",
+    "MinimizeStage",
     "ProbeResult",
     "run_ftmap",
     "dock_probe",

@@ -21,11 +21,18 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, fields, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cache.keys import compose_key, mapping_token, molecule_token
+from repro.cache.keys import (
+    array_token,
+    compose_key,
+    float_token,
+    hash_parts,
+    mapping_token,
+    molecule_token,
+)
 from repro.cache.manager import CACHE_POLICIES, CacheManager, CacheStats, resolve_manager
 from repro.constants import POSES_PER_ROTATION
 from repro.docking.engine import BACKEND_NAMES, DockingEngine, DockingRun
@@ -34,6 +41,7 @@ from repro.geometry.transforms import centered
 from repro.mapping.clustering import Cluster, cluster_poses
 from repro.mapping.consensus import ConsensusSite
 from repro.minimize.engine import MINIMIZE_BACKEND_NAMES, MinimizationEngine
+from repro.minimize.multidevice import ShardExecution
 from repro.minimize.minimizer import MinimizationResult, MinimizerConfig
 from repro.structure.builder import pocket_movable_mask
 from repro.structure.molecule import Molecule
@@ -43,6 +51,7 @@ __all__ = [
     "FTMapConfig",
     "ProbeResult",
     "FTMapResult",
+    "MinimizeStage",
     "run_ftmap",
     "dock_probe",
     "minimize_poses",
@@ -64,9 +73,13 @@ class FTMapConfig:
     ``"gpu-sim"`` and ``"auto"``); ``minimize_engine`` selects the
     minimization backend (any
     :class:`~repro.minimize.engine.MinimizationEngine` backend, default
-    cost-model ``"auto"``).  ``probe_workers`` streams whole probes through
-    forked workers — the coarse-grained parallelism of Sec. V.A applied one
-    level up from rotations.
+    cost-model ``"auto"``).  ``minimize_devices`` shards the minimization
+    ensemble over that many virtual devices
+    (:mod:`repro.minimize.multidevice`): with ``minimize_engine`` set to
+    ``"multi-gpu-sim"`` it is the shard width, with ``"auto"`` it opts the
+    sharded backend into cost-model selection.  ``probe_workers`` streams
+    whole probes through forked workers — the coarse-grained parallelism
+    of Sec. V.A applied one level up from rotations.
 
     ``cache_policy`` drives the content-addressed artifact cache
     (:mod:`repro.cache`): ``"off"`` | ``"memory"`` | ``"disk"`` | the
@@ -95,6 +108,7 @@ class FTMapConfig:
     docking_workers: Optional[int] = None
     minimize_engine: str = "auto"     # any MinimizationEngine backend
     minimize_batch_size: Optional[int] = None
+    minimize_devices: Optional[int] = None   # virtual devices for minimization
     probe_workers: Optional[int] = None
     cache_policy: str = "inherit"     # inherit | off | memory | disk
     cache_dir: Optional[str] = None
@@ -103,7 +117,7 @@ class FTMapConfig:
     def __post_init__(self) -> None:
         if not self.probe_names:
             raise ValueError("probe_names must name at least one probe")
-        for field, value in (
+        for name, value in (
             ("num_rotations", self.num_rotations),
             ("poses_per_rotation", self.poses_per_rotation),
             ("receptor_grid", self.receptor_grid),
@@ -112,15 +126,15 @@ class FTMapConfig:
             ("minimizer_iterations", self.minimizer_iterations),
         ):
             if value < 1:
-                raise ValueError(f"{field} must be >= 1, got {value}")
-        for field, value in (
+                raise ValueError(f"{name} must be >= 1, got {value}")
+        for name, value in (
             ("grid_spacing", self.grid_spacing),
             ("cluster_radius", self.cluster_radius),
             ("consensus_radius", self.consensus_radius),
             ("flexible_radius", self.flexible_radius),
         ):
             if not (value > 0):
-                raise ValueError(f"{field} must be positive, got {value}")
+                raise ValueError(f"{name} must be positive, got {value}")
         if self.engine not in BACKEND_NAMES:
             raise ValueError(
                 f"unknown docking engine {self.engine!r}; expected one of "
@@ -131,15 +145,16 @@ class FTMapConfig:
                 f"unknown minimize engine {self.minimize_engine!r}; expected "
                 f"one of {MINIMIZE_BACKEND_NAMES}"
             )
-        for field, value in (
+        for name, value in (
             ("batch_size", self.batch_size),
             ("docking_workers", self.docking_workers),
             ("minimize_batch_size", self.minimize_batch_size),
+            ("minimize_devices", self.minimize_devices),
             ("probe_workers", self.probe_workers),
             ("cache_memory_bytes", self.cache_memory_bytes),
         ):
             if value is not None and value < 1:
-                raise ValueError(f"{field} must be >= 1 when set, got {value}")
+                raise ValueError(f"{name} must be >= 1 when set, got {value}")
         if self.cache_policy not in CACHE_POLICIES + ("inherit",):
             raise ValueError(
                 f"unknown cache policy {self.cache_policy!r}; expected one of "
@@ -227,6 +242,14 @@ class ProbeResult:
     clusters: List[Cluster]
     docking_backend: str = ""
     minimize_backend: str = ""
+    #: Where the minimization actually ran: device count the stage was
+    #: planned over, per-shard pose counts, and the fixed merge order
+    #: (empty / 1 for single-device backends).  ``minimize_cached`` marks
+    #: stages served from the artifact cache — no shards ran at all.
+    minimize_devices: int = 1
+    minimize_shard_sizes: Tuple[int, ...] = ()
+    minimize_reduction_order: Tuple[int, ...] = ()
+    minimize_cached: bool = False
 
 
 @dataclass
@@ -317,28 +340,131 @@ def dock_probe(
     return run
 
 
+@dataclass
+class MinimizeStage:
+    """Outcome of the minimization stage for one probe, with provenance.
+
+    Iterates as the legacy ``(results, centers, energies, backend)``
+    4-tuple, so existing ``a, b, c, d = minimize_poses(...)`` unpacking
+    keeps working; the extra fields record where the work actually ran —
+    device count, per-shard pose counts, the fixed reduction order, and
+    whether the whole stage was served from the artifact cache.
+    """
+
+    results: List[MinimizationResult]
+    centers: np.ndarray                    # (M, 3)
+    energies: np.ndarray                   # (M,)
+    backend: str
+    devices: int = 1
+    shards: Tuple[ShardExecution, ...] = ()
+    reduction_order: Tuple[int, ...] = ()
+    cached: bool = False
+    predicted_makespan_s: Optional[float] = None
+
+    @property
+    def shard_sizes(self) -> Tuple[int, ...]:
+        return tuple(s.n_poses for s in self.shards)
+
+    def __iter__(self):
+        return iter((self.results, self.centers, self.energies, self.backend))
+
+
+#: Numerics families of the minimization backends: every backend in a
+#: family produces bitwise-identical per-pose results (serial ==
+#: multiprocess == gpu-sim's fp64 reference numerics; batched ==
+#: multi-gpu-sim's fp32 lock-step arithmetic, shard/batch-invariant), so
+#: cached ensembles are shared within a family and never across.
+_MINIMIZE_NUMERICS_FAMILY = {
+    "serial": "serial-fp64",
+    "multiprocess": "serial-fp64",
+    "gpu-sim": "serial-fp64",
+    "batched": "batched-fp32",
+    "multi-gpu-sim": "batched-fp32",
+}
+
+
+def _minimize_result_key(
+    receptor: Molecule,
+    probe: Molecule,
+    top: Sequence[DockedPose],
+    config: FTMapConfig,
+    resolved_backend: str,
+) -> str:
+    """Cache key of one probe's minimized ensemble.
+
+    Keyed by the dock-result content actually refined (the top poses'
+    transforms and scores — a different docking engine or rotation set
+    changes these, so dock identity is carried by the poses themselves),
+    the minimizer configuration, and the *numerics family* of the
+    **resolved** backend — never the config string, so ``"auto"`` keys on
+    what it actually resolved to and cannot serve fp32 results where a
+    fresh run would compute fp64 (or vice versa).  Deliberately
+    **shard-invariant**: device count and batch size are excluded because
+    per-pose results are independent of how the ensemble is sharded or
+    batched (the multi-device reduction is deterministic, tested
+    bitwise), so a warm repeat skips minimization whatever topology it
+    asks for.
+    """
+    family = _MINIMIZE_NUMERICS_FAMILY[resolved_backend]
+    pose_parts = []
+    for pose in top:
+        pose_parts.append(array_token(pose.transform.rotation))
+        pose_parts.append(array_token(pose.transform.translation))
+        pose_parts.append(float_token(pose.score))
+    return compose_key(
+        "minimize-results",
+        [
+            molecule_token(receptor),
+            molecule_token(probe),
+            hash_parts("minimized-poses", *pose_parts),
+            mapping_token(
+                minimize_top=config.minimize_top,
+                minimizer_iterations=config.minimizer_iterations,
+                flexible_radius=float(config.flexible_radius),
+                engine_family=family,
+            ),
+        ],
+    )
+
+
 def minimize_poses(
     receptor: Molecule,
     probe: Molecule,
     poses: Sequence[DockedPose],
     config: FTMapConfig,
-) -> Tuple[List[MinimizationResult], np.ndarray, np.ndarray, str]:
+    cache: Optional[CacheManager] = None,
+    cancel_check: Optional[Callable[[], None]] = None,
+    on_shard: Optional[Callable[[int, int], None]] = None,
+) -> MinimizeStage:
     """Stage 2: refine the top docked poses as one batched ensemble.
 
     Builds the receptor+probe complex template once, stacks the top
     ``minimize_top`` pose conformations into a ``(P, N, 3)`` ensemble with
     per-pose pocket masks, and hands the whole stack to the
-    :class:`MinimizationEngine` (backend per ``config.minimize_engine``).
+    :class:`MinimizationEngine` (backend per ``config.minimize_engine``,
+    sharded over ``config.minimize_devices`` virtual devices when set).
 
-    Returns ``(results, centers, energies, backend)``; a probe whose
-    docking produced no poses yields the explicit empty ensemble —
-    ``([], (0, 3), (0,), backend)`` — rather than tripping over empty
-    array construction downstream.
+    With an enabled cache (``cache`` argument, else
+    ``config.cache_manager()``), the whole minimized ensemble is served
+    content-addressed — keyed by the dock-result content x minimizer
+    config x the *resolved* backend's numerics family, shard-invariantly
+    — so a warm repeat mapping skips the minimization itself entirely
+    (the engine is still constructed, because ``"auto"`` only resolves
+    against the real workload; that costs one pose-0 neighbor list, not
+    P poses x iterations of refinement).
+
+    ``cancel_check`` / ``on_shard`` reach the multi-device backend's
+    shard boundaries (cooperative cancellation, per-shard progress).
+
+    Returns a :class:`MinimizeStage` (unpacks as the legacy
+    ``(results, centers, energies, backend)`` tuple); a probe whose
+    docking produced no poses yields the explicit empty ensemble rather
+    than tripping over empty array construction downstream.
     """
     top = list(poses[: config.minimize_top])
     n_probe = probe.n_atoms
     if not top:
-        return [], np.empty((0, 3)), np.empty((0,)), ""
+        return MinimizeStage([], np.empty((0, 3)), np.empty((0,)), "")
 
     placed0 = probe.with_coords(top[0].transform.apply(centered(probe.coords)))
     template = receptor.merged_with(placed0)
@@ -364,11 +490,50 @@ def minimize_poses(
         config=config.minimizer_config(),
         backend=config.minimize_engine,
         batch_size=config.minimize_batch_size,
+        devices=config.minimize_devices,
     )
-    run = engine.run_detailed()
+
+    manager = cache if cache is not None else config.cache_manager()
+    key = ""
+    if manager.enabled:
+        key = _minimize_result_key(receptor, probe, top, config, engine.backend)
+        hit = manager.get(key)
+        if hit is not None:
+            return MinimizeStage(
+                results=list(hit["results"]),
+                centers=hit["centers"].copy(),
+                energies=hit["energies"].copy(),
+                backend=hit["backend"],
+                devices=hit["devices"],
+                cached=True,
+            )
+
+    run = engine.run_detailed(cancel_check=cancel_check, on_shard=on_shard)
     centers = np.stack([r.coords[-n_probe:].mean(axis=0) for r in run.results])
     energies = np.array([r.energy for r in run.results], dtype=float)
-    return run.results, centers, energies, run.backend
+    stage = MinimizeStage(
+        results=run.results,
+        centers=centers,
+        energies=energies,
+        backend=run.backend,
+        devices=run.num_devices,
+        shards=run.shards,
+        reduction_order=run.reduction_order,
+        predicted_makespan_s=run.predicted_device_time_s,
+    )
+    if manager.enabled:
+        manager.put(
+            key,
+            {
+                "results": list(run.results),
+                "centers": centers.copy(),
+                "energies": energies.copy(),
+                "backend": run.backend,
+                "devices": run.num_devices,
+            },
+            codec="pickle",
+        )
+    return stage
 
 
 def cluster_probe(
@@ -389,19 +554,21 @@ def map_probe(
 ) -> ProbeResult:
     """Run one probe through dock -> minimize -> cluster."""
     docking = dock_probe(receptor, probe, config, cache=cache)
-    minimized, centers, energies, minimize_backend = minimize_poses(
-        receptor, probe, docking.poses, config
-    )
-    clusters = cluster_probe(centers, energies, config)
+    stage = minimize_poses(receptor, probe, docking.poses, config, cache=cache)
+    clusters = cluster_probe(stage.centers, stage.energies, config)
     return ProbeResult(
         probe_name=name,
         docked_poses=docking.poses,
-        minimized=minimized,
-        minimized_centers=centers,
-        minimized_energies=energies,
+        minimized=stage.results,
+        minimized_centers=stage.centers,
+        minimized_energies=stage.energies,
         clusters=clusters,
         docking_backend=docking.backend,
-        minimize_backend=minimize_backend,
+        minimize_backend=stage.backend,
+        minimize_devices=stage.devices,
+        minimize_shard_sizes=stage.shard_sizes,
+        minimize_reduction_order=stage.reduction_order,
+        minimize_cached=stage.cached,
     )
 
 

@@ -54,6 +54,34 @@ class SweepRun:
     def hit_rate(self) -> float:
         return self.cache_stats.hit_rate
 
+    @property
+    def minimize_provenance(self) -> Dict[str, str]:
+        """Per-probe tag of where this run's minimization actually ran.
+
+        ``"batched"``, ``"multi-gpu-sim x4"`` (sharded over 4 virtual
+        devices), or ``"cached"`` (the stage was served whole from the
+        artifact cache — the warm-sweep case the minimized-ensemble cache
+        exists for).
+        """
+        out: Dict[str, str] = {}
+        for name, pr in self.result.probe_results.items():
+            if pr.minimize_cached:
+                out[name] = "cached"
+            elif pr.minimize_devices > 1:
+                out[name] = f"{pr.minimize_backend} x{pr.minimize_devices}"
+            else:
+                out[name] = pr.minimize_backend or "-"
+        return out
+
+    @property
+    def backend_summary(self) -> str:
+        """Deduplicated run-level tag (most runs use one backend)."""
+        seen: List[str] = []
+        for tag in self.minimize_provenance.values():
+            if tag not in seen:
+                seen.append(tag)
+        return ",".join(seen) if seen else "-"
+
 
 @dataclass
 class SweepReport:
@@ -72,21 +100,24 @@ class SweepReport:
         return hits / lookups if lookups else 0.0
 
     def render(self) -> str:
-        """ASCII table: run | wall time | cache hits/lookups | hit rate."""
+        """ASCII table: run | wall | cache hits/lookups | rate | where ran."""
         title = (
             f"Parameter sweep — {len(self.runs)} runs, "
             f"{self.total_time_s:.2f} s total, "
             f"{self.overall_hit_rate:.0%} cache hit rate"
         )
         lines = [title, "-" * len(title)]
-        header = f"{'run':<40s} {'time':>10s} {'hits':>6s} {'lookups':>8s} {'rate':>6s}"
+        header = (
+            f"{'run':<40s} {'time':>10s} {'hits':>6s} {'lookups':>8s} "
+            f"{'rate':>6s} {'minimize ran on':<20s}"
+        )
         lines.append(header)
         lines.append("=" * len(header))
         for r in self.runs:
             lines.append(
                 f"{r.label:<40.40s} {r.wall_time_s:>9.3f}s "
                 f"{r.cache_stats.hits:>6d} {r.cache_stats.lookups:>8d} "
-                f"{r.hit_rate:>6.0%}"
+                f"{r.hit_rate:>6.0%} {r.backend_summary:<20.20s}"
             )
         return "\n".join(lines)
 

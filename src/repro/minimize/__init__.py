@@ -34,6 +34,12 @@ from repro.minimize.energy import (
 from repro.minimize.minimizer import MinimizationResult, Minimizer, MinimizerConfig
 from repro.minimize.ensemble import EnsembleEnergyModel, EnsembleEnergyReport
 from repro.minimize.batched import BatchedMinimizer
+from repro.minimize.multidevice import (
+    DEFAULT_MINIMIZE_DEVICES,
+    MultiDeviceMinimizer,
+    MultiDeviceRun,
+    ShardExecution,
+)
 from repro.minimize.selection import (
     MINIMIZE_CPU_BACKENDS,
     MinimizeBackendDecision,
@@ -76,6 +82,10 @@ __all__ = [
     "EnsembleEnergyModel",
     "EnsembleEnergyReport",
     "BatchedMinimizer",
+    "MultiDeviceMinimizer",
+    "MultiDeviceRun",
+    "ShardExecution",
+    "DEFAULT_MINIMIZE_DEVICES",
     "MINIMIZE_CPU_BACKENDS",
     "MinimizeBackendDecision",
     "ensemble_batch_limit",

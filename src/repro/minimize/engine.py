@@ -6,36 +6,50 @@ equivalence tests, the benchmarks — funnels through
 :class:`MinimizationEngine`.  The facade
 
 1. resolves a backend (``serial`` / ``batched`` / ``multiprocess`` /
-   ``gpu-sim`` / ``auto``) via the cost-model selection layer
-   (:mod:`repro.minimize.selection`), sized by ensemble size x pair count,
+   ``gpu-sim`` / ``multi-gpu-sim`` / ``auto``) via the cost-model
+   selection layer (:mod:`repro.minimize.selection`), sized by ensemble
+   size x pair count — and, when a
+   :class:`~repro.exec.topology.DeviceTopology` is supplied, aware of the
+   sharded multi-device option,
 2. builds the matching execution path — per-pose serial
    :class:`~repro.minimize.minimizer.Minimizer` runs, a
    :class:`~repro.minimize.batched.BatchedMinimizer` over an
    :class:`~repro.minimize.ensemble.EnsembleEnergyModel`, a forked
-   per-pose fan-out, or the serial path with a scheme-C virtual-GPU
-   time ledger for ``gpu-sim``,
+   per-pose fan-out, the serial path with a scheme-C virtual-GPU time
+   ledger for ``gpu-sim``, or the sharded
+   :class:`~repro.minimize.multidevice.MultiDeviceMinimizer` for
+   ``multi-gpu-sim``,
 3. runs the ensemble and returns per-pose
    :class:`~repro.minimize.minimizer.MinimizationResult` lists.
 
 Numerics: ``serial``, ``multiprocess``, and double-precision ``batched``
 agree to floating-point summation order (tested); the production batched
 configuration evaluates in float32 — the paper's GPU arithmetic — and
-agrees within single-precision tolerance.
+agrees within single-precision tolerance.  ``multi-gpu-sim`` is
+bitwise-identical to ``batched`` at the same precision whatever the
+device count (per-pose numerics are shard-invariant; the reduction order
+is fixed by the plan).
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.constants import NEIGHBOR_LIST_CUTOFF, VDW_CUTOFF
+from repro.exec.topology import DeviceTopology, default_topology
 from repro.minimize.batched import BatchedMinimizer
 from repro.minimize.energy import EnergyModel
 from repro.minimize.ensemble import EnsembleEnergyModel
 from repro.minimize.minimizer import MinimizationResult, Minimizer, MinimizerConfig
+from repro.minimize.multidevice import (
+    DEFAULT_MINIMIZE_DEVICES,
+    MultiDeviceMinimizer,
+    ShardExecution,
+)
 from repro.minimize.selection import MinimizeBackendDecision, select_minimize_backend
 from repro.structure.molecule import Molecule
 from repro.util.parallel import chunked, parallel_map
@@ -43,7 +57,9 @@ from repro.util.parallel import chunked, parallel_map
 __all__ = ["MinimizationEngine", "MinimizationRun", "MINIMIZE_BACKEND_NAMES"]
 
 #: Backends the facade can execute.
-MINIMIZE_BACKEND_NAMES = ("serial", "batched", "multiprocess", "gpu-sim", "auto")
+MINIMIZE_BACKEND_NAMES = (
+    "serial", "batched", "multiprocess", "gpu-sim", "multi-gpu-sim", "auto",
+)
 
 
 @dataclass
@@ -54,7 +70,17 @@ class MinimizationRun:
     backend: str
     batch_size: int
     decision: MinimizeBackendDecision
-    predicted_device_time_s: Optional[float] = None   # gpu-sim only
+    predicted_device_time_s: Optional[float] = None   # gpu-sim / multi-gpu-sim
+    #: Multi-device provenance: device count the run was planned over,
+    #: per-shard execution records, and the fixed merge order (empty /
+    #: 1 for single-device backends).
+    num_devices: int = 1
+    shards: Tuple[ShardExecution, ...] = field(default_factory=tuple)
+    reduction_order: Tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def shard_sizes(self) -> Tuple[int, ...]:
+        return tuple(s.n_poses for s in self.shards)
 
 
 class MinimizationEngine:
@@ -86,6 +112,18 @@ class MinimizationEngine:
         run float64.
     device:
         Virtual device for ``gpu-sim`` (defaults to the paper's C1060).
+    topology:
+        :class:`~repro.exec.topology.DeviceTopology` for ``multi-gpu-sim``
+        (and for topology-aware ``auto`` selection — supplying a
+        multi-device topology lets the selector weigh the sharded virtual
+        devices against the host backends).
+    devices:
+        Shorthand for ``topology``: a device count on the default
+        hardware.  A bare ``backend="multi-gpu-sim"`` with neither
+        defaults to :data:`~repro.minimize.multidevice.DEFAULT_MINIMIZE_DEVICES`.
+    shard_workers:
+        Concurrent shard executions for ``multi-gpu-sim`` (``1`` forces
+        the sequential shard loop; default one thread per shard).
     """
 
     def __init__(
@@ -99,6 +137,9 @@ class MinimizationEngine:
         workers: int | None = None,
         precision: str = "single",
         device=None,
+        topology: DeviceTopology | None = None,
+        devices: int | None = None,
+        shard_workers: int | None = None,
         nonbonded_cutoff: float = VDW_CUTOFF,
         list_cutoff: float = NEIGHBOR_LIST_CUTOFF,
     ) -> None:
@@ -108,6 +149,14 @@ class MinimizationEngine:
             )
         if precision not in ("single", "double"):
             raise ValueError(f"unknown precision {precision!r}")
+        if topology is not None and devices is not None and topology.num_devices != devices:
+            raise ValueError(
+                f"topology has {topology.num_devices} devices but devices={devices}"
+            )
+        if topology is None and devices is not None:
+            topology = default_topology(devices)
+        if topology is None and backend == "multi-gpu-sim":
+            topology = default_topology(DEFAULT_MINIMIZE_DEVICES)
         stack = np.asarray(coords_stack, dtype=float)
         if stack.ndim == 2:
             stack = stack[None]
@@ -122,6 +171,8 @@ class MinimizationEngine:
         self.nonbonded_cutoff = nonbonded_cutoff
         self.list_cutoff = list_cutoff
         self._device = device
+        self.topology = topology
+        self.shard_workers = shard_workers
         self.workers = workers or os.cpu_count() or 1
         # The ensemble model doubles as the cost-model's pair-count probe
         # (pose 0's movable-filtered list is representative — same topology,
@@ -149,11 +200,12 @@ class MinimizationEngine:
             workers=workers,
             include_gpu=backend == "gpu-sim",
             device_spec=device.spec if device is not None else None,
+            topology=self.topology,
         )
         self.backend = backend if backend != "auto" else self.decision.backend
         if batch_size is not None:
             self.batch_size = batch_size
-        elif self.backend in ("batched", "gpu-sim"):
+        elif self.backend in ("batched", "gpu-sim", "multi-gpu-sim"):
             self.batch_size = self.decision.batch_size
         else:
             self.batch_size = 1
@@ -163,13 +215,39 @@ class MinimizationEngine:
 
     # -- execution ---------------------------------------------------------------
 
-    def run(self) -> List[MinimizationResult]:
+    def run(
+        self,
+        cancel_check: Optional[Callable[[], None]] = None,
+        on_shard: Optional[Callable[[int, int], None]] = None,
+    ) -> List[MinimizationResult]:
         """Minimize the ensemble; one result per pose, in pose order."""
-        return self.run_detailed().results
+        return self.run_detailed(cancel_check=cancel_check, on_shard=on_shard).results
 
-    def run_detailed(self) -> MinimizationRun:
-        """Minimize and report backend provenance (and GPU time ledger)."""
+    def run_detailed(
+        self,
+        cancel_check: Optional[Callable[[], None]] = None,
+        on_shard: Optional[Callable[[int, int], None]] = None,
+    ) -> MinimizationRun:
+        """Minimize and report backend provenance (and GPU time ledger).
+
+        ``cancel_check`` / ``on_shard`` drive the ``multi-gpu-sim``
+        backend's cooperative boundaries (a raising ``cancel_check`` stops
+        queued shards from starting and running shards at their next
+        batch chunk); other backends honor ``cancel_check`` once, before
+        any work starts.
+        """
         predicted_device_s: Optional[float] = None
+        # Provenance reports the devices the run was *planned over*, which
+        # is only >1 when the sharded backend actually executes.
+        num_devices = (
+            self.topology.num_devices
+            if self.backend == "multi-gpu-sim" and self.topology is not None
+            else 1
+        )
+        shards: Tuple[ShardExecution, ...] = ()
+        reduction_order: Tuple[int, ...] = ()
+        if cancel_check is not None and self.backend != "multi-gpu-sim":
+            cancel_check()
         if self.n_poses == 0:
             results: List[MinimizationResult] = []
         elif self.backend == "serial":
@@ -178,6 +256,23 @@ class MinimizationEngine:
             results = self._run_batched()
         elif self.backend == "multiprocess":
             results = self._run_multiprocess()
+        elif self.backend == "multi-gpu-sim":
+            md = MultiDeviceMinimizer(
+                self.molecule,
+                self.coords_stack,
+                movable=self.movable,
+                config=self.config,
+                topology=self.topology,
+                precision=self.precision,
+                batch_size=self.batch_size,
+                nonbonded_cutoff=self.nonbonded_cutoff,
+                list_cutoff=self.list_cutoff,
+                shard_workers=self.shard_workers,
+            ).run(cancel_check=cancel_check, on_shard=on_shard)
+            results = md.results
+            predicted_device_s = md.predicted_makespan_s
+            shards = md.shards
+            reduction_order = md.reduction_order
         else:
             results, predicted_device_s = self._run_gpu_sim()
         return MinimizationRun(
@@ -186,6 +281,9 @@ class MinimizationEngine:
             batch_size=self.batch_size,
             decision=self.decision,
             predicted_device_time_s=predicted_device_s,
+            num_devices=num_devices,
+            shards=shards,
+            reduction_order=reduction_order,
         )
 
     # -- backends ----------------------------------------------------------------

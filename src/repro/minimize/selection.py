@@ -12,10 +12,21 @@ pick the cheapest:
   counts), while process fan-out divides the array arithmetic across cores
   (it wins for very large pair counts where arithmetic dominates),
 * ``gpu-sim`` from the analytic GPU cost model applied to the three
-  scheme-C energy kernels (via the shared launch builder in
+  scheme-C energy kernels (via the shared per-iteration predictor in
   :mod:`repro.gpu.minimize_common`), included only when a device spec is
   supplied — the virtual device predicts time but executes on the host, so
-  it must be opted into.
+  it must be opted into,
+* ``multi-gpu-sim`` from the same kernel model sharded over a
+  :class:`~repro.exec.topology.DeviceTopology`: the predicted phase time
+  is the busiest shard (ceil-division imbalance) plus the per-shard
+  ensemble upload and the serialized template broadcast.  Supplying a
+  multi-device topology *is* the opt-in — auto-selection then weighs the
+  sharded virtual devices against the host backends.
+
+Host constants and the default device spec come from the shared topology
+layer (:mod:`repro.exec.topology`) — this module no longer keeps its own
+``CpuModel()`` / ``TESLA_C1060`` fallbacks, so it cannot drift from the
+docking selector.
 
 The decision carries every backend's prediction so callers (benchmarks,
 reports) can show the full table, not just the winner.
@@ -27,6 +38,7 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.exec.topology import DeviceTopology, default_device_spec, host_model
 from repro.perf.cpumodel import CpuModel
 
 __all__ = [
@@ -36,6 +48,7 @@ __all__ = [
     "MinimizeBackendDecision",
     "ensemble_batch_limit",
     "predict_minimize_times",
+    "multi_device_phase_s",
     "select_minimize_backend",
 ]
 
@@ -79,16 +92,24 @@ def predict_minimize_times(
     workers: Optional[int] = None,
     cpu: Optional[CpuModel] = None,
     device_spec=None,
+    topology: Optional[DeviceTopology] = None,
 ) -> Dict[str, float]:
     """Predicted whole-phase seconds for every minimization backend.
 
-    ``gpu-sim`` appears only when ``device_spec`` is given; its prediction
-    is the cost-model time of the six scheme-C kernel passes per iteration
-    (forward + reverse direction of each energy kernel) plus the host move.
+    ``gpu-sim`` appears only when ``device_spec`` is given (or implied by a
+    ``topology``); its prediction is the cost-model time of the six
+    scheme-C kernel passes per iteration plus the host move.
+    ``multi-gpu-sim`` appears only when a ``topology`` is given: the same
+    per-iteration kernel time, sharded — busiest-device makespan plus the
+    per-shard conformation upload and the serialized template broadcast.
     """
-    cpu = cpu or CpuModel()
+    from repro.gpu.minimize_common import scheme_c_iteration_s
+
+    cpu = cpu or host_model()
     batch = _resolve_batch(n_poses, n_pairs, batch_size)
     w = workers or os.cpu_count() or 1
+    if device_spec is None and topology is not None:
+        device_spec = topology.device_spec
     times = {
         "serial": cpu.host_minimization_phase_s(n_poses, iterations, n_pairs, n_atoms),
         "batched": cpu.host_minimization_phase_s(
@@ -99,10 +120,46 @@ def predict_minimize_times(
         ),
     }
     if device_spec is not None:
-        times["gpu-sim"] = (
-            n_poses * iterations * _gpu_iteration_s(n_pairs, n_atoms, device_spec)
+        times["gpu-sim"] = n_poses * iterations * scheme_c_iteration_s(
+            n_pairs, n_atoms, device_spec
+        )
+    if topology is not None:
+        times["multi-gpu-sim"] = multi_device_phase_s(
+            n_poses, n_pairs, n_atoms, iterations, topology
         )
     return times
+
+
+def multi_device_phase_s(
+    n_poses: int,
+    n_pairs: int,
+    n_atoms: int,
+    iterations: int,
+    topology: DeviceTopology,
+) -> float:
+    """Predicted sharded minimization phase time on ``topology``.
+
+    Busiest-shard makespan of the scheme-C iteration kernels plus the
+    per-shard conformation upload and the serialized template broadcast.
+    The single source of the sharded-phase formula: auto-selection, the
+    ``perf.speedup`` shard-scaling tables and (via the same constants)
+    the executing :class:`~repro.minimize.multidevice.MultiDeviceMinimizer`
+    ledger all read it, so predictions cannot drift from execution.
+    """
+    from repro.gpu.minimize_common import scheme_c_iteration_s
+    from repro.minimize.multidevice import (
+        COORD_BYTES_PER_ATOM,
+        TEMPLATE_BYTES_PER_ATOM,
+    )
+
+    if n_poses <= 0:
+        return 0.0
+    plan = topology.plan(n_poses)
+    cost = topology.cost_model()
+    iter_s = scheme_c_iteration_s(n_pairs, n_atoms, topology.device_spec)
+    upload_s = cost.transfer_time(int(plan.largest * n_atoms * COORD_BYTES_PER_ATOM))
+    broadcast_s = topology.broadcast_s(int(n_atoms * TEMPLATE_BYTES_PER_ATOM))
+    return plan.makespan_s(iterations * iter_s, per_shard_s=upload_s) + broadcast_s
 
 
 def select_minimize_backend(
@@ -115,32 +172,40 @@ def select_minimize_backend(
     include_gpu: bool = False,
     cpu: Optional[CpuModel] = None,
     device_spec=None,
+    topology: Optional[DeviceTopology] = None,
 ) -> MinimizeBackendDecision:
     """Pick the cheapest minimization backend for an ensemble size.
 
     The GPU simulator is considered only with ``include_gpu=True`` (it
     predicts device time while computing on the host, so auto-picking it
-    must be an explicit choice).  A single pose never selects the batched
-    or multiprocess paths — there is nothing to batch or fan out.
+    must be an explicit choice); ``multi-gpu-sim`` is considered only when
+    a multi-device ``topology`` is supplied — naming a topology is the
+    same explicit choice one fan-out wider.  A single pose never selects
+    the batched, multiprocess, or sharded paths — there is nothing to
+    batch, fan out, or shard.
     """
     if include_gpu and device_spec is None:
-        from repro.cuda.device import TESLA_C1060
-
-        device_spec = TESLA_C1060
+        device_spec = (
+            topology.device_spec if topology is not None else default_device_spec()
+        )
     w = workers or os.cpu_count() or 1
     times = predict_minimize_times(
-        n_poses, n_pairs, n_atoms, iterations, batch_size, w, cpu, device_spec
+        n_poses, n_pairs, n_atoms, iterations, batch_size, w, cpu, device_spec,
+        topology,
     )
     candidates = dict(times)
     if not include_gpu:
         candidates.pop("gpu-sim", None)
+    if topology is None or topology.num_devices <= 1:
+        candidates.pop("multi-gpu-sim", None)
     if n_poses <= 1:
         candidates.pop("batched", None)
         candidates.pop("multiprocess", None)
+        candidates.pop("multi-gpu-sim", None)
     backend = min(candidates, key=candidates.get)
     batch = (
         _resolve_batch(n_poses, n_pairs, batch_size)
-        if backend in ("batched", "gpu-sim")
+        if backend in ("batched", "gpu-sim", "multi-gpu-sim")
         else 1
     )
     return MinimizeBackendDecision(
@@ -156,26 +221,3 @@ def _resolve_batch(n_poses: int, n_pairs: int, batch_size: Optional[int]) -> int
     return max(
         1, min(DEFAULT_MINIMIZE_BATCH, ensemble_batch_limit(n_pairs), max(1, n_poses))
     )
-
-
-def _gpu_iteration_s(n_pairs: int, n_atoms: int, device_spec) -> float:
-    """Cost-model time of one scheme-C minimization iteration."""
-    from repro.cuda.costmodel import CostModel
-    from repro.gpu.minimize_common import (
-        FORCE_UPDATE_OPS,
-        PAIRWISE_VDW_OPS,
-        SELF_ENERGY_OPS,
-        energy_kernel_launch,
-    )
-    from repro.gpu.minimize_kernels import HOST_MOVE_S
-
-    cost = CostModel(device_spec)
-    total = 0.0
-    for name, profile in (
-        ("self_energy", SELF_ENERGY_OPS),
-        ("pairwise_vdw", PAIRWISE_VDW_OPS),
-        ("force_update", FORCE_UPDATE_OPS),
-    ):
-        launch = energy_kernel_launch(name, profile, n_pairs, n_atoms)
-        total += 2.0 * cost.kernel_time(launch)   # forward + reverse lists
-    return total + HOST_MOVE_S

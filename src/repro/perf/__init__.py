@@ -19,6 +19,8 @@ from repro.perf.speedup import (
     multicore_comparison,
     batching_sweep,
     scheme_ladder,
+    pipeline_makespan,
+    multigpu_minimization_scaling,
 )
 from repro.perf.tables import ComparisonRow, render_table
 
@@ -35,6 +37,8 @@ __all__ = [
     "multicore_comparison",
     "batching_sweep",
     "scheme_ladder",
+    "pipeline_makespan",
+    "multigpu_minimization_scaling",
     "ComparisonRow",
     "render_table",
 ]

@@ -22,6 +22,7 @@ __all__ = [
     "batching_sweep",
     "scheme_ladder",
     "pipeline_makespan",
+    "multigpu_minimization_scaling",
 ]
 
 #: Paper Table 1 (per rotation): (serial ms, GPU ms, speedup).
@@ -247,6 +248,87 @@ def scheme_ladder(
         ),
     ]
     return rows, times
+
+
+def multigpu_minimization_scaling(
+    device_counts: Sequence[int] = (1, 2, 4, 8),
+    conformations: int | None = None,
+    iterations: int | None = None,
+    pairs: int | None = None,
+    atoms: int | None = None,
+    device_spec=None,
+    measured: Dict[int, float] | None = None,
+) -> Tuple[List[ComparisonRow], Dict[int, float]]:
+    """Predicted (and optionally measured) minimization shard scaling.
+
+    For each device count, the sharded phase makespan from
+    :func:`repro.minimize.selection.multi_device_phase_s` — the *same*
+    formula auto-selection prices and the engine's ledger realizes, not a
+    parallel one, so this table cannot drift from what executes.
+    Defaults are the paper-scale workload (2000 conformations x ~1150
+    iterations over ~10k pairs / 2200 atoms).
+
+    ``measured`` maps device count -> measured wall seconds (e.g. from the
+    shard-scaling benchmark); measured rows and speedups are appended
+    next to the predictions.
+
+    Returns ``(rows, ours)`` where ``ours[g]`` is the predicted speedup
+    over the first device count.
+    """
+    from repro.constants import (
+        CONFORMATIONS_PER_PROBE,
+        TYPICAL_COMPLEX_ATOMS,
+        TYPICAL_PAIR_COUNT,
+    )
+    from repro.exec.topology import DeviceTopology, default_device_spec
+    from repro.gpu.pipeline import ITERATIONS_PER_CONFORMATION
+    from repro.minimize.selection import multi_device_phase_s
+
+    if not device_counts:
+        raise ValueError("device_counts must name at least one count")
+    conformations = conformations or CONFORMATIONS_PER_PROBE
+    iterations = iterations or ITERATIONS_PER_CONFORMATION
+    pairs = pairs or TYPICAL_PAIR_COUNT
+    atoms = atoms or TYPICAL_COMPLEX_ATOMS
+    spec = device_spec or default_device_spec()
+
+    times: Dict[int, float] = {
+        g: multi_device_phase_s(
+            conformations, pairs, atoms, iterations,
+            DeviceTopology(num_devices=g, device_spec=spec),
+        )
+        for g in device_counts
+    }
+
+    base = times[device_counts[0]]
+    ours = {g: base / t for g, t in times.items()}
+    rows: List[ComparisonRow] = []
+    for g in device_counts:
+        rows.append(
+            ComparisonRow(
+                f"{g}-device predicted makespan (min)", None, times[g] / 60.0
+            )
+        )
+        rows.append(
+            ComparisonRow(f"{g}-device predicted speedup", None, ours[g], "x")
+        )
+    if measured:
+        m_base_count = min(measured)
+        for g in sorted(measured):
+            rows.append(
+                ComparisonRow(f"{g}-device measured wall (s)", None, measured[g])
+            )
+        for g in sorted(measured):
+            if g != m_base_count:
+                rows.append(
+                    ComparisonRow(
+                        f"{g}-device measured speedup",
+                        None,
+                        measured[m_base_count] / measured[g],
+                        "x",
+                    )
+                )
+    return rows, ours
 
 
 def pipeline_makespan(stage_times: Sequence[Sequence[float]]) -> float:

@@ -279,7 +279,7 @@ class TestCacheAwareServing:
 
         assert result_1.cache_stats.misses > 0        # cold: filled the cache
         assert result_2.cache_stats.misses == 0       # warm: pure reuse
-        assert result_2.cache_stats.hits == len(cfg.probe_names)
+        assert result_2.cache_stats.hits == 2 * len(cfg.probe_names)
         assert result_2.cache_stats.hit_rate == 1.0
         assert_bitwise_equal(result_1.result, result_2.result)
 
@@ -299,7 +299,7 @@ class TestCacheAwareServing:
         assert warm.cache_stats.misses > 0
         for result in results:
             assert result.cache_stats.misses == 0
-            assert result.cache_stats.hits == len(cfg.probe_names)
+            assert result.cache_stats.hits == 2 * len(cfg.probe_names)
 
     def test_cache_off_reports_no_stats(self, protein):
         cfg = tiny_config(cache_policy="off")
@@ -386,4 +386,4 @@ class TestThreadSafetyOfScopes:
                 t.join()
         for mapped in results.values():
             assert mapped.cache_stats.misses == 0
-            assert mapped.cache_stats.hits == len(cfg.probe_names)
+            assert mapped.cache_stats.hits == 2 * len(cfg.probe_names)

@@ -1,0 +1,158 @@
+"""Tests for the shared execution-topology layer (repro.exec)."""
+
+import pytest
+
+from repro.cuda.device import TESLA_C1060
+from repro.cuda.multigpu import MultiGpuConfig
+from repro.docking.selection import select_backend
+from repro.exec import (
+    DEFAULT_TOPOLOGY,
+    DeviceTopology,
+    ShardPlan,
+    default_device_spec,
+    default_topology,
+    host_model,
+)
+from repro.minimize.selection import predict_minimize_times, select_minimize_backend
+
+FTMAP_PAIRS = 10_000
+FTMAP_ATOMS = 2_200
+
+
+class TestShardPlan:
+    def test_balanced_contiguous(self):
+        plan = ShardPlan.contiguous(10, 4)
+        assert plan.shard_sizes == (3, 3, 2, 2)
+        assert [(s.start, s.stop) for s in plan.shards] == [
+            (0, 3), (3, 6), (6, 8), (8, 10),
+        ]
+        assert plan.largest == 3
+        assert plan.num_shards == 4
+
+    def test_largest_is_ceil_division(self):
+        for n in (1, 5, 16, 17, 2000):
+            for d in (1, 2, 3, 4, 8):
+                assert ShardPlan.contiguous(n, d).largest == -(-n // d)
+
+    def test_fewer_items_than_devices(self):
+        plan = ShardPlan.contiguous(2, 4)
+        assert plan.num_shards == 2
+        assert plan.shard_sizes == (1, 1)
+        assert plan.reduction_order == (0, 1)
+
+    def test_zero_items(self):
+        plan = ShardPlan.contiguous(0, 4)
+        assert plan.shards == ()
+        assert plan.largest == 0
+        assert plan.makespan_s(1.0) == 0.0
+
+    def test_reduction_order_is_plan_order(self):
+        plan = ShardPlan.contiguous(7, 3)
+        assert plan.reduction_order == (0, 1, 2)
+        starts = [s.start for s in plan.shards]
+        assert starts == sorted(starts)
+
+    def test_makespan(self):
+        plan = ShardPlan.contiguous(10, 4)
+        assert plan.makespan_s(2.0) == pytest.approx(6.0)
+        assert plan.makespan_s(2.0, per_shard_s=0.5) == pytest.approx(6.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardPlan.contiguous(-1, 2)
+        with pytest.raises(ValueError):
+            ShardPlan.contiguous(5, 0)
+
+
+class TestDeviceTopology:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceTopology(num_devices=0)
+
+    def test_devices_enumerate(self):
+        topo = DeviceTopology(num_devices=3)
+        assert [d.index for d in topo.devices] == [0, 1, 2]
+        assert all(d.spec is TESLA_C1060 for d in topo.devices)
+
+    def test_broadcast_serializes_through_host(self):
+        one = DeviceTopology(num_devices=1).broadcast_s(1 << 20)
+        four = DeviceTopology(num_devices=4).broadcast_s(1 << 20)
+        assert four == pytest.approx(4 * one)
+
+    def test_plan_delegates(self):
+        assert DeviceTopology(num_devices=4).plan(10).shard_sizes == (3, 3, 2, 2)
+
+    def test_defaults(self):
+        assert default_topology(1) is DEFAULT_TOPOLOGY
+        assert default_topology(4).num_devices == 4
+        assert default_device_spec() is TESLA_C1060
+        assert host_model() is host_model()   # one shared instance
+
+
+class TestSharedConstantsNoDrift:
+    """Both selection layers source machine constants from repro.exec."""
+
+    def test_docking_gpu_fallback_matches_topology(self):
+        implicit = select_backend(48, 4, 8, num_rotations=16, include_gpu=True)
+        assert implicit.predictions["gpu-sim"] > 0
+
+    def test_selectors_share_one_host_model(self):
+        # The same CpuModel instance prices both phases: identical
+        # constants by construction, not by parallel definitions.
+        dock = select_backend(48, 4, 8, num_rotations=16)
+        mini = select_minimize_backend(12, FTMAP_PAIRS, FTMAP_ATOMS, 60)
+        assert dock.predictions and mini.predictions
+
+    def test_multigpu_config_exposes_topology(self):
+        topo = MultiGpuConfig(num_gpus=4).topology()
+        assert isinstance(topo, DeviceTopology)
+        assert topo.num_devices == 4
+        assert topo.device_spec is TESLA_C1060
+
+
+class TestTopologyAwareMinimizeSelection:
+    def test_multi_gpu_prediction_appears_with_topology(self):
+        times = predict_minimize_times(
+            2000, FTMAP_PAIRS, FTMAP_ATOMS, 60,
+            topology=DeviceTopology(num_devices=4),
+        )
+        assert "multi-gpu-sim" in times
+        assert "gpu-sim" in times          # implied by the topology's spec
+
+    def test_prediction_scales_down_with_devices(self):
+        def phase(g):
+            return predict_minimize_times(
+                2000, FTMAP_PAIRS, FTMAP_ATOMS, 60,
+                topology=DeviceTopology(num_devices=g),
+            )["multi-gpu-sim"]
+
+        t1, t2, t4 = phase(1), phase(2), phase(4)
+        assert t1 > t2 > t4
+        assert t1 / t4 > 1.5               # the CI gate's floor, at selection level
+
+    def test_auto_ignores_multi_gpu_without_topology(self):
+        d = select_minimize_backend(2000, FTMAP_PAIRS, FTMAP_ATOMS, 60)
+        assert "multi-gpu-sim" not in d.predictions
+        assert d.backend != "multi-gpu-sim"
+
+    def test_auto_ignores_single_device_topology(self):
+        d = select_minimize_backend(
+            2000, FTMAP_PAIRS, FTMAP_ATOMS, 60,
+            topology=DeviceTopology(num_devices=1),
+        )
+        assert "multi-gpu-sim" in d.predictions   # priced, for the table
+        assert d.backend != "multi-gpu-sim"       # but never auto-picked
+
+    def test_auto_picks_sharded_devices_when_topology_given(self):
+        d = select_minimize_backend(
+            2000, FTMAP_PAIRS, FTMAP_ATOMS, 60,
+            topology=DeviceTopology(num_devices=4),
+        )
+        assert d.backend == "multi-gpu-sim"
+
+    def test_single_pose_never_shards(self):
+        d = select_minimize_backend(
+            1, FTMAP_PAIRS, FTMAP_ATOMS, 60,
+            topology=DeviceTopology(num_devices=4),
+        )
+        assert d.backend not in ("batched", "multiprocess", "multi-gpu-sim")

@@ -332,15 +332,19 @@ class TestArtifactCache:
                 assert np.array_equal(pr.minimized_centers, opr.minimized_centers)
 
     def test_warm_repeat_reuses_dock_results(self, protein):
-        """A repeated mapping hits the dock-result cache: the warm run's
-        only docking-side lookup is one hit per probe."""
+        """A repeated mapping hits the dock-result and minimized-ensemble
+        caches: the warm run does exactly two lookups per probe, both
+        hits, and recomputes nothing."""
         cfg = self._config(cache_policy="memory")
         cold = run_ftmap(protein, cfg)
         warm = run_ftmap(protein, cfg)
-        assert cold.cache_stats.misses >= 3        # grids + spectra + dock
+        assert cold.cache_stats.misses >= 4        # grids+spectra+dock+minimize
         assert warm.cache_stats.misses == 0
-        assert warm.cache_stats.hits == 1          # one probe, one dock hit
+        assert warm.cache_stats.hits == 2          # one probe: dock + minimize
         assert warm.cache_stats.hit_rate == 1.0
+        pr = next(iter(warm.probe_results.values()))
+        assert pr.minimize_cached
+        assert pr.minimize_shard_sizes == ()       # no shards ran at all
 
     def test_structurally_equal_receptor_hits(self, protein):
         """A *rebuilt* receptor with identical content reuses artifacts —
@@ -350,7 +354,7 @@ class TestArtifactCache:
         rebuilt = synthetic_protein(n_residues=60, seed=3)
         assert rebuilt is not protein
         warm = run_ftmap(rebuilt, cfg)
-        assert warm.cache_stats.hits == 1
+        assert warm.cache_stats.hits == 2          # dock + minimized ensemble
         assert warm.cache_stats.misses == 0
 
     def test_different_workload_misses(self, protein):
@@ -373,7 +377,7 @@ class TestArtifactCache:
         assert cold.cache_stats.misses >= 3
         reset_cache_registry()                     # simulate a new process
         warm = run_ftmap(protein, cfg)
-        assert warm.cache_stats.disk_hits == 1
+        assert warm.cache_stats.disk_hits == 2     # dock + minimized ensemble
         assert warm.cache_stats.misses == 0
 
     def test_cached_dock_run_poses_are_private_copies(self, protein):

@@ -72,10 +72,13 @@ class TestRunSweep:
         assert len(report.runs) == 4
         first, rest = report.runs[0], report.runs[1:]
         assert first.cache_stats.misses > 0           # cold: grids+spectra+dock
+        # Dock results always hit after the first run; the minimized
+        # ensemble hits too, except the first appearance of a new
+        # minimize_top (a genuinely new ensemble -> one miss, then cached
+        # for the later variant that shares it).
+        assert [run.cache_stats.misses for run in rest] == [1, 0, 0]
         for run in rest:
-            assert run.cache_stats.misses == 0        # warm: dock result reused
             assert run.cache_stats.hits >= 1
-            assert run.hit_rate == 1.0
         assert report.overall_hit_rate > 0.5
         # Mapping outputs stay per-variant: runs differ where configs do.
         assert report.runs[0].result.sites
