@@ -20,6 +20,20 @@ Quickstart::
         print(result.top_site)
 """
 
+from repro.api.errors import (
+    ApiError,
+    AuthenticationError,
+    DuplicateRequestError,
+    InvalidRequestError,
+    JobCancelledError,
+    JobFailedError,
+    JobNotFoundError,
+    JobTimeoutError,
+    QuotaExceededError,
+    SchemaVersionError,
+    ServiceClosedError,
+    UnknownReceptorError,
+)
 from repro.api.jobs import (
     JOB_CANCELLED,
     JOB_DONE,
@@ -37,6 +51,7 @@ from repro.api.requests import (
     MapResult,
     receptor_fingerprint,
 )
+from repro.api.schema import SCHEMA_VERSION, SUPPORTED_SCHEMA_VERSIONS
 from repro.api.service import FTMapService
 
 __all__ = [
@@ -48,6 +63,20 @@ __all__ = [
     "ProgressEvent",
     "receptor_fingerprint",
     "STREAMING_MODES",
+    "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
+    "ApiError",
+    "InvalidRequestError",
+    "SchemaVersionError",
+    "UnknownReceptorError",
+    "JobNotFoundError",
+    "DuplicateRequestError",
+    "ServiceClosedError",
+    "JobTimeoutError",
+    "JobFailedError",
+    "JobCancelledError",
+    "AuthenticationError",
+    "QuotaExceededError",
     "JOB_QUEUED",
     "JOB_RUNNING",
     "JOB_DONE",

@@ -1,0 +1,224 @@
+"""Typed error taxonomy of the serving API.
+
+Every failure a caller of :mod:`repro.api` (or of the HTTP gateway built
+on it, :mod:`repro.gateway`) can observe has a named exception class
+here, with two properties the bare ``ValueError``/``KeyError`` raises
+they replace never had:
+
+* **a stable machine-readable code** (:attr:`ApiError.code`) and a
+  canonical HTTP status (:attr:`ApiError.http_status`), so a wire
+  protocol can map errors without parsing messages, and
+* **backward compatibility by subclassing** — each typed error derives
+  from the builtin exception the same code path used to raise
+  (``UnknownReceptorError`` is a ``KeyError``, ``ServiceClosedError`` a
+  ``RuntimeError``, ...), so existing ``except ValueError:`` call sites
+  and tests keep working unchanged.
+
+The gateway serializes these as ``{"error": {"code", "message",
+"http_status"}}`` bodies (see :func:`error_body`) and the stdlib client
+rebuilds the matching class from the code (:func:`error_from_code`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+__all__ = [
+    "ApiError",
+    "InvalidRequestError",
+    "SchemaVersionError",
+    "UnknownReceptorError",
+    "JobNotFoundError",
+    "DuplicateRequestError",
+    "ServiceClosedError",
+    "JobTimeoutError",
+    "JobFailedError",
+    "JobCancelledError",
+    "AuthenticationError",
+    "QuotaExceededError",
+    "error_body",
+    "error_from_code",
+    "ERROR_CODES",
+]
+
+
+class ApiError(Exception):
+    """Base of the serving-API error taxonomy.
+
+    ``code`` is the stable wire identifier; ``http_status`` the canonical
+    HTTP status a gateway responds with.  Subclasses override both as
+    class attributes — instances only carry the human-readable message.
+    """
+
+    code: str = "internal_error"
+    http_status: int = 500
+
+    def as_message(self) -> str:
+        """The human-readable message (KeyError-safe).
+
+        ``KeyError``-derived classes repr their single argument through
+        ``str()`` (``str(KeyError("x")) == "'x'"``); this accessor returns
+        the raw message for wire bodies.
+        """
+        if self.args and isinstance(self.args[0], str):
+            return self.args[0]
+        return str(self)
+
+
+class InvalidRequestError(ApiError, ValueError):
+    """A request document or parameter fails validation."""
+
+    code = "invalid_request"
+    http_status = 400
+
+
+class SchemaVersionError(InvalidRequestError):
+    """A wire document declares a schema version this build cannot serve."""
+
+    code = "unsupported_schema_version"
+    http_status = 400
+
+
+class UnknownReceptorError(ApiError, KeyError):
+    """A request references a receptor fingerprint that was never registered."""
+
+    code = "unknown_receptor"
+    http_status = 404
+
+
+class JobNotFoundError(ApiError, KeyError):
+    """A job id does not name any submitted job."""
+
+    code = "job_not_found"
+    http_status = 404
+
+
+class DuplicateRequestError(ApiError, ValueError):
+    """A submitted ``request_id`` collides with an existing job."""
+
+    code = "duplicate_request_id"
+    http_status = 409
+
+
+class ServiceClosedError(ApiError, RuntimeError):
+    """The service (or gateway) is shut down and accepts no new work."""
+
+    code = "service_closed"
+    http_status = 503
+
+
+class JobTimeoutError(ApiError, TimeoutError):
+    """Waiting for a job's result timed out — the job itself is still live.
+
+    Distinct from a *failed* job: :meth:`repro.api.JobHandle.result`
+    raises this only when the wait deadline expires, and re-raises the
+    job's own exception when the job actually failed, so a poll loop can
+    tell "keep waiting" apart from "give up" without inspecting messages.
+    """
+
+    code = "result_timeout"
+    http_status = 408
+
+
+class JobFailedError(ApiError, RuntimeError):
+    """A job reached the ``failed`` state (wire-side surrogate).
+
+    The in-process API re-raises the job's original exception; this class
+    exists for clients on the far side of a wire, where the original
+    object cannot travel — the gateway ships the failure as this code
+    plus the original's message.
+    """
+
+    code = "job_failed"
+    http_status = 500
+
+
+class JobCancelledError(ApiError, RuntimeError):
+    """A job reached the ``cancelled`` state (wire-side surrogate).
+
+    The in-process API raises :class:`repro.api.jobs.JobCancelled`; this
+    class carries the same outcome across a wire, where the gateway maps
+    it to HTTP 409 (the result can never exist).
+    """
+
+    code = "job_cancelled"
+    http_status = 409
+
+
+class AuthenticationError(ApiError):
+    """Missing or unknown API key."""
+
+    code = "unauthenticated"
+    http_status = 401
+
+
+class QuotaExceededError(ApiError):
+    """Admission control shed this request (rate, queue or concurrency).
+
+    ``retry_after_s`` is the earliest time the client should retry;
+    gateways send it as the ``Retry-After`` header.
+    """
+
+    code = "quota_exceeded"
+    http_status = 429
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+#: Wire code -> exception class (the client-side rebuild table).
+ERROR_CODES: Dict[str, Type[ApiError]] = {
+    cls.code: cls
+    for cls in (
+        ApiError,
+        InvalidRequestError,
+        SchemaVersionError,
+        UnknownReceptorError,
+        JobNotFoundError,
+        DuplicateRequestError,
+        ServiceClosedError,
+        JobTimeoutError,
+        JobFailedError,
+        JobCancelledError,
+        AuthenticationError,
+        QuotaExceededError,
+    )
+}
+
+
+def error_body(exc: BaseException) -> Dict[str, object]:
+    """The JSON error envelope a gateway ships for ``exc``.
+
+    Typed errors carry their own code/status; anything else degrades to
+    the opaque ``internal_error`` (the message still travels, the type
+    does not — deliberate, so server-side stack details stay server-side).
+    """
+    if isinstance(exc, ApiError):
+        return {
+            "error": {
+                "code": exc.code,
+                "message": exc.as_message(),
+                "http_status": exc.http_status,
+            }
+        }
+    return {
+        "error": {
+            "code": ApiError.code,
+            "message": f"{type(exc).__name__}: {exc}",
+            "http_status": ApiError.http_status,
+        }
+    }
+
+
+def error_from_code(
+    code: str, message: str, retry_after_s: Optional[float] = None
+) -> ApiError:
+    """Rebuild the typed error a wire body describes (client side)."""
+    cls = ERROR_CODES.get(code, ApiError)
+    if cls is QuotaExceededError:
+        return QuotaExceededError(
+            message,
+            retry_after_s=retry_after_s if retry_after_s is not None else 1.0,
+        )
+    return cls(message)

@@ -17,8 +17,11 @@ again at the consensus stage, not between probes.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.api.errors import JobTimeoutError
+from repro.api.schema import SCHEMA_VERSION, check_schema_version
 
 __all__ = [
     "JOB_QUEUED",
@@ -69,6 +72,32 @@ class ProgressEvent:
     index: int
     total: int
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready wire form (the gateway's SSE ``data:`` payload)."""
+        out: Dict[str, object] = {"schema_version": SCHEMA_VERSION}
+        out.update(asdict(self))
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ProgressEvent":
+        """Rebuild an event from :meth:`to_dict` output (re-validated)."""
+        check_schema_version(data, "ProgressEvent")
+        known = {"schema_version", "job_id", "stage", "probe", "index", "total"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            from repro.api.errors import InvalidRequestError
+
+            raise InvalidRequestError(
+                f"unknown ProgressEvent field(s): {unknown}"
+            )
+        return cls(
+            job_id=str(data.get("job_id", "")),
+            stage=str(data.get("stage", "")),
+            probe=str(data.get("probe", "")),
+            index=int(data.get("index", 0)),
+            total=int(data.get("total", 0)),
+        )
+
 
 class JobHandle:
     """The caller's view of one submitted mapping job.
@@ -89,6 +118,7 @@ class JobHandle:
         self._error: Optional[BaseException] = None
         self._events: List[ProgressEvent] = []
         self._on_event = on_event
+        self._done_callbacks: List[Callable[["JobHandle"], None]] = []
         self._cancel = threading.Event()
         self._done = threading.Event()
         self._lock = threading.Lock()
@@ -112,13 +142,27 @@ class JobHandle:
     def result(self, timeout: Optional[float] = None):
         """Block until terminal, then return the :class:`MapResult`.
 
-        Raises :class:`JobCancelled` for a cancelled job, re-raises the
-        job's exception for a failed one, and raises :class:`TimeoutError`
-        if the job is still running after ``timeout`` seconds.
+        The error contract distinguishes *the wait giving up* from *the
+        job going wrong*, so poll loops never confuse the two:
+
+        * **wait timed out** — the job is still queued/running after
+          ``timeout`` seconds: raises
+          :class:`~repro.api.errors.JobTimeoutError` (a
+          :class:`TimeoutError` subclass, so legacy ``except
+          TimeoutError:`` handlers still catch it).  The job keeps
+          running; calling ``result`` again later is valid and may
+          succeed.
+        * **job failed** — re-raises the job's own exception, whatever
+          its type (even if that happens to be a ``TimeoutError`` raised
+          *inside* the job — it will never be a ``JobTimeoutError``,
+          which only this wait raises).  The job is terminal; retrying
+          ``result`` re-raises the same error.
+        * **job cancelled** — raises :class:`JobCancelled`; terminal.
         """
         if not self._done.wait(timeout):
-            raise TimeoutError(
-                f"job {self.job_id!r} still {self.status()!r} after {timeout}s"
+            raise JobTimeoutError(
+                f"job {self.job_id!r} still {self.status()!r} after "
+                f"{timeout}s (the job keeps running; wait again or cancel)"
             )
         with self._lock:
             if self._status == JOB_CANCELLED:
@@ -149,6 +193,20 @@ class JobHandle:
         """Progress events recorded so far (copy, oldest first)."""
         with self._lock:
             return list(self._events)
+
+    def add_done_callback(self, fn: Callable[["JobHandle"], None]) -> None:
+        """Call ``fn(handle)`` once the job reaches a terminal state.
+
+        Fires exactly once per callback, on the thread that finishes the
+        job (or immediately, on the caller's thread, if the job is
+        already terminal).  The serving layers use this to free admission
+        slots the moment a job completes instead of polling.
+        """
+        with self._lock:
+            if self._status not in _TERMINAL:
+                self._done_callbacks.append(fn)
+                return
+        fn(self)
 
     def exception(self) -> Optional[BaseException]:
         """The error of a failed job, else None."""
@@ -191,4 +249,7 @@ class JobHandle:
             self._status = status
             self._result = result
             self._error = error
+            callbacks, self._done_callbacks = self._done_callbacks, []
         self._done.set()
+        for fn in callbacks:
+            fn(self)

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
+from repro.api.errors import InvalidRequestError
+from repro.api.schema import SCHEMA_VERSION, check_schema_version
 from repro.cache.keys import molecule_token
 from repro.cache.manager import CacheStats
 from repro.mapping.consensus import ConsensusSite
@@ -62,7 +64,7 @@ class MapRequest:
 
     def __post_init__(self) -> None:
         if self.streaming is not None and self.streaming not in STREAMING_MODES:
-            raise ValueError(
+            raise InvalidRequestError(
                 f"unknown streaming mode {self.streaming!r}; expected one of "
                 f"{STREAMING_MODES} or None"
             )
@@ -80,18 +82,19 @@ class MapRequest:
         fingerprint and name their probes through the config.
         """
         if isinstance(self.receptor, Molecule):
-            raise ValueError(
+            raise InvalidRequestError(
                 "only requests that reference a registered receptor by "
                 "fingerprint serialize; call "
                 "FTMapService.register_receptor(receptor) and build the "
                 "request from the returned hash"
             )
         if self.probes is not None:
-            raise ValueError(
+            raise InvalidRequestError(
                 "requests with pre-built probe molecules do not serialize; "
                 "name probes via config.probe_names instead"
             )
         return {
+            "schema_version": SCHEMA_VERSION,
             "receptor": self.receptor,
             "config": self.config.to_dict(),
             "request_id": self.request_id,
@@ -100,21 +103,34 @@ class MapRequest:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "MapRequest":
-        """Rebuild a request from :meth:`to_dict` output (re-validated)."""
-        known = {"receptor", "config", "request_id", "streaming"}
+        """Rebuild a request from :meth:`to_dict` output (re-validated).
+
+        Accepts any supported ``schema_version`` (a missing field means
+        version 1, the pre-versioning dialect); an unsupported version is
+        rejected with :class:`~repro.api.errors.SchemaVersionError`
+        before any field is interpreted.
+        """
+        check_schema_version(data, "MapRequest")
+        known = {"schema_version", "receptor", "config", "request_id", "streaming"}
         unknown = sorted(set(data) - known)
         if unknown:
-            raise ValueError(f"unknown MapRequest field(s): {unknown}")
+            raise InvalidRequestError(f"unknown MapRequest field(s): {unknown}")
         if "receptor" not in data:
-            raise ValueError("MapRequest needs a receptor fingerprint")
+            raise InvalidRequestError("MapRequest needs a receptor fingerprint")
         config = data.get("config")
-        return cls(
-            receptor=data["receptor"],
-            config=(
+        try:
+            cfg = (
                 FTMapConfig.from_dict(config)
                 if config is not None
                 else FTMapConfig()
-            ),
+            )
+        except (TypeError, ValueError) as exc:
+            # FTMapConfig validation speaks bare ValueError/TypeError; at
+            # the wire boundary every malformed document is a typed 400.
+            raise InvalidRequestError(f"invalid MapRequest config: {exc}") from exc
+        return cls(
+            receptor=data["receptor"],
+            config=cfg,
             request_id=data.get("request_id"),
             streaming=data.get("streaming"),
         )
@@ -135,6 +151,32 @@ class MapResult:
     #: How the probes were actually scheduled: ``"sequential"``,
     #: ``"pipeline"`` (stage-overlapped), or ``"fork"`` (probe_workers).
     streaming: str = "sequential"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready wire form of the result (a *summary* document).
+
+        Ships the ranked consensus sites, per-probe cluster summaries with
+        the exact minimized centers/energies (Python floats survive a JSON
+        round trip bitwise, so two runs agree on the wire iff they agree
+        in memory — the property the gateway's identity tests assert),
+        the serving provenance, and the request-scoped cache stats.  The
+        bulk pose payloads stay process-local by design; clients that
+        need them run in-process against :class:`FTMapService`.
+        """
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "request_id": self.request_id,
+            "receptor_hash": self.receptor_hash,
+            "config": self.config.to_dict(),
+            "wall_time_s": float(self.wall_time_s),
+            "streaming": self.streaming,
+            "cache_stats": (
+                self.cache_stats.to_dict()
+                if self.cache_stats is not None
+                else None
+            ),
+            "result": self.result.to_dict(),
+        }
 
     @property
     def probe_results(self) -> Dict[str, ProbeResult]:

@@ -1,0 +1,62 @@
+"""Wire-schema versioning of the serving API.
+
+Every JSON document the API ships (``MapRequest`` / ``MapResult`` /
+``ProgressEvent`` ``to_dict`` forms, and the gateway's HTTP envelopes)
+carries a ``schema_version`` field so the wire shape can evolve without
+ambiguity: a reader that does not understand a document's version rejects
+it with a typed :class:`~repro.api.errors.SchemaVersionError` instead of
+mis-parsing it.
+
+Version history
+---------------
+1
+    Initial wire shape (this PR): by-hash receptors, full ``FTMapConfig``
+    embedded in requests; results as summary documents (sites, per-probe
+    cluster/provenance summaries, cache stats).
+
+Readers accept any version in :data:`SUPPORTED_SCHEMA_VERSIONS`; writers
+always emit :data:`SCHEMA_VERSION` (the newest).  Documents *without* a
+``schema_version`` field are accepted as version 1 — the pre-versioning
+dialect emitted by older builds — so stored request documents keep
+loading.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.api.errors import InvalidRequestError, SchemaVersionError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
+    "check_schema_version",
+]
+
+#: The wire-schema version this build writes.
+SCHEMA_VERSION = 1
+
+#: Versions this build can read.
+SUPPORTED_SCHEMA_VERSIONS = (1,)
+
+
+def check_schema_version(data: Mapping[str, object], document: str) -> int:
+    """Validate ``data['schema_version']`` for a named document type.
+
+    Returns the effective version (missing field = version 1, the
+    pre-versioning dialect).  Raises :class:`SchemaVersionError` for a
+    version this build cannot read and :class:`InvalidRequestError` for a
+    malformed field.
+    """
+    version = data.get("schema_version", 1)
+    if isinstance(version, bool) or not isinstance(version, int):
+        raise InvalidRequestError(
+            f"{document}.schema_version must be an integer, "
+            f"got {version!r}"
+        )
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise SchemaVersionError(
+            f"{document} schema_version {version} is not supported by this "
+            f"build (supported: {list(SUPPORTED_SCHEMA_VERSIONS)})"
+        )
+    return version

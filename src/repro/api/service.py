@@ -42,6 +42,13 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.api.errors import (
+    DuplicateRequestError,
+    InvalidRequestError,
+    JobNotFoundError,
+    ServiceClosedError,
+    UnknownReceptorError,
+)
 from repro.api.jobs import JobCancelled, JobHandle, ProgressEvent
 from repro.api.requests import (
     STREAMING_MODES,
@@ -103,9 +110,11 @@ class FTMapService:
         on_event: Optional[Callable[[ProgressEvent], None]] = None,
     ) -> None:
         if max_workers < 1:
-            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+            raise InvalidRequestError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
         if streaming not in _SERVICE_STREAMING:
-            raise ValueError(
+            raise InvalidRequestError(
                 f"unknown streaming mode {streaming!r}; expected one of "
                 f"{_SERVICE_STREAMING}"
             )
@@ -175,7 +184,7 @@ class FTMapService:
         with self._lock:
             molecule = self._receptors.get(receptor)
         if molecule is None:
-            raise KeyError(
+            raise UnknownReceptorError(
                 f"unknown receptor fingerprint {receptor!r}; call "
                 "register_receptor(receptor) first"
             )
@@ -193,11 +202,11 @@ class FTMapService:
         """
         with self._lock:
             if self._closed:
-                raise RuntimeError("FTMapService is closed")
+                raise ServiceClosedError("FTMapService is closed")
             self._job_counter += 1
             job_id = request.request_id or f"job-{self._job_counter}"
             if job_id in self._jobs:
-                raise ValueError(f"duplicate request_id {job_id!r}")
+                raise DuplicateRequestError(f"duplicate request_id {job_id!r}")
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self.max_workers,
@@ -226,9 +235,16 @@ class FTMapService:
         return handle
 
     def job(self, job_id: str) -> JobHandle:
-        """Look a submitted job up by id."""
+        """Look a submitted job up by id.
+
+        Raises :class:`~repro.api.errors.JobNotFoundError` (a
+        :class:`KeyError` subclass) for an id no submitted job carries.
+        """
         with self._lock:
-            return self._jobs[job_id]
+            handle = self._jobs.get(job_id)
+        if handle is None:
+            raise JobNotFoundError(f"no job with id {job_id!r}")
+        return handle
 
     def map(
         self,

@@ -92,6 +92,21 @@ class CacheStats:
         n = self.lookups
         return self.hits / n if n else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-ready counters (plus the derived lookups / hit rate)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "corrupt_entries": self.corrupt_entries,
+            "disk_write_failures": self.disk_write_failures,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
+
     def __sub__(self, other: "CacheStats") -> "CacheStats":
         return CacheStats(
             hits=self.hits - other.hits,

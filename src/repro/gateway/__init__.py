@@ -1,0 +1,58 @@
+"""HTTP/JSON multi-tenant gateway over the mapping service.
+
+This package makes the session-scoped :class:`~repro.api.FTMapService`
+reachable *over the wire* as a traffic-shaped facility — the serving
+shape the paper's "mapping as a service" end state implies:
+
+* :mod:`repro.gateway.server` — the stdlib ``ThreadingHTTPServer``
+  endpoint surface (register / submit / poll / result / SSE progress /
+  cancel / healthz / stats),
+* :mod:`repro.gateway.auth` — tenants: API keys, request-rate token
+  buckets, per-tenant caps and priorities,
+* :mod:`repro.gateway.admission` — the bounded priority queue that
+  sheds load (HTTP 429 + ``Retry-After``) instead of queueing
+  unboundedly, with per-tenant accounting,
+* :mod:`repro.gateway.wire` — the molecule wire codec (receptors travel
+  once, by value; afterwards every request addresses them by content
+  hash),
+* :mod:`repro.gateway.client` — the stdlib client used by examples and
+  the load benchmark.
+
+Quickstart::
+
+    from repro.api import FTMapService, MapRequest
+    from repro.gateway import GatewayClient, GatewayServer, TenantSpec
+    from repro import FTMapConfig, synthetic_protein
+
+    service = FTMapService(max_workers=2)
+    with GatewayServer(
+        service, [TenantSpec("acme", api_key="acme-key")], owns_service=True
+    ) as gw:
+        client = GatewayClient(gw.url, api_key="acme-key")
+        receptor = client.register_receptor(synthetic_protein())
+        job_id = client.submit(MapRequest(
+            receptor=receptor,
+            config=FTMapConfig(probe_names=("ethanol",)),
+        ))
+        result = client.result(job_id, timeout_s=600)
+        print(result["result"]["sites"])
+"""
+
+from repro.gateway.admission import AdmissionController, GatewayJob, TenantCounters
+from repro.gateway.auth import TenantRegistry, TenantSpec, TokenBucket
+from repro.gateway.client import GatewayClient
+from repro.gateway.server import GatewayServer
+from repro.gateway.wire import molecule_from_wire, molecule_to_wire
+
+__all__ = [
+    "GatewayServer",
+    "GatewayClient",
+    "TenantSpec",
+    "TenantRegistry",
+    "TokenBucket",
+    "AdmissionController",
+    "TenantCounters",
+    "GatewayJob",
+    "molecule_to_wire",
+    "molecule_from_wire",
+]

@@ -1,0 +1,394 @@
+"""Admission control: bounded priority queue, load shedding, accounting.
+
+The gateway never hands raw traffic to the :class:`FTMapService`.  Every
+``POST /v1/jobs`` passes through the :class:`AdmissionController`, which
+enforces — in order, cheapest check first:
+
+1. **request-rate quota** — the tenant's token bucket
+   (:class:`~repro.gateway.auth.TokenBucket`); an empty bucket sheds the
+   request with the exact seconds-until-next-token as ``Retry-After``,
+2. **per-tenant concurrency cap** — at most ``max_in_flight``
+   admitted-but-unfinished jobs per tenant,
+3. **bounded global queue** — at most ``max_queue_depth`` jobs waiting
+   for a dispatch slot; beyond that the gateway *sheds* (HTTP 429)
+   instead of queueing unboundedly, so overload degrades into fast
+   rejections rather than unbounded latency.
+
+Admitted jobs wait in a priority queue ((tenant priority, arrival seq) —
+lower priority value first, FIFO within a tenant class) and a dispatcher
+thread forwards them to the service whenever fewer than
+``max_concurrent`` are running.  Completion is event-driven
+(:meth:`JobHandle.add_done_callback`), not polled: a finishing job frees
+its slot immediately.
+
+Every transition lands in per-tenant counters
+(:class:`TenantCounters`), which is what makes multi-tenant serving
+*accountable*: ``/v1/stats`` attributes accepted/shed/completed traffic
+to the tenant that caused it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.api.errors import (
+    DuplicateRequestError,
+    QuotaExceededError,
+    ServiceClosedError,
+)
+from repro.api.jobs import JOB_QUEUED, JobHandle
+from repro.api.requests import MapRequest
+from repro.api.schema import SCHEMA_VERSION
+from repro.gateway.auth import TenantRegistry, TenantSpec
+
+__all__ = ["GatewayJob", "TenantCounters", "AdmissionController"]
+
+
+@dataclass
+class TenantCounters:
+    """Per-tenant traffic accounting (monotonic counters + live gauges)."""
+
+    submitted: int = 0          # every POST /v1/jobs that authenticated
+    accepted: int = 0           # admitted into the queue
+    shed_rate: int = 0          # 429: token bucket empty
+    shed_concurrency: int = 0   # 429: per-tenant in-flight cap
+    shed_queue: int = 0         # 429: global queue full
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    queued: int = 0             # gauge: admitted, waiting for dispatch
+    running: int = 0            # gauge: dispatched to the service
+
+    @property
+    def shed(self) -> int:
+        return self.shed_rate + self.shed_concurrency + self.shed_queue
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "shed_concurrency": self.shed_concurrency,
+            "shed_queue": self.shed_queue,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "queued": self.queued,
+            "running": self.running,
+        }
+
+
+@dataclass
+class GatewayJob:
+    """One admitted job as the gateway tracks it.
+
+    Before dispatch the job exists only here (``handle`` is None and the
+    status is ``"queued"``); after dispatch every lifecycle question
+    delegates to the service's :class:`JobHandle`.
+    """
+
+    job_id: str
+    tenant: str
+    priority: int
+    request: MapRequest
+    handle: Optional[JobHandle] = None
+    #: Set when the job was cancelled while still in the admission queue.
+    cancelled_in_queue: bool = field(default=False)
+    #: True only inside the dispatch window (popped from the queue, no
+    #: service handle yet) — cancellation waits this window out.
+    dispatching: bool = field(default=False)
+    #: The service refused the dispatch (e.g. closed underneath the
+    #: gateway); terminal, reported as ``"failed"``.
+    dispatch_error: Optional[BaseException] = field(default=None)
+
+    def status(self) -> str:
+        if self.cancelled_in_queue:
+            return "cancelled"
+        if self.dispatch_error is not None:
+            return "failed"
+        if self.handle is None:
+            return JOB_QUEUED
+        return self.handle.status()
+
+    def done(self) -> bool:
+        return self.status() in ("done", "failed", "cancelled")
+
+
+class AdmissionController:
+    """Traffic shaping between authenticated requests and the service.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.api.service.FTMapService` doing the mapping.
+    registry:
+        Tenant registry (API keys, buckets, limits).
+    max_queue_depth:
+        Bound on jobs waiting for a dispatch slot, across all tenants.
+    max_concurrent:
+        Jobs handed to the service at once; defaults to the service's
+        ``max_workers`` (more would just queue invisibly inside the
+        service's executor, defeating the priority order).
+    shed_retry_after_s:
+        ``Retry-After`` hint for queue/concurrency sheds (rate sheds
+        compute the exact bucket refill time instead).
+    """
+
+    def __init__(
+        self,
+        service,
+        registry: TenantRegistry,
+        max_queue_depth: int = 32,
+        max_concurrent: Optional[int] = None,
+        shed_retry_after_s: float = 1.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        self.service = service
+        self.registry = registry
+        self.max_queue_depth = int(max_queue_depth)
+        self.max_concurrent = int(
+            max_concurrent
+            if max_concurrent is not None
+            else getattr(service, "max_workers", 2)
+        )
+        if self.max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent}"
+            )
+        self.shed_retry_after_s = float(shed_retry_after_s)
+        self._clock = clock if clock is not None else time.monotonic
+        self._cv = threading.Condition()
+        self._heap: List[Tuple[int, int, GatewayJob]] = []
+        self._queued = 0          # live entries in the heap (excl. cancelled)
+        self._running = 0
+        self._seq = 0   # heap arrival order (FIFO within a priority class)
+        self._ids = 0   # generated gw-N job ids
+        self._jobs: Dict[str, GatewayJob] = {}
+        self._counters: Dict[str, TenantCounters] = {
+            name: TenantCounters() for name in registry.names()
+        }
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            name="gateway-dispatch",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    # -- admission ---------------------------------------------------------------
+
+    def submit(self, tenant: TenantSpec, request: MapRequest) -> GatewayJob:
+        """Admit ``request`` for ``tenant`` or shed it with a typed 429."""
+        counters = self._counters[tenant.name]
+        with self._cv:
+            if self._closed:
+                raise ServiceClosedError("gateway is shut down")
+            counters.submitted += 1
+
+        # 1. Request-rate quota (bucket has its own lock; the exact
+        #    refill time becomes Retry-After).
+        retry_after = self.registry.bucket(tenant.name).try_acquire()
+        if retry_after > 0.0:
+            with self._cv:
+                counters.shed_rate += 1
+            raise QuotaExceededError(
+                f"tenant {tenant.name!r} exceeded its request rate "
+                f"({tenant.rate:g}/s, burst {tenant.burst})",
+                retry_after_s=retry_after,
+            )
+
+        with self._cv:
+            # 2. Per-tenant concurrency cap (queued + running).
+            if counters.queued + counters.running >= tenant.max_in_flight:
+                counters.shed_concurrency += 1
+                raise QuotaExceededError(
+                    f"tenant {tenant.name!r} already has "
+                    f"{counters.queued + counters.running} job(s) in flight "
+                    f"(cap {tenant.max_in_flight})",
+                    retry_after_s=self.shed_retry_after_s,
+                )
+            # 3. Bounded global queue: shed, never queue unboundedly.
+            if self._queued >= self.max_queue_depth:
+                counters.shed_queue += 1
+                raise QuotaExceededError(
+                    f"admission queue full ({self.max_queue_depth} waiting); "
+                    "shedding load",
+                    retry_after_s=self.shed_retry_after_s,
+                )
+
+            job_id = request.request_id
+            if job_id is None:
+                self._ids += 1
+                while f"gw-{self._ids}" in self._jobs:
+                    self._ids += 1
+                job_id = f"gw-{self._ids}"
+            elif job_id in self._jobs:
+                raise DuplicateRequestError(f"duplicate request_id {job_id!r}")
+
+            job = GatewayJob(
+                job_id=job_id,
+                tenant=tenant.name,
+                priority=tenant.priority,
+                # Pin the gateway id as the service request id so service
+                # handles, progress events and results all agree on it.
+                request=replace(request, request_id=job_id),
+            )
+            self._seq += 1
+            heapq.heappush(self._heap, (tenant.priority, self._seq, job))
+            self._jobs[job_id] = job
+            self._queued += 1
+            counters.accepted += 1
+            counters.queued += 1
+            self._cv.notify_all()
+        return job
+
+    # -- lookup / cancel ---------------------------------------------------------
+
+    def job(self, job_id: str, tenant: Optional[str] = None) -> GatewayJob:
+        """Look an admitted job up; unknown ids (or another tenant's ids,
+        when ``tenant`` is given) raise the 404-typed error — a tenant
+        cannot observe whether someone else's job id exists."""
+        from repro.api.errors import JobNotFoundError
+
+        with self._cv:
+            job = self._jobs.get(job_id)
+        if job is None or (tenant is not None and job.tenant != tenant):
+            raise JobNotFoundError(f"no job with id {job_id!r}")
+        return job
+
+    def cancel(self, job_id: str, tenant: Optional[str] = None) -> bool:
+        """Cancel a job wherever it currently is; True unless terminal.
+
+        Jobs still in the admission queue are cancelled instantly (they
+        never reach the service); dispatched jobs cancel cooperatively
+        through their :class:`JobHandle`.
+        """
+        job = self.job(job_id, tenant=tenant)
+        with self._cv:
+            # A job mid-dispatch (popped, no handle yet) is about to get
+            # one — wait the tiny window out so the cancel lands exactly
+            # once, on the right side of the accounting.
+            while job.dispatching:
+                self._cv.wait()
+            if job.cancelled_in_queue or job.dispatch_error is not None:
+                return False
+            if job.handle is None:
+                job.cancelled_in_queue = True
+                self._queued -= 1
+                counters = self._counters[job.tenant]
+                counters.queued -= 1
+                counters.cancelled += 1
+                self._cv.notify_all()
+                return True
+        return job.handle.cancel()
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._closed and not (
+                    self._queued > 0 and self._running < self.max_concurrent
+                ):
+                    self._cv.wait()
+                if self._closed:
+                    return
+                job = self._pop_next_locked()
+                if job is None:
+                    continue
+                self._running += 1
+                self._counters[job.tenant].queued -= 1
+                self._counters[job.tenant].running += 1
+            try:
+                handle = self.service.submit(job.request)
+            except BaseException as exc:
+                # The service refused (e.g. closed underneath us): return
+                # the slot and mark the job failed-by-accounting.
+                with self._cv:
+                    self._running -= 1
+                    self._counters[job.tenant].running -= 1
+                    self._counters[job.tenant].failed += 1
+                    job.dispatch_error = exc
+                    job.dispatching = False
+                    self._cv.notify_all()
+                continue
+            with self._cv:
+                job.handle = handle
+                job.dispatching = False
+                self._cv.notify_all()
+            handle.add_done_callback(lambda _h, _job=job: self._on_done(_job))
+
+    def _pop_next_locked(self) -> Optional[GatewayJob]:
+        while self._heap:
+            _, _, job = heapq.heappop(self._heap)
+            if job.cancelled_in_queue:
+                continue  # cancelled while waiting; already accounted
+            self._queued -= 1
+            job.dispatching = True
+            return job
+        return None
+
+    def _on_done(self, job: GatewayJob) -> None:
+        status = job.handle.status()
+        with self._cv:
+            self._running -= 1
+            counters = self._counters[job.tenant]
+            counters.running -= 1
+            if status == "done":
+                counters.completed += 1
+            elif status == "failed":
+                counters.failed += 1
+            else:
+                counters.cancelled += 1
+            self._cv.notify_all()
+
+    # -- lifecycle / stats -------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop dispatching; queued jobs are cancelled, running ones keep
+        their handles (the owning server closes the service after)."""
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            for _, _, job in self._heap:
+                if not job.cancelled_in_queue and job.handle is None:
+                    job.cancelled_in_queue = True
+                    counters = self._counters[job.tenant]
+                    counters.queued -= 1
+                    counters.cancelled += 1
+            self._heap.clear()
+            self._queued = 0
+            self._cv.notify_all()
+        self._dispatcher.join(timeout=5.0)
+
+    def stats(self) -> Dict[str, object]:
+        """The ``/v1/stats`` document: queues, tenants, cache."""
+        with self._cv:
+            tenants = {
+                name: counters.to_dict()
+                for name, counters in self._counters.items()
+            }
+            queue_depth = self._queued
+            running = self._running
+            jobs_total = len(self._jobs)
+        cache = self.service.cache.snapshot()
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "queue_depth": queue_depth,
+            "running": running,
+            "max_queue_depth": self.max_queue_depth,
+            "max_concurrent": self.max_concurrent,
+            "jobs_total": jobs_total,
+            "tenants": tenants,
+            "cache": cache.to_dict(),
+        }

@@ -1,0 +1,154 @@
+"""Tenancy: API keys, per-tenant limits, request-rate token buckets.
+
+A *tenant* is one paying consumer of the gateway: a named principal with
+an API key, a sustained request rate + burst allowance (token bucket), a
+cap on how many of its jobs may be in flight at once, and a scheduling
+priority.  The :class:`TenantRegistry` resolves the ``Authorization``
+header to a tenant and owns each tenant's live bucket; everything
+enforcement-shaped (queues, shedding, counters) lives in
+:mod:`repro.gateway.admission`.
+
+Clocks are injectable throughout so quota behavior is deterministic
+under test — production uses ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.api.errors import AuthenticationError, InvalidRequestError
+
+__all__ = ["TenantSpec", "TokenBucket", "TenantRegistry"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Declared limits of one tenant.
+
+    ``rate``/``burst`` parameterize the request token bucket (sustained
+    requests per second and the instantaneous allowance); a tenant may
+    have at most ``max_in_flight`` jobs admitted-but-unfinished (queued
+    or running) at once.  ``priority`` orders the admission queue —
+    *lower* values dispatch first (0 = most urgent), ties FIFO.
+    """
+
+    name: str
+    api_key: str
+    rate: float = 10.0
+    burst: int = 10
+    max_in_flight: int = 4
+    priority: int = 10
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidRequestError("tenant name must be non-empty")
+        if not self.api_key:
+            raise InvalidRequestError(f"tenant {self.name!r} needs an api_key")
+        if not (self.rate > 0):
+            raise InvalidRequestError(
+                f"tenant {self.name!r}: rate must be positive, got {self.rate}"
+            )
+        if self.burst < 1:
+            raise InvalidRequestError(
+                f"tenant {self.name!r}: burst must be >= 1, got {self.burst}"
+            )
+        if self.max_in_flight < 1:
+            raise InvalidRequestError(
+                f"tenant {self.name!r}: max_in_flight must be >= 1, "
+                f"got {self.max_in_flight}"
+            )
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s refill, ``burst`` capacity.
+
+    :meth:`try_acquire` is non-blocking: it returns ``0.0`` when a token
+    was taken and otherwise the seconds until one *will* be available —
+    exactly the number a gateway ships as ``Retry-After``.  Thread-safe.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if not (rate > 0):
+            raise InvalidRequestError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise InvalidRequestError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock if clock is not None else time.monotonic
+        self._tokens = float(burst)
+        self._stamp = self._clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self) -> float:
+        """Take one token if available; else seconds until the next one."""
+        with self._lock:
+            self._refill()
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return 0.0
+            return (1.0 - self._tokens) / self.rate
+
+    def available(self) -> float:
+        """Current token count (refilled to now); for stats/tests."""
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+class TenantRegistry:
+    """API-key -> tenant resolution plus each tenant's live bucket."""
+
+    def __init__(
+        self,
+        tenants: Iterable[TenantSpec],
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        specs = list(tenants)
+        if not specs:
+            raise InvalidRequestError("a gateway needs at least one tenant")
+        names = [t.name for t in specs]
+        if len(set(names)) != len(names):
+            raise InvalidRequestError(f"duplicate tenant names in {names}")
+        keys = [t.api_key for t in specs]
+        if len(set(keys)) != len(keys):
+            raise InvalidRequestError("tenants must have distinct api_keys")
+        self._by_key: Dict[str, TenantSpec] = {t.api_key: t for t in specs}
+        self._by_name: Dict[str, TenantSpec] = {t.name: t for t in specs}
+        self._buckets: Dict[str, TokenBucket] = {
+            t.name: TokenBucket(t.rate, t.burst, clock=clock) for t in specs
+        }
+
+    def authenticate(self, api_key: Optional[str]) -> TenantSpec:
+        """Resolve an API key; missing/unknown keys raise 401-typed errors."""
+        if not api_key:
+            raise AuthenticationError(
+                "missing API key; send 'Authorization: Bearer <key>' "
+                "or 'X-API-Key: <key>'"
+            )
+        tenant = self._by_key.get(api_key)
+        if tenant is None:
+            raise AuthenticationError("unknown API key")
+        return tenant
+
+    def tenant(self, name: str) -> TenantSpec:
+        return self._by_name[name]
+
+    def bucket(self, name: str) -> TokenBucket:
+        return self._buckets[name]
+
+    def names(self) -> list:
+        return list(self._by_name)

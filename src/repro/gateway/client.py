@@ -1,0 +1,227 @@
+"""Stdlib HTTP client for the gateway (examples, tests, load benchmark).
+
+:class:`GatewayClient` wraps ``urllib.request`` — no dependencies — and
+translates the gateway's typed JSON error bodies back into the very same
+exception classes the in-process API raises
+(:mod:`repro.api.errors`), so this code is transport-agnostic::
+
+    try:
+        job_id = client.submit(request)
+    except QuotaExceededError as exc:
+        time.sleep(exc.retry_after_s)   # the wire Retry-After, as a float
+
+Results and events arrive as the wire documents (plain dicts matching
+``MapResult.to_dict()`` / ``ProgressEvent.to_dict()``): the client is a
+*thin* transport, not a re-hydrator — process-local payloads (poses,
+conformations) deliberately never cross the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.api.errors import (
+    ApiError,
+    JobTimeoutError,
+    QuotaExceededError,
+    error_from_code,
+)
+from repro.api.requests import MapRequest
+from repro.gateway.wire import molecule_to_wire
+from repro.structure.molecule import Molecule
+
+__all__ = ["GatewayClient"]
+
+#: Job states the server reports as final.
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+class GatewayClient:
+    """Client for one gateway endpoint, authenticated as one tenant."""
+
+    def __init__(
+        self,
+        base_url: str,
+        api_key: Optional[str] = None,
+        timeout_s: float = 30.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.api_key = api_key
+        self.timeout_s = float(timeout_s)
+
+    # -- transport ---------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]] = None,
+    ) -> Tuple[int, Dict[str, object]]:
+        """One round trip; returns ``(status, parsed_json)``.
+
+        4xx/5xx responses are raised as the typed error their body names
+        (:func:`repro.api.errors.error_from_code`); quota sheds carry the
+        body's exact ``retry_after_s`` (falling back to the integer
+        ``Retry-After`` header).
+        """
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method
+        )
+        request.add_header("Accept", "application/json")
+        if data is not None:
+            request.add_header("Content-Type", "application/json")
+        if self.api_key:
+            request.add_header("Authorization", f"Bearer {self.api_key}")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                payload = json.loads(resp.read().decode("utf-8"))
+                return resp.status, payload
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+                err = payload.get("error") or {}
+            except (ValueError, UnicodeDecodeError):
+                err = {}
+            retry_after = err.get("retry_after_s")
+            if retry_after is None:
+                header = exc.headers.get("Retry-After")
+                retry_after = float(header) if header else None
+            raise error_from_code(
+                str(err.get("code", "internal_error")),
+                str(err.get("message", f"HTTP {exc.code}")),
+                retry_after_s=retry_after,
+            ) from None
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/healthz")[1]
+
+    def stats(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/stats")[1]
+
+    def register_receptor(self, receptor: Molecule) -> str:
+        """Upload a receptor; returns its content fingerprint."""
+        _, doc = self._request(
+            "POST", "/v1/receptors", molecule_to_wire(receptor)
+        )
+        return str(doc["receptor"])
+
+    def submit(
+        self,
+        request: Union[MapRequest, Dict[str, object]],
+        max_retries: int = 0,
+        max_retry_wait_s: float = 10.0,
+    ) -> str:
+        """Submit a request document; returns the job id.
+
+        A shed submit (:class:`QuotaExceededError`) is retried up to
+        ``max_retries`` times, sleeping the server's ``retry_after_s``
+        each attempt (capped at ``max_retry_wait_s``); with the default
+        ``max_retries=0`` the 429 propagates and backpressure is the
+        caller's problem — which is exactly what a load generator wants.
+        """
+        body = request.to_dict() if isinstance(request, MapRequest) else request
+        attempts = 0
+        while True:
+            try:
+                _, doc = self._request("POST", "/v1/jobs", body)
+                return str(doc["job_id"])
+            except QuotaExceededError as exc:
+                if attempts >= max_retries:
+                    raise
+                attempts += 1
+                time.sleep(min(exc.retry_after_s, max_retry_wait_s))
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/jobs/{job_id}")[1]
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")[1]
+
+    def result(
+        self,
+        job_id: str,
+        timeout_s: Optional[float] = None,
+        poll_interval_s: float = 0.05,
+    ) -> Dict[str, object]:
+        """Poll until terminal, then return the result wire document.
+
+        Mirrors :meth:`repro.api.JobHandle.result`: raises
+        :class:`JobTimeoutError` when ``timeout_s`` elapses first (the
+        job keeps running), and the typed failure
+        (``JobFailedError`` / ``JobCancelledError``) for a job that
+        ended without a result.
+        """
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        while True:
+            code, doc = self._request("GET", f"/v1/jobs/{job_id}/result")
+            if code == 200:
+                return doc
+            if deadline is not None and time.monotonic() >= deadline:
+                raise JobTimeoutError(
+                    f"job {job_id!r} still {doc.get('status')!r} after "
+                    f"{timeout_s}s (the job keeps running server-side)"
+                )
+            time.sleep(poll_interval_s)
+
+    def events(self, job_id: str) -> Iterator[Tuple[str, Dict[str, object]]]:
+        """Stream the job's server-sent events as ``(event, payload)``.
+
+        Yields ``("progress", ProgressEvent.to_dict())`` per stage
+        boundary, then exactly one ``("status", job_document)`` when the
+        job reaches a terminal state, and returns.
+        """
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/jobs/{job_id}/events", method="GET"
+        )
+        request.add_header("Accept", "text/event-stream")
+        if self.api_key:
+            request.add_header("Authorization", f"Bearer {self.api_key}")
+        try:
+            resp = urllib.request.urlopen(request, timeout=self.timeout_s)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                err = json.loads(raw.decode("utf-8")).get("error") or {}
+            except (ValueError, UnicodeDecodeError):
+                err = {}
+            raise error_from_code(
+                str(err.get("code", "internal_error")),
+                str(err.get("message", f"HTTP {exc.code}")),
+            ) from None
+        with resp:
+            event_name = "message"
+            for raw_line in resp:
+                line = raw_line.decode("utf-8").rstrip("\n").rstrip("\r")
+                if line.startswith("event:"):
+                    event_name = line[6:].strip()
+                elif line.startswith("data:"):
+                    payload = json.loads(line[5:].strip())
+                    yield event_name, payload
+                    if event_name == "status":
+                        return
+                elif not line:
+                    event_name = "message"
+
+    def map_remote(
+        self,
+        request: Union[MapRequest, Dict[str, object]],
+        timeout_s: Optional[float] = None,
+        max_retries: int = 0,
+    ) -> Dict[str, object]:
+        """Sugar: submit, then wait for the result document."""
+        job_id = self.submit(request, max_retries=max_retries)
+        return self.result(job_id, timeout_s=timeout_s)
+
+
+# Re-exported for callers that catch transport errors generically.
+GatewayError = ApiError

@@ -1,0 +1,432 @@
+"""The HTTP/JSON gateway: stdlib ``http.server`` over :class:`FTMapService`.
+
+One :class:`GatewayServer` owns a :class:`ThreadingHTTPServer` (one
+thread per connection — long-lived SSE streams don't block other
+clients), a :class:`~repro.gateway.auth.TenantRegistry` and an
+:class:`~repro.gateway.admission.AdmissionController` in front of the
+mapping service.  The endpoint surface (all under ``/v1``):
+
+=========  =========================  ===========================================
+method     path                       purpose
+=========  =========================  ===========================================
+``POST``   ``/v1/receptors``          register a receptor by content hash
+``POST``   ``/v1/jobs``               submit a ``MapRequest`` wire document
+``GET``    ``/v1/jobs/{id}``          poll job status
+``GET``    ``/v1/jobs/{id}/result``   fetch the result (202 while running)
+``GET``    ``/v1/jobs/{id}/events``   server-sent progress stream
+``DELETE`` ``/v1/jobs/{id}``          cancel (queued or running)
+``GET``    ``/v1/healthz``            liveness (unauthenticated)
+``GET``    ``/v1/stats``              queues, per-tenant counters, cache stats
+=========  =========================  ===========================================
+
+Authentication is ``Authorization: Bearer <key>`` (or ``X-API-Key``);
+every error is a typed JSON body (:func:`repro.api.errors.error_body`)
+whose HTTP status comes from the exception class, and quota sheds carry
+``Retry-After``.  Tenant isolation is strict: a job is only visible to
+the tenant that submitted it — foreign ids 404 rather than 403, so ids
+don't leak across tenants.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.api.errors import (
+    InvalidRequestError,
+    JobCancelledError,
+    JobFailedError,
+    QuotaExceededError,
+    UnknownReceptorError,
+    error_body,
+)
+from repro.api.requests import MapRequest
+from repro.api.schema import SCHEMA_VERSION
+from repro.api.service import FTMapService
+from repro.gateway.admission import AdmissionController, GatewayJob
+from repro.gateway.auth import TenantRegistry, TenantSpec
+from repro.gateway.wire import molecule_from_wire
+
+__all__ = ["GatewayServer"]
+
+_JOB_ROUTE = re.compile(r"^/v1/jobs/(?P<job_id>[^/]+)(?P<sub>/result|/events)?$")
+
+#: Request bodies above this are rejected before parsing (64 MiB — a
+#: paper-scale receptor serializes to a few MiB of JSON).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class GatewayServer:
+    """In-process HTTP gateway over one mapping service.
+
+    Parameters
+    ----------
+    service:
+        The :class:`FTMapService` to serve.  The gateway does not own it
+        unless ``owns_service=True`` (then :meth:`close` closes it too).
+    tenants:
+        The tenant roster (:class:`TenantSpec`); at least one.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (see
+        :attr:`url` after construction).
+    max_queue_depth / max_concurrent / shed_retry_after_s:
+        Admission-control knobs (see :class:`AdmissionController`).
+    sse_poll_interval_s:
+        How often the ``/events`` stream polls a job's event log.
+
+    Use as a context manager, or :meth:`start` / :meth:`close`::
+
+        with GatewayServer(service, [TenantSpec("acme", "key-1")]) as gw:
+            client = GatewayClient(gw.url, api_key="key-1")
+            ...
+    """
+
+    def __init__(
+        self,
+        service: FTMapService,
+        tenants: Sequence[TenantSpec],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_queue_depth: int = 32,
+        max_concurrent: Optional[int] = None,
+        shed_retry_after_s: float = 1.0,
+        sse_poll_interval_s: float = 0.02,
+        owns_service: bool = False,
+        clock=None,
+    ) -> None:
+        self.service = service
+        self.registry = TenantRegistry(tenants, clock=clock)
+        self.controller = AdmissionController(
+            service,
+            self.registry,
+            max_queue_depth=max_queue_depth,
+            max_concurrent=max_concurrent,
+            shed_retry_after_s=shed_retry_after_s,
+            clock=clock,
+        )
+        self.sse_poll_interval_s = float(sse_poll_interval_s)
+        self._owns_service = owns_service
+        handler = type(
+            "_BoundGatewayHandler", (_GatewayHandler,), {"gateway": self}
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "GatewayServer":
+        """Serve on a daemon thread; returns self (chainable)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name="gateway-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.controller.close()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if self._owns_service:
+            self.service.close()
+
+    def __enter__(self) -> "GatewayServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    """Routes one connection; ``gateway`` is bound by class construction."""
+
+    gateway: GatewayServer
+    protocol_version = "HTTP/1.1"
+    # The default server string leaks the exact Python patch level.
+    server_version = "repro-gateway"
+    sys_version = ""
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging off; /v1/stats is the observability surface
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_obj(self, exc: BaseException) -> None:
+        payload = error_body(exc)
+        status = payload["error"]["http_status"]
+        headers: Dict[str, str] = {}
+        if isinstance(exc, QuotaExceededError):
+            # HTTP Retry-After is integer seconds; the exact float rides
+            # in the body for clients that can use the precision.
+            headers["Retry-After"] = str(max(1, math.ceil(exc.retry_after_s)))
+            payload["error"]["retry_after_s"] = exc.retry_after_s
+        self._send_json(status, payload, headers)
+
+    def _read_json_body(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise InvalidRequestError("request needs a JSON body")
+        if length > MAX_BODY_BYTES:
+            raise InvalidRequestError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise InvalidRequestError(f"malformed JSON body: {exc}") from exc
+        if not isinstance(data, dict):
+            raise InvalidRequestError("JSON body must be an object")
+        return data
+
+    def _authenticate(self) -> TenantSpec:
+        auth = self.headers.get("Authorization") or ""
+        key = None
+        if auth.lower().startswith("bearer "):
+            key = auth[7:].strip()
+        if not key:
+            key = self.headers.get("X-API-Key")
+        return self.gateway.registry.authenticate(key)
+
+    def _job_doc(self, job: GatewayJob) -> Dict[str, object]:
+        n_events = len(job.handle.events()) if job.handle is not None else 0
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "job_id": job.job_id,
+            "tenant": job.tenant,
+            "status": job.status(),
+            "events": n_events,
+        }
+
+    # -- routing -----------------------------------------------------------------
+
+    def _method_not_allowed(self, method: str, path: str) -> None:
+        self._send_json(
+            405,
+            {
+                "error": {
+                    "code": "method_not_allowed",
+                    "message": f"{method} not allowed on {path}",
+                    "http_status": 405,
+                }
+            },
+        )
+
+    def _route(self, method: str) -> None:
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/v1/healthz":
+                if method == "GET":
+                    self._handle_healthz()
+                else:
+                    self._method_not_allowed(method, path)
+                return
+            tenant = self._authenticate()
+            fixed = {
+                "/v1/receptors": ("POST", lambda: self._handle_register(tenant)),
+                "/v1/jobs": ("POST", lambda: self._handle_submit(tenant)),
+                "/v1/stats": ("GET", self._handle_stats),
+            }
+            if path in fixed:
+                allowed, handler = fixed[path]
+                if method == allowed:
+                    handler()
+                else:
+                    self._method_not_allowed(method, path)
+            else:
+                match = _JOB_ROUTE.match(path)
+                if match is None:
+                    self._send_json(
+                        404,
+                        {
+                            "error": {
+                                "code": "not_found",
+                                "message": f"no route for {method} {path}",
+                                "http_status": 404,
+                            }
+                        },
+                    )
+                    return
+                job_id, sub = match.group("job_id"), match.group("sub")
+                if method == "GET" and sub is None:
+                    self._handle_status(tenant, job_id)
+                elif method == "GET" and sub == "/result":
+                    self._handle_result(tenant, job_id)
+                elif method == "GET" and sub == "/events":
+                    self._handle_events(tenant, job_id)
+                elif method == "DELETE" and sub is None:
+                    self._handle_cancel(tenant, job_id)
+                else:
+                    self._method_not_allowed(method, path)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response (SSE disconnects land here)
+        except Exception as exc:  # every failure leaves as a typed JSON body
+            try:
+                self._send_error_obj(exc)
+            except (BrokenPipeError, ConnectionResetError):
+                pass
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._route("DELETE")
+
+    def do_PUT(self) -> None:  # noqa: N802 - 405, not the stdlib's 501
+        self._route("PUT")
+
+    def do_PATCH(self) -> None:  # noqa: N802
+        self._route("PATCH")
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def _handle_healthz(self) -> None:
+        from repro import __version__
+
+        self._send_json(
+            200,
+            {
+                "schema_version": SCHEMA_VERSION,
+                "status": "ok",
+                "version": __version__,
+            },
+        )
+
+    def _handle_register(self, tenant: TenantSpec) -> None:
+        data = self._read_json_body()
+        molecule, fingerprint = molecule_from_wire(data)
+        registered = self.gateway.service.register_receptor(molecule)
+        # molecule_from_wire already verified content == claimed hash, and
+        # register_receptor hashes the same content, so these agree.
+        assert registered == fingerprint
+        self._send_json(
+            201,
+            {
+                "schema_version": SCHEMA_VERSION,
+                "receptor": fingerprint,
+                "n_atoms": molecule.n_atoms,
+            },
+        )
+
+    def _handle_submit(self, tenant: TenantSpec) -> None:
+        data = self._read_json_body()
+        request = MapRequest.from_dict(data)
+        if (
+            isinstance(request.receptor, str)
+            and request.receptor not in self.gateway.service.registered_receptors()
+        ):
+            # Fail fast with the typed 404 instead of burying the unknown
+            # fingerprint in a failed job the client discovers later.
+            raise UnknownReceptorError(
+                f"unknown receptor fingerprint {request.receptor!r}; "
+                "POST it to /v1/receptors first"
+            )
+        job = self.gateway.controller.submit(tenant, request)
+        self._send_json(202, self._job_doc(job))
+
+    def _handle_status(self, tenant: TenantSpec, job_id: str) -> None:
+        job = self.gateway.controller.job(job_id, tenant=tenant.name)
+        self._send_json(200, self._job_doc(job))
+
+    def _handle_result(self, tenant: TenantSpec, job_id: str) -> None:
+        job = self.gateway.controller.job(job_id, tenant=tenant.name)
+        status = job.status()
+        if status == "done":
+            result = job.handle.result(timeout=0)
+            self._send_json(200, result.to_dict())
+        elif status == "failed":
+            if job.dispatch_error is not None:
+                message = str(job.dispatch_error)
+            else:
+                exc = job.handle.exception()
+                message = f"{type(exc).__name__}: {exc}"
+            raise JobFailedError(f"job {job_id!r} failed: {message}")
+        elif status == "cancelled":
+            raise JobCancelledError(f"job {job_id!r} was cancelled")
+        else:
+            self._send_json(202, self._job_doc(job))
+
+    def _handle_events(self, tenant: TenantSpec, job_id: str) -> None:
+        """Server-sent events: replay the log, then stream until terminal."""
+        job = self.gateway.controller.job(job_id, tenant=tenant.name)
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        # No Content-Length: the stream ends when the job does, so this
+        # response is delimited by connection close.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        sent = 0
+        while True:
+            events = job.handle.events() if job.handle is not None else []
+            for event in events[sent:]:
+                self._write_sse("progress", event.to_dict())
+            sent = len(events)
+            if job.done():
+                # Drain anything emitted between the snapshot and the
+                # terminal check, then close with the final status.
+                events = job.handle.events() if job.handle is not None else []
+                for event in events[sent:]:
+                    self._write_sse("progress", event.to_dict())
+                self._write_sse("status", self._job_doc(job))
+                break
+            time.sleep(self.gateway.sse_poll_interval_s)
+        self.close_connection = True
+
+    def _write_sse(self, event: str, payload: Dict[str, object]) -> None:
+        chunk = f"event: {event}\ndata: {json.dumps(payload)}\n\n"
+        self.wfile.write(chunk.encode("utf-8"))
+        self.wfile.flush()
+
+    def _handle_cancel(self, tenant: TenantSpec, job_id: str) -> None:
+        cancelled = self.gateway.controller.cancel(job_id, tenant=tenant.name)
+        job = self.gateway.controller.job(job_id, tenant=tenant.name)
+        doc = self._job_doc(job)
+        doc["cancelled"] = cancelled
+        self._send_json(200, doc)
+
+    def _handle_stats(self) -> None:
+        self._send_json(200, self.gateway.controller.stats())

@@ -1,0 +1,132 @@
+"""Wire codecs of the HTTP gateway.
+
+The gateway speaks JSON documents built from the serving API's
+``to_dict`` forms (:class:`~repro.api.MapRequest`,
+:class:`~repro.api.MapResult`, :class:`~repro.api.ProgressEvent`).  The
+one payload those forms deliberately exclude is the receptor itself —
+requests address receptors by content hash.  This module supplies the
+missing half: a JSON codec for :class:`~repro.structure.molecule.Molecule`
+used by ``POST /v1/receptors``, with an end-to-end integrity check.
+
+Fidelity matters more than compactness here: Python ``float`` values
+round-trip *bitwise* through ``json`` (``repr`` shortest-round-trip), so
+a molecule rebuilt from its wire form hashes to the same content
+fingerprint as the original.  The sender embeds its locally computed
+fingerprint and the receiver recomputes it — any codec drift, truncation
+or parameter-table mismatch surfaces as a typed 400 at registration time
+instead of as silently different artifacts later.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.api.errors import InvalidRequestError
+from repro.api.requests import receptor_fingerprint
+from repro.api.schema import SCHEMA_VERSION, check_schema_version
+from repro.structure.molecule import BondedTopology, Molecule
+
+__all__ = ["molecule_to_wire", "molecule_from_wire"]
+
+_TOPOLOGY_FIELDS = ("bonds", "angles", "dihedrals", "impropers")
+
+
+def molecule_to_wire(molecule: Molecule) -> Dict[str, object]:
+    """JSON-ready form of a molecule (the ``POST /v1/receptors`` body).
+
+    Serializes exactly the content the fingerprint hashes — coordinates,
+    type names, charges and bonded topology (per-atom LJ/ACE parameters
+    re-derive from the type names) — plus the sender-side fingerprint for
+    the receiver's integrity check.  Molecules whose parameters were
+    resolved against a *non-default* force field are rejected: the
+    receiver reconstructs against the shared default table, and a custom
+    table would silently re-parameterize the molecule.
+    """
+    from repro.structure.forcefield import default_forcefield
+
+    if molecule.forcefield is not default_forcefield():
+        raise InvalidRequestError(
+            "only molecules parameterized against the default force field "
+            "serialize over the wire; custom force-field tables do not travel"
+        )
+    topo = molecule.topology
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": molecule.name,
+        "coords": [[float(x) for x in row] for row in molecule.coords],
+        "type_names": list(molecule.type_names),
+        "charges": [float(q) for q in molecule.charges],
+        "topology": {
+            name: [[int(i) for i in row] for row in getattr(topo, name)]
+            for name in _TOPOLOGY_FIELDS
+        },
+        "fingerprint": receptor_fingerprint(molecule),
+    }
+
+
+def molecule_from_wire(data: Dict[str, object]) -> Tuple[Molecule, str]:
+    """Rebuild a molecule from :func:`molecule_to_wire` output.
+
+    Returns ``(molecule, fingerprint)`` where the fingerprint was
+    *recomputed* from the rebuilt molecule.  If the document carries the
+    sender's fingerprint (it always does when produced by
+    :func:`molecule_to_wire`), a mismatch raises
+    :class:`~repro.api.errors.InvalidRequestError` — the content that
+    arrived is not the content the sender hashed.
+    """
+    check_schema_version(data, "Molecule")
+    known = {
+        "schema_version",
+        "name",
+        "coords",
+        "type_names",
+        "charges",
+        "topology",
+        "fingerprint",
+    }
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise InvalidRequestError(f"unknown Molecule field(s): {unknown}")
+    for field in ("coords", "type_names"):
+        if field not in data:
+            raise InvalidRequestError(f"Molecule document needs {field!r}")
+    topo_data = data.get("topology") or {}
+    if not isinstance(topo_data, dict):
+        raise InvalidRequestError("Molecule.topology must be an object")
+    unknown_topo = sorted(set(topo_data) - set(_TOPOLOGY_FIELDS))
+    if unknown_topo:
+        raise InvalidRequestError(
+            f"unknown Molecule.topology field(s): {unknown_topo}"
+        )
+    try:
+        topology = BondedTopology(
+            **{
+                name: np.asarray(topo_data.get(name, []), dtype=np.intp)
+                for name in _TOPOLOGY_FIELDS
+            }
+        )
+        charges = data.get("charges")
+        molecule = Molecule(
+            coords=np.asarray(data["coords"], dtype=float),
+            type_names=list(data["type_names"]),
+            charges=(
+                np.asarray(charges, dtype=float)
+                if charges is not None
+                else None
+            ),
+            topology=topology,
+            name=str(data.get("name", "molecule")),
+        )
+    except (TypeError, ValueError, KeyError) as exc:
+        raise InvalidRequestError(f"malformed Molecule document: {exc}") from exc
+    fingerprint = receptor_fingerprint(molecule)
+    claimed = data.get("fingerprint")
+    if claimed is not None and claimed != fingerprint:
+        raise InvalidRequestError(
+            "Molecule fingerprint mismatch: the document claims "
+            f"{str(claimed)[:16]}… but its content hashes to "
+            f"{fingerprint[:16]}… (corrupt or re-encoded payload)"
+        )
+    return molecule, fingerprint

@@ -36,6 +36,14 @@ class Cluster:
     def mean_position(self) -> np.ndarray:
         return self.center  # representative, per FTMap convention
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (floats via Python ``float`` — exact round trip)."""
+        return {
+            "center": [float(x) for x in np.asarray(self.center)],
+            "member_indices": [int(i) for i in self.member_indices],
+            "energies": [float(e) for e in self.energies],
+        }
+
 
 def cluster_poses(
     positions: np.ndarray,

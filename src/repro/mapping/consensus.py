@@ -32,6 +32,18 @@ class ConsensusSite:
         """Distinct probe types at this site — FTMap's ranking key."""
         return len(set(self.probe_names))
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (the wire shape of one ranked hotspot)."""
+        return {
+            "center": [float(x) for x in np.asarray(self.center)],
+            "probe_names": list(self.probe_names),
+            "member_clusters": [
+                [probe, int(ci)] for probe, ci in self.member_clusters
+            ],
+            "best_energy": float(self.best_energy),
+            "probe_count": self.probe_count,
+        }
+
 
 def consensus_sites(
     probe_clusters: Dict[str, Sequence[Cluster]],

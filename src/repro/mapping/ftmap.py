@@ -251,6 +251,38 @@ class ProbeResult:
     minimize_reduction_order: Tuple[int, ...] = ()
     minimize_cached: bool = False
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary of this probe's outcome.
+
+        Carries everything a wire client consumes — clusters, the exact
+        minimized centers/energies (Python floats round-trip bitwise
+        through JSON), and the backend/shard provenance — but not the
+        bulk pose/conformation payloads (``docked_poses``/``minimized``),
+        which stay process-local; ``n_docked_poses``/``n_minimized``
+        record their sizes.
+        """
+        return {
+            "probe_name": self.probe_name,
+            "n_docked_poses": len(self.docked_poses),
+            "n_minimized": len(self.minimized),
+            "minimized_centers": [
+                [float(x) for x in row]
+                for row in np.asarray(self.minimized_centers).reshape(-1, 3)
+            ],
+            "minimized_energies": [
+                float(e) for e in np.asarray(self.minimized_energies).ravel()
+            ],
+            "clusters": [c.to_dict() for c in self.clusters],
+            "docking_backend": self.docking_backend,
+            "minimize_backend": self.minimize_backend,
+            "minimize_devices": int(self.minimize_devices),
+            "minimize_shard_sizes": [int(s) for s in self.minimize_shard_sizes],
+            "minimize_reduction_order": [
+                int(i) for i in self.minimize_reduction_order
+            ],
+            "minimize_cached": bool(self.minimize_cached),
+        }
+
 
 @dataclass
 class FTMapResult:
@@ -266,6 +298,20 @@ class FTMapResult:
     @property
     def top_site(self) -> Optional[ConsensusSite]:
         return self.sites[0] if self.sites else None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary: per-probe summaries + ranked sites + stats."""
+        return {
+            "probes": {
+                name: pr.to_dict() for name, pr in self.probe_results.items()
+            },
+            "sites": [site.to_dict() for site in self.sites],
+            "cache_stats": (
+                self.cache_stats.to_dict()
+                if self.cache_stats is not None
+                else None
+            ),
+        }
 
 
 # -- pipeline stages ----------------------------------------------------------------

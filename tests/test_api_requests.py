@@ -96,3 +96,82 @@ class TestMapRequest:
         c = synthetic_protein(n_residues=10, seed=2)
         assert receptor_fingerprint(a) == receptor_fingerprint(b)
         assert receptor_fingerprint(a) != receptor_fingerprint(c)
+
+
+class TestWireSchema:
+    """schema_version stamping and validation on the wire documents."""
+
+    def test_request_to_dict_is_stamped(self):
+        from repro.api.schema import SCHEMA_VERSION
+
+        doc = MapRequest(receptor="a" * 64).to_dict()
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_round_trip_through_wire_dialect(self):
+        request = MapRequest(
+            receptor="a" * 64,
+            config=FTMapConfig(probe_names=("ethanol",)),
+            request_id="rt-1",
+        )
+        rebuilt = MapRequest.from_dict(json.loads(json.dumps(request.to_dict())))
+        assert rebuilt == request
+
+    def test_pre_versioning_documents_still_parse(self):
+        """A v1 document without the field is the legacy dialect."""
+        doc = MapRequest(receptor="a" * 64).to_dict()
+        doc.pop("schema_version")
+        assert MapRequest.from_dict(doc).receptor == "a" * 64
+
+    def test_future_version_rejected_with_typed_error(self):
+        from repro.api.errors import SchemaVersionError
+
+        doc = MapRequest(receptor="a" * 64).to_dict()
+        doc["schema_version"] = 2
+        with pytest.raises(SchemaVersionError, match="schema_version 2"):
+            MapRequest.from_dict(doc)
+        # ...and the typed error still reads as the legacy ValueError.
+        with pytest.raises(ValueError):
+            MapRequest.from_dict(doc)
+
+    def test_invalid_config_becomes_invalid_request(self):
+        from repro.api.errors import InvalidRequestError
+
+        doc = MapRequest(receptor="a" * 64).to_dict()
+        doc["config"]["num_rotations"] = -5
+        with pytest.raises(InvalidRequestError, match="config"):
+            MapRequest.from_dict(doc)
+
+    def test_progress_event_round_trip(self):
+        from repro.api.jobs import ProgressEvent
+
+        event = ProgressEvent("j1", "dock", "ethanol", 0, 3)
+        doc = json.loads(json.dumps(event.to_dict()))
+        assert ProgressEvent.from_dict(doc) == event
+
+    def test_map_result_wire_document(self):
+        from repro.api import FTMapService
+        from repro.api.schema import SCHEMA_VERSION
+
+        protein = synthetic_protein(n_residues=20, seed=7)
+        cfg = FTMapConfig(
+            probe_names=("ethanol",),
+            num_rotations=4,
+            receptor_grid=24,
+            minimize_top=1,
+            minimizer_iterations=2,
+            engine="fft",
+        )
+        with FTMapService() as service:
+            result = service.map(protein, config=cfg)
+        doc = result.to_dict()
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["receptor_hash"] == result.receptor_hash
+        wire = json.loads(json.dumps(doc))
+        # Floats survive JSON bitwise: shortest-repr round-trip.
+        assert wire == doc
+        probe = wire["result"]["probes"]["ethanol"]
+        assert probe["minimized_energies"] == [
+            float(e)
+            for e in result.result.probe_results["ethanol"].minimized_energies
+        ]

@@ -1,0 +1,312 @@
+"""Admission control in isolation: buckets, queue, shedding, accounting.
+
+These tests run the :class:`AdmissionController` against a *stub*
+service whose jobs only finish when the test says so, plus a fake clock
+for the token buckets — every quota decision here is deterministic.
+The real-service, real-HTTP behavior lives in ``test_gateway_http.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api.errors import (
+    AuthenticationError,
+    DuplicateRequestError,
+    InvalidRequestError,
+    JobNotFoundError,
+    QuotaExceededError,
+    ServiceClosedError,
+)
+from repro.api.jobs import JobHandle
+from repro.api.requests import MapRequest
+from repro.cache.manager import CacheManager
+from repro.gateway.admission import AdmissionController
+from repro.gateway.auth import TenantRegistry, TenantSpec, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class StubService:
+    """FTMapService stand-in: jobs exist, run nothing, finish on demand."""
+
+    def __init__(self, max_workers: int = 2) -> None:
+        self.max_workers = max_workers
+        self.cache = CacheManager(policy="off")
+        self.handles = {}
+        self.submit_order = []
+        self.closed = False
+
+    def submit(self, request: MapRequest) -> JobHandle:
+        if self.closed:
+            raise ServiceClosedError("stub closed")
+        handle = JobHandle(request.request_id)
+        handle._set_running()
+        self.handles[request.request_id] = handle
+        self.submit_order.append(request.request_id)
+        return handle
+
+    def finish(self, job_id: str, status: str = "done") -> None:
+        self.handles[job_id]._finish(status, result=None)
+
+
+def wait_until(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.002)
+    raise AssertionError("condition not reached in time")
+
+
+def make_controller(
+    tenants,
+    max_workers: int = 1,
+    max_queue_depth: int = 4,
+    clock=None,
+):
+    service = StubService(max_workers=max_workers)
+    registry = TenantRegistry(tenants, clock=clock)
+    controller = AdmissionController(
+        service,
+        registry,
+        max_queue_depth=max_queue_depth,
+        clock=clock,
+    )
+    return service, registry, controller
+
+
+GENEROUS = dict(rate=1000.0, burst=1000, max_in_flight=100)
+
+
+class TestTokenBucket:
+    def test_burst_then_exact_retry_after(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        retry = bucket.try_acquire()
+        assert retry == pytest.approx(0.5)  # 1 token at 2/s
+        clock.advance(0.25)
+        assert bucket.try_acquire() == pytest.approx(0.25)
+        clock.advance(0.25)
+        assert bucket.try_acquire() == 0.0
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(60.0)
+        assert bucket.available() == 2.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidRequestError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(InvalidRequestError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestRegistry:
+    def test_authentication(self):
+        registry = TenantRegistry([TenantSpec("a", api_key="ka")])
+        assert registry.authenticate("ka").name == "a"
+        with pytest.raises(AuthenticationError, match="missing"):
+            registry.authenticate(None)
+        with pytest.raises(AuthenticationError, match="unknown"):
+            registry.authenticate("wrong")
+
+    def test_roster_validation(self):
+        with pytest.raises(InvalidRequestError, match="at least one"):
+            TenantRegistry([])
+        with pytest.raises(InvalidRequestError, match="duplicate"):
+            TenantRegistry(
+                [TenantSpec("a", api_key="k1"), TenantSpec("a", api_key="k2")]
+            )
+        with pytest.raises(InvalidRequestError, match="api_key"):
+            TenantRegistry(
+                [TenantSpec("a", api_key="k"), TenantSpec("b", api_key="k")]
+            )
+
+    def test_spec_validation(self):
+        with pytest.raises(InvalidRequestError):
+            TenantSpec("a", api_key="k", rate=0.0)
+        with pytest.raises(InvalidRequestError):
+            TenantSpec("a", api_key="k", max_in_flight=0)
+
+
+class TestAdmission:
+    def test_rate_quota_sheds_with_retry_after(self):
+        clock = FakeClock()
+        spec = TenantSpec("a", api_key="k", rate=1.0, burst=2, max_in_flight=50)
+        service, _, controller = make_controller([spec], clock=clock)
+        try:
+            controller.submit(spec, MapRequest(receptor="r"))
+            controller.submit(spec, MapRequest(receptor="r"))
+            with pytest.raises(QuotaExceededError) as excinfo:
+                controller.submit(spec, MapRequest(receptor="r"))
+            assert excinfo.value.retry_after_s == pytest.approx(1.0)
+            counters = controller.stats()["tenants"]["a"]
+            assert counters["shed_rate"] == 1
+            assert counters["accepted"] == 2
+        finally:
+            controller.close()
+
+    def test_per_tenant_in_flight_cap(self):
+        spec = TenantSpec("a", api_key="k", **{**GENEROUS, "max_in_flight": 2})
+        service, _, controller = make_controller([spec], max_workers=1)
+        try:
+            j1 = controller.submit(spec, MapRequest(receptor="r"))
+            controller.submit(spec, MapRequest(receptor="r"))
+            with pytest.raises(QuotaExceededError, match="in flight"):
+                controller.submit(spec, MapRequest(receptor="r"))
+            assert controller.stats()["tenants"]["a"]["shed_concurrency"] == 1
+            # Finishing a job frees the slot (event-driven, no polling).
+            wait_until(lambda: j1.handle is not None)
+            service.finish(j1.job_id)
+            wait_until(
+                lambda: controller.stats()["tenants"]["a"]["completed"] == 1
+            )
+            controller.submit(spec, MapRequest(receptor="r"))
+        finally:
+            controller.close()
+
+    def test_bounded_queue_sheds_load(self):
+        spec = TenantSpec("a", api_key="k", **GENEROUS)
+        service, _, controller = make_controller(
+            [spec], max_workers=1, max_queue_depth=2
+        )
+        try:
+            first = controller.submit(spec, MapRequest(receptor="r"))
+            wait_until(lambda: first.handle is not None)  # slot occupied
+            for _ in range(2):  # fill the queue behind it
+                controller.submit(spec, MapRequest(receptor="r"))
+            with pytest.raises(QuotaExceededError, match="queue full"):
+                controller.submit(spec, MapRequest(receptor="r"))
+            stats = controller.stats()
+            assert stats["queue_depth"] == 2
+            assert stats["tenants"]["a"]["shed_queue"] == 1
+        finally:
+            controller.close()
+
+    def test_priority_orders_dispatch(self):
+        vip = TenantSpec("vip", api_key="kv", priority=0, **GENEROUS)
+        std = TenantSpec("std", api_key="ks", priority=10, **GENEROUS)
+        service, _, controller = make_controller([vip, std], max_workers=1)
+        try:
+            first = controller.submit(std, MapRequest(receptor="r"))
+            wait_until(lambda: first.handle is not None)  # occupies the slot
+            # Queued while the slot is busy: std before vip arrival-wise.
+            controller.submit(std, MapRequest(receptor="r", request_id="s2"))
+            controller.submit(vip, MapRequest(receptor="r", request_id="v1"))
+            service.finish(first.job_id)
+            wait_until(lambda: len(service.submit_order) == 2)
+            assert service.submit_order[1] == "v1"  # vip overtook std
+            service.finish("v1")
+            wait_until(lambda: len(service.submit_order) == 3)
+            assert service.submit_order[2] == "s2"
+        finally:
+            controller.close()
+
+    def test_fifo_within_tenant_class(self):
+        spec = TenantSpec("a", api_key="k", **GENEROUS)
+        service, _, controller = make_controller([spec], max_workers=1)
+        try:
+            ids = []
+            blocker = controller.submit(spec, MapRequest(receptor="r"))
+            wait_until(lambda: blocker.handle is not None)
+            for i in range(3):
+                job = controller.submit(
+                    spec, MapRequest(receptor="r", request_id=f"q{i}")
+                )
+                ids.append(job.job_id)
+            service.finish(blocker.job_id)
+            for i in range(3):
+                wait_until(lambda: len(service.submit_order) == 2 + i)
+                service.finish(service.submit_order[-1])
+            assert service.submit_order[1:] == ids
+        finally:
+            controller.close()
+
+    def test_cancel_queued_job_never_reaches_service(self):
+        spec = TenantSpec("a", api_key="k", **GENEROUS)
+        service, _, controller = make_controller([spec], max_workers=1)
+        try:
+            running = controller.submit(spec, MapRequest(receptor="r"))
+            wait_until(lambda: running.handle is not None)
+            queued = controller.submit(spec, MapRequest(receptor="r"))
+            assert controller.cancel(queued.job_id) is True
+            assert queued.status() == "cancelled"
+            assert controller.cancel(queued.job_id) is False  # idempotent
+            service.finish(running.job_id)
+            wait_until(
+                lambda: controller.stats()["tenants"]["a"]["completed"] == 1
+            )
+            assert len(service.submit_order) == 1  # cancelled one never ran
+            counters = controller.stats()["tenants"]["a"]
+            assert counters["cancelled"] == 1
+            assert counters["queued"] == 0 and counters["running"] == 0
+        finally:
+            controller.close()
+
+    def test_cancel_dispatched_job_goes_through_handle(self):
+        spec = TenantSpec("a", api_key="k", **GENEROUS)
+        service, _, controller = make_controller([spec], max_workers=1)
+        try:
+            job = controller.submit(spec, MapRequest(receptor="r"))
+            wait_until(lambda: job.handle is not None)
+            assert controller.cancel(job.job_id) is True
+            # Like the real service, cancellation of a running job is
+            # cooperative — the (stub) worker notices and finishes it.
+            assert job.handle._cancel.is_set()
+            service.finish(job.job_id, status="cancelled")
+            wait_until(
+                lambda: controller.stats()["tenants"]["a"]["cancelled"] == 1
+            )
+            counters = controller.stats()["tenants"]["a"]
+            assert counters["running"] == 0
+        finally:
+            controller.close()
+
+    def test_duplicate_request_id_rejected(self):
+        spec = TenantSpec("a", api_key="k", **GENEROUS)
+        service, _, controller = make_controller([spec], max_workers=1)
+        try:
+            controller.submit(spec, MapRequest(receptor="r", request_id="x"))
+            with pytest.raises(DuplicateRequestError):
+                controller.submit(spec, MapRequest(receptor="r", request_id="x"))
+        finally:
+            controller.close()
+
+    def test_tenant_isolation_on_lookup(self):
+        a = TenantSpec("a", api_key="ka", **GENEROUS)
+        b = TenantSpec("b", api_key="kb", **GENEROUS)
+        service, _, controller = make_controller([a, b], max_workers=2)
+        try:
+            job = controller.submit(a, MapRequest(receptor="r"))
+            assert controller.job(job.job_id, tenant="a") is job
+            with pytest.raises(JobNotFoundError):
+                controller.job(job.job_id, tenant="b")
+            with pytest.raises(JobNotFoundError):
+                controller.job("ghost", tenant="a")
+        finally:
+            controller.close()
+
+    def test_close_cancels_queued_and_rejects_new(self):
+        spec = TenantSpec("a", api_key="k", **GENEROUS)
+        service, _, controller = make_controller([spec], max_workers=1)
+        running = controller.submit(spec, MapRequest(receptor="r"))
+        wait_until(lambda: running.handle is not None)
+        queued = controller.submit(spec, MapRequest(receptor="r"))
+        controller.close()
+        assert queued.status() == "cancelled"
+        with pytest.raises(ServiceClosedError):
+            controller.submit(spec, MapRequest(receptor="r"))
