@@ -8,10 +8,18 @@ ensemble (>= 12 poses of one receptor+probe complex):
 
 * **production config** — the fp32 batched path (the paper's GPU arithmetic,
   like the docking benchmark's fp32 batched-FFT engine) against the fp64
-  serial per-pose loop, asserted at >= 1.5x,
+  serial per-pose loop, asserted at >= 1.2x,
 * **pure batching (fp64)** — same arithmetic width as serial, isolating
-  dispatch amortization + the line-search fast path; asserted never slower,
-  the ratio itself reported for the nightly artifact.
+  dispatch amortization; asserted >= 0.85x, the ratio itself reported for
+  the nightly artifact.
+
+Re-baselined by the serial-floor raw-speed pass: the serial loop now uses
+the same energies-only line-search fast path the batched minimizer always
+had (bitwise-identical results, ~1.25x faster serial iterations), so both
+ratios measured against it dropped and the floors were deliberately
+re-recorded (1.5 -> 1.2, 1.0 -> 0.85).  The old floors are kept as PREV_*
+constants and the old->new deltas are printed with the measurements, so the
+perf trajectory stays auditable from the nightly artifact alone.
 
 Double-precision equivalence (bitwise-level agreement with the serial
 minimizer) is asserted in ``tests/test_minimize_batched.py``; here we only
@@ -40,11 +48,19 @@ N_POSES = 16
 
 #: The batched production config (fp32 ensemble arithmetic) must beat the
 #: fp64 serial per-pose loop by at least this much (acceptance floor;
-#: measured ~1.8-2.2x single-core at this complex size).
-MIN_BATCHED_MINIMIZATION_SPEEDUP = 1.5
+#: measured ~1.35-1.4x single-core at this complex size against the
+#: fast-path serial loop — ~1.8-2.2x against the historical serial loop,
+#: which the PREV_ floor below recorded).
+MIN_BATCHED_MINIMIZATION_SPEEDUP = 1.2
+PREV_MIN_BATCHED_MINIMIZATION_SPEEDUP = 1.5
 
-#: Like-for-like fp64 guard: batching must never lose to the serial loop.
-MIN_PURE_BATCHING_SPEEDUP = 1.0
+#: Like-for-like fp64 guard.  With serial and batched line searches now
+#: using the same energies-only fast path, fp64 batching's only remaining
+#: edge is dispatch amortization; at this complex size the measured ratio
+#: is ~1.0, so the floor guards against batching *regressing* below 0.85,
+#: not for a win that arithmetic parity no longer implies.
+MIN_PURE_BATCHING_SPEEDUP = 0.85
+PREV_MIN_PURE_BATCHING_SPEEDUP = 1.0
 
 ITERATIONS = 20
 
@@ -113,6 +129,20 @@ def test_minimization_batching_speedup(workload, print_comparison):
             ComparisonRow("batched fp64 (ms/pose)", None, t_fp64 / N_POSES * 1e3),
             ComparisonRow("batched speedup (production fp32)", None, speedup, "x"),
             ComparisonRow("pure-batching (fp64) speedup", None, speedup_fp64, "x"),
+            # Re-baselining audit trail: reference column = old floor,
+            # measured column = the floor now enforced.
+            ComparisonRow(
+                "gate floor: batched fp32 (old -> new)",
+                PREV_MIN_BATCHED_MINIMIZATION_SPEEDUP,
+                MIN_BATCHED_MINIMIZATION_SPEEDUP,
+                "x",
+            ),
+            ComparisonRow(
+                "gate floor: pure batching fp64 (old -> new)",
+                PREV_MIN_PURE_BATCHING_SPEEDUP,
+                MIN_PURE_BATCHING_SPEEDUP,
+                "x",
+            ),
         ],
     )
     assert speedup >= MIN_BATCHED_MINIMIZATION_SPEEDUP

@@ -38,10 +38,15 @@ from repro.structure.builder import pocket_movable_mask
 #: beat 1 device by this factor (ceil division alone gives ~4x; upload +
 #: serialized broadcast erode it, the floor says "not by much").
 MIN_PREDICTED_SHARD_SPEEDUP = 1.5
+#: Unchanged by the serial-floor re-baselining pass (shard scaling is a
+#: ratio across device counts of the same batched path; re-measured ~4x
+#: predicted at 4 devices).
+PREV_MIN_PREDICTED_SHARD_SPEEDUP = 1.5
 
 #: Wall-clock floor on hosts with real parallelism (thread-backed shards,
 #: same mechanism and floor as the stage-pipeline overlap gate).
 MIN_WALL_SPEEDUP = 1.3
+PREV_MIN_WALL_SPEEDUP = 1.3
 
 N_POSES = 16
 ITERATIONS = 12
@@ -115,6 +120,20 @@ def test_multigpu_minimize_speedup(print_comparison):
             f"{N_POSES} poses)",
             None,
             wall_speedup,
+            "x",
+        ),
+        # Floor audit rows (reference = previous floor, measured = the
+        # floor enforced now) — collected into the nightly artifact.
+        ComparisonRow(
+            "gate floor: predicted shard scaling (old -> new)",
+            PREV_MIN_PREDICTED_SHARD_SPEEDUP,
+            MIN_PREDICTED_SHARD_SPEEDUP,
+            "x",
+        ),
+        ComparisonRow(
+            "gate floor: sharded wall clock (old -> new)",
+            PREV_MIN_WALL_SPEEDUP,
+            MIN_WALL_SPEEDUP,
             "x",
         ),
     ]

@@ -91,7 +91,7 @@ from repro.api import (
     receptor_fingerprint,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Molecule",

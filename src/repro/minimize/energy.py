@@ -157,6 +157,21 @@ class EnergyModel:
         Interaction cutoff for vdW smoothing (Angstrom).
     list_cutoff:
         Neighbor-list cutoff (slightly larger, so lists stay valid).
+    dtype:
+        Arithmetic precision — ``np.float64`` (default, the historical
+        serial behavior) or ``np.float32`` (the paper's GPU arithmetic,
+        now available on the serial path too; mirrors the ensemble
+        model's ``precision="single"``).  Coordinates and parameters are
+        cast once; neighbor lists are always built in float64.
+    energies_only:
+        When True (default), :meth:`energy_only` uses the kernels'
+        energies-only fast path — skipping every gradient and
+        per-atom-split computation during line searches.  The energy
+        values are computed by the same operations in the same order as
+        :meth:`evaluate`, so minimization trajectories are bitwise
+        identical; only the per-iteration cost changes.  Set False to
+        restore the historical full-evaluation line search (the fixed
+        pre-re-baselining cost profile).
 
     If ``molecule.meta['calibrate_bonded_equilibrium']`` is set, bonded
     equilibrium values (r0, theta0, psi0) are taken from the molecule's
@@ -175,7 +190,14 @@ class EnergyModel:
         movable: np.ndarray | None = None,
         nonbonded_cutoff: float = VDW_CUTOFF,
         list_cutoff: float = NEIGHBOR_LIST_CUTOFF,
+        dtype: np.dtype | type = np.float64,
+        energies_only: bool = True,
     ) -> None:
+        dt = np.dtype(dtype)
+        if dt not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(f"dtype must be float32 or float64, got {dt}")
+        self.dtype = dt
+        self.energies_only = energies_only
         self.molecule = molecule
         self.nonbonded_cutoff = nonbonded_cutoff
         self.list_cutoff = list_cutoff
@@ -189,6 +211,17 @@ class EnergyModel:
                 raise ValueError(f"movable mask must be ({molecule.n_atoms},)")
         self.movable = movable
         self._bonded_params = self._resolve_bonded_params()
+        # Parameters cast once to the model dtype (a no-op view at fp64).
+        self._params = {
+            "charges": np.asarray(molecule.charges, dtype=dt),
+            "born": np.asarray(molecule.born_radii, dtype=dt),
+            "volumes": np.asarray(molecule.volumes, dtype=dt),
+            "eps": np.asarray(molecule.eps, dtype=dt),
+            "rm": np.asarray(molecule.rm, dtype=dt),
+        }
+        self._bonded_params = {
+            key: np.asarray(val, dtype=dt) for key, val in self._bonded_params.items()
+        }
 
     # -- neighbor list management ------------------------------------------------
 
@@ -244,26 +277,27 @@ class EnergyModel:
     def evaluate(self, coords: np.ndarray | None = None) -> EnergyReport:
         """Full energy, decomposition, per-atom array, and forces."""
         m = self.molecule
-        c = m.coords if coords is None else np.asarray(coords, dtype=float)
+        c = np.asarray(m.coords if coords is None else coords, dtype=self.dtype)
         pair_i, pair_j = self.active_pairs(c)
+        t = self._params
 
         # (i) self energies + gradients (GPU kernel (a) in the paper)
         self_res = ace_self_energies(
-            c, m.charges, m.born_radii, m.volumes, pair_i, pair_j
+            c, t["charges"], t["born"], t["volumes"], pair_i, pair_j
         )
         e_self = float(self_res.self_energies.sum())
 
         # Effective Born radii for the GB pairwise term
         alphas = born_radii_from_self_energies(
-            self_res.self_energies, m.charges, m.born_radii
+            self_res.self_energies, t["charges"], t["born"]
         )
 
         # (ii)+(iii) pairwise elec + vdw (GPU kernel (b))
         e_gb, per_atom_gb, grad_gb = gb_pairwise_energy(
-            c, m.charges, alphas, pair_i, pair_j
+            c, t["charges"], alphas, pair_i, pair_j
         )
         e_vdw, per_atom_vdw, grad_vdw = vdw_energy(
-            c, m.eps, m.rm, pair_i, pair_j, self.nonbonded_cutoff
+            c, t["eps"], t["rm"], pair_i, pair_j, self.nonbonded_cutoff
         )
 
         # Bonded terms (host side)
@@ -300,11 +334,54 @@ class EnergyModel:
     def energy_only(self, coords: np.ndarray | None = None) -> float:
         """Total energy (used by line searches).
 
-        Deliberately the full evaluation: this class is the reproduction of
-        the original serial FTMap code, the fixed baseline the repo's
-        speedup tables measure against, so its per-iteration work profile
-        stays as-is.  The kernels' energies-only fast path (``with_gradient``
-        / ``energies_only`` flags) is part of the batched subsystem's design
-        and is exercised by ``EnsembleEnergyModel.energy_only``.
+        With ``energies_only`` (the default) this skips every gradient and
+        per-atom-split computation via the kernels' ``with_gradient`` /
+        ``energies_only`` fast paths.  Each kernel computes its energy total
+        *before* branching on those flags, and the seven components are
+        summed here in the same order as :meth:`evaluate`, so the returned
+        value — and every line-search decision made from it — is bitwise
+        identical to the full evaluation.  (This brings the serial path to
+        parity with ``EnsembleEnergyModel.energy_only``; the historical
+        always-full behavior remains available via ``energies_only=False``
+        and is what the pre-re-baselining benchmark floors measured.)
         """
-        return self.evaluate(coords).total
+        if not self.energies_only:
+            return self.evaluate(coords).total
+        m = self.molecule
+        c = np.asarray(m.coords if coords is None else coords, dtype=self.dtype)
+        pair_i, pair_j = self.active_pairs(c)
+        t = self._params
+
+        self_res = ace_self_energies(
+            c, t["charges"], t["born"], t["volumes"], pair_i, pair_j,
+            with_gradient=False,
+        )
+        e_self = float(self_res.self_energies.sum())
+        alphas = born_radii_from_self_energies(
+            self_res.self_energies, t["charges"], t["born"]
+        )
+        e_gb, _, _ = gb_pairwise_energy(
+            c, t["charges"], alphas, pair_i, pair_j, energies_only=True
+        )
+        e_vdw, _, _ = vdw_energy(
+            c, t["eps"], t["rm"], pair_i, pair_j, self.nonbonded_cutoff,
+            energies_only=True,
+        )
+        p = self._bonded_params
+        e_bond, _ = bond_energy(
+            c, m.topology.bonds, p["kb"], p["r0"], with_gradient=False
+        )
+        e_angle, _ = angle_energy(
+            c, m.topology.angles, p["ka"], p["th0"], with_gradient=False
+        )
+        e_dih, _ = dihedral_energy(
+            c, m.topology.dihedrals, p["kd"], p["nmul"], p["delt"],
+            with_gradient=False,
+        )
+        e_imp, _ = improper_energy(
+            c, m.topology.impropers, p["ki"], p["psi0"], with_gradient=False
+        )
+        # Same accumulation sequence as evaluate()'s sum over components.
+        return float(
+            sum((e_self, e_gb, e_vdw, e_bond, e_angle, e_dih, e_imp))
+        )

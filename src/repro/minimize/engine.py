@@ -124,6 +124,12 @@ class MinimizationEngine:
     shard_workers:
         Concurrent shard executions for ``multi-gpu-sim`` (``1`` forces
         the sequential shard loop; default one thread per shard).
+    serial_fast_path:
+        When True (default) the ``serial``, ``multiprocess``, and
+        ``gpu-sim`` per-pose models use the energies-only line-search
+        fast path (bitwise-identical results, ~1.2x faster iterations).
+        ``False`` restores the historical full-evaluation line search —
+        the A/B switch the benchmark re-baselining measures against.
     """
 
     def __init__(
@@ -142,6 +148,7 @@ class MinimizationEngine:
         shard_workers: int | None = None,
         nonbonded_cutoff: float = VDW_CUTOFF,
         list_cutoff: float = NEIGHBOR_LIST_CUTOFF,
+        serial_fast_path: bool = True,
     ) -> None:
         if backend not in MINIMIZE_BACKEND_NAMES:
             raise ValueError(
@@ -168,6 +175,7 @@ class MinimizationEngine:
         self.n_poses = len(stack)
         self.config = config or MinimizerConfig()
         self.precision = precision
+        self.serial_fast_path = serial_fast_path
         self.nonbonded_cutoff = nonbonded_cutoff
         self.list_cutoff = list_cutoff
         self._device = device
@@ -294,6 +302,7 @@ class MinimizationEngine:
             movable=self._movable_row(p),
             nonbonded_cutoff=self.nonbonded_cutoff,
             list_cutoff=self.list_cutoff,
+            energies_only=self.serial_fast_path,
         )
 
     def _run_serial(self) -> List[MinimizationResult]:
@@ -335,6 +344,7 @@ class MinimizationEngine:
                 self.config,
                 self.nonbonded_cutoff,
                 self.list_cutoff,
+                self.serial_fast_path,
             ),
         )
 
@@ -368,18 +378,21 @@ class MinimizationEngine:
 _MINIMIZE_WORKER_CTX = None
 
 
-def _init_minimize_worker(molecule, config, nonbonded_cutoff, list_cutoff) -> None:
+def _init_minimize_worker(
+    molecule, config, nonbonded_cutoff, list_cutoff, fast_path=True
+) -> None:
     global _MINIMIZE_WORKER_CTX
-    _MINIMIZE_WORKER_CTX = (molecule, config, nonbonded_cutoff, list_cutoff)
+    _MINIMIZE_WORKER_CTX = (molecule, config, nonbonded_cutoff, list_cutoff, fast_path)
 
 
 def _minimize_worker_task(item) -> MinimizationResult:
     coords, movable = item
-    molecule, config, nonbonded_cutoff, list_cutoff = _MINIMIZE_WORKER_CTX
+    molecule, config, nonbonded_cutoff, list_cutoff, fast_path = _MINIMIZE_WORKER_CTX
     model = EnergyModel(
         molecule,
         movable=movable,
         nonbonded_cutoff=nonbonded_cutoff,
         list_cutoff=list_cutoff,
+        energies_only=fast_path,
     )
     return Minimizer(model, config=config).run(coords=coords)

@@ -39,6 +39,7 @@ from repro.minimize.bonded import (
 from repro.minimize.energy import resolve_bonded_params
 from repro.minimize.neighborlist import (
     NeighborList,
+    SharedNeighborCore,
     bonded_exclusions,
     build_neighbor_list,
 )
@@ -96,6 +97,17 @@ class EnsembleEnergyModel:
         in float32 — the paper's GPU arithmetic, and the batched engine's
         production configuration (mirroring the docking side's fp32 batched
         FFT path).  Neighbor lists are always built in float64.
+    core_atoms:
+        Number of leading atoms shared (bitwise) by every pose — the
+        receptor block of an FTMap ensemble.  Defaults to
+        ``n_atoms - molecule.meta["n_probe_atoms"]`` when that metadata is
+        present, else 0.  When ``0 < core_atoms < n_atoms``, the core-core
+        half list is built once per ensemble (:class:`SharedNeighborCore`)
+        and each pose list is derived from its probe-environment delta —
+        identical pairs, ~P-fold less build work.  Any pose whose core
+        block differs from the shared core (receptor moved) silently falls
+        back to a full per-pose build, so the optimization never changes
+        results.  Pass ``0`` to disable sharing.
     """
 
     def __init__(
@@ -106,6 +118,7 @@ class EnsembleEnergyModel:
         nonbonded_cutoff: float = VDW_CUTOFF,
         list_cutoff: float = NEIGHBOR_LIST_CUTOFF,
         precision: str = "double",
+        core_atoms: int | None = None,
     ) -> None:
         if precision not in ("single", "double"):
             raise ValueError(f"unknown precision {precision!r}")
@@ -134,6 +147,18 @@ class EnsembleEnergyModel:
         self._tiled_cache: Dict[int, Dict[str, np.ndarray]] = {}
         self.list_rebuilds = 0
         self.pose_list_rebuilds = np.zeros(self.n_poses, dtype=int)
+        if core_atoms is None:
+            n_probe = molecule.meta.get("n_probe_atoms")
+            core_atoms = n - int(n_probe) if n_probe else 0
+        if not 0 <= core_atoms <= n:
+            raise ValueError(f"core_atoms must be in [0, {n}], got {core_atoms}")
+        self.core_atoms = int(core_atoms)
+        self._shared_core: Optional[SharedNeighborCore] = None
+        # Build-path counters, for tests and perf accounting: every pose
+        # list build is exactly one delta build or one full build.
+        self.shared_core_builds = 0   # core-core list constructions (per ensemble)
+        self.delta_list_builds = 0    # cheap probe-delta pose builds
+        self.full_list_builds = 0     # full per-pose fallback builds
 
     # -- masks -------------------------------------------------------------------
 
@@ -158,8 +183,28 @@ class EnsembleEnergyModel:
 
     # -- per-pose pair structure ----------------------------------------------------
 
+    def _pose_neighbor_list(self, coords: np.ndarray) -> NeighborList:
+        """Build one pose's list — shared-core delta path when applicable.
+
+        The shared core is captured lazily from the first qualifying pose;
+        any pose whose core block moved (``core_matches`` is bitwise) takes
+        the full-build fallback, preserving exact per-pose semantics.
+        """
+        c = np.asarray(coords, dtype=np.float64)
+        if 0 < self.core_atoms < self.n_atoms:
+            if self._shared_core is None:
+                self._shared_core = SharedNeighborCore(
+                    c[: self.core_atoms], self.list_cutoff, self.exclusions
+                )
+                self.shared_core_builds += 1
+            if self._shared_core.core_matches(c):
+                self.delta_list_builds += 1
+                return self._shared_core.pose_list(c)
+        self.full_list_builds += 1
+        return build_neighbor_list(c, self.list_cutoff, self.exclusions)
+
     def _build_pose(self, p: int, coords: np.ndarray) -> None:
-        nlist = build_neighbor_list(coords, self.list_cutoff, self.exclusions)
+        nlist = self._pose_neighbor_list(coords)
         i, j = nlist.pair_arrays()
         if self.movable is not None:
             mv = self.movable[p]

@@ -11,19 +11,46 @@ updated", Sec. II.B).
 Storage is CSR-style (offsets + flat second-atom indices), which is both the
 natural serial layout and the input from which the GPU pairs-lists of
 Figs. 9-10 are derived.
+
+Two construction paths share one vectorized cell-grid core
+(:class:`_CellGrid`, sorted-flat-index ``searchsorted`` lookups — no Python
+dict walk over cells):
+
+* :func:`build_neighbor_list` — the full O(N) build of one conformation.
+* :class:`SharedNeighborCore` — the ensemble-shared path: FTMap's
+  minimization phase refines P poses of the *same* receptor+probe complex,
+  whose receptor block is identical across poses.  The receptor-receptor
+  half list (the overwhelming majority of pairs) is built once per
+  ensemble; each pose then derives its full list from the small
+  probe-environment delta (probe-probe pairs plus probe-receptor pairs
+  within the cutoff), cutting ensemble list-build work ~P-fold.  The
+  combined pair set is identical to an independent full build of the pose.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Set, Tuple
+from itertools import product
+from typing import FrozenSet, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.constants import NEIGHBOR_LIST_CUTOFF
 from repro.structure.molecule import BondedTopology
 
-__all__ = ["NeighborList", "build_neighbor_list", "bonded_exclusions"]
+__all__ = [
+    "NeighborList",
+    "SharedNeighborCore",
+    "build_neighbor_list",
+    "bonded_exclusions",
+]
+
+#: The 27-cell neighborhood stencil, as 3-D cell-coordinate offsets.  Kept
+#: in 3-D (not pre-flattened) so boundary cells are bounds-checked per axis:
+#: flat-index arithmetic alone would wrap a ``dy = -1`` step at ``cy = 0``
+#: into a different real cell, which produced duplicate pairs in boxes
+#: thinner than three cells.
+_STENCIL = np.array(list(product((-1, 0, 1), repeat=3)), dtype=np.int64)
 
 
 @dataclass
@@ -44,6 +71,10 @@ class NeighborList:
             raise ValueError("offsets must have length n_atoms + 1")
         if self.offsets[0] != 0 or self.offsets[-1] != len(self.indices):
             raise ValueError("offsets must start at 0 and end at len(indices)")
+        # Flat (first, second) arrays, materialized once on first use: the
+        # refresh-policy validity checks run every few iterations and must
+        # not re-allocate the pair expansion each time.
+        self._firsts: Optional[np.ndarray] = None
 
     @property
     def n_pairs(self) -> int:
@@ -59,17 +90,27 @@ class NeighborList:
         return np.diff(self.offsets)
 
     def pair_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Flat (first, second) index arrays, one entry per stored pair."""
-        firsts = np.repeat(np.arange(self.n_atoms, dtype=np.intp), self.counts())
-        return firsts, self.indices.copy()
+        """Flat (first, second) index arrays, one entry per stored pair.
+
+        Cached on the list (a ``NeighborList`` is immutable once built;
+        rebuilds create a fresh list, which invalidates by construction).
+        Treat the returned arrays as read-only.
+        """
+        if self._firsts is None:
+            self._firsts = np.repeat(
+                np.arange(self.n_atoms, dtype=np.intp), self.counts()
+            )
+        return self._firsts, self.indices
 
     def max_distance_ok(self, coords: np.ndarray) -> bool:
         """Check every listed pair is still within the list cutoff."""
         i, j = self.pair_arrays()
         if len(i) == 0:
             return True
-        d = np.linalg.norm(coords[i] - coords[j], axis=1)
-        return bool(np.all(d <= self.cutoff * 1.2))
+        d = coords[i] - coords[j]
+        d2 = (d * d).sum(axis=1)
+        limit = self.cutoff * 1.2
+        return bool(np.all(d2 <= limit * limit))
 
 
 def bonded_exclusions(topology: BondedTopology) -> FrozenSet[Tuple[int, int]]:
@@ -84,6 +125,116 @@ def bonded_exclusions(topology: BondedTopology) -> FrozenSet[Tuple[int, int]]:
     for i, _, k in topology.angles:
         excl.add((min(i, k), max(i, k)))
     return frozenset(excl)
+
+
+class _CellGrid:
+    """Cutoff-edge spatial cells over a fixed point set.
+
+    Occupied cells are kept as a sorted flat-index array; all neighborhood
+    lookups are ``np.searchsorted`` probes against it (the vectorized
+    replacement for the historical per-cell Python dict loop).  Queries may
+    lie outside the binned box — out-of-range neighbor cells are
+    bounds-checked per axis and simply contribute no candidates.
+    """
+
+    def __init__(self, coords: np.ndarray, cell: float) -> None:
+        self.cell = float(cell)
+        self.n_points = len(coords)
+        self.mins = coords.min(axis=0)
+        self.point_cells = np.floor((coords - self.mins) / self.cell).astype(np.int64)
+        self.dims = self.point_cells.max(axis=0) + 1
+        flat = self._flatten(self.point_cells)
+        self.order = np.argsort(flat, kind="stable")
+        self.cells, self.starts = np.unique(flat[self.order], return_index=True)
+        self.ends = np.append(self.starts[1:], self.n_points)
+
+    def _flatten(self, xyz: np.ndarray) -> np.ndarray:
+        return (xyz[..., 0] * self.dims[1] + xyz[..., 1]) * self.dims[2] + xyz[..., 2]
+
+    def cell_coords(self, points: np.ndarray) -> np.ndarray:
+        """Integer 3-D cell coordinates of ``points`` (out-of-range allowed)."""
+        return np.floor((points - self.mins) / self.cell).astype(np.int64)
+
+    def neighborhood_candidates(
+        self, query_cells: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """All (query_row, member_point) candidates from 27-neighborhoods.
+
+        For each query row (an integer cell coordinate triple), gathers the
+        binned points of every occupied cell in its 27-cell neighborhood.
+        Every point within one cell edge of a query's cell is guaranteed to
+        be among its candidates.
+        """
+        q = len(query_cells)
+        if q == 0 or self.n_points == 0:
+            empty = np.empty(0, dtype=np.intp)
+            return empty, empty
+        nb = query_cells[:, None, :] + _STENCIL[None, :, :]          # (Q, 27, 3)
+        in_bounds = np.all((nb >= 0) & (nb < self.dims), axis=2)      # (Q, 27)
+        flat = self._flatten(nb)                                      # (Q, 27)
+        pos = np.searchsorted(self.cells, flat)
+        pos_c = np.minimum(pos, len(self.cells) - 1)
+        hit = in_bounds & (self.cells[pos_c] == flat)
+        q_rows, stencil_slots = np.nonzero(hit)
+        cell_idx = pos_c[q_rows, stencil_slots]
+        counts = self.ends[cell_idx] - self.starts[cell_idx]
+        total = int(counts.sum())
+        # Expand each hit cell's contiguous member slice, fully vectorized:
+        # within-block offsets ramp 0..count-1 per hit.
+        block_starts = np.cumsum(counts) - counts
+        local = np.arange(total, dtype=np.intp) - np.repeat(block_starts, counts)
+        members = self.order[np.repeat(self.starts[cell_idx], counts) + local]
+        return np.repeat(q_rows, counts).astype(np.intp), members.astype(np.intp)
+
+
+def _filter_exclusions(
+    i_arr: np.ndarray,
+    j_arr: np.ndarray,
+    excl_keys: np.ndarray,
+    n: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Drop pairs whose ``i * n + j`` key is in the sorted exclusion keys."""
+    if len(excl_keys) == 0 or len(i_arr) == 0:
+        return i_arr, j_arr
+    keys = i_arr.astype(np.int64) * n + j_arr
+    pos = np.searchsorted(excl_keys, keys)
+    pos_c = np.minimum(pos, len(excl_keys) - 1)
+    keep = excl_keys[pos_c] != keys
+    return i_arr[keep], j_arr[keep]
+
+
+def _exclusion_keys(
+    exclusions: FrozenSet[Tuple[int, int]], n: int
+) -> np.ndarray:
+    keys = np.fromiter(
+        (a * n + b for a, b in exclusions), dtype=np.int64, count=len(exclusions)
+    )
+    keys.sort()
+    return keys
+
+
+def _csr_from_pairs(i_arr: np.ndarray, j_arr: np.ndarray, n: int, cutoff: float
+                    ) -> NeighborList:
+    """Sort (i, j) pairs into the canonical CSR layout (stable by (i, j))."""
+    order = np.lexsort((j_arr, i_arr))
+    i_arr, j_arr = i_arr[order], j_arr[order]
+    counts = np.bincount(i_arr, minlength=n)
+    offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.intp)
+    return NeighborList(n, offsets, j_arr.astype(np.intp), cutoff)
+
+
+def _half_list_pairs(
+    coords: np.ndarray, cutoff: float, grid: _CellGrid
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All (i < j) pairs of ``coords`` within ``cutoff``, via the cell grid."""
+    a, b = grid.neighborhood_candidates(grid.point_cells)
+    if len(a) == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    d = coords[a] - coords[b]
+    d2 = (d * d).sum(axis=1)
+    keep = (d2 <= cutoff * cutoff) & (a < b)
+    return a[keep], b[keep]
 
 
 def build_neighbor_list(
@@ -107,68 +258,136 @@ def build_neighbor_list(
     if n == 0:
         return NeighborList(0, np.zeros(1, dtype=np.intp), np.empty(0, dtype=np.intp), cutoff)
 
-    # Cell binning: cells of edge = cutoff; compare each cell with its 27
-    # neighborhood.  For the paper's local-refinement geometry this is
-    # ~uniform occupancy.
-    mins = coords.min(axis=0)
-    cell_idx = np.floor((coords - mins) / cutoff).astype(np.int64)
-    dims = cell_idx.max(axis=0) + 1
-    flat = (cell_idx[:, 0] * dims[1] + cell_idx[:, 1]) * dims[2] + cell_idx[:, 2]
-    order = np.argsort(flat, kind="stable")
-    sorted_flat = flat[order]
-    # cell -> slice of `order`
-    unique_cells, starts = np.unique(sorted_flat, return_index=True)
-    cell_to_slice = {
-        int(c): (int(s), int(e))
-        for c, s, e in zip(
-            unique_cells, starts, np.append(starts[1:], len(order))
-        )
-    }
-
-    cutoff_sq = cutoff * cutoff
-    pair_i: list = []
-    pair_j: list = []
-    neighbor_offsets = [
-        (dx * dims[1] + dy) * dims[2] + dz
-        for dx in (-1, 0, 1)
-        for dy in (-1, 0, 1)
-        for dz in (-1, 0, 1)
-    ]
-    for c in unique_cells:
-        s, e = cell_to_slice[int(c)]
-        members = order[s:e]
-        # Gather candidate atoms from the 27-cell neighborhood.
-        cand_list = []
-        for off in neighbor_offsets:
-            nb = int(c) + off
-            sl = cell_to_slice.get(nb)
-            if sl is not None:
-                cand_list.append(order[sl[0] : sl[1]])
-        cands = np.concatenate(cand_list)
-        # Vectorized distance check members x candidates.
-        diff = coords[members][:, None, :] - coords[cands][None, :, :]
-        d2 = (diff * diff).sum(axis=2)
-        mi, cj = np.nonzero(d2 <= cutoff_sq)
-        a = members[mi]
-        b = cands[cj]
-        keep = a < b  # half list
-        pair_i.append(a[keep])
-        pair_j.append(b[keep])
-
-    i_arr = np.concatenate(pair_i) if pair_i else np.empty(0, dtype=np.intp)
-    j_arr = np.concatenate(pair_j) if pair_j else np.empty(0, dtype=np.intp)
-
+    grid = _CellGrid(coords, cutoff)
+    i_arr, j_arr = _half_list_pairs(coords, cutoff, grid)
     if exclusions:
-        excl_keys = {a * n + b for a, b in exclusions}
-        keys = i_arr * n + j_arr
-        mask = np.fromiter(
-            (int(k) not in excl_keys for k in keys), dtype=bool, count=len(keys)
+        i_arr, j_arr = _filter_exclusions(
+            i_arr, j_arr, _exclusion_keys(exclusions, n), n
         )
-        i_arr, j_arr = i_arr[mask], j_arr[mask]
+    return _csr_from_pairs(i_arr, j_arr, n, cutoff)
 
-    # Sort by first atom to get CSR layout (stable keeps j order deterministic).
-    order2 = np.lexsort((j_arr, i_arr))
-    i_arr, j_arr = i_arr[order2], j_arr[order2]
-    counts = np.bincount(i_arr, minlength=n)
-    offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.intp)
-    return NeighborList(n, offsets, j_arr.astype(np.intp), cutoff)
+
+class SharedNeighborCore:
+    """Ensemble-shared receptor-core neighbor structure.
+
+    FTMap's minimization phase refines P poses of one receptor+probe
+    complex whose receptor block — atoms ``[0, n_core)`` — is identical
+    across poses.  Building P independent lists therefore redoes the same
+    receptor-receptor work P times.  This class builds it once:
+
+    * the core-core half list (bonded exclusions already applied) and the
+      core cell grid are computed from the shared core coordinates at
+      construction,
+    * :meth:`pose_list` derives a pose's full :class:`NeighborList` from
+      only the probe-environment delta — probe-probe pairs (brute-force
+      half list over the small probe block) plus probe-core pairs (grid
+      query of the probe atoms against the core's 27-cell neighborhoods).
+
+    The combined pair set is identical to an independent
+    :func:`build_neighbor_list` of the full pose, and the CSR layout is
+    identical too (same canonical (i, j) sort): callers cannot tell the
+    lists apart except by build cost.  Validity ("seldom updated")
+    semantics are unchanged — a pose list is refreshed through
+    :meth:`NeighborList.max_distance_ok` exactly like a full build, and
+    :meth:`core_matches` tells refreshers whether the cheap delta rebuild
+    still applies (it does unless the pose's receptor atoms moved).
+    """
+
+    def __init__(
+        self,
+        core_coords: np.ndarray,
+        cutoff: float = NEIGHBOR_LIST_CUTOFF,
+        exclusions: FrozenSet[Tuple[int, int]] = frozenset(),
+    ) -> None:
+        core = np.array(np.asarray(core_coords, dtype=float), copy=True)
+        if core.ndim != 2 or core.shape[1] != 3:
+            raise ValueError(f"core_coords must be (n_core, 3), got {core.shape}")
+        self.n_core = len(core)
+        self.cutoff = float(cutoff)
+        self.core_coords = core
+        nc = self.n_core
+        core_excl = frozenset((a, b) for a, b in exclusions if b < nc)
+        # Delta exclusions (any pair touching a probe atom), kept
+        # lexicographically sorted so the flat keys `a * n + b` are sorted
+        # for every pose atom count n.
+        delta = sorted((a, b) for a, b in exclusions if b >= nc)
+        self._delta_excl_a = np.array([a for a, _ in delta], dtype=np.int64)
+        self._delta_excl_b = np.array([b for _, b in delta], dtype=np.int64)
+        if nc > 0:
+            self._grid = _CellGrid(core, self.cutoff)
+            core_i, core_j = _half_list_pairs(core, self.cutoff, self._grid)
+            if core_excl:
+                core_i, core_j = _filter_exclusions(
+                    core_i, core_j, _exclusion_keys(core_excl, nc), nc
+                )
+        else:
+            self._grid = None
+            core_i = core_j = np.empty(0, dtype=np.intp)
+        self._core_i = core_i
+        self._core_j = core_j
+
+    @property
+    def core_n_pairs(self) -> int:
+        return len(self._core_i)
+
+    def core_matches(self, coords: np.ndarray) -> bool:
+        """Whether a pose's leading block still *is* the shared core.
+
+        Bitwise comparison: any receptor motion (moved pocket side chains,
+        a different receptor) disqualifies the shared core for that pose,
+        and the caller falls back to a full per-pose build.
+        """
+        c = np.asarray(coords, dtype=float)
+        return len(c) >= self.n_core and np.array_equal(
+            c[: self.n_core], self.core_coords
+        )
+
+    def pose_list(self, coords: np.ndarray) -> NeighborList:
+        """Full pose list = shared core pairs + this pose's probe delta.
+
+        ``coords`` is the pose's full (N, 3) coordinates whose leading
+        ``n_core`` rows equal the shared core (see :meth:`core_matches`;
+        not re-verified here).
+        """
+        coords = np.asarray(coords, dtype=float)
+        n = len(coords)
+        nc = self.n_core
+        probe = coords[nc:]
+        m = len(probe)
+        cutoff_sq = self.cutoff * self.cutoff
+
+        delta_i = []
+        delta_j = []
+        if m and nc:
+            # Probe-core pairs: grid query against the core's cells.  The
+            # lower-indexed (core) atom is the pair's first atom.
+            q_rows, cands = self._grid.neighborhood_candidates(
+                self._grid.cell_coords(probe)
+            )
+            if len(q_rows):
+                d = probe[q_rows] - self.core_coords[cands]
+                d2 = (d * d).sum(axis=1)
+                keep = d2 <= cutoff_sq
+                delta_i.append(cands[keep])
+                delta_j.append((q_rows[keep] + nc).astype(np.intp))
+        if m > 1:
+            # Probe-probe pairs: the probe block is small, brute-force it.
+            pi, pj = np.triu_indices(m, k=1)
+            d = probe[pi] - probe[pj]
+            d2 = (d * d).sum(axis=1)
+            keep = d2 <= cutoff_sq
+            delta_i.append((pi[keep] + nc).astype(np.intp))
+            delta_j.append((pj[keep] + nc).astype(np.intp))
+
+        if delta_i:
+            di = np.concatenate(delta_i)
+            dj = np.concatenate(delta_j)
+        else:
+            di = dj = np.empty(0, dtype=np.intp)
+        if len(self._delta_excl_a):
+            di, dj = _filter_exclusions(
+                di, dj, self._delta_excl_a * n + self._delta_excl_b, n
+            )
+        i_arr = np.concatenate([self._core_i, di])
+        j_arr = np.concatenate([self._core_j, dj])
+        return _csr_from_pairs(i_arr, j_arr, n, self.cutoff)

@@ -96,6 +96,13 @@ def predict_minimize_times(
 ) -> Dict[str, float]:
     """Predicted whole-phase seconds for every minimization backend.
 
+    The host predictions (``serial``/``batched``/``multiprocess``) share
+    ``CpuModel.host_minimization_phase_s``, whose per-iteration cost is
+    ``1 + energy_only_fraction`` full evaluations: since the serial-floor
+    re-baselining, every host backend's line-search probe uses the
+    kernels' energies-only fast path, so the serial and batched formulas
+    moved together and the predicted ratios between them are unchanged.
+
     ``gpu-sim`` appears only when ``device_spec`` is given (or implied by a
     ``topology``); its prediction is the cost-model time of the six
     scheme-C kernel passes per iteration plus the host move.

@@ -105,7 +105,11 @@ class TestMixedConvergence:
         """A pose started at an already-minimized geometry converges early
         (active-set masking) without perturbing the other poses' results."""
         stack, masks = ensemble
-        warm_cfg = MinimizerConfig(max_iterations=500, tolerance=1.0)
+        # Warm tolerance is 10x tighter than the restart tolerance below:
+        # convergence is per-step energy decrease, so a pose warmed only to
+        # the restart tolerance can sit just above it after the step-size
+        # reset and grind instead of dropping out.
+        warm_cfg = MinimizerConfig(max_iterations=500, tolerance=0.1)
         warm = _serial_results(complex_mol, stack[:1], masks[:1], warm_cfg)[0]
         assert warm.converged
 

@@ -149,6 +149,73 @@ class TestRefresh:
         assert np.array_equal(em.pose_list_rebuilds, before)
 
 
+class TestSharedCoreLists:
+    """Ensemble pose lists come from the shared receptor core + per-pose
+    probe deltas; semantics must be indistinguishable from full builds."""
+
+    def test_standard_ensemble_uses_delta_builds(self, complex_mol, ensemble):
+        stack, masks = ensemble
+        em = EnsembleEnergyModel(complex_mol, stack, movable=masks)
+        em.evaluate(stack)
+        n_probe = complex_mol.meta["n_probe_atoms"]
+        assert em.core_atoms == complex_mol.n_atoms - n_probe
+        assert em.shared_core_builds == 1
+        assert em.delta_list_builds == N_POSES
+        assert em.full_list_builds == 0
+
+    def test_moved_receptor_pose_falls_back_to_full_build(
+        self, complex_mol, ensemble
+    ):
+        stack, masks = ensemble
+        moved = stack.copy()
+        moved[1, :40] += 0.5          # receptor atoms moved in pose 1 only
+        em = EnsembleEnergyModel(complex_mol, moved, movable=masks)
+        em.evaluate(moved)
+        assert em.delta_list_builds == N_POSES - 1
+        assert em.full_list_builds == 1
+        # ...and its list still matches an independent serial model.
+        serial = EnergyModel(complex_mol, movable=masks[1])
+        i, j = em.pair_arrays(1)
+        si, sj = serial.active_pairs(moved[1])
+        assert np.array_equal(i, si) and np.array_equal(j, sj)
+
+    def test_refresh_rebuilds_only_the_delta(self, complex_mol, ensemble):
+        stack, masks = ensemble
+        em = EnsembleEnergyModel(complex_mol, stack, movable=masks)
+        em.evaluate(stack)
+        assert em.shared_core_builds == 1
+        moved = stack.copy()
+        n_probe = complex_mol.meta["n_probe_atoms"]
+        moved[2, -n_probe:] += 30.0   # pose 2's probe drifts out of validity
+        assert em.maybe_refresh(moved)
+        # The drifted pose rebuilt via the cheap delta path; the shared
+        # core was not rebuilt (receptor atoms never moved).
+        assert em.shared_core_builds == 1
+        assert em.delta_list_builds == N_POSES + 1
+        assert em.full_list_builds == 0
+
+    def test_sharing_disabled_with_zero_core(self, complex_mol, ensemble):
+        stack, masks = ensemble
+        em = EnsembleEnergyModel(complex_mol, stack, movable=masks, core_atoms=0)
+        em.evaluate(stack)
+        assert em.delta_list_builds == 0
+        assert em.full_list_builds == N_POSES
+        ref = EnsembleEnergyModel(complex_mol, stack, movable=masks)
+        for k in range(N_POSES):
+            i, j = em.pair_arrays(k)
+            ri, rj = ref.pair_arrays(k)
+            assert np.array_equal(i, ri) and np.array_equal(j, rj)
+
+    def test_bad_core_atoms_rejected(self, complex_mol, ensemble):
+        stack, _ = ensemble
+        with pytest.raises(ValueError):
+            EnsembleEnergyModel(complex_mol, stack, core_atoms=-1)
+        with pytest.raises(ValueError):
+            EnsembleEnergyModel(
+                complex_mol, stack, core_atoms=complex_mol.n_atoms + 1
+            )
+
+
 class TestEmptyEnsemble:
     def test_zero_pose_model(self, complex_mol):
         em = EnsembleEnergyModel(

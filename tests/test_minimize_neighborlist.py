@@ -5,6 +5,7 @@ import pytest
 
 from repro.minimize.neighborlist import (
     NeighborList,
+    SharedNeighborCore,
     bonded_exclusions,
     build_neighbor_list,
 )
@@ -72,6 +73,111 @@ class TestBuildNeighborList:
             NeighborList(2, np.array([0, 1]), np.array([1]), 4.0)
         with pytest.raises(ValueError):
             NeighborList(2, np.array([1, 1, 1]), np.array([1]), 4.0)
+
+    def test_degenerate_thin_box_has_no_duplicate_pairs(self, rng):
+        """Regression: boxes thinner than three cells in any axis.
+
+        The historical dict-based build added flat-index cell offsets
+        without per-axis bounds checks; on grids with any dimension <= 2
+        the offsets wrapped onto real cells and pairs were emitted more
+        than once (double-counting their energy).  The vectorized build
+        bounds-checks per axis, so each pair is stored exactly once and
+        the set still matches brute force.
+        """
+        for shape, span, cutoff in [
+            ((12, 3), 5.0, 6.0),       # 1x1x1 cells: everything collides
+            ((40, 3), (30, 30, 8), 10.5),  # thin z, the fixture geometry
+        ]:
+            coords = rng.uniform(0, 1, size=shape) * np.asarray(span)
+            nl = build_neighbor_list(coords, cutoff=cutoff)
+            i, j = nl.pair_arrays()
+            pairs = list(zip(i.tolist(), j.tolist()))
+            assert len(pairs) == len(set(pairs))
+            assert set(pairs) == brute_force_pairs(coords, cutoff)
+
+    def test_pair_arrays_cached_across_validity_checks(self, rng):
+        coords = rng.uniform(0, 10, size=(25, 3))
+        nl = build_neighbor_list(coords, cutoff=4.0)
+        i1, j1 = nl.pair_arrays()
+        nl.max_distance_ok(coords)
+        i2, j2 = nl.pair_arrays()
+        assert i1 is i2 and j1 is j2   # no fresh allocation per check
+
+
+class TestSharedNeighborCore:
+    """Property tests: shared-core + probe-delta lists are *identical* —
+    same CSR offsets and indices — to independent full per-pose builds."""
+
+    def _random_exclusions(self, rng, n_total):
+        excl = set()
+        for _ in range(int(rng.integers(0, 12))):
+            a, b = sorted(int(x) for x in rng.integers(0, n_total, size=2))
+            if a != b:
+                excl.add((a, b))
+        return frozenset(excl)
+
+    def test_identical_to_full_build_across_random_ensembles(self, rng):
+        cutoff = 4.5
+        for _ in range(15):
+            n_core = int(rng.integers(1, 60))
+            n_probe = int(rng.integers(0, 10))
+            core = rng.uniform(0, 14, size=(n_core, 3))
+            excl = self._random_exclusions(rng, n_core + n_probe)
+            shared = SharedNeighborCore(core, cutoff, excl)
+            for _pose in range(3):
+                probe = rng.uniform(-3, 17, size=(n_probe, 3))
+                full_coords = np.vstack([core, probe])
+                ref = build_neighbor_list(full_coords, cutoff, excl)
+                got = shared.pose_list(full_coords)
+                assert np.array_equal(got.offsets, ref.offsets)
+                assert np.array_equal(got.indices, ref.indices)
+
+    def test_zero_probe_atoms(self, rng):
+        core = rng.uniform(0, 12, size=(30, 3))
+        shared = SharedNeighborCore(core, 5.0)
+        ref = build_neighbor_list(core, 5.0)
+        got = shared.pose_list(core)
+        assert np.array_equal(got.offsets, ref.offsets)
+        assert np.array_equal(got.indices, ref.indices)
+        assert got.n_pairs == shared.core_n_pairs
+
+    def test_core_matches_is_bitwise(self, rng):
+        core = rng.uniform(0, 12, size=(20, 3))
+        probe = rng.uniform(0, 12, size=(3, 3))
+        shared = SharedNeighborCore(core, 5.0)
+        pose = np.vstack([core, probe])
+        assert shared.core_matches(pose)
+        moved = pose.copy()
+        moved[4, 1] += 1e-12          # any receptor motion disqualifies
+        assert not shared.core_matches(moved)
+        assert not shared.core_matches(pose[:10])   # too short
+
+    def test_receptor_moved_pose_full_build_agrees(self, rng):
+        """A moved-core pose must use the full build — and that build is
+        the same function the shared path is verified against, so results
+        agree with an independent model of the moved pose."""
+        core = rng.uniform(0, 12, size=(25, 3))
+        probe = rng.uniform(0, 12, size=(4, 3))
+        shared = SharedNeighborCore(core, 5.0)
+        moved = np.vstack([core, probe])
+        moved[3] += 2.0
+        assert not shared.core_matches(moved)
+        ref = build_neighbor_list(moved, 5.0)
+        got = set(zip(*[a.tolist() for a in ref.pair_arrays()]))
+        assert got == brute_force_pairs(moved, 5.0)
+
+    def test_core_exclusions_partitioned(self):
+        """Core-core exclusions apply to the shared list, probe-touching
+        exclusions to the delta — together exactly the full exclusion set."""
+        core = np.array([[0.0, 0, 0], [1.0, 0, 0], [2.0, 0, 0]])
+        probe = np.array([[0.5, 0.5, 0.0]])
+        excl = frozenset({(0, 1), (1, 3)})
+        shared = SharedNeighborCore(core, 5.0, excl)
+        got = shared.pose_list(np.vstack([core, probe]))
+        i, j = got.pair_arrays()
+        pairs = set(zip(i.tolist(), j.tolist()))
+        assert (0, 1) not in pairs and (1, 3) not in pairs
+        assert (0, 2) in pairs and (0, 3) in pairs and (2, 3) in pairs
 
 
 class TestBondedExclusions:
