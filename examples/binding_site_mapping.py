@@ -20,7 +20,7 @@ import numpy as np
 from repro import FTMapConfig, FTMapService, mapping_report, synthetic_protein
 from repro.mapping.hotspot import burial_map, site_concavity
 from repro.structure.builder import pocket_center
-from repro.util.runlog import RunLogger
+from repro.obs.logging import RunLogger
 
 
 def main() -> None:

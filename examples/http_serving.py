@@ -30,7 +30,7 @@ from repro.api import FTMapService, MapRequest
 from repro.api.errors import QuotaExceededError
 from repro.cache import CacheManager
 from repro.gateway import GatewayClient, GatewayServer, TenantSpec
-from repro.util.runlog import RunLogger
+from repro.obs.logging import RunLogger
 
 
 def main() -> None:

@@ -30,7 +30,7 @@ from repro.cache import CacheManager
 from repro.exec import DeviceTopology
 from repro.perf.speedup import multigpu_minimization_scaling
 from repro.perf.tables import render_table
-from repro.util.runlog import RunLogger
+from repro.obs.logging import RunLogger
 
 
 def main() -> None:

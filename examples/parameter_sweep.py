@@ -28,7 +28,7 @@ from dataclasses import replace
 from repro import FTMapConfig, synthetic_protein
 from repro.cache import reset_cache_registry
 from repro.mapping.sweep import run_sweep, sweep_grid
-from repro.util.runlog import RunLogger
+from repro.obs.logging import RunLogger
 
 
 def main() -> None:

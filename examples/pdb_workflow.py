@@ -24,7 +24,7 @@ from repro import (
     synthetic_protein,
     write_pdb,
 )
-from repro.util.runlog import RunLogger
+from repro.obs.logging import RunLogger
 
 
 def main() -> None:

@@ -29,7 +29,7 @@ from repro import (
 )
 from repro.geometry.transforms import centered
 from repro.structure.builder import pocket_movable_mask
-from repro.util.runlog import RunLogger
+from repro.obs.logging import RunLogger
 
 
 def main() -> None:

@@ -24,7 +24,7 @@ import json
 from repro import FTMapConfig, synthetic_protein
 from repro.api import FTMapService, MapRequest
 from repro.cache import CacheManager
-from repro.util.runlog import RunLogger
+from repro.obs.logging import RunLogger
 
 
 def main() -> None:

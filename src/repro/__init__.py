@@ -13,7 +13,9 @@ The package rebuilds the full FTMap system the paper accelerates —
 — plus the paper's contribution, the GPU port, on a *virtual CUDA device*
 (Tesla C1060 execution/cost model): :mod:`repro.cuda`, :mod:`repro.gpu`,
 with the serial/multicore reference models and the table/figure
-reproduction harness in :mod:`repro.perf`.
+reproduction harness in :mod:`repro.perf`, and the unified telemetry
+layer (request tracing, metrics registry, structured logging) in
+:mod:`repro.obs`.
 
 The public front door is the session-scoped mapping service
 (:mod:`repro.api`)::
@@ -90,8 +92,9 @@ from repro.api import (
     ProgressEvent,
     receptor_fingerprint,
 )
+from repro.obs import MetricsRegistry, Tracer, metrics_registry
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Molecule",
@@ -152,5 +155,8 @@ __all__ = [
     "DeviceTopology",
     "ShardPlan",
     "default_topology",
+    "Tracer",
+    "MetricsRegistry",
+    "metrics_registry",
     "__version__",
 ]

@@ -17,11 +17,15 @@ again at the consensus stage, not between probes.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.api.errors import JobTimeoutError
 from repro.api.schema import SCHEMA_VERSION, check_schema_version
+from repro.obs.logging import log_event
+from repro.obs.metrics import registry
+from repro.obs.trace import NULL_TRACER
 
 __all__ = [
     "JOB_QUEUED",
@@ -64,6 +68,12 @@ class ProgressEvent:
     progress without knowing the pipeline.  A multi-device minimization
     additionally emits ``"minimize-shard"`` per shard, where
     ``index``/``total`` locate the *shard* within that probe's shard plan.
+
+    Correlation fields (wire schema v2): ``trace_id``/``span_id`` tie a
+    live event to the request's trace (empty strings when tracing is
+    off), and ``elapsed_s`` is monotonic seconds since the job started
+    executing — event streams order and time consistently even when
+    client and server wall clocks disagree.
     """
 
     job_id: str
@@ -71,6 +81,9 @@ class ProgressEvent:
     probe: str
     index: int
     total: int
+    trace_id: str = ""
+    span_id: str = ""
+    elapsed_s: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready wire form (the gateway's SSE ``data:`` payload)."""
@@ -82,7 +95,10 @@ class ProgressEvent:
     def from_dict(cls, data: Dict[str, object]) -> "ProgressEvent":
         """Rebuild an event from :meth:`to_dict` output (re-validated)."""
         check_schema_version(data, "ProgressEvent")
-        known = {"schema_version", "job_id", "stage", "probe", "index", "total"}
+        known = {
+            "schema_version", "job_id", "stage", "probe", "index", "total",
+            "trace_id", "span_id", "elapsed_s",
+        }
         unknown = sorted(set(data) - known)
         if unknown:
             from repro.api.errors import InvalidRequestError
@@ -96,6 +112,9 @@ class ProgressEvent:
             probe=str(data.get("probe", "")),
             index=int(data.get("index", 0)),
             total=int(data.get("total", 0)),
+            trace_id=str(data.get("trace_id", "")),
+            span_id=str(data.get("span_id", "")),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
         )
 
 
@@ -123,6 +142,8 @@ class JobHandle:
         self._done = threading.Event()
         self._lock = threading.Lock()
         self._future = None  # set by the service right after submit
+        self._tracer = NULL_TRACER  # set by the service when tracing is on
+        self._t0 = time.perf_counter()  # re-anchored when the job starts running
 
     # -- caller API --------------------------------------------------------------
 
@@ -194,6 +215,11 @@ class JobHandle:
         with self._lock:
             return list(self._events)
 
+    @property
+    def trace_id(self) -> str:
+        """The id of this job's trace ("" when tracing is off)."""
+        return self._tracer.trace_id
+
     def add_done_callback(self, fn: Callable[["JobHandle"], None]) -> None:
         """Call ``fn(handle)`` once the job reaches a terminal state.
 
@@ -223,9 +249,22 @@ class JobHandle:
         if self._cancel.is_set():
             raise JobCancelled(f"job {self.job_id!r} was cancelled")
 
-    def _emit(self, stage: str, probe: str, index: int, total: int) -> None:
+    def _set_tracer(self, tracer) -> None:
+        """Attach the request's tracer so events carry its ids."""
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+
+    def _emit(
+        self, stage: str, probe: str, index: int, total: int, span_id: str = ""
+    ) -> None:
         event = ProgressEvent(
-            job_id=self.job_id, stage=stage, probe=probe, index=index, total=total
+            job_id=self.job_id,
+            stage=stage,
+            probe=probe,
+            index=index,
+            total=total,
+            trace_id=self._tracer.trace_id,
+            span_id=span_id,
+            elapsed_s=time.perf_counter() - self._t0,
         )
         with self._lock:
             self._events.append(event)
@@ -236,6 +275,8 @@ class JobHandle:
         with self._lock:
             if self._status == JOB_QUEUED:
                 self._status = JOB_RUNNING
+                # Event elapsed_s counts from execution start, not submit.
+                self._t0 = time.perf_counter()
 
     def _finish(
         self,
@@ -250,6 +291,18 @@ class JobHandle:
             self._result = result
             self._error = error
             callbacks, self._done_callbacks = self._done_callbacks, []
+        registry().counter(
+            "repro_jobs_total", ("status",),
+            help="Jobs finished, by terminal state.",
+        ).inc(status=status)
+        log_event(
+            "job.finished",
+            job_id=self.job_id,
+            status=status,
+            trace_id=self._tracer.trace_id,
+            elapsed_s=round(time.perf_counter() - self._t0, 6),
+            error=str(error) if error is not None else "",
+        )
         self._done.set()
         for fn in callbacks:
             fn(self)

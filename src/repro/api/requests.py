@@ -54,6 +54,9 @@ class MapRequest:
     :meth:`~repro.api.service.FTMapService.register_receptor`.
     ``streaming`` overrides the service's scheduling mode for this request
     (``"sequential"`` | ``"pipeline"``; None = service default).
+    ``tracing`` overrides ``config.tracing`` for this request (None =
+    defer to the config): a client can ask for a trace without caring
+    that traced and untraced configs hash to the same cache keys.
     """
 
     receptor: Union[Molecule, str]
@@ -61,12 +64,17 @@ class MapRequest:
     probes: Optional[Dict[str, Molecule]] = None
     request_id: Optional[str] = None
     streaming: Optional[str] = None
+    tracing: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.streaming is not None and self.streaming not in STREAMING_MODES:
             raise InvalidRequestError(
                 f"unknown streaming mode {self.streaming!r}; expected one of "
                 f"{STREAMING_MODES} or None"
+            )
+        if self.tracing is not None and not isinstance(self.tracing, bool):
+            raise InvalidRequestError(
+                f"tracing must be True, False or None, got {self.tracing!r}"
             )
         if not isinstance(self.receptor, (Molecule, str)):
             raise TypeError(
@@ -99,6 +107,7 @@ class MapRequest:
             "config": self.config.to_dict(),
             "request_id": self.request_id,
             "streaming": self.streaming,
+            "tracing": self.tracing,
         }
 
     @classmethod
@@ -111,7 +120,10 @@ class MapRequest:
         before any field is interpreted.
         """
         check_schema_version(data, "MapRequest")
-        known = {"schema_version", "receptor", "config", "request_id", "streaming"}
+        known = {
+            "schema_version", "receptor", "config", "request_id",
+            "streaming", "tracing",
+        }
         unknown = sorted(set(data) - known)
         if unknown:
             raise InvalidRequestError(f"unknown MapRequest field(s): {unknown}")
@@ -128,11 +140,17 @@ class MapRequest:
             # FTMapConfig validation speaks bare ValueError/TypeError; at
             # the wire boundary every malformed document is a typed 400.
             raise InvalidRequestError(f"invalid MapRequest config: {exc}") from exc
+        tracing = data.get("tracing")
+        if tracing is not None and not isinstance(tracing, bool):
+            raise InvalidRequestError(
+                f"MapRequest.tracing must be a boolean or null, got {tracing!r}"
+            )
         return cls(
             receptor=data["receptor"],
             config=cfg,
             request_id=data.get("request_id"),
             streaming=data.get("streaming"),
+            tracing=tracing,
         )
 
 
@@ -151,6 +169,10 @@ class MapResult:
     #: How the probes were actually scheduled: ``"sequential"``,
     #: ``"pipeline"`` (stage-overlapped), or ``"fork"`` (probe_workers).
     streaming: str = "sequential"
+    #: The request's serialized trace document (see
+    #: :meth:`repro.obs.trace.Tracer.to_dict`), or None when tracing was
+    #: off for this request.
+    trace: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready wire form of the result (a *summary* document).
@@ -175,6 +197,7 @@ class MapResult:
                 if self.cache_stats is not None
                 else None
             ),
+            "trace": self.trace,
             "result": self.result.to_dict(),
         }
 

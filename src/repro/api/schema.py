@@ -10,9 +10,17 @@ mis-parsing it.
 Version history
 ---------------
 1
-    Initial wire shape (this PR): by-hash receptors, full ``FTMapConfig``
-    embedded in requests; results as summary documents (sites, per-probe
+    Initial wire shape: by-hash receptors, full ``FTMapConfig`` embedded
+    in requests; results as summary documents (sites, per-probe
     cluster/provenance summaries, cache stats).
+2
+    Observability fields: ``MapRequest.tracing`` (per-request trace
+    opt-in overriding ``config.tracing``), ``MapResult.trace`` (the
+    serialized trace document, itself versioned by
+    ``repro.obs.trace.TRACE_SCHEMA_VERSION``), and
+    ``ProgressEvent.trace_id`` / ``span_id`` / ``elapsed_s`` correlation
+    fields.  Version-1 documents (which simply lack these fields) are
+    still read; writers emit 2.
 
 Readers accept any version in :data:`SUPPORTED_SCHEMA_VERSIONS`; writers
 always emit :data:`SCHEMA_VERSION` (the newest).  Documents *without* a
@@ -34,10 +42,10 @@ __all__ = [
 ]
 
 #: The wire-schema version this build writes.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Versions this build can read.
-SUPPORTED_SCHEMA_VERSIONS = (1,)
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 
 def check_schema_version(data: Mapping[str, object], document: str) -> int:

@@ -60,6 +60,9 @@ from repro.cache.manager import CacheManager, CacheStats
 from repro.mapping import ftmap as _ftmap
 from repro.mapping.consensus import consensus_sites
 from repro.mapping.ftmap import FTMapConfig, FTMapResult, ProbeResult
+from repro.obs.logging import log_event
+from repro.obs.metrics import registry
+from repro.obs.trace import Tracer
 from repro.structure.molecule import Molecule
 from repro.structure.probes import build_probe
 from repro.util.parallel import PipelineExecutor, parallel_map
@@ -192,13 +195,16 @@ class FTMapService:
 
     # -- request execution -------------------------------------------------------
 
-    def submit(self, request: MapRequest) -> JobHandle:
+    def submit(self, request: MapRequest, tracer: Optional[Tracer] = None) -> JobHandle:
         """Queue a request on the worker pool; returns its job handle.
 
         The handle exposes ``poll()`` / ``result(timeout)`` / ``cancel()``
         and the per-stage progress events.  Jobs run concurrently up to
         ``max_workers``; requests against the same receptor share
         artifacts through the cache whichever order they land in.
+        ``tracer`` carries an upstream trace into the job (the gateway
+        passes the one that already holds its ingress/queue spans);
+        without one, tracing follows the request/config flags.
         """
         with self._lock:
             if self._closed:
@@ -213,10 +219,16 @@ class FTMapService:
                     thread_name_prefix="ftmap-service",
                 )
             handle = JobHandle(job_id, on_event=self._on_event)
+            if tracer is not None:
+                handle._set_tracer(tracer)
             self._jobs[job_id] = handle
 
             def task() -> None:
                 handle._set_running()
+                running = registry().gauge(
+                    "repro_jobs_running", help="Jobs currently executing."
+                )
+                running.inc()
                 try:
                     handle._check_cancelled()
                     result = self._execute(request, handle)
@@ -226,6 +238,8 @@ class FTMapService:
                     handle._finish("failed", error=exc)
                 else:
                     handle._finish("done", result=result)
+                finally:
+                    running.dec()
 
             # Scheduled under the lock: a concurrent close() either sees
             # this job registered (and cancels it) or blocks here until
@@ -286,42 +300,85 @@ class FTMapService:
         t0 = time.perf_counter()
         receptor, fingerprint = self._resolve_receptor(request.receptor)
         cfg = request.config
+        tracer = handle._tracer
+        if not tracer.enabled:
+            # Request flag overrides config; neither set means no trace.
+            wants_trace = (
+                request.tracing
+                if request.tracing is not None
+                else cfg.tracing
+            )
+            if wants_trace:
+                tracer = Tracer()
+                handle._set_tracer(tracer)
         manager = self._request_manager(cfg)
         probe_set = request.probes or {
             name: build_probe(name) for name in cfg.probe_names
         }
         items = list(probe_set.items())
         mode = self._resolve_streaming(request, cfg, len(items))
-
-        if manager.enabled:
-            with manager.stats_scope() as scope:
-                probe_results = self._run_probes(
-                    receptor, items, cfg, manager, mode, handle, scope
-                )
-            stats: Optional[CacheStats] = scope
-        else:
-            probe_results = self._run_probes(
-                receptor, items, cfg, manager, mode, handle, None
-            )
-            stats = None
-
-        handle._check_cancelled()
-        handle._emit("consensus", "", len(items), len(items))
-        sites = consensus_sites(
-            {name: pr.clusters for name, pr in probe_results.items()},
-            radius=cfg.consensus_radius,
+        log_event(
+            "request.started",
+            job_id=handle.job_id,
+            trace_id=tracer.trace_id,
+            receptor=fingerprint,
+            probes=len(items),
+            streaming=mode,
         )
+
+        with tracer.span(
+            "map",
+            request_id=handle.job_id,
+            receptor=fingerprint,
+            probes=len(items),
+            streaming=mode,
+        ) as root:
+            if manager.enabled:
+                with manager.stats_scope() as scope:
+                    probe_results = self._run_probes(
+                        receptor, items, cfg, manager, mode, handle, scope,
+                        tracer, root,
+                    )
+                stats: Optional[CacheStats] = scope
+            else:
+                probe_results = self._run_probes(
+                    receptor, items, cfg, manager, mode, handle, None,
+                    tracer, root,
+                )
+                stats = None
+
+            handle._check_cancelled()
+            t_stage = time.perf_counter()
+            with tracer.span("consensus", parent=root) as span:
+                handle._emit(
+                    "consensus", "", len(items), len(items),
+                    span_id=span.span_id,
+                )
+                sites = consensus_sites(
+                    {name: pr.clusters for name, pr in probe_results.items()},
+                    radius=cfg.consensus_radius,
+                )
+            registry().histogram(
+                "repro_stage_seconds", ("stage",),
+                help="Wall seconds per pipeline stage.",
+            ).observe(time.perf_counter() - t_stage, stage="consensus")
         ftmap_result = FTMapResult(
             probe_results=probe_results, sites=sites, cache_stats=stats
         )
+        wall_s = time.perf_counter() - t0
+        registry().histogram(
+            "repro_request_seconds",
+            help="End-to-end wall seconds per mapping request.",
+        ).observe(wall_s)
         return MapResult(
             request_id=handle.job_id,
             receptor_hash=fingerprint,
             config=cfg,
             result=ftmap_result,
-            wall_time_s=time.perf_counter() - t0,
+            wall_time_s=wall_s,
             cache_stats=stats,
             streaming=mode,
+            trace=tracer.to_dict(),
         )
 
     def _resolve_streaming(
@@ -352,8 +409,14 @@ class FTMapService:
         mode: str,
         handle: JobHandle,
         scope: Optional[CacheStats],
+        tracer: Tracer,
+        root,
     ) -> Dict[str, ProbeResult]:
         total = len(items)
+        stage_seconds = registry().histogram(
+            "repro_stage_seconds", ("stage",),
+            help="Wall seconds per pipeline stage.",
+        )
 
         def in_scope(fn):
             # Pipeline stages run on their own threads; attaching the
@@ -367,38 +430,63 @@ class FTMapService:
 
         # Stages resolve through the module at call time, so the
         # monkeypatch seam tests use on ftmap.dock_probe keeps working.
+        # Stage spans parent on the request's root span *explicitly*:
+        # in pipeline mode the stages run on pipeline-executor threads,
+        # and the explicit parent keeps the trace connected without
+        # relying on ambient context crossing the thread boundary.
         def stage_dock(task: Tuple[int, Tuple[str, Molecule]]):
             index, (name, probe) = task
             handle._check_cancelled()
-            handle._emit("dock", name, index, total)
-            run = _ftmap.dock_probe(receptor, probe, cfg, cache=manager)
+            t_stage = time.perf_counter()
+            with tracer.span("dock", parent=root, probe=name) as span:
+                handle._emit("dock", name, index, total, span_id=span.span_id)
+                run = _ftmap.dock_probe(receptor, probe, cfg, cache=manager)
+            stage_seconds.observe(time.perf_counter() - t_stage, stage="dock")
             return index, name, probe, run
 
         def stage_refine(task) -> ProbeResult:
             index, name, probe, run = task
             handle._check_cancelled()
-            handle._emit("minimize", name, index, total)
+            t_stage = time.perf_counter()
+            with tracer.span("minimize", parent=root, probe=name) as span:
+                handle._emit(
+                    "minimize", name, index, total, span_id=span.span_id
+                )
 
-            def on_shard(shard_index: int, num_shards: int) -> None:
-                # Per-shard dispatch events: a multi-device minimization
-                # surfaces each shard as it starts, so clients can render
-                # device-level progress within the stage.
-                handle._emit("minimize-shard", name, shard_index, num_shards)
+                def on_shard(shard_index: int, num_shards: int) -> None:
+                    # Per-shard dispatch events: a multi-device
+                    # minimization surfaces each shard as it starts, so
+                    # clients can render device-level progress within the
+                    # stage.
+                    handle._emit(
+                        "minimize-shard", name, shard_index, num_shards,
+                        span_id=span.span_id,
+                    )
 
-            # cancel_check reaches the engine's shard starts and the
-            # batch-chunk boundaries inside each shard: a cancelled job
-            # stops mid-stage, not just between stages.
-            stage = _ftmap.minimize_poses(
-                receptor,
-                probe,
-                run.poses,
-                cfg,
-                cache=manager,
-                cancel_check=handle._check_cancelled,
-                on_shard=on_shard,
+                # cancel_check reaches the engine's shard starts and the
+                # batch-chunk boundaries inside each shard: a cancelled
+                # job stops mid-stage, not just between stages.
+                stage = _ftmap.minimize_poses(
+                    receptor,
+                    probe,
+                    run.poses,
+                    cfg,
+                    cache=manager,
+                    cancel_check=handle._check_cancelled,
+                    on_shard=on_shard,
+                )
+            stage_seconds.observe(
+                time.perf_counter() - t_stage, stage="minimize"
             )
-            handle._emit("cluster", name, index, total)
-            clusters = _ftmap.cluster_probe(stage.centers, stage.energies, cfg)
+            t_stage = time.perf_counter()
+            with tracer.span("cluster", parent=root, probe=name) as span:
+                handle._emit(
+                    "cluster", name, index, total, span_id=span.span_id
+                )
+                clusters = _ftmap.cluster_probe(
+                    stage.centers, stage.energies, cfg
+                )
+            stage_seconds.observe(time.perf_counter() - t_stage, stage="cluster")
             return ProbeResult(
                 probe_name=name,
                 docked_poses=run.poses,

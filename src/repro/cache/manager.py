@@ -33,6 +33,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.cache.store import CODECS, MISS, DiskStore, MemoryStore, estimate_nbytes
+from repro.obs.metrics import registry
 
 __all__ = [
     "CACHE_POLICIES",
@@ -168,6 +169,11 @@ class CacheManager:
                 for field, delta in deltas.items():
                     if delta:
                         setattr(stats, field, getattr(stats, field) + delta)
+        if deltas.get("evictions"):
+            registry().counter(
+                "repro_cache_evictions_total",
+                help="Memory-tier cache evictions.",
+            ).inc(deltas["evictions"])
 
     def _store_counter_deltas(self) -> Dict[str, int]:
         """Eviction/corruption deltas since the counters were last synced.
@@ -190,9 +196,11 @@ class CacheManager:
         """Cached value for ``key`` or ``None`` (values must not be None)."""
         if not self.enabled:
             return None
+        kind = key.split("/", 1)[0]
         value = self.memory.get(key)
         if value is not MISS:
             self._record(hits=1, memory_hits=1)
+            self._count_lookup(kind, "hit")
             return value
         if self.disk is not None:
             value = self.disk.get(key)
@@ -203,12 +211,22 @@ class CacheManager:
                     self._record(
                         hits=1, disk_hits=1, **self._store_counter_deltas()
                     )
+                self._count_lookup(kind, "hit")
                 return value
             with self._lock:
                 self._record(misses=1, **self._store_counter_deltas())
+            self._count_lookup(kind, "miss")
             return None
         self._record(misses=1)
+        self._count_lookup(kind, "miss")
         return None
+
+    @staticmethod
+    def _count_lookup(kind: str, outcome: str) -> None:
+        registry().counter(
+            "repro_cache_lookups_total", ("kind", "outcome"),
+            help="Cache lookups by artifact kind (key namespace) and outcome.",
+        ).inc(kind=kind, outcome=outcome)
 
     def put(
         self,
@@ -242,6 +260,17 @@ class CacheManager:
                 disk_write_failures=write_failures,
                 **self._store_counter_deltas(),
             )
+        reg = registry()
+        kind = key.split("/", 1)[0]
+        reg.counter(
+            "repro_cache_puts_total", ("kind",),
+            help="Cache stores by artifact kind (key namespace).",
+        ).inc(kind=kind)
+        if nbytes:
+            reg.counter(
+                "repro_cache_stored_bytes_total", ("kind",),
+                help="Bytes admitted to the cache by artifact kind.",
+            ).inc(int(nbytes), kind=kind)
 
     def get_or_compute(
         self, key: str, compute: Callable[[], object], codec: str = "pickle"

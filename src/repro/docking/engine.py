@@ -19,10 +19,12 @@ result.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.docking.piper import DockedPose, PiperConfig, PiperDocker
+from repro.obs.metrics import registry
 from repro.docking.selection import CPU_BACKENDS, BackendDecision, select_backend
 from repro.structure.molecule import Molecule
 from repro.util.parallel import RotationExecutor
@@ -135,6 +137,7 @@ class DockingEngine:
         self, rotation_indices: Sequence[int] | None = None
     ) -> DockingRun:
         """Dock and report backend provenance (and GPU time ledger)."""
+        t_start = time.perf_counter()
         if self.backend == "gpu-sim":
             from repro.cuda.device import Device
             from repro.gpu.docking_pipeline import GpuPiperDocker
@@ -147,22 +150,47 @@ class DockingEngine:
                 serial=self.docker,
             )
             res = gpu.run(rotation_indices)
-            return DockingRun(
+            run = DockingRun(
                 poses=res.poses,
                 backend=self.backend,
                 batch_size=res.batch_size,
                 decision=self.decision,
                 predicted_device_time_s=res.predicted_device_time_s,
             )
-        poses = self.docker.run(
-            rotation_indices, batch_size=self.batch_size, executor=self._executor
+        else:
+            poses = self.docker.run(
+                rotation_indices, batch_size=self.batch_size, executor=self._executor
+            )
+            run = DockingRun(
+                poses=poses,
+                backend=self.backend,
+                batch_size=self.batch_size,
+                decision=self.decision,
+            )
+        n_rotations = (
+            len(rotation_indices)
+            if rotation_indices is not None
+            else self.config.num_rotations
         )
-        return DockingRun(
-            poses=poses,
-            backend=self.backend,
-            batch_size=self.batch_size,
-            decision=self.decision,
-        )
+        reg = registry()
+        reg.counter(
+            "repro_dock_runs_total", ("backend",),
+            help="Docking runs executed, by backend.",
+        ).inc(backend=self.backend)
+        reg.counter(
+            "repro_dock_rotations_total", ("backend",),
+            help="Rotations docked, by backend.",
+        ).inc(n_rotations, backend=self.backend)
+        batch = run.batch_size or 1
+        reg.counter(
+            "repro_dock_batches_total", ("backend",),
+            help="Correlation batches (FFT or direct chunks) executed.",
+        ).inc(-(-n_rotations // batch), backend=self.backend)
+        reg.histogram(
+            "repro_dock_run_seconds", ("backend",),
+            help="Wall seconds per docking run.",
+        ).observe(time.perf_counter() - t_start, backend=self.backend)
+        return run
 
     # -- conveniences -------------------------------------------------------------
 

@@ -30,6 +30,7 @@ to the tenant that caused it.
 from __future__ import annotations
 
 import heapq
+import math
 import threading
 import time
 from dataclasses import dataclass, field, replace
@@ -44,6 +45,9 @@ from repro.api.jobs import JOB_QUEUED, JobHandle
 from repro.api.requests import MapRequest
 from repro.api.schema import SCHEMA_VERSION
 from repro.gateway.auth import TenantRegistry, TenantSpec
+from repro.obs.logging import log_event
+from repro.obs.metrics import registry
+from repro.obs.trace import Span, Tracer
 
 __all__ = ["GatewayJob", "TenantCounters", "AdmissionController"]
 
@@ -105,6 +109,14 @@ class GatewayJob:
     #: The service refused the dispatch (e.g. closed underneath the
     #: gateway); terminal, reported as ``"failed"``.
     dispatch_error: Optional[BaseException] = field(default=None)
+    #: Request trace started at gateway ingress (None unless the request
+    #: asked for tracing); handed to the service at dispatch so one trace
+    #: spans ingress → queue → every pipeline stage.
+    tracer: Optional[Tracer] = field(default=None)
+    #: The open admission-queue-wait span of a tracing job.
+    queue_span: Optional[Span] = field(default=None)
+    #: ``perf_counter`` at admission, for queue-wait and job latency.
+    admitted_s: float = field(default=0.0)
 
     def status(self) -> str:
         if self.cancelled_in_queue:
@@ -188,6 +200,11 @@ class AdmissionController:
 
     def submit(self, tenant: TenantSpec, request: MapRequest) -> GatewayJob:
         """Admit ``request`` for ``tenant`` or shed it with a typed 429."""
+        t_ingress = time.perf_counter()
+        requests_total = registry().counter(
+            "repro_gateway_requests_total", ("tenant", "outcome"),
+            help="Submissions per tenant by admission outcome.",
+        )
         counters = self._counters[tenant.name]
         with self._cv:
             if self._closed:
@@ -200,6 +217,7 @@ class AdmissionController:
         if retry_after > 0.0:
             with self._cv:
                 counters.shed_rate += 1
+            requests_total.inc(tenant=tenant.name, outcome="shed_rate")
             raise QuotaExceededError(
                 f"tenant {tenant.name!r} exceeded its request rate "
                 f"({tenant.rate:g}/s, burst {tenant.burst})",
@@ -210,6 +228,9 @@ class AdmissionController:
             # 2. Per-tenant concurrency cap (queued + running).
             if counters.queued + counters.running >= tenant.max_in_flight:
                 counters.shed_concurrency += 1
+                requests_total.inc(
+                    tenant=tenant.name, outcome="shed_concurrency"
+                )
                 raise QuotaExceededError(
                     f"tenant {tenant.name!r} already has "
                     f"{counters.queued + counters.running} job(s) in flight "
@@ -219,6 +240,7 @@ class AdmissionController:
             # 3. Bounded global queue: shed, never queue unboundedly.
             if self._queued >= self.max_queue_depth:
                 counters.shed_queue += 1
+                requests_total.inc(tenant=tenant.name, outcome="shed_queue")
                 raise QuotaExceededError(
                     f"admission queue full ({self.max_queue_depth} waiting); "
                     "shedding load",
@@ -242,13 +264,42 @@ class AdmissionController:
                 # handles, progress events and results all agree on it.
                 request=replace(request, request_id=job_id),
             )
+            if (
+                request.tracing
+                if request.tracing is not None
+                else request.config.tracing
+            ):
+                # The trace starts here, at the gateway: the ingress span
+                # covers authentication + admission, and the queue span
+                # stays open until dispatch hands the job to the service.
+                tracer = Tracer()
+                tracer.add_span(
+                    "ingress", t_ingress, time.perf_counter(),
+                    tenant=tenant.name, job_id=job_id,
+                )
+                job.tracer = tracer
+                job.queue_span = tracer.start_span(
+                    "queue", tenant=tenant.name, priority=tenant.priority
+                )
+            job.admitted_s = time.perf_counter()
             self._seq += 1
             heapq.heappush(self._heap, (tenant.priority, self._seq, job))
             self._jobs[job_id] = job
             self._queued += 1
             counters.accepted += 1
             counters.queued += 1
+            registry().gauge(
+                "repro_gateway_queue_depth",
+                help="Jobs waiting for a dispatch slot.",
+            ).set(self._queued)
             self._cv.notify_all()
+        requests_total.inc(tenant=tenant.name, outcome="accepted")
+        log_event(
+            "gateway.admitted",
+            job_id=job.job_id,
+            tenant=tenant.name,
+            trace_id=job.tracer.trace_id if job.tracer is not None else "",
+        )
         return job
 
     # -- lookup / cancel ---------------------------------------------------------
@@ -308,8 +359,24 @@ class AdmissionController:
                 self._running += 1
                 self._counters[job.tenant].queued -= 1
                 self._counters[job.tenant].running += 1
+                registry().gauge(
+                    "repro_gateway_queue_depth",
+                    help="Jobs waiting for a dispatch slot.",
+                ).set(self._queued)
+            registry().histogram(
+                "repro_gateway_queue_wait_seconds",
+                help="Seconds jobs waited in the admission queue.",
+            ).observe(time.perf_counter() - job.admitted_s)
+            if job.queue_span is not None:
+                job.queue_span.end()
             try:
-                handle = self.service.submit(job.request)
+                # Only thread the tracer through when one was opened at
+                # ingress — keeps plain submits signature-compatible with
+                # service doubles that mirror the v1 interface.
+                if job.tracer is not None:
+                    handle = self.service.submit(job.request, tracer=job.tracer)
+                else:
+                    handle = self.service.submit(job.request)
             except BaseException as exc:
                 # The service refused (e.g. closed underneath us): return
                 # the slot and mark the job failed-by-accounting.
@@ -350,6 +417,17 @@ class AdmissionController:
             else:
                 counters.cancelled += 1
             self._cv.notify_all()
+        registry().histogram(
+            "repro_gateway_job_seconds", ("tenant",),
+            help="Admission-to-completion seconds per tenant.",
+        ).observe(time.perf_counter() - job.admitted_s, tenant=job.tenant)
+        log_event(
+            "gateway.finished",
+            job_id=job.job_id,
+            tenant=job.tenant,
+            status=status,
+            trace_id=job.tracer.trace_id if job.tracer is not None else "",
+        )
 
     # -- lifecycle / stats -------------------------------------------------------
 
@@ -372,7 +450,7 @@ class AdmissionController:
         self._dispatcher.join(timeout=5.0)
 
     def stats(self) -> Dict[str, object]:
-        """The ``/v1/stats`` document: queues, tenants, cache."""
+        """The ``/v1/stats`` document: queues, tenants, cache, latencies."""
         with self._cv:
             tenants = {
                 name: counters.to_dict()
@@ -391,4 +469,41 @@ class AdmissionController:
             "jobs_total": jobs_total,
             "tenants": tenants,
             "cache": cache.to_dict(),
+            "metrics": self._metrics_stats(),
+        }
+
+    def _metrics_stats(self) -> Dict[str, object]:
+        """Registry-derived latency summary embedded in ``/v1/stats``.
+
+        Queue-wait and per-tenant completion-latency percentiles from the
+        process metrics registry — the JSON view of what ``/v1/metrics``
+        exposes as Prometheus series.  Quantiles over empty histograms
+        are ``None`` (never NaN, which is not valid JSON).
+        """
+        reg = registry()
+
+        def q(hist, quantile: float, **labels) -> Optional[float]:
+            value = hist.quantile(quantile, **labels)
+            return None if math.isnan(value) else value
+
+        wait = reg.histogram(
+            "repro_gateway_queue_wait_seconds",
+            help="Seconds jobs waited in the admission queue.",
+        )
+        latency = reg.histogram(
+            "repro_gateway_job_seconds", ("tenant",),
+            help="Admission-to-completion seconds per tenant.",
+        )
+        per_tenant: Dict[str, object] = {}
+        for (tenant,), _cell in latency.series():
+            per_tenant[tenant] = {
+                "count": latency.count(tenant=tenant),
+                "p50_s": q(latency, 0.5, tenant=tenant),
+                "p99_s": q(latency, 0.99, tenant=tenant),
+            }
+        return {
+            "queue_wait_count": wait.count(),
+            "queue_wait_p50_s": q(wait, 0.5),
+            "queue_wait_p99_s": q(wait, 0.99),
+            "tenant_latency": per_tenant,
         }

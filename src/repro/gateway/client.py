@@ -106,6 +106,31 @@ class GatewayClient:
     def stats(self) -> Dict[str, object]:
         return self._request("GET", "/v1/stats")[1]
 
+    def metrics(self) -> str:
+        """Fetch ``/v1/metrics`` — the Prometheus text exposition, raw.
+
+        Unlike every other endpoint this returns plain text, not JSON;
+        feed it to a Prometheus scraper or grep for a series by name.
+        """
+        request = urllib.request.Request(
+            self.base_url + "/v1/metrics", method="GET"
+        )
+        if self.api_key:
+            request.add_header("Authorization", f"Bearer {self.api_key}")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                err = json.loads(raw.decode("utf-8")).get("error") or {}
+            except (ValueError, UnicodeDecodeError):
+                err = {}
+            raise error_from_code(
+                str(err.get("code", "internal_error")),
+                str(err.get("message", f"HTTP {exc.code}")),
+            ) from None
+
     def register_receptor(self, receptor: Molecule) -> str:
         """Upload a receptor; returns its content fingerprint."""
         _, doc = self._request(

@@ -17,6 +17,7 @@ method     path                       purpose
 ``DELETE`` ``/v1/jobs/{id}``          cancel (queued or running)
 ``GET``    ``/v1/healthz``            liveness (unauthenticated)
 ``GET``    ``/v1/stats``              queues, per-tenant counters, cache stats
+``GET``    ``/v1/metrics``            Prometheus text exposition of the registry
 =========  =========================  ===========================================
 
 Authentication is ``Authorization: Bearer <key>`` (or ``X-API-Key``);
@@ -51,6 +52,7 @@ from repro.api.service import FTMapService
 from repro.gateway.admission import AdmissionController, GatewayJob
 from repro.gateway.auth import TenantRegistry, TenantSpec
 from repro.gateway.wire import molecule_from_wire
+from repro.obs.metrics import registry
 
 __all__ = ["GatewayServer"]
 
@@ -190,6 +192,16 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(
+        self, status: int, text: str, content_type: str = "text/plain; charset=utf-8"
+    ) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _send_error_obj(self, exc: BaseException) -> None:
         payload = error_body(exc)
         status = payload["error"]["http_status"]
@@ -266,6 +278,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 "/v1/receptors": ("POST", lambda: self._handle_register(tenant)),
                 "/v1/jobs": ("POST", lambda: self._handle_submit(tenant)),
                 "/v1/stats": ("GET", self._handle_stats),
+                "/v1/metrics": ("GET", self._handle_metrics),
             }
             if path in fixed:
                 allowed, handler = fixed[path]
@@ -430,3 +443,13 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     def _handle_stats(self) -> None:
         self._send_json(200, self.gateway.controller.stats())
+
+    def _handle_metrics(self) -> None:
+        # Prometheus text exposition format 0.0.4 — scrapeable by any
+        # standard collector.  Auth-gated like /v1/stats: the series carry
+        # per-tenant labels.
+        self._send_text(
+            200,
+            registry().render(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )

@@ -43,6 +43,7 @@ from repro.mapping.consensus import ConsensusSite
 from repro.minimize.engine import MINIMIZE_BACKEND_NAMES, MinimizationEngine
 from repro.minimize.multidevice import ShardExecution
 from repro.minimize.minimizer import MinimizationResult, MinimizerConfig
+from repro.obs.trace import current_span, current_tracer
 from repro.structure.builder import pocket_movable_mask
 from repro.structure.molecule import Molecule
 from repro.structure.probes import FTMAP_PROBE_NAMES
@@ -113,8 +114,16 @@ class FTMapConfig:
     cache_policy: str = "inherit"     # inherit | off | memory | disk
     cache_dir: Optional[str] = None
     cache_memory_bytes: Optional[int] = None
+    #: Record a per-request trace (:mod:`repro.obs.trace`).  Excluded
+    #: from every cache key by construction (keys name their fields
+    #: explicitly), so traced and untraced runs share artifacts.
+    tracing: bool = False
 
     def __post_init__(self) -> None:
+        if not isinstance(self.tracing, bool):
+            raise ValueError(
+                f"tracing must be a boolean, got {self.tracing!r}"
+            )
         if not self.probe_names:
             raise ValueError("probe_names must name at least one probe")
         for name, value in (
@@ -366,11 +375,13 @@ def dock_probe(
     skips gridding, spectra and the rotation loop entirely.  Pose lists are
     shallow-copied on hits so callers may reorder them freely.
     """
+    span = current_span()
     manager = cache if cache is not None else config.cache_manager()
     if manager.enabled:
         key = _dock_result_key(receptor, probe, config)
         hit = manager.get(key)
         if hit is not None:
+            span.set_attributes(cache="hit", backend=hit.backend)
             return replace(hit, poses=list(hit.poses))
     engine = DockingEngine(
         receptor,
@@ -379,6 +390,11 @@ def dock_probe(
         backend=config.engine,
         workers=config.docking_workers,
         cache=manager if manager.enabled else None,
+    )
+    span.set_attributes(
+        cache="miss" if manager.enabled else "off",
+        backend=engine.backend,
+        rotations=config.num_rotations,
     )
     run = engine.run_detailed()
     if manager.enabled:
@@ -539,12 +555,14 @@ def minimize_poses(
         devices=config.minimize_devices,
     )
 
+    span = current_span()
     manager = cache if cache is not None else config.cache_manager()
     key = ""
     if manager.enabled:
         key = _minimize_result_key(receptor, probe, top, config, engine.backend)
         hit = manager.get(key)
         if hit is not None:
+            span.set_attributes(cache="hit", backend=hit["backend"])
             return MinimizeStage(
                 results=list(hit["results"]),
                 centers=hit["centers"].copy(),
@@ -554,7 +572,29 @@ def minimize_poses(
                 cached=True,
             )
 
+    span.set_attributes(
+        cache="miss" if manager.enabled else "off",
+        backend=engine.backend,
+        poses=len(top),
+    )
     run = engine.run_detailed(cancel_check=cancel_check, on_shard=on_shard)
+    tracer = current_tracer()
+    if tracer.enabled:
+        span.set_attributes(devices=run.num_devices)
+        # Per-shard spans from the wall clocks the multi-device engine
+        # measured on its worker threads: recorded post hoc so the trace
+        # shows true shard overlap without plumbing obs into the engine.
+        for shard in run.shards:
+            if shard.wall_s > 0.0:
+                tracer.add_span(
+                    "minimize-shard",
+                    shard.wall_start_s,
+                    shard.wall_start_s + shard.wall_s,
+                    parent=span,
+                    thread=f"minimize-device-{shard.device_index}",
+                    device=shard.device_index,
+                    n_poses=shard.n_poses,
+                )
     centers = np.stack([r.coords[-n_probe:].mean(axis=0) for r in run.results])
     energies = np.array([r.energy for r in run.results], dtype=float)
     stage = MinimizeStage(

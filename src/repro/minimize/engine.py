@@ -34,6 +34,7 @@ is fixed by the plan).
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
@@ -51,6 +52,7 @@ from repro.minimize.multidevice import (
     ShardExecution,
 )
 from repro.minimize.selection import MinimizeBackendDecision, select_minimize_backend
+from repro.obs.metrics import registry
 from repro.structure.molecule import Molecule
 from repro.util.parallel import chunked, parallel_map
 
@@ -244,6 +246,7 @@ class MinimizationEngine:
         batch chunk); other backends honor ``cancel_check`` once, before
         any work starts.
         """
+        t_start = time.perf_counter()
         predicted_device_s: Optional[float] = None
         # Provenance reports the devices the run was *planned over*, which
         # is only >1 when the sharded backend actually executes.
@@ -283,6 +286,26 @@ class MinimizationEngine:
             reduction_order = md.reduction_order
         else:
             results, predicted_device_s = self._run_gpu_sim()
+        reg = registry()
+        reg.counter(
+            "repro_minimize_poses_total", ("backend",),
+            help="Poses minimized, by executing backend.",
+        ).inc(len(results), backend=self.backend)
+        reg.counter(
+            "repro_minimize_iterations_total", ("backend",),
+            help="Minimizer iterations run (energy/gradient evaluations).",
+        ).inc(sum(r.iterations for r in results), backend=self.backend)
+        reg.histogram(
+            "repro_minimize_run_seconds", ("backend",),
+            help="Wall seconds per minimization run.",
+        ).observe(time.perf_counter() - t_start, backend=self.backend)
+        if shards:
+            makespans = reg.histogram(
+                "repro_minimize_shard_seconds", ("device",),
+                help="Measured wall seconds per minimization shard.",
+            )
+            for shard in shards:
+                makespans.observe(shard.wall_s, device=str(shard.device_index))
         return MinimizationRun(
             results=results,
             backend=self.backend,

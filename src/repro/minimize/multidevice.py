@@ -33,6 +33,7 @@ boundaries are what bounds the latency of a cancel).
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
@@ -81,6 +82,12 @@ class ShardExecution:
     n_poses: int
     pose_iterations: int          # sum of per-pose iterations actually run
     predicted_device_s: float     # upload + kernel time on the virtual device
+    #: Measured host wall clock of this shard (``time.perf_counter``
+    #: start and elapsed seconds on its worker thread) — the observed
+    #: counterpart of ``predicted_device_s``, consumed by the tracing
+    #: layer to reconstruct shard overlap post hoc.
+    wall_start_s: float = 0.0
+    wall_s: float = 0.0
 
 
 @dataclass
@@ -219,6 +226,7 @@ class MultiDeviceMinimizer:
             if on_shard is not None:
                 on_shard(k, n_shards)
             shard = shards[k]
+            wall_start = time.perf_counter()
             # The shard evaluates in memory-budgeted batches, like the
             # single-device batched path; per-pose independence makes the
             # chunking numerically invisible.
@@ -259,6 +267,8 @@ class MultiDeviceMinimizer:
                 n_poses=shard.size,
                 pose_iterations=pose_iterations,
                 predicted_device_s=upload_s + pose_iterations * iter_s,
+                wall_start_s=wall_start,
+                wall_s=time.perf_counter() - wall_start,
             )
             return results, execution
 

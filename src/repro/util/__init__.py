@@ -6,7 +6,7 @@ from repro.util.validation import (
     require_shape,
     require_in_range,
 )
-from repro.util.runlog import RunLogger
+from repro.obs.logging import RunLogger
 
 __all__ = [
     "parallel_map",

@@ -15,6 +15,7 @@ mapping request is bounded by its slowest stage, not the sum of stages.
 
 from __future__ import annotations
 
+import contextvars
 import multiprocessing as mp
 import os
 import queue
@@ -170,8 +171,13 @@ class PipelineExecutor:
             for _ in range(len(self.stages) + 1)
         ]
         sentinel = object()
+        # Snapshot the caller's contextvars (active trace span, request
+        # scope, ...) so stage threads observe the same ambient context
+        # the serial loop would — scheduling changes, context doesn't.
+        caller_ctx = contextvars.copy_context()
 
         def run_stage(stage: Callable, q_in: queue.Queue, q_out: queue.Queue):
+            ctx = caller_ctx.copy()
             while True:
                 got = q_in.get()
                 if got is sentinel:
@@ -179,7 +185,7 @@ class PipelineExecutor:
                     return
                 if got.error is None:
                     try:
-                        got.payload = stage(got.payload)
+                        got.payload = ctx.run(stage, got.payload)
                     except BaseException as exc:  # sticky: later stages skip
                         got.error = exc
                         got.payload = None

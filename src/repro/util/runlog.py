@@ -1,41 +1,27 @@
-"""Structured run logging for examples and benchmark harnesses."""
+"""Deprecated: :class:`RunLogger` moved to :mod:`repro.obs.logging`.
+
+This module remains as a back-compat shim — importing works forever,
+instantiating warns once per call site.  New code should import from
+``repro.obs.logging`` (or ``repro.obs``).
+"""
 
 from __future__ import annotations
 
-import sys
-import time
-from typing import List, TextIO
+import warnings
+
+from repro.obs.logging import RunLogger as _RunLogger
 
 __all__ = ["RunLogger"]
 
 
-class RunLogger:
-    """Timestamped section/step logger.
+class RunLogger(_RunLogger):
+    """Back-compat alias for :class:`repro.obs.logging.RunLogger`."""
 
-    Writes to a stream (stdout by default) and keeps an in-memory record so
-    harnesses can archive what a run printed.
-    """
-
-    def __init__(self, stream: TextIO | None = None, enabled: bool = True) -> None:
-        self.stream = stream or sys.stdout
-        self.enabled = enabled
-        self.records: List[str] = []
-        self._t0 = time.perf_counter()
-        self._section_t0 = self._t0
-
-    def _emit(self, text: str) -> None:
-        self.records.append(text)
-        if self.enabled:
-            print(text, file=self.stream)
-
-    def section(self, title: str) -> None:
-        self._section_t0 = time.perf_counter()
-        self._emit(f"\n== {title} ==")
-
-    def step(self, message: str) -> None:
-        dt = time.perf_counter() - self._t0
-        self._emit(f"[{dt:8.2f}s] {message}")
-
-    def done(self, message: str = "done") -> None:
-        dt = time.perf_counter() - self._section_t0
-        self._emit(f"   ... {message} ({dt:.2f}s)")
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "repro.util.runlog.RunLogger moved to repro.obs.logging.RunLogger; "
+            "this shim will be removed in a future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)

@@ -94,7 +94,13 @@ class TestTaxonomy:
 
 class TestSchemaVersioning:
     def test_current_version_accepted(self):
-        assert check_schema_version({"schema_version": SCHEMA_VERSION}, "X") == 1
+        assert (
+            check_schema_version({"schema_version": SCHEMA_VERSION}, "X")
+            == SCHEMA_VERSION
+        )
+
+    def test_previous_version_still_read(self):
+        assert check_schema_version({"schema_version": 1}, "X") == 1
 
     def test_missing_version_is_v1_dialect(self):
         assert check_schema_version({}, "X") == 1

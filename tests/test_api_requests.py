@@ -127,8 +127,8 @@ class TestWireSchema:
         from repro.api.errors import SchemaVersionError
 
         doc = MapRequest(receptor="a" * 64).to_dict()
-        doc["schema_version"] = 2
-        with pytest.raises(SchemaVersionError, match="schema_version 2"):
+        doc["schema_version"] = 99
+        with pytest.raises(SchemaVersionError, match="schema_version 99"):
             MapRequest.from_dict(doc)
         # ...and the typed error still reads as the legacy ValueError.
         with pytest.raises(ValueError):
