@@ -105,7 +105,7 @@ def test_gateway_warm_cold_latency(print_comparison):
             receptor = client.register_receptor(protein)
             mine_warm, mine_cold = [], []
             try:
-                for i in range(n_warm_per_client):
+                for _ in range(n_warm_per_client):
                     t0 = time.perf_counter()
                     job = client.submit(
                         MapRequest(receptor=receptor, config=_warm_config()),

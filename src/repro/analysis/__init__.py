@@ -1,0 +1,48 @@
+"""Static repo-invariant analysis: AST rules for the reproduction's guarantees.
+
+The reproduction's headline promises — bitwise-identical fixed-order
+reductions across shard counts, seeded RNG everywhere, fp32/fp64
+numerics-family separation, versioned wire schemas, a typed error
+taxonomy — are runtime-tested, but runtime tests only see the paths they
+exercise.  This package checks the invariants *statically*, on every
+file, on every PR:
+
+* :data:`~repro.analysis.rules.ALL_RULES` — the rule set
+  (``REPRO-LOCK``, ``REPRO-DET``, ``REPRO-DTYPE``, ``REPRO-SCHEMA``,
+  ``REPRO-ERR``), each a :class:`~repro.analysis.core.Checker` walking a
+  parsed module.
+* ``python -m repro.analysis`` — the CLI (text or JSON findings,
+  non-zero exit on any non-baselined finding).
+* ``# repro: ignore[RULE-ID]`` — per-line suppression, for findings that
+  are *intentionally* exempt (the comment doubles as the audit trail).
+* ``baseline.json`` — pre-existing findings recorded at adoption time;
+  baselined findings do not fail CI, new ones do.
+
+The analyzer is stdlib-only (``ast`` + ``tokenize``) and runs on its own
+source like any other package.
+"""
+
+from repro.analysis.baseline import Baseline, load_baseline, write_baseline
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    SourceModule,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analysis.rules import ALL_RULES, rule_table
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Checker",
+    "Finding",
+    "SourceModule",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "load_baseline",
+    "rule_table",
+    "write_baseline",
+]

@@ -1,0 +1,93 @@
+"""Finding baselines: adopt a tool without stopping the line.
+
+A baseline records the findings that existed when a rule was adopted (or
+deliberately kept — e.g. a lock-free fast path with a documented memory
+model).  CI compares the current run against it: **baselined findings
+pass, anything new fails**, so the floor never rises silently.  Findings
+that disappear are reported as stale entries — regenerate the baseline
+to ratchet it down.
+
+The file format is versioned JSON, sorted and newline-terminated so
+diffs are reviewable::
+
+    {
+      "baseline_version": 1,
+      "findings": [
+        {"file": "src/...", "line": 10, "rule_id": "REPRO-LOCK", ...},
+        ...
+      ]
+    }
+
+This repo's policy (see README) is to *fix* what the rules surface and
+baseline only the irreducible remainder; the shipped ``baseline.json``
+is empty, which keeps the diff gate equal to the full gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Set
+
+from repro.analysis.core import Finding
+
+__all__ = ["BASELINE_VERSION", "Baseline", "load_baseline", "write_baseline"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The accepted-findings set and the diff operation against it."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    def keys(self) -> Set[str]:
+        return {f.key() for f in self.findings}
+
+    def new_findings(self, current: Sequence[Finding]) -> List[Finding]:
+        """Findings in ``current`` that the baseline does not cover."""
+        accepted = self.keys()
+        return [f for f in current if f.key() not in accepted]
+
+    def stale_entries(self, current: Sequence[Finding]) -> List[Finding]:
+        """Baseline entries whose finding no longer occurs (fixed/moved)."""
+        live = {f.key() for f in current}
+        return [f for f in self.findings if f.key() not in live]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "baseline_version": BASELINE_VERSION,
+            "findings": [f.to_dict() for f in sorted(self.findings)],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Baseline":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"baseline must be a JSON object, got {type(data).__name__}"
+            )
+        version = data.get("baseline_version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline_version {version!r} "
+                f"(this build reads version {BASELINE_VERSION})"
+            )
+        raw = data.get("findings", [])
+        if not isinstance(raw, list):
+            raise ValueError("baseline 'findings' must be a list")
+        return cls(findings=[Finding.from_dict(item) for item in raw])
+
+
+def load_baseline(path: Path) -> Baseline:
+    with open(path, encoding="utf-8") as fh:
+        return Baseline.from_dict(json.load(fh))
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    baseline = Baseline(findings=list(findings))
+    path.write_text(
+        json.dumps(baseline.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

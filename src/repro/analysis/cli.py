@@ -1,0 +1,183 @@
+"""``python -m repro.analysis`` — run the invariant rules over the repo.
+
+Exit status is the contract CI builds on:
+
+* ``0`` — no findings beyond the baseline,
+* ``1`` — at least one new finding (or an unreadable/unparsable file),
+* ``2`` — usage error (bad paths, unreadable baseline).
+
+Typical invocations::
+
+    python -m repro.analysis                          # src/ against no baseline
+    python -m repro.analysis --baseline baseline.json # the CI gate
+    python -m repro.analysis --format json --output findings.json
+    python -m repro.analysis --write-baseline baseline.json  # (re)adopt
+    python -m repro.analysis --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.baseline import Baseline, load_baseline, write_baseline
+from repro.analysis.core import Finding, analyze_paths, iter_python_files
+from repro.analysis.rules import default_checkers, rule_table
+
+__all__ = ["main", "run"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based repo-invariant analyzer (lock discipline, "
+        "determinism, dtype preservation, wire schemas, error taxonomy).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repo root findings are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline; findings recorded there pass, new ones fail",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the current findings as FILE and exit 0 (adoption mode)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the full JSON findings report to FILE "
+        "(CI artifact; independent of --format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def _render_text(
+    new: Sequence[Finding],
+    baselined: int,
+    stale: Sequence[Finding],
+    checked: Sequence[str],
+) -> str:
+    lines: List[str] = [f.render() for f in new]
+    summary = (
+        f"{len(new)} finding(s) in {len(checked)} file(s)"
+        if new
+        else f"clean: 0 findings in {len(checked)} file(s)"
+    )
+    if baselined:
+        summary += f" ({baselined} baselined finding(s) suppressed)"
+    lines.append(summary)
+    for finding in stale:
+        lines.append(
+            f"stale baseline entry (fixed or moved — regenerate): {finding.key()}"
+        )
+    return "\n".join(lines)
+
+
+def _report_dict(
+    new: Sequence[Finding],
+    baselined: int,
+    stale: Sequence[Finding],
+    checked: Sequence[str],
+) -> dict:
+    return {
+        "findings": [f.to_dict() for f in new],
+        "baselined": baselined,
+        "stale_baseline_entries": [f.key() for f in stale],
+        "files_checked": len(checked),
+        "rules": rule_table(),
+    }
+
+
+def run(argv: Optional[Sequence[str]] = None) -> Tuple[int, str]:
+    """Parse, analyze, format.  Returns (exit_status, report_text)."""
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        table = rule_table()
+        width = max(len(rid) for rid in table)
+        text = "\n".join(f"{rid.ljust(width)}  {desc}" for rid, desc in table.items())
+        return 0, text
+
+    root = Path(args.root).resolve()
+    targets = [Path(p) if Path(p).is_absolute() else root / p for p in args.paths]
+    missing = [str(t) for t in targets if not t.exists()]
+    if missing:
+        return 2, f"no such path(s): {', '.join(missing)}"
+
+    read_errors: List[Tuple[str, str]] = []
+    findings = analyze_paths(targets, root, default_checkers(), errors=read_errors)
+    checked = sorted(
+        p.relative_to(root).as_posix() for p in iter_python_files(targets)
+    )
+
+    if args.write_baseline:
+        write_baseline(root / args.write_baseline, findings)
+        return 0, (
+            f"wrote {len(findings)} finding(s) to {args.write_baseline} "
+            f"from {len(checked)} file(s)"
+        )
+
+    baseline = Baseline()
+    if args.baseline:
+        try:
+            baseline = load_baseline(root / args.baseline)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            return 2, f"cannot read baseline {args.baseline}: {exc}"
+
+    new = baseline.new_findings(findings)
+    stale = baseline.stale_entries(findings)
+    baselined = len(findings) - len(new)
+
+    if args.output:
+        report = _report_dict(new, baselined, stale, checked)
+        out_path = Path(args.output)
+        if not out_path.is_absolute():
+            out_path = root / out_path
+        out_path.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    if args.format == "json":
+        text = json.dumps(
+            _report_dict(new, baselined, stale, checked), indent=2, sort_keys=True
+        )
+    else:
+        text = _render_text(new, baselined, stale, checked)
+    if read_errors:
+        text += "\n" + "\n".join(f"unreadable: {p}: {err}" for p, err in read_errors)
+
+    status = 1 if (new or read_errors) else 0
+    return status, text
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    status, text = run(argv)
+    stream = sys.stdout if status in (0, 1) else sys.stderr
+    print(text, file=stream)
+    return status

@@ -1,0 +1,239 @@
+"""Checker framework: findings, suppressions, source loading, the run loop.
+
+A :class:`Checker` owns one rule id and inspects one parsed module at a
+time.  The framework parses each file once into a :class:`SourceModule`
+(AST + raw lines + the per-line suppression map), hands it to every
+checker, and filters the merged findings through ``# repro:
+ignore[RULE-ID]`` comments, so rules never deal with comments or I/O.
+
+Suppression grammar (anywhere in a line's trailing comment)::
+
+    x = 1  # repro: ignore[REPRO-LOCK] registry swap is test-only
+    y = 2  # repro: ignore[REPRO-DET, REPRO-DTYPE] fixture noise
+
+The ignore applies to findings *on that physical line*.  A bare
+``# repro: ignore`` (no rule list) suppresses every rule on the line —
+legal, but rule-scoped ignores are the reviewable form and what this
+repo uses.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "SourceModule",
+    "Checker",
+    "analyze_source",
+    "analyze_file",
+    "analyze_paths",
+    "iter_python_files",
+]
+
+#: Finding severities, most severe first.  ``error`` findings are the
+#: ones CI fails on; ``warning`` is reserved for advisory rules.
+SEVERITIES = ("error", "warning")
+
+#: ``# repro: ignore`` / ``# repro: ignore[RULE-A, RULE-B] free text``
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Z0-9\-,\s]*)\])?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordered by (file, line, rule_id) so reports and baselines are stable
+    across runs regardless of rule execution order.
+    """
+
+    file: str
+    line: int
+    rule_id: str
+    severity: str = field(default="error", compare=False)
+    message: str = field(default="", compare=False)
+
+    def key(self) -> str:
+        """Identity used by the baseline: location + rule, not message.
+
+        Message text may be refined without invalidating a baseline; a
+        finding that *moves* (edits above it) is treated as new — the
+        price of line-keyed baselines, and the nudge to actually fix it.
+        """
+        return f"{self.file}:{self.line}:{self.rule_id}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule_id": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        return cls(
+            file=str(data["file"]),
+            line=int(data["line"]),  # type: ignore[call-overload]
+            rule_id=str(data["rule_id"]),
+            severity=str(data.get("severity", "error")),
+            message=str(data.get("message", "")),
+        )
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.rule_id} [{self.severity}] {self.message}"
+
+
+@dataclass
+class SourceModule:
+    """One parsed file: everything a checker may need, computed once."""
+
+    path: str               # repo-relative, forward slashes (baseline key)
+    source: str
+    tree: ast.Module
+    lines: List[str]
+    #: line number -> set of suppressed rule ids ("*" = all rules)
+    suppressions: Dict[int, Set[str]]
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "SourceModule":
+        tree = ast.parse(source, filename=path)
+        lines = source.splitlines()
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            lines=lines,
+            suppressions=_collect_suppressions(lines),
+        )
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        rules = self.suppressions.get(line)
+        if rules is None:
+            return False
+        return "*" in rules or rule_id in rules
+
+
+def _collect_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    out: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "#" not in text or "repro" not in text:
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        listed = match.group("rules")
+        if listed is None:
+            out[lineno] = {"*"}
+        else:
+            rules = {part.strip() for part in listed.split(",") if part.strip()}
+            out[lineno] = rules or {"*"}
+    return out
+
+
+class Checker:
+    """Base class of one rule.
+
+    Subclasses set :attr:`rule_id` / :attr:`description` and implement
+    :meth:`check`, yielding findings for one module.  The base provides
+    :meth:`finding` so every rule stamps its id/severity consistently,
+    and :meth:`run` which applies the module's line suppressions.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+    severity: str = "error"
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: SourceModule, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            file=module.path,
+            line=getattr(node, "lineno", 0),
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+    def run(self, module: SourceModule) -> List[Finding]:
+        return [
+            f for f in self.check(module)
+            if not module.suppressed(f.line, f.rule_id)
+        ]
+
+
+def analyze_source(
+    path: str, source: str, checkers: Sequence[Checker]
+) -> List[Finding]:
+    """Run ``checkers`` over one in-memory file; returns sorted findings.
+
+    A file that does not parse yields a single ``REPRO-PARSE`` error
+    finding instead of crashing the run (CI still fails on it).
+    """
+    try:
+        module = SourceModule.parse(path, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                file=path,
+                line=exc.lineno or 0,
+                rule_id="REPRO-PARSE",
+                severity="error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    findings: List[Finding] = []
+    for checker in checkers:
+        findings.extend(checker.run(module))
+    return sorted(findings)
+
+
+def analyze_file(
+    path: Path, root: Path, checkers: Sequence[Checker]
+) -> List[Finding]:
+    rel = path.relative_to(root).as_posix()
+    source = path.read_text(encoding="utf-8")
+    return analyze_source(rel, source, checkers)
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    out: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            out.update(p for p in path.rglob("*.py") if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    root: Path,
+    checkers: Sequence[Checker],
+    *,
+    errors: Optional[List[Tuple[str, str]]] = None,
+) -> List[Finding]:
+    """Analyze every ``.py`` under ``paths``; findings sorted repo-wide.
+
+    Unreadable files are recorded into ``errors`` (path, reason) when a
+    list is supplied, else raised.
+    """
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            findings.extend(analyze_file(path, root, checkers))
+        except OSError as exc:
+            if errors is None:
+                raise
+            errors.append((str(path), str(exc)))
+    return sorted(findings)

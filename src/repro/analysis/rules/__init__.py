@@ -1,0 +1,45 @@
+"""Rule registry: the invariants this repo checks on every file.
+
+======================  =======================================================
+Rule id                 Invariant protected
+======================  =======================================================
+``REPRO-LOCK``          Threaded classes guard their shared private state with
+                        the lock they allocate (``with self._lock:``).
+``REPRO-DET``           Seeded RNG everywhere; no wall clocks or hash-ordered
+                        reductions in numeric code — the bitwise replay story.
+``REPRO-DTYPE``         fp32-capable kernels never silently promote to fp64 —
+                        the fp32/fp64 numerics-family separation.
+``REPRO-SCHEMA``        Wire documents stamp and validate ``schema_version``.
+``REPRO-ERR``           Serving layers raise the typed error taxonomy.
+======================  =======================================================
+"""
+
+from typing import Dict, List
+
+from repro.analysis.core import Checker
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.dtype import DtypePreservationRule
+from repro.analysis.rules.errors import ErrorTaxonomyRule
+from repro.analysis.rules.locking import LockDisciplineRule
+from repro.analysis.rules.schema import WireSchemaRule
+
+__all__ = ["ALL_RULES", "default_checkers", "rule_table"]
+
+#: Rule classes in report order.
+ALL_RULES = (
+    LockDisciplineRule,
+    DeterminismRule,
+    DtypePreservationRule,
+    WireSchemaRule,
+    ErrorTaxonomyRule,
+)
+
+
+def default_checkers() -> List[Checker]:
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in ALL_RULES]
+
+
+def rule_table() -> Dict[str, str]:
+    """rule id -> one-line description (the ``--list-rules`` view)."""
+    return {cls.rule_id: cls.description for cls in ALL_RULES}

@@ -1,0 +1,56 @@
+"""Shared AST helpers for the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+__all__ = [
+    "NUMERIC_DIRS",
+    "FunctionNode",
+    "dotted_name",
+    "in_any_dir",
+    "iter_methods",
+]
+
+#: Both function statement forms, for isinstance checks.
+FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Package directories whose code computes the paper's numbers; the
+#: determinism and dtype rules scope themselves to these.
+NUMERIC_DIRS = ("docking", "minimize", "grids", "geometry")
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else None.
+
+    Resolution is purely syntactic — ``np.random.random`` is returned
+    verbatim whether or not ``np`` is numpy — which is the right level
+    for style rules: aliases beyond the conventional ones are rare and a
+    rename to dodge the checker would not survive review.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def in_any_dir(path: str, dirs: Tuple[str, ...]) -> bool:
+    """True when repo-relative ``path`` lives under any of ``dirs``.
+
+    Matches path *segments* (``src/repro/docking/fft.py`` is in
+    ``docking``; ``src/repro/mapping/docking_report.py`` is not).
+    """
+    segments = path.split("/")[:-1]  # directories only
+    return any(d in segments for d in dirs)
+
+
+def iter_methods(cls: ast.ClassDef) -> "Iterator[ast.FunctionDef | ast.AsyncFunctionDef]":
+    """Direct methods of a class (sync and async), in source order."""
+    for stmt in cls.body:
+        if isinstance(stmt, FunctionNode):
+            yield stmt

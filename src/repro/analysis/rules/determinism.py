@@ -1,0 +1,165 @@
+"""REPRO-DET: numeric code stays seeded, monotonic, and fixed-order.
+
+Three classes of nondeterminism this repo's bitwise guarantees cannot
+survive:
+
+1. **Legacy RNG** (repo-wide): ``random.random()``-style module-level
+   calls and ``np.random.<fn>()`` legacy global-state draws.  Every
+   random stream here flows from an explicitly seeded
+   ``np.random.default_rng(seed)`` or ``random.Random(seed)`` instance;
+   global-state draws are invisible coupling between call sites and
+   break replay.
+2. **Wall clocks in numeric paths** (``docking/``, ``minimize/``,
+   ``grids/``, ``geometry/``): ``time.time()`` / ``datetime.now()``
+   readings feeding numeric code make runs time-dependent; timing is
+   measured with ``time.perf_counter()`` and kept out of the numbers.
+3. **Unordered iteration feeding reductions** (same numeric dirs):
+   summing over a ``set`` (or accumulating ``+=`` while iterating one)
+   executes floating-point addition in hash order, which breaks the
+   fixed ``reduction_order`` guarantee that makes shard counts
+   bitwise-invisible.  Sort first (``sorted(...)``) or keep a list.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.core import Checker, Finding, SourceModule
+from repro.analysis.rules.common import NUMERIC_DIRS, dotted_name, in_any_dir
+
+__all__ = ["DeterminismRule"]
+
+#: random-module draws that consume the hidden global state.
+_LEGACY_RANDOM = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "betavariate",
+    "expovariate", "seed", "getrandbits", "vonmisesvariate", "triangular",
+}
+
+#: numpy.random attributes that are fine to touch (seeded constructors
+#: and types); every other ``np.random.<x>(...)`` call is a legacy draw.
+_NP_RANDOM_OK = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+}
+
+#: Wall-clock reads banned in numeric code (perf_counter/monotonic ok).
+_WALL_CLOCKS = {
+    "time.time", "time.time_ns", "time.clock",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today", "date.today",
+}
+
+#: Reduction entry points whose argument order is the addition order.
+_REDUCERS = {"sum", "math.fsum", "fsum", "np.sum", "numpy.sum", "np.prod", "numpy.prod"}
+
+
+def _set_expr(node: ast.AST) -> Optional[str]:
+    """A human name for ``node`` when it produces a set, else None."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in ("set", "frozenset"):
+            return f"{name}(...)"
+    return None
+
+
+def _accumulates(loop: ast.For) -> bool:
+    """True when the loop body arithmetic-accumulates (``+=``/``*=``)."""
+    for node in ast.walk(loop):
+        if isinstance(node, ast.AugAssign) and isinstance(
+            node.op, (ast.Add, ast.Mult, ast.Sub)
+        ):
+            return True
+    return False
+
+
+class DeterminismRule(Checker):
+    rule_id = "REPRO-DET"
+    description = (
+        "no legacy global-state RNG anywhere; no wall clocks or "
+        "set-ordered reductions in numeric code (docking/minimize/grids/geometry)"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        numeric = in_any_dir(module.path, NUMERIC_DIRS)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                yield from self._check_rng(module, node, name)
+                if numeric:
+                    yield from self._check_clock(module, node, name)
+                    yield from self._check_reducer(module, node, name)
+            elif numeric and isinstance(node, ast.For):
+                reason = _set_expr(node.iter)
+                if reason is not None and _accumulates(node):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"loop over {reason} accumulates arithmetic in hash "
+                        "order — breaks the fixed reduction_order guarantee; "
+                        "iterate a sorted(...) or a list instead",
+                    )
+
+    def _check_rng(
+        self, module: SourceModule, node: ast.Call, name: str
+    ) -> Iterable[Finding]:
+        parts = name.split(".")
+        if parts[0] == "random" and len(parts) == 2 and parts[1] in _LEGACY_RANDOM:
+            yield self.finding(
+                module,
+                node,
+                f"legacy global-state RNG call {name}() — use an explicitly "
+                "seeded random.Random(seed) or np.random.default_rng(seed)",
+            )
+        elif (
+            parts[0] in ("np", "numpy")
+            and len(parts) >= 3
+            and parts[1] == "random"
+            and parts[2] not in _NP_RANDOM_OK
+        ):
+            yield self.finding(
+                module,
+                node,
+                f"legacy numpy global-state RNG call {name}() — use "
+                "np.random.default_rng(seed)",
+            )
+
+    def _check_clock(
+        self, module: SourceModule, node: ast.Call, name: str
+    ) -> Iterable[Finding]:
+        if name in _WALL_CLOCKS:
+            yield self.finding(
+                module,
+                node,
+                f"wall-clock read {name}() in numeric code — runs become "
+                "time-dependent; use time.perf_counter() for timing and keep "
+                "clocks out of numeric paths",
+            )
+
+    def _check_reducer(
+        self, module: SourceModule, node: ast.Call, name: str
+    ) -> Iterable[Finding]:
+        if name not in _REDUCERS or not node.args:
+            return
+        arg = node.args[0]
+        reason = _set_expr(arg)
+        if reason is None and isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+            for gen in arg.generators:
+                reason = _set_expr(gen.iter)
+                if reason is not None:
+                    break
+        if reason is not None:
+            yield self.finding(
+                module,
+                node,
+                f"{name}() over {reason} adds floats in hash order — breaks "
+                "the fixed reduction_order guarantee; sort the operands first",
+            )

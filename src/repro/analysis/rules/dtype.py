@@ -1,0 +1,153 @@
+"""REPRO-DTYPE: fp32-capable kernels never silently promote to fp64.
+
+The engines run two numerics families — fp64 "double" (the bitwise
+serial reference) and fp32 "single" (the paper's GPU production
+precision) — and a kernel is *fp32-capable* exactly when its dtype is a
+parameter (a ``dtype`` argument/local, or ``self.dtype``).  Inside such
+a function, three constructs silently pull computation back to fp64 on
+the fp32 path, which both wrecks the families' separation (a "single"
+run that partially computes in double is neither) and doubles memory
+traffic on the hot path:
+
+* dtype-less array allocation — ``np.zeros(n)``, ``np.empty(...)``,
+  ``np.asarray(x)`` default to float64; pass ``dtype=dtype`` (or the
+  source array's dtype) explicitly,
+* hard-coded ``np.float64`` — bypasses the dtype parameter the function
+  advertises (a *deliberate* fp64 accumulator in an fp32 kernel is a
+  real pattern — mark it ``# repro: ignore[REPRO-DTYPE]`` with why),
+* ``dtype=float`` / ``dtype="float64"`` — bare-Python-float spellings
+  of the same promotion.
+
+Scoped to ``minimize/`` and ``docking/``, the two kernel packages with
+fp32 production paths.  Functions without a dtype binding are assumed
+single-family (fp64-only reference code) and exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Union
+
+from repro.analysis.core import Checker, Finding, SourceModule
+from repro.analysis.rules.common import FunctionNode, dotted_name, in_any_dir
+
+__all__ = ["DtypePreservationRule"]
+
+_KERNEL_DIRS = ("minimize", "docking")
+
+#: numpy constructors that default to float64 without a dtype= keyword.
+#: (np.arange is deliberately absent: with integer arguments it yields an
+#: integer index array, not an fp64 promotion.)
+_DEFAULT_F64_ALLOCS = {
+    "np.zeros", "np.empty", "np.ones", "np.full",
+    "np.asarray", "np.array", "np.linspace",
+    "numpy.zeros", "numpy.empty", "numpy.ones", "numpy.full",
+    "numpy.asarray", "numpy.array", "numpy.linspace",
+}
+
+_FunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _own_scope(func: _FunctionDef) -> Iterable[ast.AST]:
+    """Nodes of ``func``'s body, not descending into nested functions
+    (those are fp32-capable, or not, on their own)."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, FunctionNode):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _binds_dtype(func: _FunctionDef) -> bool:
+    """True when the function parameterizes its dtype (fp32-capable)."""
+    args = func.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        if arg.arg in ("dtype", "precision"):
+            return True
+    for node in _own_scope(func):
+        if isinstance(node, ast.Name) and node.id == "dtype" and isinstance(
+            node.ctx, ast.Store
+        ):
+            return True
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in ("dtype", "_dtype")
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return True
+    return False
+
+
+def _is_float64_expr(node: ast.AST) -> bool:
+    name = dotted_name(node)
+    if name in ("np.float64", "numpy.float64", "float"):
+        return True
+    return isinstance(node, ast.Constant) and node.value in ("float64", "f8", "d")
+
+
+class DtypePreservationRule(Checker):
+    rule_id = "REPRO-DTYPE"
+    description = (
+        "in dtype-parameterized kernels under minimize/ and docking/: no "
+        "dtype-less numpy allocations, no hard-coded np.float64/float promotion"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        if not in_any_dir(module.path, _KERNEL_DIRS):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, FunctionNode) and _binds_dtype(node):
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: SourceModule, func: _FunctionDef
+    ) -> Iterable[Finding]:
+        for node in _own_scope(func):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in _DEFAULT_F64_ALLOCS:
+                dtype_kw = next(
+                    (kw for kw in node.keywords if kw.arg == "dtype"), None
+                )
+                if dtype_kw is None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"dtype-less {name}(...) in dtype-parameterized kernel "
+                        f"{func.name}() defaults to float64 — pass "
+                        "dtype= explicitly to preserve the fp32 path",
+                    )
+                elif _is_float64_expr(dtype_kw.value):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{name}(..., dtype=float64) hard-pins fp64 inside "
+                        f"dtype-parameterized kernel {func.name}() — thread "
+                        "the dtype parameter through instead",
+                    )
+            elif name in ("np.float64", "numpy.float64"):
+                yield self.finding(
+                    module,
+                    node,
+                    f"np.float64(...) scalar construction inside "
+                    f"dtype-parameterized kernel {func.name}() promotes the "
+                    "fp32 path — use the kernel dtype",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and node.args
+                and _is_float64_expr(node.args[0])
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f".astype(float64) inside dtype-parameterized kernel "
+                    f"{func.name}() promotes the fp32 path — cast to the "
+                    "kernel dtype",
+                )

@@ -1,0 +1,77 @@
+"""REPRO-ERR: the serving layers speak the typed error taxonomy.
+
+``repro.api.errors`` gives every caller-observable failure a stable wire
+code, a canonical HTTP status, and a builtin-compatible base class.  A
+bare ``raise ValueError(...)`` inside ``api/`` or ``gateway/`` bypasses
+all three: the gateway can only ship it as an opaque 500
+``internal_error``, clients cannot rebuild a typed exception from it,
+and the message becomes the only machine-readable surface.
+
+The rule flags ``raise`` of builtin exception constructors (and bare
+builtin classes) in those two packages.  Allowed as-is:
+
+* re-raise (``raise`` with no exception),
+* ``NotImplementedError`` (abstract-method convention, not a wire error),
+* ``AssertionError``/``StopIteration`` and friends (control flow),
+* anything else by name — including the taxonomy's own classes, which
+  *subclass* these builtins (``InvalidRequestError`` is a ``ValueError``)
+  precisely so legacy ``except`` sites keep working.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Checker, Finding, SourceModule
+from repro.analysis.rules.common import dotted_name, in_any_dir
+
+__all__ = ["ErrorTaxonomyRule"]
+
+_SERVING_DIRS = ("api", "gateway")
+
+#: Builtins that must travel as their typed taxonomy equivalents.
+_BARE_BUILTINS = {
+    "Exception",
+    "ValueError",
+    "TypeError",
+    "KeyError",
+    "IndexError",
+    "LookupError",
+    "RuntimeError",
+    "TimeoutError",
+    "OSError",
+    "IOError",
+    "ArithmeticError",
+    "ZeroDivisionError",
+    "AttributeError",
+}
+
+
+class ErrorTaxonomyRule(Checker):
+    rule_id = "REPRO-ERR"
+    description = (
+        "raises in api/ and gateway/ use the repro.api.errors taxonomy, "
+        "not bare builtin exceptions"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        if not in_any_dir(module.path, _SERVING_DIRS):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                name = dotted_name(exc.func)
+            else:
+                name = dotted_name(exc)
+            if name in _BARE_BUILTINS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"raise {name}(...) in a serving package — raise the "
+                    "repro.api.errors equivalent (it still subclasses "
+                    f"{name}, so existing handlers keep catching it) so the "
+                    "gateway ships a typed code instead of an opaque 500",
+                )

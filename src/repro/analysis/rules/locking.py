@@ -1,0 +1,150 @@
+"""REPRO-LOCK: shared mutable state in lock-owning classes stays guarded.
+
+A class that allocates a ``threading.Lock``/``RLock``/``Condition`` on
+``self`` has declared "my private state is shared across threads".  From
+that point on, every write to *other* private attributes (``self._x = …``
+or ``self._x += …``) outside a ``with self.<lock>:`` block is a data
+race waiting for a scheduler to expose it — exactly the class of bug a
+runtime test only catches when the interleaving cooperates.
+
+Conventions the rule understands (and that this repo codifies):
+
+* ``__init__``/``__new__``/``__post_init__``/``__set_name__`` are
+  construction — no other thread can hold the object yet — and exempt.
+* Methods whose name ends in ``_locked`` are documented
+  called-with-lock-held helpers and exempt (the *callers* are checked).
+* Attributes holding the lock objects themselves are exempt, as is
+  rebinding them (done only in construction anyway).
+* Reads are not flagged: lock-free reads of monotonic counters are a
+  documented pattern here; the rule is about lost updates.
+
+Deliberately-unguarded writes (e.g. a single-writer flag) carry a
+``# repro: ignore[REPRO-LOCK]`` with the reasoning, which turns every
+exemption into a reviewed, greppable decision.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set, Tuple
+
+from repro.analysis.core import Checker, Finding, SourceModule
+from repro.analysis.rules.common import dotted_name, iter_methods
+
+__all__ = ["LockDisciplineRule"]
+
+#: Constructor calls whose result makes an attribute "a lock".
+_LOCK_FACTORIES = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "Lock",
+    "RLock",
+    "Condition",
+}
+
+#: Methods that run before the object can be shared between threads.
+_CONSTRUCTION_METHODS = {"__init__", "__new__", "__post_init__", "__set_name__"}
+
+
+def _lock_attributes(cls: ast.ClassDef) -> Set[str]:
+    """Names of ``self`` attributes assigned a lock factory anywhere."""
+    out: Set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not (isinstance(value, ast.Call) and dotted_name(value.func) in _LOCK_FACTORIES):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                out.add(target.attr)
+    return out
+
+
+def _is_self_lock_guard(item: ast.withitem, lock_attrs: Set[str]) -> bool:
+    expr = item.context_expr
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr in lock_attrs
+    )
+
+
+def _private_self_writes(
+    method: ast.AST, lock_attrs: Set[str]
+) -> Iterable[Tuple[ast.Attribute, bool]]:
+    """(target, guarded) for each ``self._x`` write in ``method``.
+
+    ``guarded`` is True when the write sits lexically inside a
+    ``with self.<lock>:`` block.  Nested functions are traversed too —
+    closures handed to other threads get no free pass.
+    """
+
+    def visit(node: ast.AST, guarded: bool) -> Iterable[Tuple[ast.Attribute, bool]]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = guarded or any(
+                _is_self_lock_guard(item, lock_attrs) for item in node.items
+            )
+            for item in node.items:
+                yield from visit(item, guarded)
+            for stmt in node.body:
+                yield from visit(stmt, inner)
+            return
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and target.attr.startswith("_")
+                and not target.attr.startswith("__")
+                and target.attr not in lock_attrs
+            ):
+                yield target, guarded
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, guarded)
+
+    yield from visit(method, False)
+
+
+class LockDisciplineRule(Checker):
+    rule_id = "REPRO-LOCK"
+    description = (
+        "private attribute writes in lock-owning classes must happen "
+        "inside `with self.<lock>:` (construction and `*_locked` helpers exempt)"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            lock_attrs = _lock_attributes(node)
+            if not lock_attrs:
+                continue
+            for method in iter_methods(node):
+                if method.name in _CONSTRUCTION_METHODS:
+                    continue
+                if method.name.endswith("_locked"):
+                    continue
+                for target, guarded in _private_self_writes(method, lock_attrs):
+                    if guarded:
+                        continue
+                    yield self.finding(
+                        module,
+                        target,
+                        f"{node.name}.{method.name} writes self.{target.attr} "
+                        f"outside `with self.{sorted(lock_attrs)[0]}:` — "
+                        "unguarded shared-state mutation in a lock-owning class",
+                    )

@@ -1,0 +1,128 @@
+"""REPRO-SCHEMA: wire documents are versioned on the way out and in.
+
+Every public ``to_dict`` in the serving packages (``api/``,
+``gateway/``, ``obs/``) is a wire shape someone will deserialize on the
+far side of an upgrade; it must stamp ``schema_version`` (directly, or
+via a ``SCHEMA_VERSION`` constant in the document it builds).  Every
+``from_dict`` must validate the version *before* interpreting fields —
+in this repo by calling ``check_schema_version`` (or consulting the
+supported-versions constant) — so an unsupported document dies as a
+typed 400, not as a puzzling ``KeyError`` three fields in.
+
+Nested document *fragments* (sub-dicts embedded in a stamped parent,
+e.g. per-tenant counter blocks inside ``/v1/stats``) are intentionally
+exempt — mark them ``# repro: ignore[REPRO-SCHEMA]`` on the ``def``
+line with the parent that stamps them.  Trivial bodies (``return
+None``, ``pass``, a bare ``raise``) are exempt automatically: sentinels
+like a null-span's ``to_dict`` produce no document to version.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Union
+
+from repro.analysis.core import Checker, Finding, SourceModule
+from repro.analysis.rules.common import dotted_name, in_any_dir
+
+__all__ = ["WireSchemaRule"]
+
+_WIRE_DIRS = ("api", "gateway", "obs")
+
+#: Name fragments that count as "references the schema version".
+_VERSION_NAMES = ("SCHEMA_VERSION", "SUPPORTED_SCHEMA_VERSIONS")
+
+#: Validators a from_dict may delegate to.
+_VALIDATORS = ("check_schema_version", "check_trace")
+
+_FunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_trivial(func: _FunctionDef) -> bool:
+    """Docstring-stripped body is only pass/return-None/raise/ellipsis."""
+    body = list(func.body)
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Raise):
+            continue
+        if isinstance(stmt, ast.Return) and (
+            stmt.value is None
+            or (isinstance(stmt.value, ast.Constant) and stmt.value.value is None)
+        ):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+def _mentions_version(func: _FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and any(
+            v in node.id for v in _VERSION_NAMES
+        ):
+            return True
+        if isinstance(node, ast.Attribute) and any(
+            v in node.attr for v in _VERSION_NAMES
+        ):
+            return True
+        if isinstance(node, ast.Constant) and node.value == "schema_version":
+            return True
+    return False
+
+
+def _calls_validator(func: _FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and name.split(".")[-1] in _VALIDATORS:
+                return True
+    return False
+
+
+class WireSchemaRule(Checker):
+    rule_id = "REPRO-SCHEMA"
+    description = (
+        "public to_dict in api/gateway/obs must stamp schema_version; "
+        "from_dict must validate it before reading fields"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        if not in_any_dir(module.path, _WIRE_DIRS):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or node.name.startswith("_"):
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name == "to_dict" and not _is_trivial(stmt):
+                    if not _mentions_version(stmt):
+                        yield self.finding(
+                            module,
+                            stmt,
+                            f"{node.name}.to_dict builds a wire document "
+                            "without stamping schema_version — future readers "
+                            "cannot tell which dialect they hold",
+                        )
+                elif stmt.name == "from_dict" and not _is_trivial(stmt):
+                    if not (_calls_validator(stmt) or _mentions_version(stmt)):
+                        yield self.finding(
+                            module,
+                            stmt,
+                            f"{node.name}.from_dict interprets a wire document "
+                            "without validating schema_version first — call "
+                            "check_schema_version(data, ...) before reading fields",
+                        )

@@ -21,7 +21,7 @@ rebuilds the matching class from the code (:func:`error_from_code`).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Type
+from typing import Any, Dict, Optional, Type
 
 __all__ = [
     "ApiError",
@@ -187,7 +187,7 @@ ERROR_CODES: Dict[str, Type[ApiError]] = {
 }
 
 
-def error_body(exc: BaseException) -> Dict[str, object]:
+def error_body(exc: BaseException) -> Dict[str, Any]:
     """The JSON error envelope a gateway ships for ``exc``.
 
     Typed errors carry their own code/status; anything else degrades to

@@ -18,14 +18,15 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import Future
 from dataclasses import asdict, dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.api.errors import JobTimeoutError
 from repro.api.schema import SCHEMA_VERSION, check_schema_version
 from repro.obs.logging import log_event
 from repro.obs.metrics import registry
-from repro.obs.trace import NULL_TRACER
+from repro.obs.trace import NULL_TRACER, TracerLike
 
 __all__ = [
     "JOB_QUEUED",
@@ -92,7 +93,7 @@ class ProgressEvent:
         return out
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "ProgressEvent":
+    def from_dict(cls, data: Dict[str, Any]) -> "ProgressEvent":
         """Rebuild an event from :meth:`to_dict` output (re-validated)."""
         check_schema_version(data, "ProgressEvent")
         known = {
@@ -141,8 +142,8 @@ class JobHandle:
         self._cancel = threading.Event()
         self._done = threading.Event()
         self._lock = threading.Lock()
-        self._future = None  # set by the service right after submit
-        self._tracer = NULL_TRACER  # set by the service when tracing is on
+        self._future: Optional[Future] = None  # set by the service after submit
+        self._tracer: TracerLike = NULL_TRACER  # set when tracing is on
         self._t0 = time.perf_counter()  # re-anchored when the job starts running
 
     # -- caller API --------------------------------------------------------------
@@ -189,7 +190,9 @@ class JobHandle:
             if self._status == JOB_CANCELLED:
                 raise JobCancelled(f"job {self.job_id!r} was cancelled")
             if self._status == JOB_FAILED:
-                raise self._error
+                error = self._error
+                assert error is not None  # _finish("failed", ...) set it
+                raise error
             return self._result
 
     def cancel(self) -> bool:
@@ -249,9 +252,10 @@ class JobHandle:
         if self._cancel.is_set():
             raise JobCancelled(f"job {self.job_id!r} was cancelled")
 
-    def _set_tracer(self, tracer) -> None:
+    def _set_tracer(self, tracer: Optional[TracerLike]) -> None:
         """Attach the request's tracer so events carry its ids."""
-        self._tracer = tracer if tracer is not None else NULL_TRACER
+        with self._lock:
+            self._tracer = tracer if tracer is not None else NULL_TRACER
 
     def _emit(
         self, stage: str, probe: str, index: int, total: int, span_id: str = ""

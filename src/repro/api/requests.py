@@ -17,7 +17,7 @@ its wall time and its request-scoped cache statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.api.errors import InvalidRequestError
 from repro.api.schema import SCHEMA_VERSION, check_schema_version
@@ -77,7 +77,7 @@ class MapRequest:
                 f"tracing must be True, False or None, got {self.tracing!r}"
             )
         if not isinstance(self.receptor, (Molecule, str)):
-            raise TypeError(
+            raise InvalidRequestError(
                 "receptor must be a Molecule or a registered receptor "
                 f"fingerprint string, got {type(self.receptor).__name__}"
             )
@@ -111,7 +111,7 @@ class MapRequest:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "MapRequest":
+    def from_dict(cls, data: Dict[str, Any]) -> "MapRequest":
         """Rebuild a request from :meth:`to_dict` output (re-validated).
 
         Accepts any supported ``schema_version`` (a missing field means

@@ -62,7 +62,7 @@ from repro.mapping.consensus import consensus_sites
 from repro.mapping.ftmap import FTMapConfig, FTMapResult, ProbeResult
 from repro.obs.logging import log_event
 from repro.obs.metrics import registry
-from repro.obs.trace import Tracer
+from repro.obs.trace import Tracer, TracerLike
 from repro.structure.molecule import Molecule
 from repro.structure.probes import build_probe
 from repro.util.parallel import PipelineExecutor, parallel_map
@@ -213,8 +213,9 @@ class FTMapService:
             job_id = request.request_id or f"job-{self._job_counter}"
             if job_id in self._jobs:
                 raise DuplicateRequestError(f"duplicate request_id {job_id!r}")
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
+            executor = self._executor
+            if executor is None:
+                executor = self._executor = ThreadPoolExecutor(
                     max_workers=self.max_workers,
                     thread_name_prefix="ftmap-service",
                 )
@@ -245,7 +246,7 @@ class FTMapService:
             # this job registered (and cancels it) or blocks here until
             # the future exists — never a registered handle stuck
             # "queued" with no future after the executor shut down.
-            handle._future = self._executor.submit(task)
+            handle._future = executor.submit(task)
         return handle
 
     def job(self, job_id: str) -> JobHandle:
@@ -409,7 +410,7 @@ class FTMapService:
         mode: str,
         handle: JobHandle,
         scope: Optional[CacheStats],
-        tracer: Tracer,
+        tracer: TracerLike,
         root,
     ) -> Dict[str, ProbeResult]:
         total = len(items)

@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.api.errors import (
     DuplicateRequestError,
+    InvalidRequestError,
     QuotaExceededError,
     ServiceClosedError,
 )
@@ -71,7 +72,9 @@ class TenantCounters:
     def shed(self) -> int:
         return self.shed_rate + self.shed_concurrency + self.shed_queue
 
-    def to_dict(self) -> Dict[str, object]:
+    # Nested fragment of the /v1/stats document; AdmissionController.stats()
+    # stamps schema_version on the enclosing document.
+    def to_dict(self) -> Dict[str, object]:  # repro: ignore[REPRO-SCHEMA]
         return {
             "submitted": self.submitted,
             "accepted": self.accepted,
@@ -161,7 +164,7 @@ class AdmissionController:
         clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if max_queue_depth < 1:
-            raise ValueError(
+            raise InvalidRequestError(
                 f"max_queue_depth must be >= 1, got {max_queue_depth}"
             )
         self.service = service
@@ -173,7 +176,7 @@ class AdmissionController:
             else getattr(service, "max_workers", 2)
         )
         if self.max_concurrent < 1:
-            raise ValueError(
+            raise InvalidRequestError(
                 f"max_concurrent must be >= 1, got {self.max_concurrent}"
             )
         self.shed_retry_after_s = float(shed_retry_after_s)
@@ -405,7 +408,9 @@ class AdmissionController:
         return None
 
     def _on_done(self, job: GatewayJob) -> None:
-        status = job.handle.status()
+        handle = job.handle
+        assert handle is not None  # registered only after dispatch set it
+        status = handle.status()
         with self._cv:
             self._running -= 1
             counters = self._counters[job.tenant]

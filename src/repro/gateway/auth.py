@@ -87,7 +87,9 @@ class TokenBucket:
         self._stamp = self._clock()
         self._lock = threading.Lock()
 
-    def _refill(self) -> None:
+    def _refill_locked(self) -> None:
+        # Caller holds self._lock (the *_locked naming convention REPRO-LOCK
+        # checks callers against).
         now = self._clock()
         elapsed = max(0.0, now - self._stamp)
         self._stamp = now
@@ -96,7 +98,7 @@ class TokenBucket:
     def try_acquire(self) -> float:
         """Take one token if available; else seconds until the next one."""
         with self._lock:
-            self._refill()
+            self._refill_locked()
             if self._tokens >= 1.0:
                 self._tokens -= 1.0
                 return 0.0
@@ -105,7 +107,7 @@ class TokenBucket:
     def available(self) -> float:
         """Current token count (refilled to now); for stats/tests."""
         with self._lock:
-            self._refill()
+            self._refill_locked()
             return self._tokens
 
 

@@ -80,7 +80,7 @@ class GatewayClient:
         try:
             with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
                 payload = json.loads(resp.read().decode("utf-8"))
-                return resp.status, payload
+                return int(resp.status), payload
         except urllib.error.HTTPError as exc:
             raw = exc.read()
             try:
@@ -119,7 +119,8 @@ class GatewayClient:
             request.add_header("Authorization", f"Bearer {self.api_key}")
         try:
             with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
-                return resp.read().decode("utf-8")
+                body: bytes = resp.read()
+                return body.decode("utf-8")
         except urllib.error.HTTPError as exc:
             raw = exc.read()
             try:

@@ -388,12 +388,16 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         job = self.gateway.controller.job(job_id, tenant=tenant.name)
         status = job.status()
         if status == "done":
+            assert job.handle is not None  # "done" means the service ran it
             result = job.handle.result(timeout=0)
             self._send_json(200, result.to_dict())
         elif status == "failed":
             if job.dispatch_error is not None:
                 message = str(job.dispatch_error)
             else:
+                # No dispatch error + "failed" means the handle exists and
+                # carries the job's own exception.
+                assert job.handle is not None
                 exc = job.handle.exception()
                 message = f"{type(exc).__name__}: {exc}"
             raise JobFailedError(f"job {job_id!r} failed: {message}")

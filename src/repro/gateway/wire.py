@@ -19,7 +19,7 @@ instead of as silently different artifacts later.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
@@ -66,7 +66,7 @@ def molecule_to_wire(molecule: Molecule) -> Dict[str, object]:
     }
 
 
-def molecule_from_wire(data: Dict[str, object]) -> Tuple[Molecule, str]:
+def molecule_from_wire(data: Dict[str, Any]) -> Tuple[Molecule, str]:
     """Rebuild a molecule from :func:`molecule_to_wire` output.
 
     Returns ``(molecule, fingerprint)`` where the fingerprint was

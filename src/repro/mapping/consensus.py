@@ -77,7 +77,7 @@ def consensus_sites(
     entries.sort(key=lambda e: e[3])
     used = [False] * len(entries)
     sites: List[ConsensusSite] = []
-    for si, (probe, ci, pos, energy) in enumerate(entries):
+    for si, (_probe, _ci, pos, _energy) in enumerate(entries):
         if used[si]:
             continue
         members = [si]

@@ -166,7 +166,9 @@ class MinimizationEngine:
             topology = default_topology(devices)
         if topology is None and backend == "multi-gpu-sim":
             topology = default_topology(DEFAULT_MINIMIZE_DEVICES)
-        stack = np.asarray(coords_stack, dtype=float)
+        # Host-side canonical copy is deliberately fp64; the engine casts to
+        # its precision at kernel entry, so both families share one input.
+        stack = np.asarray(coords_stack, dtype=float)  # repro: ignore[REPRO-DTYPE]
         if stack.ndim == 2:
             stack = stack[None]
         n = molecule.n_atoms

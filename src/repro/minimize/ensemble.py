@@ -377,13 +377,15 @@ class EnsembleEnergyModel:
         if coords.shape != (k, n, 3):
             raise ValueError(f"coords must be ({k}, {n}, 3), got {coords.shape}")
         if k == 0:
+            # Empty results still carry the ensemble dtype: a "single"
+            # ensemble's zero-pose path must not leak fp64 arrays.
             return EnsembleEnergyReport(
                 pose_ids=ids,
-                totals=np.zeros(0),
+                totals=np.zeros(0, dtype=self.dtype),
                 components={},
-                forces=np.zeros((0, n, 3)),
-                per_atom_nonbonded=np.zeros((0, n)),
-                born_radii=np.zeros((0, n)),
+                forces=np.zeros((0, n, 3), dtype=self.dtype),
+                per_atom_nonbonded=np.zeros((0, n), dtype=self.dtype),
+                born_radii=np.zeros((0, n), dtype=self.dtype),
             )
         for row, p in enumerate(ids):
             self._ensure_pose(int(p), coords[row])
@@ -473,7 +475,7 @@ class EnsembleEnergyModel:
         if coords.shape != (k, n, 3):
             raise ValueError(f"coords must be ({k}, {n}, 3), got {coords.shape}")
         if k == 0:
-            return np.zeros(0)
+            return np.zeros(0, dtype=self.dtype)
         for row, p in enumerate(ids):
             self._ensure_pose(int(p), coords[row])
         pair_i, pair_j, bounds = self._flat_pairs(ids)

@@ -151,7 +151,9 @@ class MultiDeviceMinimizer:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if shard_workers is not None and shard_workers < 1:
             raise ValueError(f"shard_workers must be >= 1, got {shard_workers}")
-        stack = np.asarray(coords_stack, dtype=float)
+        # Host-side canonical copy is deliberately fp64; each shard's
+        # BatchedMinimizer casts to the engine precision at kernel entry.
+        stack = np.asarray(coords_stack, dtype=float)  # repro: ignore[REPRO-DTYPE]
         if stack.ndim == 2:
             stack = stack[None]
         n = molecule.n_atoms

@@ -35,7 +35,7 @@ import math
 import random
 import threading
 import zlib
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Tuple, Type, TypeVar
 
 __all__ = [
     "Counter",
@@ -52,6 +52,8 @@ __all__ = [
 RESERVOIR_CAPACITY = 1024
 
 LabelValues = Tuple[str, ...]
+
+_InstrumentT = TypeVar("_InstrumentT", bound="_Instrument")
 
 
 def _format_value(value: float) -> str:
@@ -87,7 +89,9 @@ class _Instrument:
         self.name = name
         self.help = help
         self.labelnames = labelnames
-        self._series: Dict[LabelValues, object] = {}
+        # Cells are _CounterCell / _HistogramCell per subclass; Any keeps
+        # the shared accessors usable on either without a cast.
+        self._series: Dict[LabelValues, Any] = {}
         self._lock = threading.Lock()
 
     def _resolve(self, labels: Dict[str, str]) -> LabelValues:
@@ -98,17 +102,17 @@ class _Instrument:
             )
         return tuple(str(labels[n]) for n in self.labelnames)
 
-    def _cell(self, values: LabelValues):
+    def _cell(self, values: LabelValues) -> Any:
         cell = self._series.get(values)
         if cell is None:
             with self._lock:
                 cell = self._series.setdefault(values, self._new_cell(values))
         return cell
 
-    def _new_cell(self, values: LabelValues):  # pragma: no cover - abstract
+    def _new_cell(self, values: LabelValues) -> Any:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def series(self) -> List[Tuple[LabelValues, object]]:
+    def series(self) -> List[Tuple[LabelValues, Any]]:
         with self._lock:
             return sorted(self._series.items())
 
@@ -279,15 +283,16 @@ class MetricsRegistry:
 
     # -- instrument constructors -------------------------------------------------
 
-    def _get(self, cls, name: str, labelnames: Iterable[str], help: str, **kwargs):
-        labelnames = tuple(labelnames)
+    def _get(self, cls: Type[_InstrumentT], name: str, labelnames: Iterable[str],
+             help: str, **kwargs: Any) -> _InstrumentT:
+        names = tuple(labelnames)
         with self._lock:
             inst = self._instruments.get(name)
             if inst is None:
-                inst = cls(self, name, help, labelnames, **kwargs)
+                inst = cls(self, name, help, names, **kwargs)
                 self._instruments[name] = inst
                 return inst
-        if not isinstance(inst, cls) or inst.labelnames != labelnames:
+        if not isinstance(inst, cls) or inst.labelnames != names:
             raise ValueError(
                 f"metric {name!r} already registered as {inst.kind} "
                 f"with labels {inst.labelnames}"
@@ -316,7 +321,7 @@ class MetricsRegistry:
         """JSON-ready dump of every series (the `/v1/stats` shape)."""
         out: Dict[str, object] = {}
         for inst in self.instruments():
-            series_out = {}
+            series_out: Dict[str, object] = {}
             for values, cell in inst.series():
                 key = ",".join(f"{n}={v}" for n, v in zip(inst.labelnames, values)) or ""
                 if isinstance(inst, Histogram):

@@ -27,13 +27,14 @@ import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 __all__ = [
     "TRACE_SCHEMA_VERSION",
     "Span",
     "Tracer",
     "NullTracer",
+    "TracerLike",
     "NULL_SPAN",
     "NULL_TRACER",
     "current_span",
@@ -142,7 +143,7 @@ NULL_SPAN = _NullSpan()
 #: inherit whatever context they were handed (see
 #: :class:`repro.util.parallel.PipelineExecutor`) without sharing
 #: mutable state.
-_CURRENT: ContextVar[Optional[Tuple[object, object]]] = ContextVar(
+_CURRENT: ContextVar[Optional[Tuple["Tracer", "Span"]]] = ContextVar(
     "repro_obs_current_span", default=None
 )
 
@@ -324,6 +325,12 @@ class NullTracer:
 
 NULL_TRACER = NullTracer()
 
+#: What code holding "a tracer" actually holds: the live recorder or the
+#: disabled stand-in.  The two share the full surface (``enabled``,
+#: ``trace_id``, ``span``/``start_span``/``add_span``, ``to_dict``), so
+#: callers never branch on which one they have.
+TracerLike = Union[Tracer, NullTracer]
+
 
 # -- trace-document helpers ---------------------------------------------------------
 
@@ -353,6 +360,14 @@ def check_trace(trace: Dict[str, object]) -> Dict[str, object]:
     return trace
 
 
+def _span_list(trace: Dict[str, object]) -> List[Dict[str, Any]]:
+    """Validate ``trace`` and return its span list, typed for iteration."""
+    check_trace(trace)
+    spans = trace["spans"]
+    assert isinstance(spans, list)  # check_trace verified
+    return spans
+
+
 def chrome_trace(trace: Dict[str, object]) -> Dict[str, object]:
     """Convert a trace document to Chrome trace-event JSON.
 
@@ -362,10 +377,9 @@ def chrome_trace(trace: Dict[str, object]) -> Dict[str, object]:
     display row (``tid``) per recording thread so overlap reads as
     overlap.
     """
-    check_trace(trace)
     tids: Dict[str, int] = {}
     events = []
-    for span in trace["spans"]:
+    for span in _span_list(trace):
         thread = str(span.get("thread", ""))
         tid = tids.setdefault(thread, len(tids) + 1)
         args = dict(span.get("attributes") or {})
@@ -410,9 +424,8 @@ def stage_durations(trace: Dict[str, object]) -> Dict[str, float]:
     the same way the paper's per-phase timings justify what to put on
     the GPU.
     """
-    check_trace(trace)
     totals: Dict[str, float] = {}
-    for span in trace["spans"]:
+    for span in _span_list(trace):
         name = str(span["name"])
         totals[name] = totals.get(name, 0.0) + float(span["duration_s"])
     return totals

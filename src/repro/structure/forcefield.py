@@ -93,6 +93,15 @@ class DihedralParam:
     delta: float
 
 
+# Generic CHARMM-magnitude bonded constants, shared as the ForceField
+# defaults.  The param classes are frozen dataclasses, so one instance is
+# safely shared by every force field built without overrides.
+DEFAULT_BOND = BondParam(kb=300.0, r0=1.5)
+DEFAULT_ANGLE = AngleParam(ka=50.0, theta0=1.911)  # ~109.5 deg
+DEFAULT_DIHEDRAL = DihedralParam(kd=0.2, n=3, delta=0.0)
+DEFAULT_IMPROPER = AngleParam(ka=40.0, theta0=0.0)
+
+
 class ForceField:
     """Lookup table resolving atom-type names to parameters.
 
@@ -109,10 +118,10 @@ class ForceField:
     def __init__(
         self,
         atom_types: Mapping[str, AtomType] | None = None,
-        default_bond: BondParam = BondParam(kb=300.0, r0=1.5),
-        default_angle: AngleParam = AngleParam(ka=50.0, theta0=1.911),  # ~109.5 deg
-        default_dihedral: DihedralParam = DihedralParam(kd=0.2, n=3, delta=0.0),
-        default_improper: AngleParam = AngleParam(ka=40.0, theta0=0.0),
+        default_bond: BondParam = DEFAULT_BOND,
+        default_angle: AngleParam = DEFAULT_ANGLE,
+        default_dihedral: DihedralParam = DEFAULT_DIHEDRAL,
+        default_improper: AngleParam = DEFAULT_IMPROPER,
     ) -> None:
         self._types: Dict[str, AtomType] = dict(atom_types or DEFAULT_ATOM_TYPES)
         self.default_bond = default_bond

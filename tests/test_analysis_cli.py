@@ -1,0 +1,231 @@
+"""End-to-end CLI tests: the repo is clean, injected violations are not.
+
+The first test is the actual CI gate run in-process: the repository's
+own ``src/`` tree against the shipped ``baseline.json`` must produce no
+new findings.  The rest exercise the CLI surface on temp trees: baseline
+semantics (new-vs-baselined-vs-stale), JSON output, adoption mode, exit
+codes.
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import Baseline, load_baseline, write_baseline
+from repro.analysis.core import Finding
+from repro.analysis.cli import run
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "baseline.json"
+
+#: One violation per rule, as (relative path, source) — injected into a
+#: copy of src/ to prove each rule fires through the real CLI.
+VIOLATIONS = {
+    "REPRO-LOCK": (
+        "src/repro/gateway/injected_lock.py",
+        "import threading\n\n\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._n = 0\n\n"
+        "    def bump(self):\n"
+        "        self._n += 1\n",
+    ),
+    "REPRO-DET": (
+        "src/repro/minimize/injected_det.py",
+        "import time\n\nSTAMP = time.time()\n",
+    ),
+    "REPRO-DTYPE": (
+        "src/repro/docking/injected_dtype.py",
+        "import numpy as np\n\n\n"
+        "def kernel(x, dtype):\n"
+        "    return np.zeros(x.shape)\n",
+    ),
+    "REPRO-SCHEMA": (
+        "src/repro/api/injected_schema.py",
+        "class Doc:\n"
+        "    def to_dict(self):\n"
+        "        return {'x': 1}\n",
+    ),
+    "REPRO-ERR": (
+        "src/repro/gateway/injected_err.py",
+        "def f():\n"
+        "    raise ValueError('bare')\n",
+    ),
+}
+
+
+class TestRepoIsClean:
+    def test_repo_clean_against_shipped_baseline(self):
+        status, text = run(
+            ["--root", str(REPO_ROOT), "--baseline", "baseline.json", "src"]
+        )
+        assert status == 0, f"repo has non-baselined findings:\n{text}"
+
+    def test_shipped_baseline_is_empty(self):
+        # Repo policy: fix findings, don't accumulate them.  If this ever
+        # grows an entry, the PR adding it argues for it explicitly.
+        assert load_baseline(BASELINE).findings == []
+
+    def test_module_entrypoint_runs(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--baseline",
+             "baseline.json", "src"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 findings" in proc.stdout
+
+    def test_list_rules(self):
+        status, text = run(["--list-rules"])
+        assert status == 0
+        for rule_id in (
+            "REPRO-LOCK", "REPRO-DET", "REPRO-DTYPE", "REPRO-SCHEMA", "REPRO-ERR"
+        ):
+            assert rule_id in text
+
+
+class TestInjectedViolations:
+    @pytest.fixture()
+    def repo_copy(self, tmp_path):
+        """A copy of src/repro's serving+kernel packages to inject into."""
+        for pkg in ("api", "gateway", "docking", "minimize"):
+            shutil.copytree(
+                REPO_ROOT / "src" / "repro" / pkg,
+                tmp_path / "src" / "repro" / pkg,
+            )
+        shutil.copy(BASELINE, tmp_path / "baseline.json")
+        return tmp_path
+
+    @pytest.mark.parametrize("rule_id", sorted(VIOLATIONS))
+    def test_each_injected_violation_fails_the_gate(self, repo_copy, rule_id):
+        rel_path, source = VIOLATIONS[rule_id]
+        target = repo_copy / rel_path
+        target.write_text(source)
+        status, text = run(
+            ["--root", str(repo_copy), "--baseline", "baseline.json", "src"]
+        )
+        assert status == 1
+        assert rule_id in text
+        assert rel_path in text
+
+    def test_clean_copy_passes(self, repo_copy):
+        status, text = run(
+            ["--root", str(repo_copy), "--baseline", "baseline.json", "src"]
+        )
+        assert status == 0, text
+
+
+class TestBaselineSemantics:
+    def _tree_with_violation(self, tmp_path):
+        mod = tmp_path / "src" / "repro" / "minimize"
+        mod.mkdir(parents=True)
+        (mod / "legacy.py").write_text("import time\nT = time.time()\n")
+        return tmp_path
+
+    def test_unbaselined_finding_fails(self, tmp_path):
+        root = self._tree_with_violation(tmp_path)
+        status, text = run(["--root", str(root), "src"])
+        assert status == 1
+        assert "REPRO-DET" in text
+
+    def test_baselined_finding_passes(self, tmp_path):
+        root = self._tree_with_violation(tmp_path)
+        status, _ = run(
+            ["--root", str(root), "--write-baseline", "baseline.json", "src"]
+        )
+        assert status == 0
+        status, text = run(
+            ["--root", str(root), "--baseline", "baseline.json", "src"]
+        )
+        assert status == 0
+        assert "1 baselined finding(s) suppressed" in text
+
+    def test_new_finding_next_to_baselined_one_fails(self, tmp_path):
+        root = self._tree_with_violation(tmp_path)
+        run(["--root", str(root), "--write-baseline", "baseline.json", "src"])
+        extra = root / "src" / "repro" / "minimize" / "fresh.py"
+        extra.write_text("import time\nT2 = time.time()\n")
+        status, text = run(
+            ["--root", str(root), "--baseline", "baseline.json", "src"]
+        )
+        assert status == 1
+        assert "fresh.py" in text
+        assert "legacy.py" not in text.split("baselined")[0]
+
+    def test_stale_baseline_entry_reported_but_passes(self, tmp_path):
+        root = self._tree_with_violation(tmp_path)
+        run(["--root", str(root), "--write-baseline", "baseline.json", "src"])
+        (root / "src" / "repro" / "minimize" / "legacy.py").write_text(
+            "import time\nT = time.perf_counter()\n"
+        )
+        status, text = run(
+            ["--root", str(root), "--baseline", "baseline.json", "src"]
+        )
+        assert status == 0
+        assert "stale baseline entry" in text
+
+    def test_baseline_diff_api(self):
+        old = Finding(file="a.py", line=1, rule_id="REPRO-DET")
+        baseline = Baseline(findings=[old])
+        fresh = Finding(file="b.py", line=2, rule_id="REPRO-ERR")
+        assert baseline.new_findings([old, fresh]) == [fresh]
+        assert baseline.stale_entries([fresh]) == [old]
+
+    def test_baseline_file_round_trip(self, tmp_path):
+        path = tmp_path / "b.json"
+        finding = Finding(
+            file="x.py", line=9, rule_id="REPRO-LOCK", message="m"
+        )
+        write_baseline(path, [finding])
+        assert load_baseline(path).findings == [finding]
+
+    def test_unsupported_baseline_version_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"baseline_version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="baseline_version"):
+            load_baseline(path)
+
+
+class TestCliSurface:
+    def test_json_format_and_output_artifact(self, tmp_path):
+        mod = tmp_path / "src" / "repro" / "grids"
+        mod.mkdir(parents=True)
+        (mod / "g.py").write_text("import time\nT = time.time()\n")
+        status, text = run(
+            ["--root", str(tmp_path), "--format", "json",
+             "--output", "findings.json", "src"]
+        )
+        assert status == 1
+        report = json.loads(text)
+        assert report["findings"][0]["rule_id"] == "REPRO-DET"
+        assert report["files_checked"] == 1
+        artifact = json.loads((tmp_path / "findings.json").read_text())
+        assert artifact == report
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        status, text = run(["--root", str(tmp_path), "no_such_dir"])
+        assert status == 2
+        assert "no such path" in text
+
+    def test_unreadable_baseline_is_usage_error(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "bad.json").write_text("{not json")
+        status, text = run(
+            ["--root", str(tmp_path), "--baseline", "bad.json", "src"]
+        )
+        assert status == 2
+        assert "cannot read baseline" in text
+
+    def test_analyzer_runs_on_its_own_source(self):
+        status, text = run(
+            ["--root", str(REPO_ROOT), "src/repro/analysis"]
+        )
+        assert status == 0, text

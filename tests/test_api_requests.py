@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.api import MapRequest, receptor_fingerprint
+from repro.api.errors import InvalidRequestError
 from repro.mapping.ftmap import FTMapConfig
 from repro.structure import build_probe, synthetic_protein
 
@@ -79,7 +80,9 @@ class TestMapRequest:
             MapRequest(receptor="a" * 64, streaming="warp")
 
     def test_receptor_type_validated(self):
-        with pytest.raises(TypeError, match="receptor"):
+        # A wrong-typed receptor is a typed 400 like every other request
+        # validation failure (InvalidRequestError subclasses ValueError).
+        with pytest.raises(InvalidRequestError, match="receptor"):
             MapRequest(receptor=42)
 
     def test_from_dict_requires_receptor(self):

@@ -230,7 +230,7 @@ class TestAdmission:
                 ids.append(job.job_id)
             service.finish(blocker.job_id)
             for i in range(3):
-                wait_until(lambda: len(service.submit_order) == 2 + i)
+                wait_until(lambda n=2 + i: len(service.submit_order) == n)
                 service.finish(service.submit_order[-1])
             assert service.submit_order[1:] == ids
         finally:
