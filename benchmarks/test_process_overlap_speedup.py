@@ -1,0 +1,186 @@
+"""Process worker-pool streaming gate (the GIL-independence PR's artifact).
+
+``streaming="process"`` runs the dock and refine stages in *worker
+processes* (:class:`repro.workers.pool.ProcessWorkerPool`), so on a
+GIL-bound workload the pipeline schedule is realised with true
+parallelism: while probe ``k`` minimizes in one process, probe ``k+1``
+docks in another — no interpreter lock couples them.  The thread pipeline
+(``streaming="pipeline"``) runs the identical schedule but its stages
+contend for one GIL, so a Python-heavy (serial-minimizer) workload gains
+little from it.  Two hard assertions:
+
+* **schedule speedup >= 1.4x** — per-probe stage times are *measured* on
+  the real stage functions, then the sequential stage-loop sum is
+  compared against the two-stage pipeline schedule's makespan
+  (:func:`~repro.perf.speedup.pipeline_makespan`) — the schedule the
+  worker pool realises GIL-free.  Deterministic on any host; the gate.
+* **wall clock >= 1.4x over the thread pipeline** — the same requests
+  through ``service.map`` thread-pipelined vs process-streamed, asserted
+  only where worker processes can actually run in parallel (>= 2 usable
+  CPUs; CI runners have them, single-core containers skip the wall-clock
+  half, never the schedule half).
+
+Plus the invariant that makes process shipping deployable at all: the
+process-streamed ``MapResult`` is bitwise-identical to the sequential
+one — pose ensembles cross shared memory, values never change.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.api import FTMapService
+from repro.cache import CacheManager, reset_cache_registry
+from repro.mapping.ftmap import FTMapConfig, cluster_probe, dock_probe, minimize_poses
+from repro.perf.speedup import pipeline_makespan
+from repro.perf.tables import ComparisonRow
+from repro.structure import build_probe, synthetic_protein
+from repro.workers import shm_bytes_in_use
+
+#: Overlap floor of the acceptance gate: the process-streamed multi-probe
+#: path must beat the sequential stage loop (schedule, everywhere) and
+#: the GIL-bound thread pipeline (wall, multi-core hosts) by this factor.
+MIN_PROCESS_SPEEDUP = 1.4
+#: First introduction of this gate (no prior floor to re-baseline).
+PREV_MIN_PROCESS_SPEEDUP = 1.4
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _workload():
+    """GIL-bound on purpose: the *serial* minimizer spends its time in
+    Python-level iteration, so the thread pipeline's stages serialize on
+    the interpreter lock while the process pool overlaps them for real.
+    Stage-balanced so the schedule has overlap to win (a lopsided
+    workload is bounded by its big stage no matter the executor)."""
+    protein = synthetic_protein(n_residues=60, seed=3)
+    config = FTMapConfig(
+        probe_names=(
+            "ethanol", "acetone", "urea", "acetonitrile", "benzene", "phenol",
+        ),
+        num_rotations=48,
+        receptor_grid=40,
+        grid_spacing=1.25,
+        minimize_top=3,
+        minimizer_iterations=9,
+        engine="fft",
+        minimize_engine="serial",
+        cache_policy="off",
+    )
+    return protein, config
+
+
+def _measure_stage_times(protein, config):
+    """Per-probe (dock, refine) wall times on the real stage functions."""
+    times = []
+    for name in config.probe_names:
+        probe = build_probe(name)
+        t0 = time.perf_counter()
+        run = dock_probe(protein, probe, config)
+        t_dock = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        _, centers, energies, _ = minimize_poses(
+            protein, probe, run.poses, config
+        )
+        cluster_probe(centers, energies, config)
+        t_refine = time.perf_counter() - t0
+        times.append([t_dock, t_refine])
+    return times
+
+
+def _probe_outputs(result):
+    out = {}
+    for name, pr in result.probe_results.items():
+        out[name] = (
+            [(p.rotation_index, p.translation, p.score) for p in pr.docked_poses],
+            pr.minimized_energies.copy(),
+            pr.minimized_centers.copy(),
+        )
+    return out
+
+
+def test_process_overlap_speedup(print_comparison):
+    reset_cache_registry()
+    protein, config = _workload()
+
+    # Warm the process (spectra cache, imports, allocator) so the timed
+    # stage measurements see steady-state per-probe costs.
+    _measure_stage_times(protein, config)
+    stage_times = _measure_stage_times(protein, config)
+
+    sequential_s = sum(sum(row) for row in stage_times)
+    makespan_s = pipeline_makespan(stage_times)
+    schedule_speedup = sequential_s / makespan_s
+    dock_total = sum(row[0] for row in stage_times)
+    refine_total = sum(row[1] for row in stage_times)
+
+    # Bitwise identity + wall clock through the service front door.
+    with FTMapService(cache=CacheManager(policy="off")) as service:
+        fingerprint = service.register_receptor(protein)
+        seq = service.map(fingerprint, config, streaming="sequential")
+        t0 = time.perf_counter()
+        pipe = service.map(fingerprint, config, streaming="pipeline")
+        t_pipe = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        proc = service.map(fingerprint, config, streaming="process")
+        t_proc = time.perf_counter() - t0
+    wall_speedup = t_pipe / t_proc
+    assert proc.streaming == "process"
+    assert shm_bytes_in_use() == 0        # every segment unlinked again
+
+    cpus = _usable_cpus()
+    print_comparison(
+        "Process worker streaming — GIL-free stage overlap vs thread pipeline "
+        f"({len(config.probe_names)} probes x {config.num_rotations} rotations, "
+        "serial minimizer)",
+        [
+            ComparisonRow("dock stage total (s)", None, dock_total),
+            ComparisonRow("refine stage total (s)", None, refine_total),
+            ComparisonRow("sequential stage loop (s)", None, sequential_s),
+            ComparisonRow("process schedule makespan (s)", None, makespan_s),
+            ComparisonRow("schedule speedup", None, schedule_speedup, "x"),
+            ComparisonRow("wall thread-pipelined (s)", None, t_pipe),
+            ComparisonRow("wall process-streamed (s)", None, t_proc),
+            ComparisonRow(
+                f"wall speedup vs threads ({cpus} usable cpu(s))",
+                None, wall_speedup, "x",
+            ),
+            # Floor audit row (reference = previous floor, measured = the
+            # floor enforced now) — collected into the nightly artifact.
+            ComparisonRow(
+                "gate floor: process overlap (old -> new)",
+                PREV_MIN_PROCESS_SPEEDUP,
+                MIN_PROCESS_SPEEDUP,
+                "x",
+            ),
+        ],
+    )
+
+    # Gate 1 (every host): the pipeline schedule the worker pool realises
+    # GIL-free must clear the floor over the measured sequential loop.
+    assert schedule_speedup >= MIN_PROCESS_SPEEDUP
+
+    # Gate 2 (hosts with real parallelism, e.g. the CI runners): the
+    # process pool must beat the GIL-bound thread pipeline in wall clock.
+    if cpus >= 2:
+        assert wall_speedup >= MIN_PROCESS_SPEEDUP
+
+    # The invariant that makes process shipping deployable: identical
+    # outputs across sequential, thread-pipelined and process-streamed.
+    out_seq = _probe_outputs(seq.result)
+    for other in (pipe, proc):
+        out_other = _probe_outputs(other.result)
+        for name in out_seq:
+            assert out_seq[name][0] == out_other[name][0]                # poses
+            assert np.array_equal(out_seq[name][1], out_other[name][1])  # energies
+            assert np.array_equal(out_seq[name][2], out_other[name][2])  # centers
+        assert len(seq.sites) == len(other.sites)
+        for a, b in zip(seq.sites, other.sites):
+            assert np.array_equal(a.center, b.center)
+            assert a.best_energy == b.best_energy

@@ -94,7 +94,7 @@ from repro.api import (
 )
 from repro.obs import MetricsRegistry, Tracer, metrics_registry
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "Molecule",

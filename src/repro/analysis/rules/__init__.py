@@ -5,6 +5,9 @@ Rule id                 Invariant protected
 ======================  =======================================================
 ``REPRO-LOCK``          Threaded classes guard their shared private state with
                         the lock they allocate (``with self._lock:``).
+``REPRO-FORK``          Worker processes are never created — ``os.fork``,
+                        process pools, process-pool ``.submit`` — while a lock
+                        is held.
 ``REPRO-DET``           Seeded RNG everywhere; no wall clocks or hash-ordered
                         reductions in numeric code — the bitwise replay story.
 ``REPRO-DTYPE``         fp32-capable kernels never silently promote to fp64 —
@@ -20,6 +23,7 @@ from repro.analysis.core import Checker
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.dtype import DtypePreservationRule
 from repro.analysis.rules.errors import ErrorTaxonomyRule
+from repro.analysis.rules.forking import ForkDisciplineRule
 from repro.analysis.rules.locking import LockDisciplineRule
 from repro.analysis.rules.schema import WireSchemaRule
 
@@ -28,6 +32,7 @@ __all__ = ["ALL_RULES", "default_checkers", "rule_table"]
 #: Rule classes in report order.
 ALL_RULES = (
     LockDisciplineRule,
+    ForkDisciplineRule,
     DeterminismRule,
     DtypePreservationRule,
     WireSchemaRule,

@@ -30,8 +30,10 @@ from repro.structure.molecule import Molecule
 __all__ = ["STREAMING_MODES", "MapRequest", "MapResult", "receptor_fingerprint"]
 
 #: How a request's probes may be scheduled: ``None`` (service default),
-#: sequential stage loop, or the stage-overlapped pipeline.
-STREAMING_MODES = ("sequential", "pipeline")
+#: the sequential stage loop, the thread-staged pipeline, or the
+#: process-staged pipeline (separate dock/minimize worker processes with
+#: shared-memory pose shipping — GIL-independent overlap).
+STREAMING_MODES = ("sequential", "pipeline", "process")
 
 
 def receptor_fingerprint(receptor: Molecule) -> str:
@@ -53,7 +55,8 @@ class MapRequest:
     receptor previously passed to
     :meth:`~repro.api.service.FTMapService.register_receptor`.
     ``streaming`` overrides the service's scheduling mode for this request
-    (``"sequential"`` | ``"pipeline"``; None = service default).
+    (``"sequential"`` | ``"pipeline"`` | ``"process"``; None = service
+    default) — an explicit mode always wins over config-driven selection.
     ``tracing`` overrides ``config.tracing`` for this request (None =
     defer to the config): a client can ask for a trace without caring
     that traced and untraced configs hash to the same cache keys.
@@ -167,7 +170,8 @@ class MapResult:
     #: request's lookups, even when other requests overlap on the manager.
     cache_stats: Optional[CacheStats]
     #: How the probes were actually scheduled: ``"sequential"``,
-    #: ``"pipeline"`` (stage-overlapped), or ``"fork"`` (probe_workers).
+    #: ``"pipeline"`` (thread stage-overlapped), or ``"process"``
+    #: (worker-process stage-overlapped).
     streaming: str = "sequential"
     #: The request's serialized trace document (see
     #: :meth:`repro.obs.trace.Tracer.to_dict`), or None when tracing was

@@ -10,11 +10,14 @@ asynchronous jobs.
 
 Three properties define the serving layer:
 
-* **async probe streaming** — a multi-probe request is stage-pipelined
-  (:class:`~repro.util.parallel.PipelineExecutor`): probe ``k+1`` docks
-  while probe ``k`` minimizes and clusters.  Scheduling changes, values
-  never do — the pipelined result is bitwise-identical to the sequential
-  stage loop (tested).
+* **async probe streaming** — a multi-probe request is stage-pipelined:
+  probe ``k+1`` docks while probe ``k`` minimizes and clusters, either
+  on threads (:class:`~repro.util.parallel.PipelineExecutor`) or — the
+  default on multi-CPU hosts — in separate worker *processes*
+  (:mod:`repro.workers`), with pose ensembles shipped through shared
+  memory so the overlap is GIL-independent.  Scheduling changes, values
+  never do — both streamed results are bitwise-identical to the
+  sequential stage loop (tested).
 * **cache-aware serving** — receptors register once by content hash, and
   every artifact lookup is content-addressed, so concurrent requests
   against the same receptor share grids, spectra and whole dock results
@@ -37,9 +40,11 @@ runner, examples, benchmarks) is a thin client of this service.
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace as _dc_replace
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.api.errors import (
@@ -65,7 +70,7 @@ from repro.obs.metrics import registry
 from repro.obs.trace import Tracer, TracerLike
 from repro.structure.molecule import Molecule
 from repro.structure.probes import build_probe
-from repro.util.parallel import PipelineExecutor, parallel_map
+from repro.util.parallel import PipelineExecutor, usable_cpus
 
 __all__ = ["FTMapService"]
 
@@ -94,8 +99,9 @@ class FTMapService:
         :meth:`map` calls run in the caller's thread and do not consume a
         worker.
     streaming:
-        Default probe scheduling: ``"auto"`` (pipeline multi-probe
-        requests whenever possible), ``"pipeline"``, or ``"sequential"``.
+        Default probe scheduling: ``"auto"`` (process-stage the request
+        on multi-CPU hosts, thread-pipeline it otherwise),
+        ``"process"``, ``"pipeline"``, or ``"sequential"``.
     on_event:
         Optional callback invoked with every :class:`ProgressEvent`
         across all jobs (in addition to per-handle event logs).
@@ -382,21 +388,42 @@ class FTMapService:
             trace=tracer.to_dict(),
         )
 
+    @staticmethod
+    def _process_streaming_available() -> bool:
+        # Daemonic processes may not have children; everywhere else the
+        # stage pool can run (fork preferred, spawn otherwise).
+        return not mp.current_process().daemon
+
     def _resolve_streaming(
         self, request: MapRequest, cfg: FTMapConfig, n_items: int
     ) -> str:
         """Actual scheduling mode for a request.
 
-        Forked probe workers (``cfg.probe_workers > 1``) take precedence —
-        that is process-level streaming already.  Otherwise the request
-        override, then the service default; ``"auto"`` pipelines whenever
-        there is more than one probe to overlap.
+        An explicit ``request.streaming`` always wins — a client that
+        asked for ``"sequential"`` gets it even when the config names
+        ``probe_workers`` (which used to silently force the legacy fork
+        fan-out).  Without a request override, ``cfg.probe_workers > 1``
+        opts into process streaming, then the service default applies;
+        ``"auto"`` is the cost model: overlap is worth a worker pool only
+        when there are ≥2 probes to pipeline *and* ≥2 CPUs to run them
+        on, otherwise threads (one stage per probe in flight) or the
+        plain sequential loop.
         """
-        if (cfg.probe_workers or 1) > 1 and n_items > 1:
-            return "fork"
-        mode = request.streaming or self.streaming
+        mode = request.streaming
+        if mode is None:
+            if (cfg.probe_workers or 1) > 1 and n_items > 1:
+                mode = "process"
+            else:
+                mode = self.streaming
         if mode == "auto":
-            mode = "pipeline" if n_items > 1 else "sequential"
+            if n_items > 1 and usable_cpus() >= 2:
+                mode = "process"
+            elif n_items > 1:
+                mode = "pipeline"
+            else:
+                mode = "sequential"
+        if mode == "process" and not self._process_streaming_available():
+            mode = "pipeline"
         if n_items <= 1:
             mode = "sequential"
         return mode
@@ -503,21 +530,10 @@ class FTMapService:
                 minimize_cached=stage.cached,
             )
 
-        if mode == "fork":
-            # Process-level streaming (legacy probe_workers): whole probes
-            # fan out over forked workers; children keep their own caches.
-            # The fan-out is one barrier, so per-stage granularity stops
-            # here: one dispatch event per probe up front, cancellation
-            # checked before the fork and again at consensus.
-            handle._check_cancelled()
-            for index, (name, _) in enumerate(items):
-                handle._emit("dispatch", name, index, total)
-            results = parallel_map(
-                _ftmap._map_probe_task,
-                items,
-                processes=min(cfg.probe_workers or 1, total),
-                initializer=_ftmap._init_probe_worker,
-                initargs=(receptor, cfg, manager),
+        if mode == "process" and total > 1:
+            results = self._run_probes_process(
+                receptor, items, cfg, manager, handle, tracer, root,
+                stage_seconds,
             )
         elif mode == "pipeline" and total > 1:
             executor = PipelineExecutor(
@@ -529,3 +545,136 @@ class FTMapService:
                 stage_refine(stage_dock(task)) for task in enumerate(items)
             ]
         return {pr.probe_name: pr for pr in results}
+
+    def _run_probes_process(
+        self,
+        receptor: Molecule,
+        items: List[Tuple[str, Molecule]],
+        cfg: FTMapConfig,
+        manager: CacheManager,
+        handle: JobHandle,
+        tracer: TracerLike,
+        root,
+        stage_seconds,
+    ) -> List[ProbeResult]:
+        """Process streaming: dock and minimize in separate worker processes.
+
+        Two parent threads (the same order-preserving
+        :class:`PipelineExecutor` the thread path uses) each drive one
+        resident worker process, so probe ``k+1`` docks while probe ``k``
+        minimizes *GIL-independently*.  Pose ensembles and minimized
+        conformation stacks ship through shared-memory segments leased by
+        an :class:`~repro.workers.shm.ShmArena` — names reserved before
+        dispatch, unlinked deterministically on completion, cancellation,
+        failure or worker death.  Cancellation stays cooperative at stage
+        boundaries; worker execution spans are stitched back into the
+        request trace from serialized span context (one monotonic clock
+        per host).  The stage functions and fp64 numerics are exactly the
+        sequential path's, so results are bitwise-identical.
+        """
+        # Imported lazily: repro.workers pulls repro.api.errors back in,
+        # and this module is importable before the workers package.
+        from repro.workers import ProcessWorkerPool, ShmArena
+        from repro.workers import stages as _stages
+
+        total = len(items)
+        pool = ProcessWorkerPool(
+            2,
+            initializer=_stages.init_stage_worker,
+            initargs=(receptor, cfg, manager),
+            name=f"ftmap-{handle.job_id}",
+        )
+        arena = ShmArena(prefix=f"repro-{handle.job_id}")
+
+        def record_spans(out: dict, fallback_parent) -> None:
+            for span_name, t0, t1, parent_id in out.get("spans", ()):
+                tracer.add_span(
+                    span_name, t0, t1,
+                    parent=parent_id or fallback_parent,
+                    thread=f"{pool.name}-worker",
+                    probe=out.get("probe", ""),
+                )
+
+        def stage_dock(task: Tuple[int, Tuple[str, Molecule]]):
+            index, (name, probe) = task
+            handle._check_cancelled()
+            t_stage = time.perf_counter()
+            with tracer.span("dock", parent=root, probe=name) as span:
+                handle._emit("dock", name, index, total, span_id=span.span_id)
+                segment = arena.reserve(f"d{index}")
+                out = pool.submit(
+                    _stages.dock_stage_task, name, probe, segment,
+                    span.span_id, label=f"dock:{name}",
+                ).result()
+                bundle = out["poses"]
+                arena.lease(bundle)
+                record_spans(out, span)
+                poses = _stages.unpack_poses(bundle)
+                run = _dc_replace(out["run_meta"], poses=poses)
+                span.set_attributes(backend=run.backend, poses=len(poses))
+            stage_seconds.observe(time.perf_counter() - t_stage, stage="dock")
+            return index, name, probe, run, bundle
+
+        def stage_refine(task) -> ProbeResult:
+            index, name, probe, run, bundle = task
+            handle._check_cancelled()
+            t_stage = time.perf_counter()
+            with tracer.span("minimize", parent=root, probe=name) as span:
+                handle._emit(
+                    "minimize", name, index, total, span_id=span.span_id
+                )
+                segment = arena.reserve(f"m{index}")
+                out = pool.submit(
+                    _stages.minimize_stage_task, name, probe, bundle,
+                    segment, span.span_id, label=f"minimize:{name}",
+                ).result()
+                ensemble = out["ensemble"]
+                arena.lease(ensemble)
+                record_spans(out, span)
+                span.set_attributes(backend=out["backend"])
+            stage_seconds.observe(
+                time.perf_counter() - t_stage, stage="minimize"
+            )
+            t_stage = time.perf_counter()
+            with tracer.span("cluster", parent=root, probe=name) as span:
+                # Clustered in the worker alongside minimize (one shm
+                # round trip); the event still marks the stage boundary.
+                handle._emit(
+                    "cluster", name, index, total, span_id=span.span_id
+                )
+                arrays = arena.read(ensemble)
+                results = _stages.rebuild_minimize_results(
+                    out["results_lite"], arrays["coords"]
+                )
+            stage_seconds.observe(time.perf_counter() - t_stage, stage="cluster")
+            arena.release(ensemble)
+            arena.release(bundle)
+            return ProbeResult(
+                probe_name=name,
+                docked_poses=run.poses,
+                minimized=results,
+                minimized_centers=arrays["centers"],
+                minimized_energies=arrays["energies"],
+                clusters=out["clusters"],
+                docking_backend=run.backend,
+                minimize_backend=out["backend"],
+                minimize_devices=out["devices"],
+                minimize_shard_sizes=tuple(out["shard_sizes"]),
+                minimize_reduction_order=tuple(out["reduction_order"]),
+                minimize_cached=out["cached"],
+            )
+
+        try:
+            executor = PipelineExecutor(
+                [stage_dock, stage_refine], mode="thread"
+            )
+            results = executor.map(list(enumerate(items)))
+        except BaseException:
+            # Cancellation, a stage failure or a dead worker: stop the
+            # pool hard and unlink every leased segment deterministically.
+            pool.close(cancel=True)
+            arena.release_all()
+            raise
+        pool.close()
+        arena.release_all()
+        return results

@@ -11,9 +11,13 @@ makes repeat mappings and parameter sweeps near-free:
   byte budget, and an on-disk store with atomic writes, versioned
   npz/pickle codecs, integrity checksums and corruption-tolerant reads,
 * :mod:`repro.cache.manager` — the :class:`CacheManager` facade
-  (policy ``off`` | ``memory`` | ``disk``) with hit/miss/eviction stats,
-  resolved per process from the environment or from
-  :class:`~repro.mapping.ftmap.FTMapConfig` cache fields.
+  (policy ``off`` | ``memory`` | ``disk``) with hit/miss/eviction stats
+  and per-key single-flight ``get_or_compute`` (threads coalesce on an
+  in-process flight table, processes sharing a cache directory through
+  the disk tier's lockfiles), resolved per process from the environment
+  or from :class:`~repro.mapping.ftmap.FTMapConfig` cache fields,
+* :mod:`repro.cache.cli` — ``python -m repro.cache prune`` maintenance
+  for shared cache directories (TTL + byte-budget sweeps).
 
 Integration seams: receptor grid builds
 (:func:`repro.grids.energyfunctions.protein_grids_cached`), the FFT
@@ -50,6 +54,7 @@ from repro.cache.store import (
     MemoryStore,
     NpzCodec,
     PickleCodec,
+    SweepStats,
     estimate_nbytes,
 )
 
@@ -61,6 +66,7 @@ __all__ = [
     "CacheStats",
     "MemoryStore",
     "DiskStore",
+    "SweepStats",
     "PickleCodec",
     "NpzCodec",
     "CODECS",

@@ -1,0 +1,8 @@
+"""``python -m repro.cache`` dispatches to :mod:`repro.cache.cli`."""
+
+import sys
+
+from repro.cache.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

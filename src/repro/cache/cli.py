@@ -1,0 +1,79 @@
+"""``python -m repro.cache`` — operate on a shared cache directory.
+
+Fleet deployments point many services at one disk-cache directory; this
+is the maintenance entrypoint their cron jobs call::
+
+    python -m repro.cache prune --ttl 168 /var/cache/repro
+    python -m repro.cache prune --max-bytes 50000000000 /var/cache/repro
+    python -m repro.cache prune --ttl 24 --max-bytes 10000000 DIR
+
+``prune`` runs one :meth:`~repro.cache.store.DiskStore.sweep` pass —
+TTL eviction, then oldest-first eviction down to the byte budget, plus
+orphaned temp-file/lockfile cleanup — and prints the sweep statistics
+as JSON.  Concurrent prunes (and concurrent readers/writers) are safe:
+every removal tolerates losing the race, and entry writes are atomic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.cache.store import DiskStore
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cache",
+        description="Maintenance commands for a repro disk-cache directory.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    prune = sub.add_parser(
+        "prune",
+        help="evict entries by age and/or total size, clean orphaned "
+        "temp files and stale lockfiles, print sweep stats as JSON",
+    )
+    prune.add_argument(
+        "--ttl",
+        type=float,
+        metavar="HOURS",
+        default=None,
+        help="remove entries last written more than HOURS ago",
+    )
+    prune.add_argument(
+        "--max-bytes",
+        type=int,
+        metavar="N",
+        default=None,
+        help="after TTL eviction, remove oldest entries until at most "
+        "N payload bytes remain",
+    )
+    prune.add_argument("directory", help="cache directory to prune")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "prune":
+        if args.ttl is None and args.max_bytes is None:
+            parser.error("prune needs --ttl and/or --max-bytes")
+        if args.ttl is not None and args.ttl < 0:
+            parser.error("--ttl must be >= 0")
+        if args.max_bytes is not None and args.max_bytes < 0:
+            parser.error("--max-bytes must be >= 0")
+        store = DiskStore(args.directory)
+        stats = store.sweep(
+            ttl_s=args.ttl * 3600.0 if args.ttl is not None else None,
+            max_bytes=args.max_bytes,
+        )
+        print(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -10,6 +10,15 @@ One :class:`CacheManager` fronts both storage tiers behind a policy:
   promoted into memory, and forked workers / separate processes share
   artifacts through the filesystem.
 
+:meth:`CacheManager.get_or_compute` is *single-flight*: concurrent
+misses on one key compute the value exactly once.  Threads coalesce on
+an in-process flight table; with a disk tier, separate processes sharing
+the directory coalesce through per-key lockfiles
+(:meth:`~repro.cache.store.DiskStore.try_lock`) — the follower waits for
+the leader's entry to land instead of duplicating the computation.
+Waits surface as :attr:`CacheManager.singleflight_waits` and the
+``repro_cache_singleflight_waits_total`` counter.
+
 Managers are resolved through a small per-process registry
 (:func:`resolve_manager`), so every caller that asks for the same
 ``(policy, directory, budget)`` gets the *same* instance — that is what
@@ -28,6 +37,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterator, Optional, Tuple
@@ -153,6 +163,20 @@ class CacheManager:
         # thread-local scope stacks route per-request deltas (stats_scope).
         self._lock = threading.RLock()
         self._tlocal = threading.local()
+        # Single-flight state: key -> Event of the in-process flight
+        # currently computing it.  Followers (here and, via the disk
+        # tier's lockfiles, in other processes) wait instead of
+        # duplicating the computation.
+        self.singleflight_waits = 0
+        self._sf_mutex = threading.Lock()
+        self._sf_inflight: Dict[str, threading.Event] = {}
+        # Registered eagerly so the series is exported (at zero) before
+        # the first contended miss ever happens.
+        registry().counter(
+            "repro_cache_singleflight_waits_total",
+            help="get_or_compute calls that waited on another key flight "
+            "(same-process thread or lockfile-coordinated process).",
+        )
 
     # -- core operations ---------------------------------------------------------
 
@@ -275,15 +299,97 @@ class CacheManager:
     def get_or_compute(
         self, key: str, compute: Callable[[], object], codec: str = "pickle"
     ):
-        """Lookup, else compute and store.  With policy off: just compute."""
+        """Lookup, else compute and store — *single-flight* per key.
+
+        With policy off: just compute.  Otherwise concurrent misses on
+        one key run ``compute`` exactly once: the first caller (the
+        flight leader) computes and stores, every other thread blocks on
+        the flight and re-reads the landed entry.  A leader whose
+        compute raises releases the flight — one waiter takes over the
+        lead, so a failure never strands the key.  With a disk tier the
+        leadership extends across processes through per-key lockfiles
+        (see :meth:`_compute_flight`).
+        """
         if not self.enabled:
             return compute()
-        value = self.get(key)
-        if value is not None:
+        while True:
+            value = self.get(key)
+            if value is not None:
+                return value
+            with self._sf_mutex:
+                gate = self._sf_inflight.get(key)
+                leader = gate is None
+                if leader:
+                    gate = self._sf_inflight[key] = threading.Event()
+            if not leader:
+                self._note_singleflight_wait()
+                gate.wait()
+                continue  # flight landed (or failed): re-read, maybe lead
+            try:
+                return self._compute_flight(key, compute, codec)
+            finally:
+                with self._sf_mutex:
+                    self._sf_inflight.pop(key, None)
+                gate.set()
+
+    def _compute_flight(
+        self, key: str, compute: Callable[[], object], codec: str
+    ):
+        """Run one flight as this process's leader.
+
+        Without a disk tier, that just means compute + put.  With one,
+        the directory may be shared between processes (stage workers,
+        gateway replicas, a second service on the host), so the leader
+        first takes the key's lockfile; losing it means some other
+        process is already computing — poll for its entry to land (or
+        its lock to die) instead of duplicating the work.  The lock is
+        advisory: any failure mode degrades to a duplicate computation
+        converging through atomic writes, never to a wrong value.
+        """
+        disk = self.disk
+        if disk is None:
+            value = compute()
+            self.put(key, value, codec=codec)
             return value
-        value = compute()
-        self.put(key, value, codec=codec)
-        return value
+        while True:
+            if disk.try_lock(key):
+                try:
+                    # Recheck under the lock: the previous holder may
+                    # have landed the entry after our miss.
+                    value = self.get(key)
+                    if value is not None:
+                        return value
+                    value = compute()
+                    self.put(key, value, codec=codec)
+                    return value
+                finally:
+                    disk.unlock(key)
+            self._note_singleflight_wait()
+            lock_path = disk._lock_path(key)
+            entry_path = disk._path(key)
+            while True:
+                time.sleep(0.005)
+                if entry_path.exists():
+                    value = self.get(key)
+                    if value is not None:
+                        return value
+                    # Landed but unreadable (corrupt): take the lead.
+                    break
+                try:
+                    age = time.time() - lock_path.stat().st_mtime
+                except OSError:
+                    break  # lock released without an entry: take the lead
+                if age > disk.LOCK_STALE_S:
+                    break  # orphaned lock: try_lock will steal it
+
+    def _note_singleflight_wait(self) -> None:
+        with self._lock:
+            self.singleflight_waits += 1
+        registry().counter(
+            "repro_cache_singleflight_waits_total",
+            help="get_or_compute calls that waited on another key flight "
+            "(same-process thread or lockfile-coordinated process).",
+        ).inc()
 
     # -- introspection -----------------------------------------------------------
 

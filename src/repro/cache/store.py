@@ -9,6 +9,16 @@ integrity checksum; *any* defect on read — truncation, bit corruption, a
 stale format or codec version — degrades to a miss (and removes the bad
 entry) instead of raising, so a damaged cache can only cost recompute
 time, never correctness.
+
+The disk tier is also the *fleet* coordination point: many processes —
+stage workers, gateway replicas, whole services on one host — may share
+one cache directory.  Per-key lockfiles (:meth:`DiskStore.try_lock`,
+``O_CREAT | O_EXCL`` with stale-steal) give cross-process single-flight
+to :meth:`CacheManager.get_or_compute`, and :meth:`DiskStore.sweep`
+bounds the directory by age (TTL) and total bytes — concurrent sweeps
+and writers are safe against each other because every removal tolerates
+losing the race (``FileNotFoundError`` is a no-op) and every write is an
+atomic replace.
 """
 
 from __future__ import annotations
@@ -20,9 +30,11 @@ import pickle
 import shutil
 import tempfile
 import threading
+import time
 from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -36,6 +48,7 @@ __all__ = [
     "estimate_nbytes",
     "MemoryStore",
     "DiskStore",
+    "SweepStats",
 ]
 
 #: Sentinel distinguishing "no entry" from a stored falsy value.
@@ -186,6 +199,30 @@ class MemoryStore:
 # -- disk tier ----------------------------------------------------------------------
 
 
+@dataclass
+class SweepStats:
+    """Outcome of one :meth:`DiskStore.sweep` pass."""
+
+    scanned: int = 0
+    removed: int = 0
+    freed_bytes: int = 0
+    remaining: int = 0
+    remaining_bytes: int = 0
+    removed_tmp: int = 0
+    removed_locks: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "scanned": self.scanned,
+            "removed": self.removed,
+            "freed_bytes": self.freed_bytes,
+            "remaining": self.remaining,
+            "remaining_bytes": self.remaining_bytes,
+            "removed_tmp": self.removed_tmp,
+            "removed_locks": self.removed_locks,
+        }
+
+
 class DiskStore:
     """One file per entry under ``root``, written atomically.
 
@@ -286,3 +323,142 @@ class DiskStore:
         if not self.root.exists():
             return 0
         return sum(1 for _ in self.root.rglob("*.bin"))
+
+    # -- shared-directory coordination -------------------------------------------
+
+    #: A lockfile older than this is presumed orphaned (its holder died)
+    #: and may be stolen.  Generously above any real compute-and-put of
+    #: the artifacts cached here; a stolen lock can only cost a duplicate
+    #: computation, never correctness (writes stay atomic).
+    LOCK_STALE_S = 300.0
+
+    #: A ``*.tmp`` file older than this is an orphan of a crashed writer
+    #: (live ones exist only for the duration of one encode + replace).
+    TMP_STALE_S = 3600.0
+
+    def _lock_path(self, key: str) -> Path:
+        return self._path(key).with_suffix(".lock")
+
+    def try_lock(self, key: str, stale_s: Optional[float] = None) -> bool:
+        """Try to take the cross-process compute lock for ``key``.
+
+        Non-blocking: ``O_CREAT | O_EXCL`` either creates the lockfile
+        (lock acquired — caller must :meth:`unlock`) or fails because
+        another process holds it.  A lockfile older than ``stale_s``
+        (default :data:`LOCK_STALE_S`) is treated as orphaned by a dead
+        holder and stolen.  This is advisory serialization for
+        single-flight *efficiency*; correctness never depends on it —
+        two computing processes still converge through atomic writes.
+        """
+        stale = self.LOCK_STALE_S if stale_s is None else float(stale_s)
+        path = self._lock_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for attempt in range(2):
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - path.stat().st_mtime
+                except OSError:
+                    continue  # holder just released: retry the create
+                if attempt == 0 and age > stale:
+                    try:  # steal the orphan, then retry the create
+                        os.unlink(path)
+                    except OSError:
+                        pass
+                    continue
+                return False
+            with os.fdopen(fd, "w") as fh:
+                fh.write(str(os.getpid()))
+            return True
+        return False
+
+    def unlock(self, key: str) -> None:
+        """Release ``key``'s compute lock (idempotent, missing-file safe)."""
+        try:
+            os.unlink(self._lock_path(key))
+        except OSError:
+            pass
+
+    # -- maintenance --------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Total payload bytes currently stored (entries only)."""
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def _entries(self) -> List[Path]:
+        if not self.root.exists():
+            return []
+        return list(self.root.rglob("*.bin"))
+
+    def sweep(
+        self,
+        ttl_s: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> SweepStats:
+        """Evict by age and/or total size; returns what happened.
+
+        Entries whose mtime is older than ``ttl_s`` are removed; if the
+        survivors still exceed ``max_bytes``, the oldest are removed
+        (LRU by mtime — reads do not touch mtime, so this is strictly
+        write-age eviction) until the budget holds.  Orphaned writer
+        temp files and stale lockfiles are cleaned up along the way.
+        Safe under concurrent readers, writers and *other sweeps*: every
+        stat/unlink tolerates the file vanishing first, and a concurrent
+        put lands atomically either before or after the pass.
+        """
+        t_now = time.time() if now is None else float(now)
+        stats = SweepStats()
+        entries: List[Tuple[float, int, Path]] = []
+        for path in self._entries():
+            try:
+                st = path.stat()
+            except OSError:
+                continue  # lost a race with a concurrent sweep/clear
+            stats.scanned += 1
+            entries.append((st.st_mtime, st.st_size, path))
+
+        def remove(mtime: float, size: int, path: Path) -> None:
+            try:
+                os.unlink(path)
+            except OSError:
+                return  # another sweep got it first: not freed by us
+            stats.removed += 1
+            stats.freed_bytes += size
+
+        survivors: List[Tuple[float, int, Path]] = []
+        for mtime, size, path in entries:
+            if ttl_s is not None and t_now - mtime > float(ttl_s):
+                remove(mtime, size, path)
+            else:
+                survivors.append((mtime, size, path))
+        if max_bytes is not None:
+            survivors.sort()  # oldest first
+            excess = sum(size for _, size, _ in survivors) - int(max_bytes)
+            while excess > 0 and survivors:
+                mtime, size, path = survivors.pop(0)
+                remove(mtime, size, path)
+                excess -= size
+        stats.remaining = len(survivors)
+        stats.remaining_bytes = sum(size for _, size, _ in survivors)
+        if self.root.exists():
+            for pattern, attr, horizon in (
+                ("*.tmp", "removed_tmp", self.TMP_STALE_S),
+                ("*.lock", "removed_locks", self.LOCK_STALE_S),
+            ):
+                for path in self.root.rglob(pattern):
+                    try:
+                        if t_now - path.stat().st_mtime <= horizon:
+                            continue
+                        os.unlink(path)
+                    except OSError:
+                        continue
+                    setattr(stats, attr, getattr(stats, attr) + 1)
+        return stats

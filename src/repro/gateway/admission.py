@@ -465,6 +465,10 @@ class AdmissionController:
             running = self._running
             jobs_total = len(self._jobs)
         cache = self.service.cache.snapshot()
+        # Imported here: repro.workers is the serving layer's dependency,
+        # not the other way around, and stats() is cold path.
+        from repro.workers import worker_stats
+
         return {
             "schema_version": SCHEMA_VERSION,
             "queue_depth": queue_depth,
@@ -474,6 +478,7 @@ class AdmissionController:
             "jobs_total": jobs_total,
             "tenants": tenants,
             "cache": cache.to_dict(),
+            "workers": worker_stats(),
             "metrics": self._metrics_stats(),
         }
 

@@ -7,7 +7,8 @@ flows through the staged functions — :func:`dock_probe` (the
 :class:`~repro.minimize.engine.MinimizationEngine` facade over the docked
 ensemble) and :func:`cluster_probe` — which
 :class:`repro.api.FTMapService` schedules across a request's probes
-(sequentially, stage-pipelined, or over forked workers).  The
+(sequentially, thread stage-pipelined, or across stage worker
+processes — see :mod:`repro.workers`).  The
 :class:`FTMapConfig` here is the single workload description shared by
 every layer, JSON-round-trippable through :meth:`FTMapConfig.to_dict`.
 
@@ -78,9 +79,12 @@ class FTMapConfig:
     ensemble over that many virtual devices
     (:mod:`repro.minimize.multidevice`): with ``minimize_engine`` set to
     ``"multi-gpu-sim"`` it is the shard width, with ``"auto"`` it opts the
-    sharded backend into cost-model selection.  ``probe_workers`` streams
-    whole probes through forked workers — the coarse-grained parallelism
-    of Sec. V.A applied one level up from rotations.
+    sharded backend into cost-model selection.  ``probe_workers`` opts a
+    run into process-staged probe streaming (``streaming="process"``:
+    dock and minimize in separate worker processes with shared-memory
+    pose shipping) — the coarse-grained parallelism of Sec. V.A applied
+    one level up from rotations; an explicit per-request streaming mode
+    still wins.
 
     ``cache_policy`` drives the content-addressed artifact cache
     (:mod:`repro.cache`): ``"off"`` | ``"memory"`` | ``"disk"`` | the
@@ -300,8 +304,9 @@ class FTMapResult:
     probe_results: Dict[str, ProbeResult]
     sites: List[ConsensusSite]
     #: Artifact-cache counter delta of this run (None with caching off).
-    #: With ``probe_workers > 1`` only the parent process's lookups are
-    #: counted — forked workers keep their own stats.
+    #: Under process streaming only the parent process's lookups are
+    #: counted — stage workers keep their own managers (and share
+    #: artifacts through a configured disk tier).
     cache_stats: Optional[CacheStats] = None
 
     @property
@@ -658,24 +663,6 @@ def map_probe(
     )
 
 
-# Module-level worker state for probe streaming: the receptor, config and
-# cache manager are installed once per forked worker, tasks carry only
-# (name, probe).  The manager pickles as configuration-only, so workers
-# start with empty memory tiers but share a configured disk tier.
-_PROBE_WORKER_CTX = None
-
-
-def _init_probe_worker(receptor, config, cache=None) -> None:
-    global _PROBE_WORKER_CTX
-    _PROBE_WORKER_CTX = (receptor, config, cache)
-
-
-def _map_probe_task(item) -> ProbeResult:
-    name, probe = item
-    receptor, config, cache = _PROBE_WORKER_CTX
-    return map_probe(receptor, name, probe, config, cache=cache)
-
-
 def run_ftmap(
     receptor: Molecule,
     config: FTMapConfig | None = None,
@@ -709,8 +696,9 @@ def run_ftmap(
     -------
     :class:`FTMapResult` with per-probe docking/minimization details and
     the ranked consensus sites.  With ``config.probe_workers > 1`` the
-    per-probe pipelines run in forked workers (order-preserving, so the
-    result is deterministic either way).  When an artifact cache is
+    stages run in worker processes (order-preserving and bitwise-equal
+    to the sequential loop, so the result is deterministic either way).
+    When an artifact cache is
     enabled, ``result.cache_stats`` carries this run's hit/miss delta.
     """
     warnings.warn(

@@ -30,10 +30,29 @@ __all__ = [
     "parallel_map",
     "multicore_dock_rotations",
     "chunked",
+    "usable_cpus",
     "RotationExecutor",
     "PipelineExecutor",
     "pipeline_map",
 ]
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    Container/cgroup deployments routinely pin a process to fewer CPUs
+    than the machine has; scheduling decisions (thread vs process
+    streaming, worker counts) must see the *affinity* count, not the
+    hardware count.  Falls back to ``os.cpu_count()`` on platforms
+    without ``sched_getaffinity``.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platform
+            pass
+    return max(1, os.cpu_count() or 1)
 
 
 def chunked(items: Sequence[T], size: int) -> Iterator[List[T]]:

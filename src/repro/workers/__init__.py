@@ -1,0 +1,31 @@
+"""Process-backed stage workers: GIL-independent dock/minimize overlap.
+
+The thread-staged probe pipeline (:class:`repro.util.parallel.
+PipelineExecutor`) only truly overlaps dock and minimize when numpy
+happens to release the GIL.  This package makes the overlap
+process-real: a small fork/spawn-backed worker pool
+(:class:`~repro.workers.pool.ProcessWorkerPool`) executes the stage
+functions in separate worker processes, and the bulk pose/ensemble
+payloads ship between processes through named
+``multiprocessing.shared_memory`` segments managed by a leased arena
+(:class:`~repro.workers.shm.ShmArena`) — zero-copy numpy views in the
+workers, deterministic unlink in the parent on completion, cancellation
+or worker death.
+
+:meth:`repro.api.FTMapService` wires this in as ``streaming="process"``
+(auto-selected on multi-CPU hosts for multi-probe requests); the
+scheduling changes, the values never do — process-streamed results are
+bitwise-identical to the sequential stage loop at fp64.
+"""
+
+from repro.workers.pool import ProcessWorkerPool, WorkerFuture, worker_stats
+from repro.workers.shm import ArrayBundle, ShmArena, shm_bytes_in_use
+
+__all__ = [
+    "ProcessWorkerPool",
+    "WorkerFuture",
+    "worker_stats",
+    "ArrayBundle",
+    "ShmArena",
+    "shm_bytes_in_use",
+]

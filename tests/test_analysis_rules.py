@@ -16,6 +16,7 @@ from repro.analysis.rules import default_checkers
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.dtype import DtypePreservationRule
 from repro.analysis.rules.errors import ErrorTaxonomyRule
+from repro.analysis.rules.forking import ForkDisciplineRule
 from repro.analysis.rules.locking import LockDisciplineRule
 from repro.analysis.rules.schema import WireSchemaRule
 
@@ -136,6 +137,145 @@ class TestLockDiscipline:
                     return body
         """)
         assert rule_ids(findings) == ["REPRO-LOCK"]
+
+
+class TestForkDiscipline:
+    RULE = ForkDisciplineRule()
+
+    def test_fork_under_self_lock_flagged(self):
+        findings = run_rule(self.RULE, """
+            import os
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def spawn(self):
+                    with self._lock:
+                        pid = os.fork()
+                    return pid
+        """)
+        assert rule_ids(findings) == ["REPRO-FORK"]
+        assert "os.fork" in findings[0].message
+
+    def test_process_pool_construction_under_module_lock_flagged(self):
+        findings = run_rule(self.RULE, """
+            import threading
+            from concurrent.futures import ProcessPoolExecutor
+
+            _LOCK = threading.Lock()
+
+            def build():
+                with _LOCK:
+                    return ProcessPoolExecutor(max_workers=2)
+        """)
+        assert rule_ids(findings) == ["REPRO-FORK"]
+        assert "ProcessPoolExecutor" in findings[0].message
+
+    def test_process_pool_submit_under_local_lock_flagged(self):
+        findings = run_rule(self.RULE, """
+            import threading
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(tasks):
+                lock = threading.Lock()
+                pool = ProcessPoolExecutor()
+                with lock:
+                    return [pool.submit(t) for t in tasks]
+        """)
+        assert rule_ids(findings) == ["REPRO-FORK"]
+        assert "pool.submit" in findings[0].message
+
+    def test_mp_process_and_repo_helpers_under_lock_flagged(self):
+        findings = run_rule(self.RULE, """
+            import multiprocessing as mp
+            import threading
+
+            from repro.util.parallel import parallel_map
+            from repro.workers import ProcessWorkerPool
+
+            _LOCK = threading.RLock()
+
+            def bad(items):
+                with _LOCK:
+                    mp.Process(target=print).start()
+                    parallel_map(print, items)
+                    ProcessWorkerPool(2)
+        """)
+        assert rule_ids(findings) == ["REPRO-FORK"] * 3
+
+    def test_spawn_outside_lock_clean(self):
+        findings = run_rule(self.RULE, """
+            import os
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._pids = []
+
+                def spawn(self):
+                    pid = os.fork()
+                    with self._lock:
+                        self._pids.append(pid)
+        """)
+        assert findings == []
+
+    def test_thread_pool_submit_under_lock_clean(self):
+        """ThreadPoolExecutor dispatch under a lock is an ordinary
+        pattern (the service schedules jobs under its lock) — only
+        *process* pools are flagged."""
+        findings = run_rule(self.RULE, """
+            import threading
+            from concurrent.futures import ThreadPoolExecutor
+
+            def run(task):
+                lock = threading.Lock()
+                pool = ThreadPoolExecutor()
+                with lock:
+                    return pool.submit(task)
+        """)
+        assert findings == []
+
+    def test_nested_def_under_lock_clean(self):
+        findings = run_rule(self.RULE, """
+            import os
+            import threading
+
+            _LOCK = threading.Lock()
+
+            def schedule():
+                with _LOCK:
+                    def later():
+                        return os.fork()
+                return later
+        """)
+        assert findings == []
+
+    def test_non_lock_with_block_clean(self):
+        findings = run_rule(self.RULE, """
+            import os
+
+            def snapshot(path):
+                with open(path) as fh:
+                    fh.read()
+                    return os.fork()
+        """)
+        assert findings == []
+
+    def test_suppressed_hit(self):
+        findings = run_rule(self.RULE, """
+            import os
+            import threading
+
+            _LOCK = threading.Lock()
+
+            def checkpoint():
+                with _LOCK:
+                    return os.fork()  # repro: ignore[REPRO-FORK] single-threaded tool
+        """)
+        assert findings == []
 
 
 class TestDeterminism:

@@ -16,6 +16,8 @@ from repro.api import (
 from repro.cache import CacheManager, reset_cache_registry
 from repro.mapping.ftmap import FTMapConfig, run_ftmap
 from repro.structure import synthetic_protein
+from repro.util.parallel import usable_cpus
+from repro.workers import shm_bytes_in_use
 
 
 @pytest.fixture(autouse=True)
@@ -95,30 +97,72 @@ class TestSynchronousMap:
         with FTMapService() as service:
             multi = service.map(protein, tiny_config())
             single = service.map(protein, tiny_config(probe_names=("ethanol",)))
-        assert multi.streaming == "pipeline"
+        # auto's cost model: process workers need >= 2 CPUs to overlap.
+        expected = "process" if usable_cpus() >= 2 else "pipeline"
+        assert multi.streaming == expected
         assert single.streaming == "sequential"
 
-    def test_fork_mode_takes_precedence(self, protein):
+    def test_process_matches_sequential_bitwise(self, protein):
+        cfg = tiny_config(probe_names=("ethanol", "acetone", "urea"))
+        with FTMapService() as service:
+            seq = service.map(protein, cfg, streaming="sequential")
+            proc = service.map(protein, cfg, streaming="process")
+        assert seq.streaming == "sequential"
+        assert proc.streaming == "process"
+        assert_bitwise_equal(seq.result, proc.result)
+        # Every leased shared-memory segment was unlinked again.
+        assert shm_bytes_in_use() == 0
+
+    def test_probe_workers_selects_process_streaming(self, protein):
         cfg = tiny_config(probe_workers=2)
         with FTMapService() as service:
             mapped = service.map(protein, cfg)
-        assert mapped.streaming == "fork"
+        assert mapped.streaming == "process"
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
             legacy = run_ftmap(protein, cfg)
         assert_bitwise_equal(legacy, mapped.result)
 
-    def test_fork_mode_job_emits_dispatch_events(self, protein):
-        """Fork fan-out is one barrier: the job still reports one
-        dispatch event per probe plus the consensus stage."""
+    def test_explicit_streaming_wins_over_probe_workers(self, protein):
+        """Regression: a client's explicit streaming mode must never be
+        silently overridden by config-driven selection (probe_workers
+        used to force the legacy fork fan-out over it)."""
+        cfg = tiny_config(probe_workers=2)
+        with FTMapService() as service:
+            seq = service.map(protein, cfg, streaming="sequential")
+            pipe = service.map(protein, cfg, streaming="pipeline")
+        assert seq.streaming == "sequential"
+        assert pipe.streaming == "pipeline"
+        assert_bitwise_equal(seq.result, pipe.result)
+
+    def test_process_mode_job_emits_stage_events(self, protein):
+        """Process streaming keeps the thread path's per-stage progress
+        contract: dock/minimize/cluster per probe, consensus last."""
         cfg = tiny_config(probe_workers=2)
         with FTMapService() as service:
             handle = service.submit(MapRequest(receptor=protein, config=cfg))
             handle.result(timeout=300)
         stages = [(e.stage, e.probe) for e in handle.events()]
         for probe in cfg.probe_names:
-            assert ("dispatch", probe) in stages
+            for stage in ("dock", "minimize", "cluster"):
+                assert (stage, probe) in stages
         assert stages[-1] == ("consensus", "")
+
+    def test_process_mode_worker_spans_stitched_into_trace(self, protein):
+        with FTMapService() as service:
+            mapped = service.map(
+                protein,
+                tiny_config(tracing=True),
+                streaming="process",
+            )
+        names = [s["name"] for s in mapped.trace["spans"]]
+        for exec_span in ("dock-exec", "minimize-exec", "cluster-exec"):
+            assert names.count(exec_span) == 2  # one per probe
+        by_id = {s["span_id"]: s for s in mapped.trace["spans"]}
+        for span in mapped.trace["spans"]:
+            if span["name"] == "dock-exec":
+                parent = by_id[span["parent_id"]]
+                assert parent["name"] == "dock"
 
     def test_result_provenance(self, protein):
         cfg = tiny_config()
@@ -222,6 +266,29 @@ class TestJobs:
             assert cancelled_from == [handle.job_id]
             # The job stopped early: no consensus event was emitted.
             assert all(e.stage != "consensus" for e in handle.events())
+
+    def test_process_job_cancels_and_unlinks_shared_memory(self, protein):
+        """Cancelling a process-streamed job stops it cooperatively and
+        unlinks every leased shared-memory segment deterministically."""
+        cfg = tiny_config(
+            probe_names=("ethanol", "acetone", "urea"), probe_workers=2
+        )
+        cancelled_from = []
+
+        def cancel_after_first_dock(event):
+            if event.stage == "dock" and event.index == 0:
+                cancelled_from.append(event.job_id)
+                service.job(event.job_id).cancel()
+
+        service = FTMapService(on_event=cancel_after_first_dock)
+        with service:
+            handle = service.submit(MapRequest(receptor=protein, config=cfg))
+            with pytest.raises(JobCancelled):
+                handle.result(timeout=300)
+            assert handle.status() == JOB_CANCELLED
+            assert cancelled_from == [handle.job_id]
+            assert all(e.stage != "consensus" for e in handle.events())
+        assert shm_bytes_in_use() == 0
 
     def test_failing_job_reports_error(self, protein):
         cfg = tiny_config(probe_names=("unobtainium",))
@@ -348,6 +415,76 @@ class TestCacheAwareServing:
         assert manager.stats.puts > 0
         assert result.cache_stats is not None
         assert result.cache_stats.puts == manager.stats.puts
+
+
+class TestSharedCacheFleet:
+    """Two service instances sharing one cache directory — the N-replica
+    deployment, minus the second host."""
+
+    def test_cold_miss_on_a_is_warm_hit_on_b(self, protein, tmp_path):
+        cfg = tiny_config()
+        service_a = FTMapService(
+            cache=CacheManager(policy="disk", directory=tmp_path)
+        )
+        service_b = FTMapService(
+            cache=CacheManager(policy="disk", directory=tmp_path)
+        )
+        with service_a, service_b:
+            cold = service_a.map(protein, cfg)
+            warm = service_b.map(protein, cfg)
+        assert cold.cache_stats.misses > 0            # A filled the directory
+        assert warm.cache_stats.disk_hits > 0         # B read A's artifacts
+        assert warm.cache_stats.misses == 0
+        assert_bitwise_equal(cold.result, warm.result)
+
+    def test_sixteen_concurrent_misses_compute_one_grid(
+        self, protein, tmp_path, monkeypatch
+    ):
+        """The acceptance shape at the artifact level: 16 threads miss the
+        receptor-grid key at once — exactly one grid computation runs,
+        the other 15 register as single-flight waits."""
+        import time as _time
+
+        from repro.grids import energyfunctions as ef
+
+        manager = CacheManager(policy="disk", directory=tmp_path)
+        spec = ef.GridSpec(n=24, spacing=1.25)
+        real_protein_grids = ef.protein_grids
+        computes = []
+
+        def counting_grids(*args, **kwargs):
+            computes.append(1)
+            # Hold the flight open until every follower is waiting on it,
+            # so the wait count is deterministic (generously bounded).
+            deadline = _time.monotonic() + 30.0
+            while (
+                manager.singleflight_waits < 15
+                and _time.monotonic() < deadline
+            ):
+                _time.sleep(0.002)
+            return real_protein_grids(*args, **kwargs)
+
+        monkeypatch.setattr(ef, "protein_grids", counting_grids)
+        results = [None] * 16
+
+        def racer(i):
+            results[i] = ef.protein_grids_cached(
+                protein, spec, cache=manager
+            )
+
+        threads = [
+            threading.Thread(target=racer, args=(i,)) for i in range(16)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert len(computes) == 1                     # one grid computation
+        assert manager.singleflight_waits == 15       # the counter, asserted
+        first = results[0]
+        assert first is not None
+        for other in results[1:]:
+            assert np.array_equal(other.channels, first.channels)
 
 
 class TestServiceValidation:

@@ -1,0 +1,94 @@
+"""``python -m repro.cache prune``: the fleet cache-maintenance CLI."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cache.cli import main
+from repro.cache.store import MISS, DiskStore
+
+
+def _aged_put(store, key, value, age_s):
+    store.put(key, value, codec="pickle")
+    old = time.time() - age_s
+    os.utime(store._path(key), (old, old))
+
+
+class TestPruneCommand:
+    def test_ttl_prune_prints_json_stats(self, tmp_path, capsys):
+        store = DiskStore(tmp_path)
+        _aged_put(store, "ns/old", {"v": 1}, age_s=2 * 3600)
+        store.put("ns/new", {"v": 2}, codec="pickle")
+        rc = main(["prune", "--ttl", "1", str(tmp_path)])
+        assert rc == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["scanned"] == 2
+        assert stats["removed"] == 1
+        assert stats["remaining"] == 1
+        assert store.get("ns/old") is MISS
+        assert store.get("ns/new") == {"v": 2}
+
+    def test_max_bytes_prune_evicts_oldest(self, tmp_path, capsys):
+        store = DiskStore(tmp_path)
+        payload = {"blob": list(range(400))}
+        _aged_put(store, "ns/oldest", payload, age_s=300)
+        _aged_put(store, "ns/newest", payload, age_s=100)
+        budget = store.total_bytes() // 2
+        rc = main(["prune", "--max-bytes", str(budget), str(tmp_path)])
+        assert rc == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["removed"] == 1
+        assert store.get("ns/oldest") is MISS
+        assert store.get("ns/newest") is not MISS
+
+    def test_prune_without_criteria_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            main(["prune", str(tmp_path)])
+        assert err.value.code == 2
+
+    def test_negative_ttl_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["prune", "--ttl", "-1", str(tmp_path)])
+
+    def test_negative_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["prune", "--max-bytes", "-5", str(tmp_path)])
+
+    def test_missing_subcommand_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_prune_of_empty_directory_reports_zeroes(self, tmp_path, capsys):
+        rc = main(["prune", "--ttl", "1", str(tmp_path)])
+        assert rc == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats == {
+            "scanned": 0, "removed": 0, "freed_bytes": 0,
+            "remaining": 0, "remaining_bytes": 0,
+            "removed_tmp": 0, "removed_locks": 0,
+        }
+
+
+class TestModuleEntrypoint:
+    def test_python_dash_m_invocation(self, tmp_path):
+        """The cron-job shape: a real subprocess through ``__main__``."""
+        store = DiskStore(tmp_path)
+        _aged_put(store, "ns/old", {"v": 1}, age_s=2 * 3600)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cache",
+                "prune", "--ttl", "1", str(tmp_path),
+            ],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        stats = json.loads(proc.stdout)
+        assert stats["removed"] == 1
+        assert store.get("ns/old") is MISS

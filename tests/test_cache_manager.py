@@ -86,6 +86,197 @@ class TestPolicies:
         assert len(calls) == 1
 
 
+class TestSingleFlight:
+    @staticmethod
+    def _await_waiters(mgr, n, timeout=30.0):
+        import time
+
+        deadline = time.monotonic() + timeout
+        while mgr.singleflight_waits < n:
+            if time.monotonic() > deadline:  # pragma: no cover - hang guard
+                raise AssertionError(
+                    f"only {mgr.singleflight_waits}/{n} waiters registered"
+                )
+            time.sleep(0.002)
+
+    def test_sixteen_concurrent_misses_compute_once(self):
+        """The acceptance shape: 16 threads miss the same key at once —
+        exactly one computes, the rest wait and share the value."""
+        import threading
+
+        mgr = CacheManager(policy="memory")
+        computes = []
+        release = threading.Event()
+        results = [None] * 16
+
+        def compute():
+            computes.append(1)
+            # Hold the flight open until every follower is waiting on it.
+            release.wait(30)
+            return {"value": 42}
+
+        def racer(i):
+            results[i] = mgr.get_or_compute("ns/grid", compute)
+
+        threads = [
+            threading.Thread(target=racer, args=(i,)) for i in range(16)
+        ]
+        for t in threads:
+            t.start()
+        self._await_waiters(mgr, 15)
+        release.set()
+        for t in threads:
+            t.join(timeout=60)
+        assert len(computes) == 1
+        assert all(r == {"value": 42} for r in results)
+        assert mgr.singleflight_waits == 15
+
+    def test_singleflight_counter_metric_exported(self):
+        import threading
+
+        from repro.obs.metrics import registry
+
+        mgr = CacheManager(policy="memory")
+        release = threading.Event()
+        counter = registry().counter(
+            "repro_cache_singleflight_waits_total",
+            help="Lookups that waited on another in-flight computation.",
+        )
+        before = counter.value()  # metrics registry is process-global
+
+        def compute():
+            release.wait(30)
+            return 7
+
+        threads = [
+            threading.Thread(
+                target=lambda: mgr.get_or_compute("ns/k", compute)
+            )
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        self._await_waiters(mgr, 3)
+        release.set()
+        for t in threads:
+            t.join(timeout=60)
+        assert counter.value() - before == float(mgr.singleflight_waits)
+        assert mgr.singleflight_waits == 3
+
+    def test_leader_failure_wakes_followers_one_takes_over(self):
+        """A leader whose compute raises must not strand the waiters:
+        they wake, re-check, and one of them computes."""
+        import threading
+
+        mgr = CacheManager(policy="memory")
+        attempts = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) == 1:
+                entered.set()
+                release.wait(30)
+                raise RuntimeError("leader died")
+            return "recovered"
+
+        outcomes = []
+
+        def leader():
+            try:
+                mgr.get_or_compute("ns/k", flaky)
+            except RuntimeError as exc:
+                outcomes.append(str(exc))
+
+        def follower():
+            entered.wait(30)
+            outcomes.append(mgr.get_or_compute("ns/k", flaky))
+
+        t_lead = threading.Thread(target=leader)
+        t_follow = threading.Thread(target=follower)
+        t_lead.start()
+        entered.wait(30)
+        t_follow.start()
+        release.set()
+        t_lead.join(60)
+        t_follow.join(60)
+        assert sorted(outcomes) == ["leader died", "recovered"]
+        assert len(attempts) == 2
+
+    def test_distinct_keys_do_not_serialize(self):
+        mgr = CacheManager(policy="memory")
+        assert mgr.get_or_compute("ns/a", lambda: "a") == "a"
+        assert mgr.get_or_compute("ns/b", lambda: "b") == "b"
+        assert mgr.singleflight_waits == 0
+
+    def test_disk_tier_lock_serializes_cross_manager_compute(self, tmp_path):
+        """Two managers on one directory (the two-service acceptance
+        shape): B's miss waits for A's in-flight compute via the disk
+        lockfile, then reads A's artifact instead of recomputing."""
+        import threading
+
+        a = CacheManager(policy="disk", directory=tmp_path)
+        b = CacheManager(policy="disk", directory=tmp_path)
+        a_entered = threading.Event()
+        a_release = threading.Event()
+        computes = []
+
+        def slow_compute():
+            computes.append("a")
+            a_entered.set()
+            a_release.wait(30)
+            return {"grid": [1, 2, 3]}
+
+        def fast_compute():
+            computes.append("b")
+            return {"grid": [1, 2, 3]}
+
+        results = {}
+
+        def run_a():
+            results["a"] = a.get_or_compute("ns/grid", slow_compute)
+
+        def run_b():
+            a_entered.wait(30)
+            results["b"] = b.get_or_compute("ns/grid", fast_compute)
+
+        t_a = threading.Thread(target=run_a)
+        t_b = threading.Thread(target=run_b)
+        t_a.start()
+        t_b.start()
+        a_entered.wait(30)
+        a_release.set()
+        t_a.join(60)
+        t_b.join(60)
+        assert computes == ["a"]                      # B never computed
+        assert results["a"] == results["b"] == {"grid": [1, 2, 3]}
+        assert b.singleflight_waits >= 1
+
+    def test_cold_miss_on_a_is_warm_hit_on_b(self, tmp_path):
+        """Fleet acceptance: a cold miss filled through service A's
+        manager is a warm disk hit for service B sharing the directory."""
+        a = CacheManager(policy="disk", directory=tmp_path)
+        b = CacheManager(policy="disk", directory=tmp_path)
+        calls = []
+        value = a.get_or_compute(
+            "ns/grid", lambda: calls.append("a") or {"v": 9}, codec="pickle"
+        )
+        assert value == {"v": 9}
+        out = b.get_or_compute(
+            "ns/grid", lambda: calls.append("b") or {"v": 9}, codec="pickle"
+        )
+        assert out == {"v": 9}
+        assert calls == ["a"]
+        assert b.stats.disk_hits == 1
+
+    def test_policy_off_never_enters_flight_table(self):
+        mgr = CacheManager(policy="off")
+        assert mgr.get_or_compute("ns/k", lambda: 5) == 5
+        assert mgr.singleflight_waits == 0
+        assert mgr._sf_inflight == {}
+
+
 class TestStats:
     def test_snapshot_delta(self):
         mgr = CacheManager(policy="memory")

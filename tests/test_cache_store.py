@@ -187,3 +187,128 @@ class TestConcurrentWriters:
         assert store.corrupt_entries == 0
         # No stranded temp files from the losing writer.
         assert not list(tmp_path.rglob("*.tmp"))
+
+
+class TestComputeLocks:
+    def test_try_lock_is_exclusive_until_unlocked(self, tmp_path):
+        store = DiskStore(tmp_path)
+        assert store.try_lock("ns/key") is True
+        assert store.try_lock("ns/key") is False      # held
+        store.unlock("ns/key")
+        assert store.try_lock("ns/key") is True       # free again
+        store.unlock("ns/key")
+        store.unlock("ns/key")                        # idempotent
+
+    def test_second_store_sees_the_lock(self, tmp_path):
+        """Two services sharing one directory contend on the same file."""
+        a, b = DiskStore(tmp_path), DiskStore(tmp_path)
+        assert a.try_lock("ns/key") is True
+        assert b.try_lock("ns/key") is False
+        a.unlock("ns/key")
+        assert b.try_lock("ns/key") is True
+        b.unlock("ns/key")
+
+    def test_stale_lock_is_stolen(self, tmp_path):
+        import os as _os
+        import time as _time
+
+        store = DiskStore(tmp_path)
+        assert store.try_lock("ns/key") is True
+        lock_path = store._lock_path("ns/key")
+        old = _time.time() - 2 * DiskStore.LOCK_STALE_S
+        _os.utime(lock_path, (old, old))              # orphan of a dead pid
+        assert store.try_lock("ns/key") is True       # stolen
+        store.unlock("ns/key")
+
+    def test_lockfiles_are_not_cache_entries(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.try_lock("ns/key")
+        assert store.get("ns/key") is MISS
+        assert len(store) == 0
+        store.unlock("ns/key")
+
+
+class TestSweep:
+    def _aged_put(self, store, key, value, age_s):
+        import os as _os
+        import time as _time
+
+        store.put(key, value, codec="pickle")
+        old = _time.time() - age_s
+        _os.utime(store._path(key), (old, old))
+
+    def test_ttl_sweep_removes_only_old_entries(self, tmp_path):
+        store = DiskStore(tmp_path)
+        self._aged_put(store, "ns/old", {"v": 1}, age_s=7200)
+        store.put("ns/new", {"v": 2}, codec="pickle")
+        stats = store.sweep(ttl_s=3600)
+        assert stats.scanned == 2
+        assert stats.removed == 1
+        assert stats.remaining == 1
+        assert store.get("ns/old") is MISS
+        assert store.get("ns/new") == {"v": 2}
+
+    def test_byte_budget_evicts_oldest_first(self, tmp_path):
+        store = DiskStore(tmp_path)
+        payload = {"blob": list(range(500))}
+        self._aged_put(store, "ns/oldest", payload, age_s=300)
+        self._aged_put(store, "ns/middle", payload, age_s=200)
+        self._aged_put(store, "ns/newest", payload, age_s=100)
+        per_entry = store.total_bytes() // 3
+        stats = store.sweep(max_bytes=2 * per_entry)
+        assert stats.removed == 1
+        assert store.get("ns/oldest") is MISS         # LRU by write age
+        assert store.get("ns/middle") is not MISS
+        assert store.get("ns/newest") is not MISS
+        assert store.total_bytes() <= 2 * per_entry
+
+    def test_sweep_without_criteria_only_counts(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("ns/a", {"v": 1}, codec="pickle")
+        stats = store.sweep()
+        assert stats.scanned == 1
+        assert stats.removed == 0
+        assert stats.remaining == 1
+        assert stats.remaining_bytes == store.total_bytes()
+
+    def test_sweep_cleans_orphaned_tmp_and_lock_files(self, tmp_path):
+        import os as _os
+        import time as _time
+
+        store = DiskStore(tmp_path)
+        store.put("ns/keep", {"v": 1}, codec="pickle")
+        orphan_tmp = tmp_path / "ns" / "writer.tmp"
+        orphan_tmp.write_bytes(b"half a write")
+        store.try_lock("ns/dead")
+        old = _time.time() - 7200
+        _os.utime(orphan_tmp, (old, old))
+        _os.utime(store._lock_path("ns/dead"), (old, old))
+        # A *fresh* lock must survive the sweep.
+        store.try_lock("ns/live")
+        stats = store.sweep()
+        assert stats.removed_tmp == 1
+        assert stats.removed_locks == 1
+        assert not orphan_tmp.exists()
+        assert store.try_lock("ns/live") is False     # still held
+        store.unlock("ns/live")
+        assert store.get("ns/keep") == {"v": 1}
+
+    def test_concurrent_sweeps_are_safe(self, tmp_path):
+        """Two sweeps of one directory: removals race benignly — each
+        file is freed exactly once, nothing raises."""
+        store = DiskStore(tmp_path)
+        for i in range(6):
+            self._aged_put(store, f"ns/e{i}", {"v": i}, age_s=7200)
+        stats_a = store.sweep(ttl_s=3600)
+        stats_b = DiskStore(tmp_path).sweep(ttl_s=3600)
+        assert stats_a.removed == 6
+        assert stats_b.removed == 0
+        assert len(store) == 0
+
+    def test_stats_to_dict_shape(self, tmp_path):
+        stats = DiskStore(tmp_path).sweep()
+        assert stats.to_dict() == {
+            "scanned": 0, "removed": 0, "freed_bytes": 0,
+            "remaining": 0, "remaining_bytes": 0,
+            "removed_tmp": 0, "removed_locks": 0,
+        }

@@ -180,6 +180,70 @@ class TestRoundTrip:
         assert "hit_rate" in stats["cache"]
 
 
+class TestProcessStreamingOverHTTP:
+    """The tentpole acceptance: process workers behind the gateway."""
+
+    MULTI = FTMapConfig(
+        probe_names=("ethanol", "acetone"),
+        num_rotations=4,
+        receptor_grid=24,
+        minimize_top=2,
+        minimizer_iterations=2,
+        engine="fft",
+    )
+
+    def test_process_streaming_bitwise_identical_over_tcp(
+        self, gateway, acme, receptor_hash
+    ):
+        sequential = acme.map_remote(
+            MapRequest(
+                receptor=receptor_hash, config=self.MULTI,
+                streaming="sequential",
+            ),
+            timeout_s=600,
+        )
+        process = acme.map_remote(
+            MapRequest(
+                receptor=receptor_hash, config=self.MULTI,
+                streaming="process",
+            ),
+            timeout_s=600,
+        )
+        assert process["streaming"] == "process"
+        assert sequential["streaming"] == "sequential"
+        assert mapping_json(process) == mapping_json(sequential)
+
+    def test_stats_reports_workers_section(self, acme):
+        stats = acme.stats()
+        workers = stats["workers"]
+        assert set(workers) == {
+            "pools", "pool_size", "busy", "shm_bytes_in_use",
+            "stage_tasks_total", "worker_restarts_total",
+        }
+        # Idle between requests: every pool closed, every segment gone.
+        assert workers["pools"] == 0
+        assert workers["shm_bytes_in_use"] == 0
+
+    def test_metrics_expose_worker_and_singleflight_series(
+        self, gateway, acme, receptor_hash
+    ):
+        acme.map_remote(
+            MapRequest(
+                receptor=receptor_hash, config=self.MULTI,
+                streaming="process",
+            ),
+            timeout_s=600,
+        )
+        text = acme.metrics()
+        for name in (
+            "repro_worker_pool_size",
+            "repro_worker_busy",
+            "repro_shm_bytes_in_use",
+            "repro_cache_singleflight_waits_total",
+        ):
+            assert name in text, name
+
+
 class TestRejections:
     def test_missing_and_wrong_api_key(self, gateway):
         with pytest.raises(AuthenticationError):

@@ -1,0 +1,268 @@
+"""repro.workers: shared-memory arena + resident process worker pool."""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.api.errors import JobFailedError
+from repro.workers import (
+    ArrayBundle,
+    ProcessWorkerPool,
+    ShmArena,
+    shm_bytes_in_use,
+    worker_stats,
+)
+from repro.workers.shm import map_arrays, pack_arrays
+
+# -- picklable worker-side task functions (module-level by protocol) ----------
+
+_CTX = {}
+
+
+def _init_ctx(value):
+    _CTX["value"] = value
+
+
+def _read_ctx():
+    return _CTX.get("value")
+
+
+def _echo(x):
+    return x
+
+
+def _boom():
+    raise ValueError("stage exploded")
+
+
+def _getpid():
+    return os.getpid()
+
+
+def _kill_self():
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _sleep_echo(x, seconds):
+    time.sleep(seconds)
+    return x
+
+
+def _unpicklable():
+    return lambda: None
+
+
+def _pack_task(segment):
+    arrays = {
+        "a": np.arange(12, dtype=np.float64).reshape(3, 4),
+        "b": np.array([7, 8, 9], dtype=np.int64),
+    }
+    return pack_arrays(segment, arrays)
+
+
+# -- shared-memory packing ----------------------------------------------------
+
+
+class TestShmPacking:
+    def test_pack_map_round_trip_zero_copy(self):
+        arrays = {
+            "scores": np.linspace(-4.0, 2.0, 9),
+            "index": np.arange(5, dtype=np.int64),
+        }
+        bundle = pack_arrays("repro-test-rt", arrays)
+        try:
+            assert bundle.segment == "repro-test-rt"
+            views, seg = map_arrays(bundle)
+            assert seg is not None
+            for key, arr in arrays.items():
+                assert np.array_equal(views[key], arr)
+                assert not views[key].flags.writeable
+            seg.close()
+        finally:
+            arena = ShmArena(prefix="cleanup")
+            arena._leases[bundle.segment] = bundle.nbytes
+            arena._unlink(bundle.segment)
+
+    def test_pack_map_copy_mode_owns_data(self):
+        arrays = {"x": np.full((4, 3), 2.5)}
+        bundle = pack_arrays("repro-test-copy", arrays)
+        try:
+            copies, seg = map_arrays(bundle, copy=True)
+            assert seg is None
+            assert np.array_equal(copies["x"], arrays["x"])
+            copies["x"][0, 0] = -1.0  # writable: a real copy
+        finally:
+            arena = ShmArena(prefix="cleanup")
+            arena._leases[bundle.segment] = bundle.nbytes
+            arena._unlink(bundle.segment)
+
+    def test_empty_arrays_pack_to_metadata_only_bundle(self):
+        bundle = pack_arrays(
+            "repro-test-empty",
+            {"none": np.empty((0, 3)), "zip": np.empty(0, dtype=np.int64)},
+        )
+        assert bundle.segment == ""          # no zero-byte segments
+        assert bundle.nbytes == 0
+        arrays, seg = map_arrays(bundle)
+        assert seg is None
+        assert arrays["none"].shape == (0, 3)
+        assert arrays["zip"].dtype == np.int64
+
+    def test_arrays_are_alignment_padded(self):
+        arrays = {
+            "tiny": np.array([1.0]),          # 8 bytes -> next offset 64
+            "next": np.arange(3, dtype=np.int64),
+        }
+        bundle = pack_arrays("repro-test-align", arrays)
+        try:
+            offsets = {s.key: s.offset for s in bundle.arrays}
+            assert offsets["tiny"] == 0
+            assert offsets["next"] == 64
+        finally:
+            arena = ShmArena(prefix="cleanup")
+            arena._leases[bundle.segment] = bundle.nbytes
+            arena._unlink(bundle.segment)
+
+
+class TestShmArena:
+    def test_reserve_lease_read_release_accounting(self):
+        arena = ShmArena(prefix="repro-arena")
+        name = arena.reserve("d0")
+        assert name.startswith("repro-arena-") and name.endswith("-d0")
+        bundle = _pack_task(name)
+        arena.lease(bundle)
+        assert arena.bytes_in_use == bundle.nbytes
+        assert shm_bytes_in_use() >= bundle.nbytes
+        arrays = arena.read(bundle)
+        assert np.array_equal(arrays["b"], [7, 8, 9])
+        arena.release(bundle)
+        assert arena.bytes_in_use == 0
+        assert len(arena) == 0
+        # Unlinked for real: attaching again fails.
+        with pytest.raises(FileNotFoundError):
+            map_arrays(bundle)
+
+    def test_release_of_never_created_segment_is_noop(self):
+        arena = ShmArena(prefix="repro-arena")
+        name = arena.reserve("ghost")
+        # The producer "died" before creating the segment.
+        arena.release(ArrayBundle(segment=name, nbytes=0))
+        arena.release(None)
+        arena.release_all()
+        assert shm_bytes_in_use() == 0
+
+    def test_release_all_unlinks_everything_and_closes_arena(self):
+        arena = ShmArena(prefix="repro-arena")
+        bundles = []
+        for tag in ("d0", "d1"):
+            bundle = _pack_task(arena.reserve(tag))
+            arena.lease(bundle)
+            bundles.append(bundle)
+        assert len(arena) == 2
+        arena.release_all()
+        assert arena.bytes_in_use == 0
+        for bundle in bundles:
+            with pytest.raises(FileNotFoundError):
+                map_arrays(bundle)
+        with pytest.raises(RuntimeError, match="released"):
+            arena.reserve("late")
+
+
+# -- worker pool --------------------------------------------------------------
+
+
+class TestProcessWorkerPool:
+    def test_submit_runs_in_worker_process(self):
+        with ProcessWorkerPool(2, name="t-basic") as pool:
+            futures = [pool.submit(_echo, i) for i in range(8)]
+            assert [f.result(timeout=60) for f in futures] == list(range(8))
+            pids = {
+                pool.submit(_getpid).result(timeout=60) for _ in range(8)
+            }
+        assert os.getpid() not in pids
+        assert len(pids) <= 2
+
+    def test_initializer_runs_once_per_worker(self):
+        with ProcessWorkerPool(
+            2, initializer=_init_ctx, initargs=("warmed",), name="t-init"
+        ) as pool:
+            values = {
+                pool.submit(_read_ctx).result(timeout=60) for _ in range(6)
+            }
+        assert values == {"warmed"}
+
+    def test_task_error_propagates_and_worker_survives(self):
+        with ProcessWorkerPool(1, name="t-err") as pool:
+            future = pool.submit(_boom, label="boom")
+            with pytest.raises(ValueError, match="stage exploded"):
+                future.result(timeout=60)
+            # Same worker keeps serving.
+            assert pool.submit(_echo, "ok").result(timeout=60) == "ok"
+            assert worker_stats()["worker_restarts_total"] >= 0
+
+    def test_unpicklable_result_degrades_to_described_error(self):
+        with ProcessWorkerPool(1, name="t-pickle") as pool:
+            future = pool.submit(_unpicklable, label="lambda")
+            with pytest.raises(RuntimeError, match="not transferable"):
+                future.result(timeout=60)
+            assert pool.submit(_echo, 1).result(timeout=60) == 1
+
+    def test_sigkilled_worker_fails_task_and_pool_refills(self):
+        before = worker_stats()["worker_restarts_total"]
+        with ProcessWorkerPool(1, name="t-crash") as pool:
+            future = pool.submit(_kill_self, label="crash")
+            with pytest.raises(JobFailedError, match="worker process died"):
+                future.result(timeout=60)
+            assert "crash" in str(future.exception())
+            # The pool refilled: the next task runs on a fresh worker.
+            assert pool.submit(_echo, "alive").result(timeout=60) == "alive"
+        assert worker_stats()["worker_restarts_total"] == before + 1
+
+    def test_crash_during_shm_stage_leaves_no_leak(self):
+        """A producer SIGKILLed before creating its reserved segment:
+        the arena still releases cleanly (missing names are no-ops)."""
+        arena = ShmArena(prefix="repro-crash")
+        name = arena.reserve("d0")
+        with ProcessWorkerPool(1, name="t-crash-shm") as pool:
+            with pytest.raises(JobFailedError):
+                pool.submit(_kill_self, label=f"pack:{name}").result(timeout=60)
+        arena.release_all()
+        assert shm_bytes_in_use() == 0
+
+    def test_close_cancel_fails_queued_and_inflight_tasks(self):
+        pool = ProcessWorkerPool(1, name="t-cancel")
+        slow = pool.submit(_sleep_echo, "slow", 30.0, label="slow")
+        queued = pool.submit(_echo, "queued", label="queued")
+        pool.close(cancel=True, timeout=10.0)
+        with pytest.raises(JobFailedError):
+            queued.result(timeout=10)
+        with pytest.raises(JobFailedError):
+            slow.result(timeout=10)
+        assert pool.closed
+
+    def test_submit_after_close_raises(self):
+        pool = ProcessWorkerPool(1, name="t-closed")
+        pool.close()
+        with pytest.raises(JobFailedError, match="closed"):
+            pool.submit(_echo, 1)
+
+    def test_worker_stats_shape(self):
+        with ProcessWorkerPool(2, name="t-stats"):
+            stats = worker_stats()
+            assert stats["pools"] >= 1
+            assert stats["pool_size"] >= 2
+        stats = worker_stats()
+        assert set(stats) == {
+            "pools", "pool_size", "busy", "shm_bytes_in_use",
+            "stage_tasks_total", "worker_restarts_total",
+        }
+
+    def test_future_timeout(self):
+        with ProcessWorkerPool(1, name="t-timeout") as pool:
+            future = pool.submit(_sleep_echo, "x", 5.0, label="slow")
+            with pytest.raises(TimeoutError):
+                future.result(timeout=0.05)
+            assert future.result(timeout=60) == "x"
